@@ -1,0 +1,50 @@
+//! E5 — Data Vault: lazy (just-in-time) vs eager ingestion.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use teleios_monet::Catalog;
+use teleios_vault::format::{encode_sev1, Sev1Header};
+use teleios_vault::repository::Repository;
+use teleios_vault::{DataVault, IngestionPolicy};
+
+fn archive(n_files: usize, size: usize) -> Repository {
+    let mut repo = Repository::new();
+    for i in 0..n_files {
+        let header = Sev1Header {
+            rows: size as u32,
+            cols: size as u32,
+            bands: 3,
+            acquisition: format!("2007-08-25T{:02}:00:00Z", i % 24),
+            bbox: (i as f64, 0.0, i as f64 + 1.0, 1.0),
+        };
+        let payload = vec![300.0f64; size * size * 3];
+        repo.put(format!("scene-{i:04}.sev1"), encode_sev1(&header, &payload).expect("encode"));
+    }
+    repo
+}
+
+/// Register the archive and touch 5% of the files.
+fn run(policy: IngestionPolicy, repo: &Repository, n_files: usize) {
+    let mut vault = DataVault::new(repo.clone(), Catalog::new(), policy, 0);
+    vault.register_all().expect("register");
+    for i in (0..n_files).step_by(20) {
+        vault.array_for(&format!("scene-{i:04}.sev1")).expect("access");
+    }
+}
+
+fn bench_vault(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E5_data_vault");
+    group.sample_size(10);
+    for n_files in [100usize, 400] {
+        let repo = archive(n_files, 32);
+        group.bench_with_input(BenchmarkId::new("lazy_5pct", n_files), &n_files, |b, &n| {
+            b.iter(|| run(IngestionPolicy::Lazy, &repo, n));
+        });
+        group.bench_with_input(BenchmarkId::new("eager_5pct", n_files), &n_files, |b, &n| {
+            b.iter(|| run(IngestionPolicy::Eager, &repo, n));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_vault);
+criterion_main!(benches);

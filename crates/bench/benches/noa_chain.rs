@@ -1,0 +1,23 @@
+//! E1 — NOA processing-chain latency vs raster size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use teleios_bench::fire_scene;
+use teleios_monet::Catalog;
+use teleios_noa::ProcessingChain;
+
+fn bench_chain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E1_noa_chain");
+    group.sample_size(10);
+    for size in [64usize, 128, 256] {
+        let scene = fire_scene(size, 1);
+        group.bench_with_input(BenchmarkId::new("full_chain", size), &size, |b, _| {
+            let cat = Catalog::new();
+            let chain = ProcessingChain::operational();
+            b.iter(|| chain.run(&cat, "bench", &scene.raster).expect("chain run"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_chain);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! E9 — R-tree scaling: bulk load, window query, vs linear scan.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use teleios_geo::index::RTree;
+use teleios_geo::{Coord, Envelope};
+
+fn items(n: usize) -> Vec<(Envelope, usize)> {
+    // Deterministic pseudo-random unit boxes in a 1000x1000 field.
+    let mut state = 42u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state % 100_000) as f64 / 100.0
+    };
+    (0..n)
+        .map(|i| {
+            let x = next();
+            let y = next();
+            (Envelope::new(Coord::new(x, y), Coord::new(x + 1.0, y + 1.0)), i)
+        })
+        .collect()
+}
+
+fn window() -> Envelope {
+    Envelope::new(Coord::new(400.0, 400.0), Coord::new(430.0, 430.0))
+}
+
+fn bench_rtree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E9_rtree");
+    group.sample_size(10);
+    for n in [10_000usize, 100_000] {
+        let data = items(n);
+        group.bench_with_input(BenchmarkId::new("bulk_load", n), &n, |b, _| {
+            b.iter(|| RTree::bulk_load(data.clone()));
+        });
+        let tree = RTree::bulk_load(data.clone());
+        let q = window();
+        group.bench_with_input(BenchmarkId::new("query_indexed", n), &n, |b, _| {
+            b.iter(|| tree.query(&q));
+        });
+        group.bench_with_input(BenchmarkId::new("query_scan", n), &n, |b, _| {
+            b.iter(|| {
+                data.iter()
+                    .filter(|(e, _)| e.intersects(&q))
+                    .map(|(_, i)| *i)
+                    .collect::<Vec<_>>()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("nearest_10", n), &n, |b, _| {
+            b.iter(|| tree.nearest(Coord::new(500.0, 500.0), 10));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rtree);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! E6 — SciQL declarative image operations vs hand-coded array loops.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use teleios_monet::array::NdArray;
+use teleios_monet::Catalog;
+use teleios_sciql::{execute, ops};
+
+fn image(size: usize) -> NdArray {
+    NdArray::matrix(size, size, (0..size * size).map(|v| 290.0 + (v % 64) as f64).collect())
+        .expect("image")
+}
+
+fn bench_sciql(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E6_sciql_vs_native");
+    group.sample_size(10);
+    for size in [128usize, 512] {
+        let img = image(size);
+        let cat = Catalog::new();
+        cat.put_array("img", img.clone());
+
+        group.bench_with_input(BenchmarkId::new("classify_sciql", size), &size, |b, _| {
+            b.iter(|| {
+                execute(&cat, "SELECT CASE WHEN v > 318 THEN 1 ELSE 0 END FROM img")
+                    .expect("sciql")
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("classify_native", size), &size, |b, _| {
+            b.iter(|| ops::classify_threshold(&img, 318.0));
+        });
+
+        group.bench_with_input(BenchmarkId::new("tile_mean_sciql", size), &size, |b, _| {
+            b.iter(|| {
+                execute(&cat, "SELECT AVG(v) FROM img GROUP BY TILES [16, 16]").expect("sciql")
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("tile_mean_native", size), &size, |b, _| {
+            b.iter(|| ops::tile_mean(&img, 16).expect("tile mean"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sciql);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! E4 — BGP join-order optimizer: selectivity ordering vs syntactic
+//! order.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use teleios_bench::{bgp_query, build_archive};
+use teleios_strabon::StrabonConfig;
+
+fn bench_bgp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E4_bgp_optimizer");
+    group.sample_size(10);
+    let query = bgp_query();
+    for n in [1_000usize, 5_000] {
+        let mut optimized = build_archive(n, 0, StrabonConfig::default());
+        let mut naive = build_archive(
+            n,
+            0,
+            StrabonConfig { rdfs_inference: false, optimize_bgp: false, use_spatial_index: true },
+        );
+        optimized.query(&query).expect("warm");
+        naive.query(&query).expect("warm");
+        group.bench_with_input(BenchmarkId::new("optimized", n), &n, |b, _| {
+            b.iter(|| optimized.query(&query).expect("query"));
+        });
+        group.bench_with_input(BenchmarkId::new("syntactic", n), &n, |b, _| {
+            b.iter(|| naive.query(&query).expect("query"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bgp);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! E3 — flagship spatial query latency: R-tree sidecar vs exact scan.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use teleios_bench::{build_archive, spatial_region_query};
+use teleios_strabon::StrabonConfig;
+
+fn bench_spatial_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E3_stsparql_spatial");
+    group.sample_size(10);
+    let query = spatial_region_query();
+    for n in [1_000usize, 5_000] {
+        let mut indexed = build_archive(n, 8, StrabonConfig::default());
+        let mut scan = build_archive(
+            n,
+            8,
+            StrabonConfig { rdfs_inference: false, optimize_bgp: true, use_spatial_index: false },
+        );
+        // Warm both engines (builds the sidecar once).
+        indexed.query(&query).expect("warm");
+        scan.query(&query).expect("warm");
+        group.bench_with_input(BenchmarkId::new("indexed", n), &n, |b, _| {
+            b.iter(|| indexed.query(&query).expect("query"));
+        });
+        group.bench_with_input(BenchmarkId::new("scan", n), &n, |b, _| {
+            b.iter(|| scan.query(&query).expect("query"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_spatial_query);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! E4 — BGP join-order optimizer ablation: selectivity-ordered vs
+//! syntactic pattern order.
+
+use teleios_bench::{bgp_query, build_archive, fmt_duration, time_avg};
+use teleios_strabon::StrabonConfig;
+
+fn main() {
+    println!("E4: BGP evaluation with and without join-order optimization\n");
+    println!(
+        "{:>9} {:>7} {:>12} {:>12} {:>9}",
+        "products", "rows", "optimized", "syntactic", "speedup"
+    );
+    let query = bgp_query();
+    for n in [1_000usize, 5_000, 20_000] {
+        let mut optimized = build_archive(n, 0, StrabonConfig::default());
+        let mut naive = build_archive(
+            n,
+            0,
+            StrabonConfig { rdfs_inference: false, optimize_bgp: false, use_spatial_index: true },
+        );
+        let rows = optimized.query(&query).expect("warm").len();
+        assert_eq!(rows, naive.query(&query).expect("warm").len(), "results must agree");
+        let reps = if n <= 5_000 { 5 } else { 2 };
+        let t_opt = time_avg(reps, || {
+            optimized.query(&query).expect("query");
+        });
+        let t_naive = time_avg(reps, || {
+            naive.query(&query).expect("query");
+        });
+        println!(
+            "{:>9} {:>7} {:>12} {:>12} {:>8.1}x",
+            n,
+            rows,
+            fmt_duration(t_opt),
+            fmt_duration(t_naive),
+            t_naive.as_secs_f64() / t_opt.as_secs_f64(),
+        );
+    }
+}

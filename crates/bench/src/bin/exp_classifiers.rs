@@ -1,0 +1,62 @@
+//! E2 — classification-submodule comparison: accuracy and runtime of the
+//! three chains of demo scenario 1 against ground truth, across scenes
+//! with varying artifact rates.
+
+use teleios_bench::{bench_bbox, bench_surface, fmt_duration, time_avg};
+use teleios_geo::Coord;
+use teleios_ingest::seviri::{self, FireEvent, SceneSpec};
+use teleios_noa::accuracy;
+use teleios_noa::hotspot::HotspotClassifier;
+
+fn main() {
+    println!("E2: classification submodules vs ground truth (avg of 5 scenes, 128²)\n");
+    let classifiers = [
+        HotspotClassifier::Threshold { kelvin: 318.0 },
+        HotspotClassifier::Threshold { kelvin: 325.0 },
+        HotspotClassifier::Adaptive { sigma: 4.0 },
+        HotspotClassifier::Contextual { kelvin: 318.0, min_neighbors: 2 },
+    ];
+    for glint in [0.0f64, 0.01, 0.03] {
+        println!("glint rate {glint}:");
+        println!(
+            "  {:<22} {:>9} {:>9} {:>9} {:>12}",
+            "classifier", "precision", "recall", "F1", "runtime"
+        );
+        for classifier in &classifiers {
+            let mut p = 0.0;
+            let mut r = 0.0;
+            let mut f1 = 0.0;
+            let mut runtime = std::time::Duration::ZERO;
+            const SCENES: usize = 5;
+            for seed in 0..SCENES as u64 {
+                let mut spec = SceneSpec::new(seed, 128, 128, bench_bbox());
+                spec.cloud_cover = 0.02;
+                spec.glint_rate = glint;
+                spec.fires.push(FireEvent {
+                    center: Coord::new(21.8, 37.5),
+                    radius: 0.09,
+                    intensity: 0.9,
+                });
+                let scene = seviri::generate(&spec, &bench_surface).expect("scene");
+                let mask = classifier.classify(&scene.raster).expect("classify");
+                let acc = accuracy::score(&mask, &scene.truth).expect("score");
+                p += acc.precision();
+                r += acc.recall();
+                f1 += acc.f1();
+                runtime += time_avg(3, || {
+                    classifier.classify(&scene.raster).expect("classify");
+                });
+            }
+            let n = SCENES as f64;
+            println!(
+                "  {:<22} {:>9.3} {:>9.3} {:>9.3} {:>12}",
+                classifier.id(),
+                p / n,
+                r / n,
+                f1 / n,
+                fmt_duration(runtime / SCENES as u32),
+            );
+        }
+        println!();
+    }
+}

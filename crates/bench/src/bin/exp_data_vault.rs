@@ -1,0 +1,77 @@
+//! E5 — Data Vault: total cost of lazy vs eager ingestion as a function
+//! of the fraction of the archive actually accessed (the paper's "up to
+//! 95% of the data … has never been accessed").
+
+use teleios_bench::{fmt_duration, time_once};
+use teleios_monet::Catalog;
+use teleios_vault::format::{encode_sev1, Sev1Header};
+use teleios_vault::repository::Repository;
+use teleios_vault::{DataVault, IngestionPolicy};
+
+fn archive(n_files: usize, size: usize) -> Repository {
+    let mut repo = Repository::new();
+    for i in 0..n_files {
+        let header = Sev1Header {
+            rows: size as u32,
+            cols: size as u32,
+            bands: 3,
+            acquisition: format!("2007-08-25T{:02}:00:00Z", i % 24),
+            bbox: (i as f64, 0.0, i as f64 + 1.0, 1.0),
+        };
+        let payload = vec![300.0f64; size * size * 3];
+        repo.put(format!("scene-{i:04}.sev1"), encode_sev1(&header, &payload).expect("encode"));
+    }
+    repo
+}
+
+fn main() {
+    const N_FILES: usize = 500;
+    const SIZE: usize = 48;
+    println!("E5: Data Vault — lazy vs eager over a {N_FILES}-file archive ({SIZE}² x3 bands)\n");
+    let repo = archive(N_FILES, SIZE);
+
+    // Time-to-first-query: register everything, touch one file.
+    for policy in [IngestionPolicy::Lazy, IngestionPolicy::Eager] {
+        let (stats, t) = time_once(|| {
+            let mut vault = DataVault::new(repo.clone(), Catalog::new(), policy, 0);
+            vault.register_all().expect("register");
+            vault.array_for("scene-0000.sev1").expect("access");
+            vault.stats()
+        });
+        println!(
+            "time-to-first-query {:?}: {} ({} payload conversions)",
+            policy,
+            fmt_duration(t),
+            stats.materializations
+        );
+    }
+    println!();
+
+    println!(
+        "{:>10} {:>12} {:>12} {:>14} {:>14}",
+        "accessed", "lazy", "eager", "lazy convs", "eager convs"
+    );
+    for pct in [1usize, 5, 25, 50, 100] {
+        let step = (100 / pct).max(1);
+        let run = |policy: IngestionPolicy| {
+            time_once(|| {
+                let mut vault = DataVault::new(repo.clone(), Catalog::new(), policy, 0);
+                vault.register_all().expect("register");
+                for i in (0..N_FILES).step_by(step) {
+                    vault.array_for(&format!("scene-{i:04}.sev1")).expect("access");
+                }
+                vault.stats().materializations
+            })
+        };
+        let (lazy_convs, t_lazy) = run(IngestionPolicy::Lazy);
+        let (eager_convs, t_eager) = run(IngestionPolicy::Eager);
+        println!(
+            "{:>9}% {:>12} {:>12} {:>14} {:>14}",
+            pct,
+            fmt_duration(t_lazy),
+            fmt_duration(t_eager),
+            lazy_convs,
+            eager_convs
+        );
+    }
+}

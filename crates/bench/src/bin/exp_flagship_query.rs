@@ -1,0 +1,39 @@
+//! E3 — flagship spatial-query latency vs archive size, with and
+//! without the R-tree spatial sidecar.
+
+use teleios_bench::{build_archive, fmt_duration, spatial_region_query, time_avg};
+use teleios_strabon::StrabonConfig;
+
+fn main() {
+    println!("E3: spatial query latency vs archive size (indexed vs scan)\n");
+    println!(
+        "{:>9} {:>7} {:>12} {:>12} {:>9}",
+        "products", "rows", "indexed", "scan", "speedup"
+    );
+    let query = spatial_region_query();
+    for n in [1_000usize, 5_000, 20_000, 50_000] {
+        let mut indexed = build_archive(n, 8, StrabonConfig::default());
+        let mut scan = build_archive(
+            n,
+            8,
+            StrabonConfig { rdfs_inference: false, optimize_bgp: true, use_spatial_index: false },
+        );
+        let rows = indexed.query(&query).expect("warm").len();
+        assert_eq!(rows, scan.query(&query).expect("warm").len(), "results must agree");
+        let reps = if n <= 5_000 { 5 } else { 2 };
+        let t_idx = time_avg(reps, || {
+            indexed.query(&query).expect("query");
+        });
+        let t_scan = time_avg(reps, || {
+            scan.query(&query).expect("query");
+        });
+        println!(
+            "{:>9} {:>7} {:>12} {:>12} {:>8.1}x",
+            n,
+            rows,
+            fmt_duration(t_idx),
+            fmt_duration(t_scan),
+            t_scan.as_secs_f64() / t_idx.as_secs_f64(),
+        );
+    }
+}

@@ -1,0 +1,45 @@
+//! E1 — per-stage latency of the NOA processing chain vs raster size.
+//!
+//! Prints the table recorded in EXPERIMENTS.md.
+
+use teleios_bench::{fire_scene, fmt_duration};
+use teleios_monet::Catalog;
+use teleios_noa::ProcessingChain;
+
+fn main() {
+    println!("E1: NOA processing-chain stage latency (operational chain)\n");
+    println!(
+        "{:>6} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12} {:>9}",
+        "size", "ingest", "crop", "georef", "classify", "shapefile", "total", "hotspots"
+    );
+    for size in [64usize, 128, 256, 512, 1024] {
+        let scene = fire_scene(size, 1);
+        let cat = Catalog::new();
+        let chain = ProcessingChain::operational();
+        // Warm once, then average over three runs.
+        let mut outputs = Vec::new();
+        chain.run(&cat, "warm", &scene.raster).expect("warm run");
+        for _ in 0..3 {
+            outputs.push(chain.run(&cat, "bench", &scene.raster).expect("chain run"));
+        }
+        let avg = |f: fn(&teleios_noa::chain::StageTimings) -> std::time::Duration| {
+            outputs.iter().map(|o| f(&o.timings)).sum::<std::time::Duration>() / outputs.len() as u32
+        };
+        let total = outputs
+            .iter()
+            .map(|o| o.timings.total())
+            .sum::<std::time::Duration>()
+            / outputs.len() as u32;
+        println!(
+            "{:>6} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12} {:>9}",
+            format!("{size}²"),
+            fmt_duration(avg(|t| t.ingest)),
+            fmt_duration(avg(|t| t.crop)),
+            fmt_duration(avg(|t| t.georef)),
+            fmt_duration(avg(|t| t.classify)),
+            fmt_duration(avg(|t| t.shapefile)),
+            fmt_duration(total),
+            outputs[0].hotspot_pixels(),
+        );
+    }
+}

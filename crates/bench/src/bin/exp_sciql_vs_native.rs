@@ -1,0 +1,85 @@
+//! E6 — declarative SciQL image operations vs hand-coded array loops,
+//! quantifying the overhead of running the NOA chain inside the query
+//! language (paper §1 claims the chain can live in SciQL; this measures
+//! what that costs).
+
+use teleios_bench::{fmt_duration, time_avg};
+use teleios_monet::array::NdArray;
+use teleios_monet::Catalog;
+use teleios_sciql::{execute, ops};
+
+fn image(size: usize) -> NdArray {
+    NdArray::matrix(size, size, (0..size * size).map(|v| 290.0 + (v % 64) as f64).collect())
+        .expect("image")
+}
+
+fn main() {
+    println!("E6: SciQL statement vs native array code (same result checked)\n");
+    println!(
+        "{:>6} {:<26} {:>12} {:>12} {:>9}",
+        "size", "operation", "sciql", "native", "overhead"
+    );
+    for size in [128usize, 256, 512, 1024] {
+        let img = image(size);
+        let cat = Catalog::new();
+        cat.put_array("img", img.clone());
+        let reps = if size <= 256 { 10 } else { 3 };
+
+        // Classification.
+        let sciql_q = "SELECT CASE WHEN v > 318 THEN 1 ELSE 0 END FROM img";
+        let via_sciql = execute(&cat, sciql_q).expect("sciql").array().expect("array");
+        let via_native = ops::classify_threshold(&img, 318.0);
+        assert_eq!(via_sciql, via_native, "results must agree");
+        let t_s = time_avg(reps, || {
+            execute(&cat, sciql_q).expect("sciql");
+        });
+        let t_n = time_avg(reps, || {
+            ops::classify_threshold(&img, 318.0);
+        });
+        println!(
+            "{:>6} {:<26} {:>12} {:>12} {:>8.1}x",
+            format!("{size}²"),
+            "threshold classify",
+            fmt_duration(t_s),
+            fmt_duration(t_n),
+            t_s.as_secs_f64() / t_n.as_secs_f64()
+        );
+
+        // Tiled aggregation (patch means).
+        let tile_q = "SELECT AVG(v) FROM img GROUP BY TILES [16, 16]";
+        let via_sciql = execute(&cat, tile_q).expect("sciql").array().expect("array");
+        let via_native = ops::tile_mean(&img, 16).expect("tile mean");
+        assert_eq!(via_sciql, via_native, "results must agree");
+        let t_s = time_avg(reps, || {
+            execute(&cat, tile_q).expect("sciql");
+        });
+        let t_n = time_avg(reps, || {
+            ops::tile_mean(&img, 16).expect("tile mean");
+        });
+        println!(
+            "{:>6} {:<26} {:>12} {:>12} {:>8.1}x",
+            "",
+            "16x16 tile mean",
+            fmt_duration(t_s),
+            fmt_duration(t_n),
+            t_s.as_secs_f64() / t_n.as_secs_f64()
+        );
+
+        // Calibration (scale + offset).
+        let cal_q = "SELECT v * 1.02 + 1.5 FROM img";
+        let t_s = time_avg(reps, || {
+            execute(&cat, cal_q).expect("sciql");
+        });
+        let t_n = time_avg(reps, || {
+            ops::calibrate(&img, 1.02, 1.5);
+        });
+        println!(
+            "{:>6} {:<26} {:>12} {:>12} {:>8.1}x",
+            "",
+            "radiometric calibrate",
+            fmt_duration(t_s),
+            fmt_duration(t_n),
+            t_s.as_secs_f64() / t_n.as_secs_f64()
+        );
+    }
+}

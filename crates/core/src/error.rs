@@ -1,0 +1,65 @@
+//! Unified error type for the observatory facade.
+
+use std::fmt;
+
+/// Any failure inside the Virtual Earth Observatory.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ObservatoryError {
+    /// Array-store / SQL layer failure.
+    Database(teleios_monet::DbError),
+    /// stSPARQL layer failure.
+    Strabon(teleios_strabon::StrabonError),
+    /// Data Vault failure.
+    Vault(teleios_vault::VaultError),
+    /// Unknown product identifier.
+    UnknownProduct(String),
+}
+
+impl fmt::Display for ObservatoryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ObservatoryError::Database(e) => write!(f, "database: {e}"),
+            ObservatoryError::Strabon(e) => write!(f, "strabon: {e}"),
+            ObservatoryError::Vault(e) => write!(f, "vault: {e}"),
+            ObservatoryError::UnknownProduct(p) => write!(f, "unknown product: {p}"),
+        }
+    }
+}
+
+impl std::error::Error for ObservatoryError {}
+
+impl From<teleios_monet::DbError> for ObservatoryError {
+    fn from(e: teleios_monet::DbError) -> Self {
+        ObservatoryError::Database(e)
+    }
+}
+
+impl From<teleios_strabon::StrabonError> for ObservatoryError {
+    fn from(e: teleios_strabon::StrabonError) -> Self {
+        ObservatoryError::Strabon(e)
+    }
+}
+
+impl From<teleios_vault::VaultError> for ObservatoryError {
+    fn from(e: teleios_vault::VaultError) -> Self {
+        ObservatoryError::Vault(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: ObservatoryError = teleios_monet::DbError::UnknownTable("t".into()).into();
+        assert!(e.to_string().contains("unknown table"));
+        let e: ObservatoryError =
+            teleios_vault::VaultError::UnknownFile("f".into()).into();
+        assert!(e.to_string().contains("unknown file"));
+        assert_eq!(
+            ObservatoryError::UnknownProduct("p".into()).to_string(),
+            "unknown product: p"
+        );
+    }
+}

@@ -1,0 +1,614 @@
+//! The Observatory: every tier behind one API.
+
+use crate::ObservatoryError;
+use std::collections::HashMap;
+use teleios_geo::{Coord, Envelope};
+use teleios_ingest::metadata;
+use teleios_ingest::raster::{GeoRaster, GeoTransform};
+use teleios_ingest::seviri::{self, FireEvent, SceneSpec, SurfaceKind};
+use teleios_linked::emit;
+use teleios_linked::world::{CoverClass, World, WorldSpec};
+use teleios_mining::ontology::Ontology;
+use teleios_monet::array::NdArray;
+use teleios_monet::catalog::ResultSet;
+use teleios_monet::Catalog;
+use teleios_noa::chain::ChainOutput;
+use teleios_noa::firemap::{build_fire_map, FireMap};
+use teleios_noa::refine::{
+    publish_hotspots, refine_against_landmass, RefineStats,
+};
+use teleios_noa::ProcessingChain;
+use teleios_sciql::SciqlResult;
+use teleios_strabon::{Solutions, Strabon};
+use teleios_vault::format::{encode_gtf1, encode_sev1, Gtf1Header, Sev1Header};
+use teleios_vault::repository::Repository;
+use teleios_vault::{DataVault, IngestionPolicy};
+
+type Result<T> = std::result::Result<T, ObservatoryError>;
+
+/// Parameters of one simulated acquisition.
+#[derive(Debug, Clone)]
+pub struct AcquisitionSpec {
+    /// Seed for the scene's noise/clouds/glint.
+    pub seed: u64,
+    /// Raster rows.
+    pub rows: usize,
+    /// Raster columns.
+    pub cols: usize,
+    /// Acquisition instant (ISO-8601).
+    pub acquisition: String,
+    /// Satellite identifier.
+    pub satellite: String,
+    /// Planted fires.
+    pub fires: Vec<FireEvent>,
+    /// Cloud fraction.
+    pub cloud_cover: f64,
+    /// Sea-glint artifact rate.
+    pub glint_rate: f64,
+}
+
+impl AcquisitionSpec {
+    /// A small deterministic test acquisition with one fire on land.
+    pub fn small_test(seed: u64) -> AcquisitionSpec {
+        AcquisitionSpec {
+            seed,
+            rows: 64,
+            cols: 64,
+            acquisition: format!("2007-08-25T{:02}:00:00Z", (seed % 24)),
+            satellite: "MSG2".into(),
+            fires: vec![FireEvent {
+                center: Coord::new(22.4, 37.6),
+                radius: 0.08,
+                intensity: 0.9,
+            }],
+            cloud_cover: 0.03,
+            glint_rate: 0.005,
+        }
+    }
+}
+
+/// Metadata the observatory keeps per acquired product.
+#[derive(Debug, Clone)]
+struct ProductRecord {
+    file: String,
+    geo: GeoTransform,
+    acquisition: String,
+    satellite: String,
+    truth: NdArray,
+}
+
+/// Report of one processing-chain run.
+#[derive(Debug, Clone)]
+pub struct ChainReport {
+    /// Identifier of the derived product.
+    pub derived_id: String,
+    /// The chain output (raster, mask, features, timings).
+    pub output: ChainOutput,
+    /// Hotspot features published to Strabon.
+    pub features_published: usize,
+}
+
+/// The Virtual Earth Observatory.
+pub struct Observatory {
+    /// The array/SQL database (MonetDB role).
+    pub db: Catalog,
+    /// The semantic geospatial database (Strabon role).
+    pub strabon: Strabon,
+    /// The Data Vault over the scene archive.
+    pub vault: DataVault,
+    /// The synthetic world (ground truth + linked-data source).
+    pub world: World,
+    /// The domain ontology.
+    pub ontology: Ontology,
+    products: HashMap<String, ProductRecord>,
+    next_scene: usize,
+}
+
+impl Observatory {
+    /// Build an observatory over a generated world: linked datasets and
+    /// the ontology are loaded into Strabon, the vault starts empty with
+    /// a lazy policy.
+    pub fn new(world_spec: WorldSpec) -> Observatory {
+        let world = World::generate(world_spec);
+        let mut strabon = Strabon::new();
+        emit::emit_all(&world, strabon.store_mut());
+        let ontology = Ontology::teleios();
+        ontology.emit(strabon.store_mut());
+        let db = Catalog::new();
+        let vault = DataVault::new(Repository::new(), db.clone(), IngestionPolicy::Lazy, 64);
+        Observatory { db, strabon, vault, world, ontology, products: HashMap::new(), next_scene: 0 }
+    }
+
+    /// Default world seeded with `seed`.
+    pub fn with_defaults(seed: u64) -> Observatory {
+        Observatory::new(WorldSpec { seed, ..WorldSpec::default() })
+    }
+
+    /// The world's geographic window.
+    pub fn region(&self) -> Envelope {
+        self.world.spec.bbox
+    }
+
+    /// Product identifiers acquired so far, sorted.
+    pub fn product_ids(&self) -> Vec<String> {
+        let mut ids: Vec<String> = self.products.keys().cloned().collect();
+        ids.sort();
+        ids
+    }
+
+    fn surface_fn(&self) -> impl Fn(Coord) -> SurfaceKind + '_ {
+        |c: Coord| match self.world.cover_at(c) {
+            CoverClass::Water => SurfaceKind::Sea,
+            CoverClass::Forest => SurfaceKind::Forest,
+            CoverClass::Agriculture => SurfaceKind::Agriculture,
+            CoverClass::Urban => SurfaceKind::Urban,
+        }
+    }
+
+    /// Simulate one acquisition: generate the scene, archive it as a
+    /// `.sev1` file, register it in the vault (metadata only — lazy
+    /// policy), and describe it in Strabon. Returns the product id.
+    pub fn acquire_scene(&mut self, spec: &AcquisitionSpec) -> Result<String> {
+        let id = format!("scene_{:04}", self.next_scene);
+        self.next_scene += 1;
+
+        let scene_spec = SceneSpec {
+            seed: spec.seed,
+            rows: spec.rows,
+            cols: spec.cols,
+            bbox: self.region(),
+            acquisition: spec.acquisition.clone(),
+            satellite: spec.satellite.clone(),
+            fires: spec.fires.clone(),
+            cloud_cover: spec.cloud_cover,
+            glint_rate: spec.glint_rate,
+        };
+        let surface = self.surface_fn();
+        let scene = seviri::generate(&scene_spec, &surface)?;
+        drop(surface);
+
+        // Archive as an external file (the scientific file repository).
+        let file = format!("{id}.sev1");
+        let bbox = self.region();
+        let header = Sev1Header {
+            rows: spec.rows as u32,
+            cols: spec.cols as u32,
+            bands: 3,
+            acquisition: spec.acquisition.clone(),
+            bbox: (bbox.min.x, bbox.min.y, bbox.max.x, bbox.max.y),
+        };
+        let bytes = encode_sev1(&header, scene.raster.data.data())?;
+        self.vault.repository_mut().put(&file, bytes);
+        self.vault.register(&file)?;
+
+        // Describe in the semantic catalog.
+        metadata::describe_raw_image(&id, &scene.raster, self.strabon.store_mut());
+
+        self.products.insert(
+            id.clone(),
+            ProductRecord {
+                file,
+                geo: scene.raster.geo,
+                acquisition: spec.acquisition.clone(),
+                satellite: spec.satellite.clone(),
+                truth: scene.truth,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Fetch the full raster of a product through the Data Vault
+    /// (materializing just in time).
+    pub fn raster_for(&mut self, product_id: &str) -> Result<GeoRaster> {
+        let rec = self
+            .products
+            .get(product_id)
+            .ok_or_else(|| ObservatoryError::UnknownProduct(product_id.to_string()))?
+            .clone();
+        let array = self.vault.array_for(&rec.file)?;
+        Ok(GeoRaster::new(array, rec.geo, rec.acquisition, rec.satellite)?)
+    }
+
+    /// Ground-truth fire mask of a product (simulation-only accessor for
+    /// the accuracy experiments).
+    pub fn truth_for(&self, product_id: &str) -> Result<NdArray> {
+        self.products
+            .get(product_id)
+            .map(|r| r.truth.clone())
+            .ok_or_else(|| ObservatoryError::UnknownProduct(product_id.to_string()))
+    }
+
+    /// Run a processing chain on a product: the five modules execute,
+    /// the derived product is described in Strabon, and the hotspot
+    /// shapefile is published as stRDF.
+    pub fn run_chain(&mut self, product_id: &str, chain: &ProcessingChain) -> Result<ChainReport> {
+        let raster = self.raster_for(product_id)?;
+        let output = chain.run(&self.db, product_id, &raster)?;
+        let derived_id = format!("{product_id}-{}", chain.id());
+
+        // Derived-product metadata.
+        let footprint = teleios_geo::Geometry::Polygon(
+            teleios_geo::geometry::Polygon::from_envelope(&output.raster.envelope()),
+        );
+        metadata::describe_derived(
+            &derived_id,
+            product_id,
+            &chain.id(),
+            &footprint,
+            self.strabon.store_mut(),
+        );
+
+        // Publish the shapefile.
+        let features_published =
+            publish_hotspots(&output.features, product_id, &chain.id(), &mut self.strabon);
+
+        // Archive the derived hotspot mask back into the vault as a
+        // georeferenced `.gtf1` product, so later sessions can discover
+        // and reload it without re-running the chain.
+        let geo = &output.raster.geo;
+        let header = Gtf1Header {
+            rows: output.raster.rows() as u32,
+            cols: output.raster.cols() as u32,
+            transform: (geo.origin_x, geo.origin_y, geo.pixel_w, geo.pixel_h),
+            epsg: 4326,
+        };
+        let bytes = encode_gtf1(&header, output.mask.data())?;
+        let file = format!("{derived_id}.gtf1");
+        self.vault.repository_mut().put(&file, bytes);
+        self.vault.register(&file)?;
+
+        Ok(ChainReport { derived_id, output, features_published })
+    }
+
+    /// Reload a previously archived derived product (the hotspot mask)
+    /// from the vault.
+    pub fn derived_mask(&mut self, derived_id: &str) -> Result<NdArray> {
+        Ok(self.vault.array_for(&format!("{derived_id}.gtf1"))?)
+    }
+
+    /// Scenario-2 refinement: compare hotspots with the coastline linked
+    /// data and reclassify the inconsistent ones.
+    pub fn refine_products(&mut self) -> Result<RefineStats> {
+        let landmass = emit::landmass_literal(&self.world);
+        Ok(refine_against_landmass(&mut self.strabon, &landmass)?)
+    }
+
+    /// stSPARQL search over products, annotations and linked data.
+    pub fn search(&mut self, stsparql: &str) -> Result<Solutions> {
+        Ok(self.strabon.query(stsparql)?)
+    }
+
+    /// stSPARQL update.
+    pub fn update(&mut self, stsparql: &str) -> Result<usize> {
+        Ok(self.strabon.update(stsparql)?)
+    }
+
+    /// SQL over the relational side.
+    pub fn sql(&self, sql: &str) -> Result<ResultSet> {
+        Ok(self.db.execute(sql)?)
+    }
+
+    /// SciQL over the array side.
+    pub fn sciql(&self, sciql: &str) -> Result<SciqlResult> {
+        Ok(teleios_sciql::execute(&self.db, sciql)?)
+    }
+
+    /// Rapid mapping: generate the fire map for a region.
+    pub fn fire_map(&mut self, region: &Envelope) -> Result<FireMap> {
+        Ok(build_fire_map(&mut self.strabon, region)?)
+    }
+
+    /// Derive and publish a burnt-area product from the refined hotspot
+    /// masks of the given (same-grid) products. The valid-time period
+    /// spans the first to the last acquisition. Returns the number of
+    /// scar features published.
+    pub fn derive_burnt_area(&mut self, product_ids: &[String], event_id: &str) -> Result<usize> {
+        let mut masks = Vec::with_capacity(product_ids.len());
+        let mut geo = None;
+        let mut times: Vec<String> = Vec::new();
+        for id in product_ids {
+            let raster = self.raster_for(id)?;
+            // Refined masks: surviving hotspot geometries rasterized.
+            let survivors =
+                teleios_noa::refine::surviving_hotspot_geometries(&mut self.strabon, id)?;
+            let polys: Vec<&teleios_geo::geometry::Polygon> = survivors.iter().collect();
+            masks.push(teleios_noa::refine::features_to_mask(
+                &polys,
+                &raster.geo,
+                raster.rows(),
+                raster.cols(),
+            ));
+            geo.get_or_insert(raster.geo);
+            times.push(raster.acquisition.clone());
+        }
+        let geo = geo.ok_or_else(|| {
+            ObservatoryError::Database(teleios_monet::DbError::Execution(
+                "burnt-area derivation needs at least one product".into(),
+            ))
+        })?;
+        times.sort();
+        let period = teleios_rdf::strdf::Period::new(
+            times.first().cloned().unwrap_or_default(),
+            times.last().cloned().unwrap_or_default(),
+        );
+        let features = teleios_noa::burnt::burnt_area_features(&masks, &geo)?;
+        let n = features.len();
+        teleios_noa::burnt::publish_burnt_area(&features, event_id, &period, &mut self.strabon);
+        Ok(n)
+    }
+
+    /// The semantic-annotation service (Fig. 2): cut the product into
+    /// patches, classify each with `classifier`, and publish the
+    /// annotations as stRDF. Returns the number of annotations.
+    pub fn annotate_product(
+        &mut self,
+        product_id: &str,
+        patch_size: usize,
+        classifier: &teleios_mining::Classifier,
+    ) -> Result<usize> {
+        let raster = self.raster_for(product_id)?;
+        let patches = teleios_ingest::features::extract_patches(&raster, patch_size)?;
+        Ok(teleios_mining::annotate::annotate_product(
+            product_id,
+            &patches,
+            classifier,
+            self.strabon.store_mut(),
+        ))
+    }
+
+    /// Train a fire/land patch classifier from the ground truth of the
+    /// given products (the simulation stand-in for the analyst-labeled
+    /// training sets of the KDD pipeline).
+    pub fn train_patch_classifier(
+        &mut self,
+        product_ids: &[String],
+        patch_size: usize,
+        k: usize,
+    ) -> Result<teleios_mining::Classifier> {
+        use teleios_mining::classify::LabeledExample;
+        use teleios_mining::ontology::concept;
+        let mut examples = Vec::new();
+        for id in product_ids {
+            let raster = self.raster_for(id)?;
+            let truth = self.truth_for(id)?;
+            for p in teleios_ingest::features::extract_patches(&raster, patch_size)? {
+                let r0 = p.py * patch_size;
+                let c0 = p.px * patch_size;
+                let burning = (r0..r0 + patch_size).any(|r| {
+                    (c0..c0 + patch_size)
+                        .any(|c| truth.get(&[r, c]).unwrap_or(0.0) > 0.0)
+                });
+                examples.push(LabeledExample {
+                    features: p.features,
+                    label: if burning {
+                        concept("ForestFire")
+                    } else {
+                        concept("LandCover")
+                    },
+                });
+            }
+        }
+        Ok(teleios_mining::Classifier::train_knn(k, examples))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use teleios_noa::accuracy;
+
+    fn observatory() -> Observatory {
+        Observatory::with_defaults(42)
+    }
+
+    #[test]
+    fn world_and_linked_data_loaded() {
+        let obs = observatory();
+        assert!(obs.strabon.len() > 100);
+        assert!(!obs.ontology.is_empty());
+    }
+
+    #[test]
+    fn acquire_registers_and_describes() {
+        let mut obs = observatory();
+        let id = obs.acquire_scene(&AcquisitionSpec::small_test(1)).unwrap();
+        assert_eq!(id, "scene_0000");
+        assert_eq!(obs.vault.catalog().len(), 1);
+        // Lazy vault: no payload materialized yet.
+        assert_eq!(obs.vault.stats().materializations, 0);
+        // The product is findable by stSPARQL.
+        let sols = obs
+            .search(
+                "PREFIX noa: <http://teleios.di.uoa.gr/ontologies/noaOntology.owl#> \
+                 SELECT ?p WHERE { ?p a noa:RawImage }",
+            )
+            .unwrap();
+        assert_eq!(sols.len(), 1);
+    }
+
+    #[test]
+    fn raster_materializes_on_demand() {
+        let mut obs = observatory();
+        let id = obs.acquire_scene(&AcquisitionSpec::small_test(2)).unwrap();
+        let raster = obs.raster_for(&id).unwrap();
+        assert_eq!(raster.bands(), 3);
+        assert_eq!(obs.vault.stats().materializations, 1);
+        // Second access hits the cache.
+        obs.raster_for(&id).unwrap();
+        assert_eq!(obs.vault.stats().materializations, 1);
+    }
+
+    #[test]
+    fn chain_run_publishes_hotspots() {
+        let mut obs = observatory();
+        let id = obs.acquire_scene(&AcquisitionSpec::small_test(3)).unwrap();
+        let report = obs.run_chain(&id, &ProcessingChain::operational()).unwrap();
+        assert!(report.output.hotspot_pixels() > 0);
+        assert!(report.features_published > 0);
+        let sols = obs
+            .search(
+                "PREFIX noa: <http://teleios.di.uoa.gr/ontologies/noaOntology.owl#> \
+                 SELECT ?h WHERE { ?h a noa:Hotspot }",
+            )
+            .unwrap();
+        assert!(!sols.is_empty());
+        // The derived product links back to the raw one.
+        let derived = obs
+            .search(&format!(
+                "PREFIX noa: <http://teleios.di.uoa.gr/ontologies/noaOntology.owl#> \
+                 SELECT ?d WHERE {{ ?d noa:isDerivedFrom <http://teleios.di.uoa.gr/products/{id}> . \
+                 ?d a noa:DerivedProduct }}"
+            ))
+            .unwrap();
+        assert_eq!(derived.len(), 1);
+    }
+
+    #[test]
+    fn refinement_improves_precision() {
+        let mut obs = observatory();
+        let mut spec = AcquisitionSpec::small_test(4);
+        spec.glint_rate = 0.03; // plenty of sea false positives
+        spec.cloud_cover = 0.0;
+        let id = obs.acquire_scene(&spec).unwrap();
+        let report = obs.run_chain(&id, &ProcessingChain::operational()).unwrap();
+
+        // Accuracy before refinement.
+        let truth = obs.truth_for(&id).unwrap();
+        let before = accuracy::score(&report.output.mask, &truth).unwrap();
+
+        let stats = obs.refine_products().unwrap();
+        assert!(stats.refuted > 0, "expected sea hotspots to be refuted");
+
+        // Accuracy after: rasterize surviving features.
+        let survivors =
+            teleios_noa::refine::surviving_hotspot_geometries(&mut obs.strabon, &id).unwrap();
+        let polys: Vec<&teleios_geo::geometry::Polygon> = survivors.iter().collect();
+        let raster = obs.raster_for(&id).unwrap();
+        let refined_mask = teleios_noa::refine::features_to_mask(
+            &polys,
+            &raster.geo,
+            raster.rows(),
+            raster.cols(),
+        );
+        let after = accuracy::score(&refined_mask, &truth).unwrap();
+        assert!(
+            after.precision() >= before.precision(),
+            "precision got worse: {} -> {}",
+            before.precision(),
+            after.precision()
+        );
+        assert!(after.false_positives < before.false_positives);
+    }
+
+    #[test]
+    fn sql_and_sciql_entry_points() {
+        let mut obs = observatory();
+        let id = obs.acquire_scene(&AcquisitionSpec::small_test(5)).unwrap();
+        obs.run_chain(&id, &ProcessingChain::operational()).unwrap();
+        // The ingested band array is visible to SciQL.
+        let max = obs
+            .sciql(&format!("SELECT MAX(v) FROM {id}_band1"))
+            .unwrap()
+            .scalar()
+            .unwrap();
+        assert!(max > 300.0);
+        // SQL works on the relational side.
+        obs.sql("CREATE TABLE notes (id INT, note STRING)").unwrap();
+        obs.sql("INSERT INTO notes VALUES (1, 'ok')").unwrap();
+        let rs = obs.sql("SELECT COUNT(*) AS n FROM notes").unwrap();
+        assert_eq!(rs.rows[0][0], teleios_monet::Value::Int(1));
+    }
+
+    #[test]
+    fn fire_map_includes_hotspots_after_chain() {
+        let mut obs = observatory();
+        let id = obs.acquire_scene(&AcquisitionSpec::small_test(6)).unwrap();
+        obs.run_chain(&id, &ProcessingChain::operational()).unwrap();
+        let region = obs.region();
+        let map = obs.fire_map(&region).unwrap();
+        assert!(!map.layer("hotspots").unwrap().features.is_empty());
+        assert!(!map.layer("places").unwrap().features.is_empty());
+    }
+
+    #[test]
+    fn burnt_area_service() {
+        let mut obs = observatory();
+        // Three acquisitions of an advancing fire.
+        let center = obs.region().center();
+        let mut ids = Vec::new();
+        for i in 0..3 {
+            let mut spec = AcquisitionSpec::small_test(20 + i);
+            spec.cloud_cover = 0.0;
+            spec.fires = vec![teleios_ingest::seviri::FireEvent {
+                center: Coord::new(center.x + i as f64 * 0.05, center.y),
+                radius: 0.08,
+                intensity: 0.9,
+            }];
+            let id = obs.acquire_scene(&spec).unwrap();
+            obs.run_chain(&id, &ProcessingChain::operational()).unwrap();
+            ids.push(id);
+        }
+        obs.refine_products().unwrap();
+        let n = obs.derive_burnt_area(&ids, "event-1").unwrap();
+        assert!(n > 0);
+        let sols = obs
+            .search(&format!(
+                "SELECT ?b WHERE {{ ?b a <{}> }}",
+                teleios_noa::burnt::BURNT_AREA
+            ))
+            .unwrap();
+        assert_eq!(sols.len(), n);
+    }
+
+    #[test]
+    fn annotation_service() {
+        let mut obs = observatory();
+        let mut spec = AcquisitionSpec::small_test(30);
+        spec.cloud_cover = 0.0;
+        let id = obs.acquire_scene(&spec).unwrap();
+        let classifier = obs.train_patch_classifier(std::slice::from_ref(&id), 8, 3).unwrap();
+        let n = obs.annotate_product(&id, 8, &classifier).unwrap();
+        assert_eq!(n, 64); // 64x64 scene, 8x8 patches
+        // Concept search through the mining API finds the product.
+        let hits = teleios_mining::annotate::find_products_by_concept(
+            &teleios_mining::ontology::concept("Fire"),
+            &obs.ontology,
+            obs.strabon.store(),
+        );
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn derived_products_are_archived_and_reloadable() {
+        let mut obs = observatory();
+        let id = obs.acquire_scene(&AcquisitionSpec::small_test(8)).unwrap();
+        let report = obs.run_chain(&id, &ProcessingChain::operational()).unwrap();
+        // The derived mask lives in the vault catalog as a gtf1 product.
+        assert_eq!(obs.vault.catalog().len(), 2); // raw + derived
+        let reloaded = obs.derived_mask(&report.derived_id).unwrap();
+        assert_eq!(reloaded.shape()[0] * reloaded.shape()[1], 64 * 64);
+        assert_eq!(
+            reloaded.data().iter().filter(|&&v| v > 0.0).count(),
+            report.output.hotspot_pixels()
+        );
+    }
+
+    #[test]
+    fn unknown_product_errors() {
+        let mut obs = observatory();
+        assert!(matches!(
+            obs.raster_for("nope"),
+            Err(ObservatoryError::UnknownProduct(_))
+        ));
+        assert!(obs.truth_for("nope").is_err());
+    }
+
+    #[test]
+    fn multiple_acquisitions_get_distinct_ids() {
+        let mut obs = observatory();
+        let a = obs.acquire_scene(&AcquisitionSpec::small_test(1)).unwrap();
+        let b = obs.acquire_scene(&AcquisitionSpec::small_test(2)).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(obs.product_ids(), vec![a, b]);
+    }
+}

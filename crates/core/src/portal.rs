@@ -1,0 +1,142 @@
+//! The portal: a text stand-in for the EOWEB-like GUI of Fig. 3.
+//!
+//! The demo GUI is a screenshot; what matters for reproduction is the
+//! *queries it issues*. The portal renders the archive state, runs the
+//! canonical discovery queries, and formats results for a terminal.
+
+use crate::Observatory;
+use crate::ObservatoryError;
+use teleios_rdf::vocab::{noa, strdf};
+
+/// Render an overview of the observatory state.
+pub fn overview(obs: &Observatory) -> String {
+    let stats = obs.vault.stats();
+    format!(
+        "TELEIOS Virtual Earth Observatory\n\
+         ---------------------------------\n\
+         archive files     : {}\n\
+         cataloged records : {}\n\
+         materialized      : {} (cache hits {})\n\
+         triples in Strabon: {}\n\
+         products acquired : {}\n",
+        obs.vault.repository().len(),
+        obs.vault.catalog().len(),
+        stats.materializations,
+        stats.cache_hits,
+        obs.strabon.len(),
+        obs.product_ids().len(),
+    )
+}
+
+/// The paper's flagship information request, parameterized: "find an
+/// image taken by `satellite` on a given day which covers the area and
+/// contains hotspots within `dist_deg` of an archaeological site".
+pub fn flagship_query(satellite: &str, day: &str, dist_deg: f64) -> String {
+    format!(
+        "PREFIX noa: <{noa}>\n\
+         PREFIX strdf: <{strdf}>\n\
+         PREFIX xsd: <http://www.w3.org/2001/XMLSchema#>\n\
+         SELECT DISTINCT ?img ?h ?site WHERE {{\n\
+           ?img a noa:RawImage ;\n\
+                noa:isAcquiredBy <http://teleios.di.uoa.gr/satellites/{satellite}> ;\n\
+                noa:hasAcquisitionTime ?t .\n\
+           ?h a noa:Hotspot ; noa:isDerivedFrom ?img ; strdf:hasGeometry ?hg .\n\
+           ?site a <http://dbpedia.org/ontology/ArchaeologicalSite> ;\n\
+                 strdf:hasGeometry ?sg .\n\
+           FILTER(STR(?t) >= \"{day}T00:00:00Z\" && STR(?t) < \"{day}T23:59:59Z\")\n\
+           FILTER(strdf:distance(?hg, ?sg) < {dist_deg})\n\
+         }}",
+        noa = noa::NS,
+        strdf = strdf::NS,
+    )
+}
+
+/// Run the flagship query and render the answer.
+pub fn run_flagship(
+    obs: &mut Observatory,
+    satellite: &str,
+    day: &str,
+    dist_deg: f64,
+) -> Result<String, ObservatoryError> {
+    let q = flagship_query(satellite, day, dist_deg);
+    let sols = obs.search(&q)?;
+    let mut out = format!("flagship query ({} rows):\n", sols.len());
+    out.push_str(&sols.to_text());
+    Ok(out)
+}
+
+/// Discovery listing: every raw product with its acquisition time, as
+/// the portal's product browser would show.
+pub fn list_products(obs: &mut Observatory) -> Result<String, ObservatoryError> {
+    let sols = obs.search(&format!(
+        "PREFIX noa: <{}>\n\
+         SELECT ?p ?t WHERE {{ ?p a noa:RawImage ; noa:hasAcquisitionTime ?t }} ORDER BY ?t",
+        noa::NS
+    ))?;
+    Ok(sols.to_text())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observatory::AcquisitionSpec;
+    use teleios_geo::Coord;
+    use teleios_noa::ProcessingChain;
+
+    #[test]
+    fn overview_renders() {
+        let obs = Observatory::with_defaults(1);
+        let text = overview(&obs);
+        assert!(text.contains("TELEIOS"));
+        assert!(text.contains("triples in Strabon"));
+    }
+
+    #[test]
+    fn flagship_query_finds_fire_near_site() {
+        let mut obs = Observatory::with_defaults(42);
+        // Plant the fire right next to the first archaeological site.
+        let site = obs.world.sites[0].location;
+        let mut spec = AcquisitionSpec::small_test(9);
+        spec.fires = vec![teleios_ingest::seviri::FireEvent {
+            center: Coord::new(site.x + 0.02, site.y),
+            radius: 0.09,
+            intensity: 0.95,
+        }];
+        spec.cloud_cover = 0.0;
+        let id = obs.acquire_scene(&spec).unwrap();
+        obs.run_chain(&id, &ProcessingChain::operational()).unwrap();
+
+        let q = flagship_query("MSG2", "2007-08-25", 0.3);
+        let sols = obs.search(&q).unwrap();
+        assert!(!sols.is_empty(), "flagship query found nothing");
+        let text = run_flagship(&mut obs, "MSG2", "2007-08-25", 0.3).unwrap();
+        assert!(text.contains("rows"));
+    }
+
+    #[test]
+    fn flagship_query_respects_satellite_filter() {
+        let mut obs = Observatory::with_defaults(42);
+        let site = obs.world.sites[0].location;
+        let mut spec = AcquisitionSpec::small_test(9);
+        spec.fires = vec![teleios_ingest::seviri::FireEvent {
+            center: site,
+            radius: 0.09,
+            intensity: 0.95,
+        }];
+        spec.cloud_cover = 0.0;
+        let id = obs.acquire_scene(&spec).unwrap();
+        obs.run_chain(&id, &ProcessingChain::operational()).unwrap();
+        let sols = obs.search(&flagship_query("MSG1", "2007-08-25", 0.3)).unwrap();
+        assert!(sols.is_empty());
+    }
+
+    #[test]
+    fn product_listing() {
+        let mut obs = Observatory::with_defaults(1);
+        obs.acquire_scene(&AcquisitionSpec::small_test(1)).unwrap();
+        obs.acquire_scene(&AcquisitionSpec::small_test(2)).unwrap();
+        let text = list_products(&mut obs).unwrap();
+        assert!(text.contains("scene_0000"));
+        assert!(text.contains("scene_0001"));
+    }
+}

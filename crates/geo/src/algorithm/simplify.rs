@@ -1,0 +1,142 @@
+//! Line simplification (Ramer–Douglas–Peucker).
+//!
+//! Used by the rapid-mapping service to thin coastlines and road networks
+//! before rendering map layers.
+
+use crate::algorithm::segment::point_segment_distance;
+use crate::coord::Coord;
+use crate::geometry::{Geometry, LineString, Polygon};
+
+/// Simplify a coordinate sequence with tolerance `eps`, always keeping the
+/// first and last coordinates.
+pub fn simplify_coords(coords: &[Coord], eps: f64) -> Vec<Coord> {
+    if coords.len() <= 2 {
+        return coords.to_vec();
+    }
+    let mut keep = vec![false; coords.len()];
+    keep[0] = true;
+    keep[coords.len() - 1] = true;
+    let mut stack = vec![(0usize, coords.len() - 1)];
+    while let Some((lo, hi)) = stack.pop() {
+        if hi <= lo + 1 {
+            continue;
+        }
+        let (a, b) = (coords[lo], coords[hi]);
+        let mut max_d = -1.0;
+        let mut max_i = lo;
+        for (i, &c) in coords.iter().enumerate().take(hi).skip(lo + 1) {
+            let d = point_segment_distance(a, b, c);
+            if d > max_d {
+                max_d = d;
+                max_i = i;
+            }
+        }
+        if max_d > eps {
+            keep[max_i] = true;
+            stack.push((lo, max_i));
+            stack.push((max_i, hi));
+        }
+    }
+    coords
+        .iter()
+        .zip(&keep)
+        .filter_map(|(&c, &k)| k.then_some(c))
+        .collect()
+}
+
+fn simplify_ring(ring: &LineString, eps: f64) -> LineString {
+    let out = simplify_coords(ring.coords(), eps);
+    if out.len() < 4 {
+        // Refuse to collapse a ring below validity; keep the original.
+        ring.clone()
+    } else {
+        LineString(out)
+    }
+}
+
+/// Simplify any geometry. Points are unchanged; rings never collapse
+/// below 4 coordinates (the original ring is kept instead).
+pub fn simplify(g: &Geometry, eps: f64) -> Geometry {
+    match g {
+        Geometry::Point(_) | Geometry::MultiPoint(_) => g.clone(),
+        Geometry::LineString(l) => Geometry::LineString(LineString(simplify_coords(l.coords(), eps))),
+        Geometry::MultiLineString(ls) => Geometry::MultiLineString(
+            ls.iter()
+                .map(|l| LineString(simplify_coords(l.coords(), eps)))
+                .collect(),
+        ),
+        Geometry::Polygon(p) => Geometry::Polygon(Polygon::new(
+            simplify_ring(&p.exterior, eps),
+            p.interiors.iter().map(|h| simplify_ring(h, eps)).collect(),
+        )),
+        Geometry::MultiPolygon(ps) => Geometry::MultiPolygon(
+            ps.iter()
+                .map(|p| {
+                    Polygon::new(
+                        simplify_ring(&p.exterior, eps),
+                        p.interiors.iter().map(|h| simplify_ring(h, eps)).collect(),
+                    )
+                })
+                .collect(),
+        ),
+        Geometry::GeometryCollection(gs) => {
+            Geometry::GeometryCollection(gs.iter().map(|g| simplify(g, eps)).collect())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wkt::parse;
+
+    fn c(x: f64, y: f64) -> Coord {
+        Coord::new(x, y)
+    }
+
+    #[test]
+    fn removes_collinear_points() {
+        let pts = [c(0.0, 0.0), c(1.0, 0.0), c(2.0, 0.0), c(3.0, 0.0)];
+        assert_eq!(simplify_coords(&pts, 0.01), vec![c(0.0, 0.0), c(3.0, 0.0)]);
+    }
+
+    #[test]
+    fn keeps_significant_deviation() {
+        let pts = [c(0.0, 0.0), c(1.0, 2.0), c(2.0, 0.0)];
+        assert_eq!(simplify_coords(&pts, 0.5).len(), 3);
+        assert_eq!(simplify_coords(&pts, 3.0).len(), 2);
+    }
+
+    #[test]
+    fn endpoints_always_kept() {
+        let pts = [c(0.0, 0.0), c(0.5, 0.01), c(1.0, 0.0)];
+        let out = simplify_coords(&pts, 1.0);
+        assert_eq!(out.first(), Some(&c(0.0, 0.0)));
+        assert_eq!(out.last(), Some(&c(1.0, 0.0)));
+    }
+
+    #[test]
+    fn ring_never_collapses() {
+        let g = parse("POLYGON ((0 0, 1 0, 1 1, 0 1, 0 0))").unwrap();
+        let s = simplify(&g, 100.0);
+        assert!(s.validate().is_ok());
+        assert_eq!(s.num_coords(), 5);
+    }
+
+    #[test]
+    fn zigzag_line_thinning() {
+        // A line wiggling ±0.1 around y = 0.
+        let pts: Vec<Coord> = (0..100)
+            .map(|i| c(i as f64, if i % 2 == 0 { 0.1 } else { -0.1 }))
+            .collect();
+        let out = simplify_coords(&pts, 0.3);
+        assert!(out.len() < 5, "expected strong thinning, got {}", out.len());
+    }
+
+    #[test]
+    fn short_inputs_unchanged() {
+        let pts = [c(0.0, 0.0), c(1.0, 1.0)];
+        assert_eq!(simplify_coords(&pts, 10.0), pts.to_vec());
+        assert!(simplify_coords(&[], 1.0).is_empty());
+    }
+}

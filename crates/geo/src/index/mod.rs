@@ -1,0 +1,5 @@
+//! Spatial indexes.
+
+pub mod rtree;
+
+pub use rtree::RTree;

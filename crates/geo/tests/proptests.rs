@@ -1,0 +1,260 @@
+//! Property-based tests for the geometry substrate.
+
+use proptest::prelude::*;
+use teleios_geo::algorithm::area::{area, centroid};
+use teleios_geo::algorithm::clip::{clip_to_envelope, overlay, OverlayOp};
+use teleios_geo::algorithm::convex_hull::convex_hull_coords;
+use teleios_geo::algorithm::distance::{distance, within_distance};
+use teleios_geo::algorithm::predicates::{contains, intersects, locate_point_in_ring, PointLocation};
+use teleios_geo::coord::{Coord, Envelope};
+use teleios_geo::geometry::{Geometry, LineString, Point, Polygon};
+use teleios_geo::index::RTree;
+use teleios_geo::wkt;
+
+fn coord_strategy() -> impl Strategy<Value = Coord> {
+    (-100.0f64..100.0, -100.0f64..100.0).prop_map(|(x, y)| Coord::new(x, y))
+}
+
+/// A random simple (star-shaped, hence non-self-intersecting) polygon.
+fn simple_polygon_strategy() -> impl Strategy<Value = Polygon> {
+    (
+        coord_strategy(),
+        proptest::collection::vec(0.5f64..20.0, 3..12),
+    )
+        .prop_map(|(center, radii)| {
+            let n = radii.len();
+            let mut pts: Vec<Coord> = radii
+                .iter()
+                .enumerate()
+                .map(|(i, &r)| {
+                    let theta = (i as f64) * std::f64::consts::TAU / (n as f64);
+                    Coord::new(center.x + r * theta.cos(), center.y + r * theta.sin())
+                })
+                .collect();
+            let first = pts[0];
+            pts.push(first);
+            let mut p = Polygon::new(LineString(pts), vec![]);
+            p.normalize();
+            p
+        })
+}
+
+proptest! {
+    #[test]
+    fn wkt_roundtrip_point(c in coord_strategy()) {
+        let g = Geometry::Point(Point(c));
+        let parsed = wkt::parse(&wkt::write(&g)).unwrap();
+        let Geometry::Point(p) = parsed else { panic!("wrong type") };
+        prop_assert!((p.x() - c.x).abs() < 1e-9);
+        prop_assert!((p.y() - c.y).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wkt_roundtrip_polygon(poly in simple_polygon_strategy()) {
+        let g = Geometry::Polygon(poly.clone());
+        let parsed = wkt::parse(&wkt::write(&g)).unwrap();
+        prop_assert!((area(&parsed) - poly.area()).abs() < 1e-6);
+        prop_assert_eq!(parsed.num_coords(), g.num_coords());
+    }
+
+    #[test]
+    fn polygon_area_nonnegative(poly in simple_polygon_strategy()) {
+        prop_assert!(poly.area() >= 0.0);
+    }
+
+    #[test]
+    fn centroid_inside_envelope(poly in simple_polygon_strategy()) {
+        let c = centroid(&Geometry::Polygon(poly.clone())).unwrap();
+        let env = poly.envelope().buffer(1e-9);
+        prop_assert!(env.contains_coord(c));
+    }
+
+    #[test]
+    fn star_polygon_contains_its_center(
+        center in coord_strategy(),
+        radii in proptest::collection::vec(1.0f64..20.0, 3..12),
+    ) {
+        let n = radii.len();
+        let mut pts: Vec<Coord> = radii.iter().enumerate().map(|(i, &r)| {
+            let theta = (i as f64) * std::f64::consts::TAU / (n as f64);
+            Coord::new(center.x + r * theta.cos(), center.y + r * theta.sin())
+        }).collect();
+        let first = pts[0];
+        pts.push(first);
+        let ring = LineString(pts);
+        prop_assert_eq!(locate_point_in_ring(center, &ring), PointLocation::Inside);
+    }
+
+    #[test]
+    fn distance_symmetric(a in coord_strategy(), b in coord_strategy()) {
+        let ga = Geometry::Point(Point(a));
+        let gb = Geometry::Point(Point(b));
+        prop_assert_eq!(distance(&ga, &gb), distance(&gb, &ga));
+    }
+
+    #[test]
+    fn distance_triangle_inequality(
+        a in coord_strategy(), b in coord_strategy(), c in coord_strategy()
+    ) {
+        let (ga, gb, gc) = (
+            Geometry::Point(Point(a)),
+            Geometry::Point(Point(b)),
+            Geometry::Point(Point(c)),
+        );
+        prop_assert!(distance(&ga, &gc) <= distance(&ga, &gb) + distance(&gb, &gc) + 1e-9);
+    }
+
+    #[test]
+    fn within_distance_consistent_with_distance(
+        poly in simple_polygon_strategy(), c in coord_strategy(), d in 0.1f64..50.0
+    ) {
+        let g = Geometry::Polygon(poly);
+        let p = Geometry::Point(Point(c));
+        let dist = distance(&g, &p);
+        if dist <= d - 1e-9 {
+            prop_assert!(within_distance(&g, &p, d));
+        }
+        if dist > d + 1e-9 {
+            prop_assert!(!within_distance(&g, &p, d));
+        }
+    }
+
+    #[test]
+    fn convex_hull_contains_all_points(
+        pts in proptest::collection::vec(coord_strategy(), 3..40)
+    ) {
+        if let Some(hull @ Geometry::Polygon(_)) = convex_hull_coords(&pts) {
+            for &p in &pts {
+                prop_assert!(
+                    intersects(&hull, &Geometry::Point(Point(p))),
+                    "hull must cover {p:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn clip_to_envelope_bounds_result(
+        poly in simple_polygon_strategy(),
+        ex in -50.0f64..50.0, ey in -50.0f64..50.0, w in 1.0f64..40.0, h in 1.0f64..40.0,
+    ) {
+        let env = Envelope::new(Coord::new(ex, ey), Coord::new(ex + w, ey + h));
+        if let Some(clipped) = clip_to_envelope(&poly, &env) {
+            let ce = clipped.envelope();
+            prop_assert!(env.buffer(1e-6).contains_envelope(&ce));
+            prop_assert!(clipped.area() <= poly.area() + 1e-6);
+            prop_assert!(clipped.area() <= env.area() + 1e-6);
+        }
+    }
+
+    #[test]
+    fn overlay_intersection_bounded_by_inputs(
+        a in simple_polygon_strategy(), b in simple_polygon_strategy()
+    ) {
+        let inter = overlay(&a, &b, OverlayOp::Intersection).area();
+        prop_assert!(inter <= a.area() + 1e-4, "inter {} > |a| {}", inter, a.area());
+        prop_assert!(inter <= b.area() + 1e-4, "inter {} > |b| {}", inter, b.area());
+    }
+
+    #[test]
+    fn overlay_partition_conserves_subject_area(
+        a in simple_polygon_strategy(), b in simple_polygon_strategy()
+    ) {
+        let inter = overlay(&a, &b, OverlayOp::Intersection).area();
+        let diff = overlay(&a, &b, OverlayOp::Difference).area();
+        // |A| = |A ∩ B| + |A \ B| up to perturbation noise.
+        prop_assert!(
+            (inter + diff - a.area()).abs() < 1e-3 * (1.0 + a.area()),
+            "inter {} + diff {} != area {}", inter, diff, a.area()
+        );
+    }
+
+    #[test]
+    fn overlay_union_inclusion_exclusion(
+        a in simple_polygon_strategy(), b in simple_polygon_strategy()
+    ) {
+        // |A ∪ B| = |A| + |B| − |A ∩ B| (up to perturbation noise).
+        let union = overlay(&a, &b, OverlayOp::Union).area();
+        let inter = overlay(&a, &b, OverlayOp::Intersection).area();
+        let expect = a.area() + b.area() - inter;
+        prop_assert!(
+            (union - expect).abs() < 1e-3 * (1.0 + expect),
+            "union {} != {} (|A|={} |B|={} inter={})",
+            union, expect, a.area(), b.area(), inter
+        );
+    }
+
+    #[test]
+    fn contains_implies_intersects(
+        a in simple_polygon_strategy(), c in coord_strategy()
+    ) {
+        let ga = Geometry::Polygon(a);
+        let gp = Geometry::Point(Point(c));
+        if contains(&ga, &gp) {
+            prop_assert!(intersects(&ga, &gp));
+        }
+    }
+
+    #[test]
+    fn rtree_query_matches_linear_scan(
+        items in proptest::collection::vec(
+            (coord_strategy(), 0.1f64..5.0, 0.1f64..5.0), 1..200
+        ),
+        qc in coord_strategy(), qw in 1.0f64..50.0,
+    ) {
+        let envs: Vec<(Envelope, usize)> = items
+            .iter()
+            .enumerate()
+            .map(|(i, (c, w, h))| {
+                (Envelope::new(*c, Coord::new(c.x + w, c.y + h)), i)
+            })
+            .collect();
+        let tree = RTree::bulk_load(envs.clone());
+        let q = Envelope::new(qc, Coord::new(qc.x + qw, qc.y + qw));
+        let mut from_tree: Vec<usize> = tree.query(&q).into_iter().copied().collect();
+        from_tree.sort_unstable();
+        let mut from_scan: Vec<usize> = envs
+            .iter()
+            .filter(|(e, _)| e.intersects(&q))
+            .map(|(_, i)| *i)
+            .collect();
+        from_scan.sort_unstable();
+        prop_assert_eq!(from_tree, from_scan);
+    }
+
+    #[test]
+    fn rtree_nearest_is_sorted_and_correct(
+        items in proptest::collection::vec(coord_strategy(), 1..150),
+        q in coord_strategy(),
+        k in 1usize..10,
+    ) {
+        let envs: Vec<(Envelope, usize)> = items
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (Envelope::from_coord(*c), i))
+            .collect();
+        let tree = RTree::bulk_load(envs);
+        let nn = tree.nearest(q, k);
+        prop_assert_eq!(nn.len(), k.min(items.len()));
+        for w in nn.windows(2) {
+            prop_assert!(w[0].2 <= w[1].2 + 1e-12);
+        }
+        // The first result is the true nearest.
+        if let Some(first) = nn.first() {
+            let best = items.iter().map(|c| c.distance(&q)).fold(f64::INFINITY, f64::min);
+            prop_assert!((first.2 - best).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn envelope_union_is_commutative_and_covers(
+        a in coord_strategy(), b in coord_strategy(), c in coord_strategy(), d in coord_strategy()
+    ) {
+        let e1 = Envelope::new(a, b);
+        let e2 = Envelope::new(c, d);
+        prop_assert_eq!(e1.union(&e2), e2.union(&e1));
+        let u = e1.union(&e2);
+        prop_assert!(u.contains_envelope(&e1));
+        prop_assert!(u.contains_envelope(&e2));
+    }
+}

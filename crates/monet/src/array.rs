@@ -1,0 +1,518 @@
+//! First-class n-dimensional arrays.
+//!
+//! SciQL's central idea is that arrays live *inside* the database next to
+//! tables, sharing the execution engine. `NdArray` is that object: a
+//! dense, row-major `f64` array with named dimensions, supporting the
+//! structural operations SciQL queries compile to — slicing, element-wise
+//! maps, zips, reductions, and **tiling** (the structural group-by of
+//! SciQL, used for patch-based feature extraction).
+
+use crate::error::DbError;
+use crate::Result;
+
+/// A named array dimension.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dim {
+    /// Dimension name (e.g. `x`, `y`, `band`).
+    pub name: String,
+    /// Extent.
+    pub size: usize,
+}
+
+impl Dim {
+    /// New dimension.
+    pub fn new(name: impl Into<String>, size: usize) -> Dim {
+        Dim { name: name.into(), size }
+    }
+}
+
+/// A dense row-major n-dimensional array of `f64` cells.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NdArray {
+    dims: Vec<Dim>,
+    data: Vec<f64>,
+}
+
+impl NdArray {
+    /// Array filled with `fill`.
+    pub fn filled(dims: Vec<Dim>, fill: f64) -> NdArray {
+        let n = dims.iter().map(|d| d.size).product();
+        NdArray { dims, data: vec![fill; n] }
+    }
+
+    /// Zero-filled array.
+    pub fn zeros(dims: Vec<Dim>) -> NdArray {
+        Self::filled(dims, 0.0)
+    }
+
+    /// Array from raw row-major data; the length must match the shape.
+    pub fn from_vec(dims: Vec<Dim>, data: Vec<f64>) -> Result<NdArray> {
+        let n: usize = dims.iter().map(|d| d.size).product();
+        if n != data.len() {
+            return Err(DbError::ShapeMismatch(format!(
+                "shape holds {n} cells but {} values were given",
+                data.len()
+            )));
+        }
+        Ok(NdArray { dims, data })
+    }
+
+    /// Convenience: 2-D array with dims `y` (rows) then `x` (columns).
+    pub fn matrix(rows: usize, cols: usize, data: Vec<f64>) -> Result<NdArray> {
+        Self::from_vec(vec![Dim::new("y", rows), Dim::new("x", cols)], data)
+    }
+
+    /// The dimensions.
+    pub fn dims(&self) -> &[Dim] {
+        &self.dims
+    }
+
+    /// Extent per dimension.
+    pub fn shape(&self) -> Vec<usize> {
+        self.dims.iter().map(|d| d.size).collect()
+    }
+
+    /// Number of dimensions.
+    pub fn ndim(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of cells.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the array has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Raw row-major data.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable raw data.
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Index of a dimension by name.
+    pub fn dim_index(&self, name: &str) -> Result<usize> {
+        self.dims
+            .iter()
+            .position(|d| d.name.eq_ignore_ascii_case(name))
+            .ok_or_else(|| DbError::ShapeMismatch(format!("unknown dimension: {name}")))
+    }
+
+    /// Linearize a multi-index.
+    pub fn linear_index(&self, idx: &[usize]) -> Result<usize> {
+        if idx.len() != self.dims.len() {
+            return Err(DbError::ShapeMismatch(format!(
+                "index rank {} != array rank {}",
+                idx.len(),
+                self.dims.len()
+            )));
+        }
+        let mut lin = 0usize;
+        for (i, (&ix, d)) in idx.iter().zip(&self.dims).enumerate() {
+            if ix >= d.size {
+                return Err(DbError::ShapeMismatch(format!(
+                    "index {ix} out of bounds for dimension {i} (size {})",
+                    d.size
+                )));
+            }
+            lin = lin * d.size + ix;
+        }
+        Ok(lin)
+    }
+
+    /// Cell value at a multi-index.
+    pub fn get(&self, idx: &[usize]) -> Result<f64> {
+        Ok(self.data[self.linear_index(idx)?])
+    }
+
+    /// Set a cell.
+    pub fn set(&mut self, idx: &[usize], v: f64) -> Result<()> {
+        let lin = self.linear_index(idx)?;
+        self.data[lin] = v;
+        Ok(())
+    }
+
+    /// Rectangular slice: `ranges[i]` is the half-open `(start, end)` per
+    /// dimension. Returns a new array with the same dimension names.
+    pub fn slice(&self, ranges: &[(usize, usize)]) -> Result<NdArray> {
+        if ranges.len() != self.dims.len() {
+            return Err(DbError::ShapeMismatch(format!(
+                "slice rank {} != array rank {}",
+                ranges.len(),
+                self.dims.len()
+            )));
+        }
+        for ((start, end), d) in ranges.iter().zip(&self.dims) {
+            if start > end || *end > d.size {
+                return Err(DbError::ShapeMismatch(format!(
+                    "slice {start}..{end} out of bounds for dimension '{}' (size {})",
+                    d.name, d.size
+                )));
+            }
+        }
+        let out_dims: Vec<Dim> = self
+            .dims
+            .iter()
+            .zip(ranges)
+            .map(|(d, (s, e))| Dim::new(d.name.clone(), e - s))
+            .collect();
+        let mut out = NdArray::zeros(out_dims);
+        let mut idx: Vec<usize> = ranges.iter().map(|(s, _)| *s).collect();
+        let mut out_idx = vec![0usize; idx.len()];
+        if out.is_empty() {
+            return Ok(out);
+        }
+        loop {
+            let v = self.get(&idx).expect("bounds checked");
+            out.set(&out_idx, v).expect("bounds checked");
+            // Odometer increment.
+            let mut k = idx.len();
+            loop {
+                if k == 0 {
+                    return Ok(out);
+                }
+                k -= 1;
+                idx[k] += 1;
+                out_idx[k] += 1;
+                if idx[k] < ranges[k].1 {
+                    break;
+                }
+                idx[k] = ranges[k].0;
+                out_idx[k] = 0;
+            }
+        }
+    }
+
+    /// Element-wise map into a new array.
+    pub fn map<F: Fn(f64) -> f64>(&self, f: F) -> NdArray {
+        NdArray { dims: self.dims.clone(), data: self.data.iter().map(|&v| f(v)).collect() }
+    }
+
+    /// Element-wise combination of two same-shape arrays.
+    pub fn zip_map<F: Fn(f64, f64) -> f64>(&self, other: &NdArray, f: F) -> Result<NdArray> {
+        if self.shape() != other.shape() {
+            return Err(DbError::ShapeMismatch(format!(
+                "zip of shapes {:?} and {:?}",
+                self.shape(),
+                other.shape()
+            )));
+        }
+        Ok(NdArray {
+            dims: self.dims.clone(),
+            data: self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect(),
+        })
+    }
+
+    /// Fold over all cells.
+    pub fn fold<A, F: FnMut(A, f64) -> A>(&self, init: A, f: F) -> A {
+        self.data.iter().copied().fold(init, f)
+    }
+
+    /// Sum of all cells.
+    pub fn sum(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// Minimum cell (NaN-resistant); `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        self.data.iter().copied().filter(|v| !v.is_nan()).reduce(f64::min)
+    }
+
+    /// Maximum cell (NaN-resistant); `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        self.data.iter().copied().filter(|v| !v.is_nan()).reduce(f64::max)
+    }
+
+    /// Mean of all cells; `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(self.sum() / self.len() as f64)
+        }
+    }
+
+    /// Population standard deviation; `None` when empty.
+    pub fn std_dev(&self) -> Option<f64> {
+        let mean = self.mean()?;
+        let var = self.data.iter().map(|&v| (v - mean) * (v - mean)).sum::<f64>()
+            / self.len() as f64;
+        Some(var.sqrt())
+    }
+
+    /// Iterate non-overlapping tiles of `tile_shape`, yielding the tile
+    /// origin and the tile as a new array. Partial edge tiles are skipped,
+    /// matching SciQL's structured group-by semantics.
+    pub fn tiles(&self, tile_shape: &[usize]) -> Result<Vec<(Vec<usize>, NdArray)>> {
+        if tile_shape.len() != self.dims.len() {
+            return Err(DbError::ShapeMismatch(format!(
+                "tile rank {} != array rank {}",
+                tile_shape.len(),
+                self.dims.len()
+            )));
+        }
+        if tile_shape.contains(&0) {
+            return Err(DbError::ShapeMismatch("zero-size tile".into()));
+        }
+        let counts: Vec<usize> = self
+            .dims
+            .iter()
+            .zip(tile_shape)
+            .map(|(d, &t)| d.size / t)
+            .collect();
+        let total: usize = counts.iter().product();
+        let mut out = Vec::with_capacity(total);
+        let mut tile_idx = vec![0usize; counts.len()];
+        for _ in 0..total {
+            let origin: Vec<usize> = tile_idx
+                .iter()
+                .zip(tile_shape)
+                .map(|(&i, &t)| i * t)
+                .collect();
+            let ranges: Vec<(usize, usize)> = origin
+                .iter()
+                .zip(tile_shape)
+                .map(|(&o, &t)| (o, o + t))
+                .collect();
+            out.push((origin, self.slice(&ranges)?));
+            // Odometer over tile counts.
+            let mut k = tile_idx.len();
+            while k > 0 {
+                k -= 1;
+                tile_idx[k] += 1;
+                if tile_idx[k] < counts[k] {
+                    break;
+                }
+                tile_idx[k] = 0;
+            }
+        }
+        Ok(out)
+    }
+
+    /// 2-D convolution with a centred kernel (odd-sized), zero padding.
+    /// Only valid for 2-D arrays.
+    pub fn convolve2d(&self, kernel: &NdArray) -> Result<NdArray> {
+        if self.ndim() != 2 || kernel.ndim() != 2 {
+            return Err(DbError::ShapeMismatch("convolve2d needs 2-D arrays".into()));
+        }
+        let (rows, cols) = (self.dims[0].size, self.dims[1].size);
+        let (kr, kc) = (kernel.dims[0].size, kernel.dims[1].size);
+        if kr % 2 == 0 || kc % 2 == 0 {
+            return Err(DbError::ShapeMismatch("kernel sides must be odd".into()));
+        }
+        let (hr, hc) = (kr as isize / 2, kc as isize / 2);
+        let mut out = NdArray::zeros(self.dims.clone());
+        for r in 0..rows as isize {
+            for c in 0..cols as isize {
+                let mut acc = 0.0;
+                for dr in -hr..=hr {
+                    for dc in -hc..=hc {
+                        let (rr, cc) = (r + dr, c + dc);
+                        if rr >= 0 && rr < rows as isize && cc >= 0 && cc < cols as isize {
+                            let kv = kernel.data[((dr + hr) * kc as isize + (dc + hc)) as usize];
+                            acc += kv * self.data[(rr * cols as isize + cc) as usize];
+                        }
+                    }
+                }
+                out.data[(r * cols as isize + c) as usize] = acc;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Histogram of cell values into `bins` equal-width buckets over
+    /// `[lo, hi)`; out-of-range values clamp into the edge buckets.
+    pub fn histogram(&self, lo: f64, hi: f64, bins: usize) -> Vec<usize> {
+        let mut h = vec![0usize; bins.max(1)];
+        if bins == 0 || hi <= lo {
+            return h;
+        }
+        let w = (hi - lo) / bins as f64;
+        for &v in &self.data {
+            let b = (((v - lo) / w).floor() as isize).clamp(0, bins as isize - 1) as usize;
+            h[b] += 1;
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a2x3() -> NdArray {
+        NdArray::matrix(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap()
+    }
+
+    #[test]
+    fn shape_and_indexing() {
+        let a = a2x3();
+        assert_eq!(a.shape(), vec![2, 3]);
+        assert_eq!(a.get(&[0, 0]).unwrap(), 1.0);
+        assert_eq!(a.get(&[1, 2]).unwrap(), 6.0);
+        assert!(a.get(&[2, 0]).is_err());
+        assert!(a.get(&[0]).is_err());
+    }
+
+    #[test]
+    fn from_vec_shape_check() {
+        assert!(NdArray::matrix(2, 2, vec![1.0, 2.0, 3.0]).is_err());
+    }
+
+    #[test]
+    fn set_updates() {
+        let mut a = a2x3();
+        a.set(&[1, 1], 50.0).unwrap();
+        assert_eq!(a.get(&[1, 1]).unwrap(), 50.0);
+    }
+
+    #[test]
+    fn slice_middle() {
+        let a = NdArray::matrix(4, 4, (0..16).map(|v| v as f64).collect()).unwrap();
+        let s = a.slice(&[(1, 3), (1, 3)]).unwrap();
+        assert_eq!(s.shape(), vec![2, 2]);
+        assert_eq!(s.data(), &[5.0, 6.0, 9.0, 10.0]);
+    }
+
+    #[test]
+    fn slice_full_is_copy() {
+        let a = a2x3();
+        let s = a.slice(&[(0, 2), (0, 3)]).unwrap();
+        assert_eq!(s, a);
+    }
+
+    #[test]
+    fn slice_empty() {
+        let a = a2x3();
+        let s = a.slice(&[(1, 1), (0, 3)]).unwrap();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn slice_out_of_bounds() {
+        let a = a2x3();
+        assert!(a.slice(&[(0, 3), (0, 3)]).is_err());
+        assert!(a.slice(&[(2, 1), (0, 3)]).is_err());
+    }
+
+    #[test]
+    fn map_and_zip() {
+        let a = a2x3();
+        let b = a.map(|v| v * 2.0);
+        assert_eq!(b.data(), &[2.0, 4.0, 6.0, 8.0, 10.0, 12.0]);
+        let c = a.zip_map(&b, |x, y| y - x).unwrap();
+        assert_eq!(c.data(), a.data());
+        let bad = NdArray::matrix(3, 2, vec![0.0; 6]).unwrap();
+        assert!(a.zip_map(&bad, |x, _| x).is_err());
+    }
+
+    #[test]
+    fn reductions() {
+        let a = a2x3();
+        assert_eq!(a.sum(), 21.0);
+        assert_eq!(a.min(), Some(1.0));
+        assert_eq!(a.max(), Some(6.0));
+        assert_eq!(a.mean(), Some(3.5));
+        let sd = a.std_dev().unwrap();
+        assert!((sd - 1.7078).abs() < 1e-3);
+    }
+
+    #[test]
+    fn reductions_empty() {
+        let e = NdArray::zeros(vec![Dim::new("x", 0)]);
+        assert_eq!(e.min(), None);
+        assert_eq!(e.mean(), None);
+    }
+
+    #[test]
+    fn tiles_cover_divisible_array() {
+        let a = NdArray::matrix(4, 4, (0..16).map(|v| v as f64).collect()).unwrap();
+        let tiles = a.tiles(&[2, 2]).unwrap();
+        assert_eq!(tiles.len(), 4);
+        assert_eq!(tiles[0].0, vec![0, 0]);
+        assert_eq!(tiles[0].1.data(), &[0.0, 1.0, 4.0, 5.0]);
+        assert_eq!(tiles[3].0, vec![2, 2]);
+        assert_eq!(tiles[3].1.data(), &[10.0, 11.0, 14.0, 15.0]);
+        // Tiles partition the array: sums agree.
+        let total: f64 = tiles.iter().map(|(_, t)| t.sum()).sum();
+        assert_eq!(total, a.sum());
+    }
+
+    #[test]
+    fn tiles_skip_partial_edges() {
+        let a = NdArray::matrix(5, 5, vec![1.0; 25]).unwrap();
+        let tiles = a.tiles(&[2, 2]).unwrap();
+        assert_eq!(tiles.len(), 4); // 2x2 full tiles only
+    }
+
+    #[test]
+    fn tiles_errors() {
+        let a = a2x3();
+        assert!(a.tiles(&[2]).is_err());
+        assert!(a.tiles(&[0, 1]).is_err());
+    }
+
+    #[test]
+    fn convolve_identity() {
+        let a = a2x3();
+        let id = NdArray::matrix(1, 1, vec![1.0]).unwrap();
+        assert_eq!(a.convolve2d(&id).unwrap(), a);
+    }
+
+    #[test]
+    fn convolve_box_blur_center() {
+        let mut a = NdArray::matrix(3, 3, vec![0.0; 9]).unwrap();
+        a.set(&[1, 1], 9.0).unwrap();
+        let k = NdArray::matrix(3, 3, vec![1.0 / 9.0; 9]).unwrap();
+        let b = a.convolve2d(&k).unwrap();
+        // Every cell sees the centre impulse once.
+        for &v in b.data() {
+            assert!((v - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn convolve_requires_odd_kernel() {
+        let a = a2x3();
+        let k = NdArray::matrix(2, 2, vec![1.0; 4]).unwrap();
+        assert!(a.convolve2d(&k).is_err());
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let a = NdArray::matrix(1, 6, vec![0.0, 0.5, 1.0, 5.0, 9.9, 12.0]).unwrap();
+        let h = a.histogram(0.0, 10.0, 10);
+        assert_eq!(h[0], 2); // 0.0, 0.5
+        assert_eq!(h[1], 1); // 1.0
+        assert_eq!(h[5], 1); // 5.0
+        assert_eq!(h[9], 2); // 9.9 plus clamped 12.0
+        assert_eq!(h.iter().sum::<usize>(), 6);
+    }
+
+    #[test]
+    fn dim_lookup() {
+        let a = a2x3();
+        assert_eq!(a.dim_index("x").unwrap(), 1);
+        assert_eq!(a.dim_index("Y").unwrap(), 0);
+        assert!(a.dim_index("z").is_err());
+    }
+
+    #[test]
+    fn three_dimensional_roundtrip() {
+        let dims = vec![Dim::new("band", 2), Dim::new("y", 3), Dim::new("x", 4)];
+        let mut a = NdArray::zeros(dims);
+        a.set(&[1, 2, 3], 42.0).unwrap();
+        assert_eq!(a.get(&[1, 2, 3]).unwrap(), 42.0);
+        assert_eq!(a.get(&[0, 0, 0]).unwrap(), 0.0);
+        let s = a.slice(&[(1, 2), (0, 3), (0, 4)]).unwrap();
+        assert_eq!(s.shape(), vec![1, 3, 4]);
+        assert_eq!(s.get(&[0, 2, 3]).unwrap(), 42.0);
+    }
+}

@@ -1,0 +1,310 @@
+//! SQL lexer.
+
+use crate::error::DbError;
+use crate::Result;
+
+/// A lexical token with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub kind: TokenKind,
+    /// Byte offset in the input.
+    pub pos: usize,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Keyword or identifier (upper-cased for keywords; identifiers keep
+    /// their original case in `Ident`).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Single-quoted string literal (quotes stripped, '' unescaped).
+    Str(String),
+    /// Punctuation / operator.
+    Symbol(Symbol),
+    /// End of input.
+    Eof,
+}
+
+/// Operator / punctuation symbols.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Symbol {
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `;`
+    Semicolon,
+    /// `*`
+    Star,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// Tokenize SQL text.
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    let mut out = Vec::new();
+    while pos < bytes.len() {
+        let b = bytes[pos];
+        if b.is_ascii_whitespace() {
+            pos += 1;
+            continue;
+        }
+        // Line comments.
+        if b == b'-' && bytes.get(pos + 1) == Some(&b'-') {
+            while pos < bytes.len() && bytes[pos] != b'\n' {
+                pos += 1;
+            }
+            continue;
+        }
+        let start = pos;
+        if b.is_ascii_alphabetic() || b == b'_' {
+            while pos < bytes.len()
+                && (bytes[pos].is_ascii_alphanumeric() || bytes[pos] == b'_')
+            {
+                pos += 1;
+            }
+            out.push(Token { kind: TokenKind::Ident(input[start..pos].to_string()), pos: start });
+            continue;
+        }
+        if b.is_ascii_digit() || (b == b'.' && bytes.get(pos + 1).is_some_and(u8::is_ascii_digit)) {
+            let mut is_float = false;
+            while pos < bytes.len() {
+                match bytes[pos] {
+                    b'0'..=b'9' => pos += 1,
+                    b'.' if !is_float => {
+                        is_float = true;
+                        pos += 1;
+                    }
+                    b'e' | b'E' => {
+                        is_float = true;
+                        pos += 1;
+                        if matches!(bytes.get(pos), Some(b'+') | Some(b'-')) {
+                            pos += 1;
+                        }
+                    }
+                    _ => break,
+                }
+            }
+            let text = &input[start..pos];
+            let kind = if is_float {
+                TokenKind::Float(text.parse().map_err(|e| DbError::Parse {
+                    position: start,
+                    message: format!("bad float literal: {e}"),
+                })?)
+            } else {
+                TokenKind::Int(text.parse().map_err(|e| DbError::Parse {
+                    position: start,
+                    message: format!("bad integer literal: {e}"),
+                })?)
+            };
+            out.push(Token { kind, pos: start });
+            continue;
+        }
+        if b == b'\'' {
+            pos += 1;
+            let mut s = String::new();
+            loop {
+                match bytes.get(pos) {
+                    None => {
+                        return Err(DbError::Parse {
+                            position: start,
+                            message: "unterminated string literal".into(),
+                        })
+                    }
+                    Some(b'\'') if bytes.get(pos + 1) == Some(&b'\'') => {
+                        s.push('\'');
+                        pos += 2;
+                    }
+                    Some(b'\'') => {
+                        pos += 1;
+                        break;
+                    }
+                    Some(_) => {
+                        // Advance one UTF-8 character.
+                        let ch_len = input[pos..].chars().next().map_or(1, char::len_utf8);
+                        s.push_str(&input[pos..pos + ch_len]);
+                        pos += ch_len;
+                    }
+                }
+            }
+            out.push(Token { kind: TokenKind::Str(s), pos: start });
+            continue;
+        }
+        let sym = match b {
+            b'(' => Symbol::LParen,
+            b')' => Symbol::RParen,
+            b',' => Symbol::Comma,
+            b'.' => Symbol::Dot,
+            b';' => Symbol::Semicolon,
+            b'*' => Symbol::Star,
+            b'+' => Symbol::Plus,
+            b'-' => Symbol::Minus,
+            b'/' => Symbol::Slash,
+            b'%' => Symbol::Percent,
+            b'=' => Symbol::Eq,
+            b'<' => {
+                if bytes.get(pos + 1) == Some(&b'=') {
+                    pos += 1;
+                    Symbol::Le
+                } else if bytes.get(pos + 1) == Some(&b'>') {
+                    pos += 1;
+                    Symbol::Ne
+                } else {
+                    Symbol::Lt
+                }
+            }
+            b'>' => {
+                if bytes.get(pos + 1) == Some(&b'=') {
+                    pos += 1;
+                    Symbol::Ge
+                } else {
+                    Symbol::Gt
+                }
+            }
+            b'!' => {
+                if bytes.get(pos + 1) == Some(&b'=') {
+                    pos += 1;
+                    Symbol::Ne
+                } else {
+                    return Err(DbError::Parse {
+                        position: pos,
+                        message: "unexpected '!'".into(),
+                    });
+                }
+            }
+            other => {
+                return Err(DbError::Parse {
+                    position: pos,
+                    message: format!("unexpected character '{}'", other as char),
+                })
+            }
+        };
+        pos += 1;
+        out.push(Token { kind: TokenKind::Symbol(sym), pos: start });
+    }
+    out.push(Token { kind: TokenKind::Eof, pos: input.len() });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(sql: &str) -> Vec<TokenKind> {
+        tokenize(sql).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        let k = kinds("SELECT a FROM t");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Ident("SELECT".into()),
+                TokenKind::Ident("a".into()),
+                TokenKind::Ident("FROM".into()),
+                TokenKind::Ident("t".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            kinds("1 2.5 1e3 .5"),
+            vec![
+                TokenKind::Int(1),
+                TokenKind::Float(2.5),
+                TokenKind::Float(1000.0),
+                TokenKind::Float(0.5),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(
+            kinds("'it''s' 'plain'"),
+            vec![TokenKind::Str("it's".into()), TokenKind::Str("plain".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(tokenize("'oops").is_err());
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            kinds("<= >= <> != < > ="),
+            vec![
+                TokenKind::Symbol(Symbol::Le),
+                TokenKind::Symbol(Symbol::Ge),
+                TokenKind::Symbol(Symbol::Ne),
+                TokenKind::Symbol(Symbol::Ne),
+                TokenKind::Symbol(Symbol::Lt),
+                TokenKind::Symbol(Symbol::Gt),
+                TokenKind::Symbol(Symbol::Eq),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            kinds("SELECT -- comment here\n 1"),
+            vec![TokenKind::Ident("SELECT".into()), TokenKind::Int(1), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn unexpected_character() {
+        assert!(tokenize("SELECT #").is_err());
+    }
+
+    #[test]
+    fn negative_handled_as_minus_token() {
+        assert_eq!(
+            kinds("-5"),
+            vec![TokenKind::Symbol(Symbol::Minus), TokenKind::Int(5), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn unicode_in_strings() {
+        assert_eq!(kinds("'Πελοπόννησος'"), vec![TokenKind::Str("Πελοπόννησος".into()), TokenKind::Eof]);
+    }
+}

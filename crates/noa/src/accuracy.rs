@@ -1,0 +1,129 @@
+//! Thematic-accuracy scoring against ground truth.
+//!
+//! Experiments E2 (classifier comparison) and E7 (refinement benefit)
+//! report precision, recall and F1 of detection masks relative to the
+//! generator's truth masks.
+
+use teleios_monet::array::NdArray;
+use teleios_monet::{DbError, Result};
+
+/// Pixel-level confusion counts and derived scores.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Accuracy {
+    /// Detected and truly burning.
+    pub true_positives: usize,
+    /// Detected but not burning.
+    pub false_positives: usize,
+    /// Burning but missed.
+    pub false_negatives: usize,
+    /// Neither detected nor burning.
+    pub true_negatives: usize,
+}
+
+impl Accuracy {
+    /// Precision: TP / (TP + FP); 1.0 when nothing was detected.
+    pub fn precision(&self) -> f64 {
+        let denom = self.true_positives + self.false_positives;
+        if denom == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+
+    /// Recall: TP / (TP + FN); 1.0 when nothing was burning.
+    pub fn recall(&self) -> f64 {
+        let denom = self.true_positives + self.false_negatives;
+        if denom == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+
+    /// F1: harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+/// Score a detection mask against the truth mask (same shape; positive
+/// means > 0).
+pub fn score(detected: &NdArray, truth: &NdArray) -> Result<Accuracy> {
+    if detected.shape() != truth.shape() {
+        return Err(DbError::ShapeMismatch(format!(
+            "detected {:?} vs truth {:?}",
+            detected.shape(),
+            truth.shape()
+        )));
+    }
+    let mut acc = Accuracy {
+        true_positives: 0,
+        false_positives: 0,
+        false_negatives: 0,
+        true_negatives: 0,
+    };
+    for (&d, &t) in detected.data().iter().zip(truth.data()) {
+        match (d > 0.0, t > 0.0) {
+            (true, true) => acc.true_positives += 1,
+            (true, false) => acc.false_positives += 1,
+            (false, true) => acc.false_negatives += 1,
+            (false, false) => acc.true_negatives += 1,
+        }
+    }
+    Ok(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arr(vals: &[f64]) -> NdArray {
+        NdArray::matrix(1, vals.len(), vals.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn perfect_detection() {
+        let a = score(&arr(&[1.0, 0.0, 1.0]), &arr(&[1.0, 0.0, 1.0])).unwrap();
+        assert_eq!(a.precision(), 1.0);
+        assert_eq!(a.recall(), 1.0);
+        assert_eq!(a.f1(), 1.0);
+        assert_eq!(a.true_positives, 2);
+        assert_eq!(a.true_negatives, 1);
+    }
+
+    #[test]
+    fn false_positive_lowers_precision() {
+        let a = score(&arr(&[1.0, 1.0]), &arr(&[1.0, 0.0])).unwrap();
+        assert_eq!(a.precision(), 0.5);
+        assert_eq!(a.recall(), 1.0);
+        assert!((a.f1() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn miss_lowers_recall() {
+        let a = score(&arr(&[0.0, 1.0]), &arr(&[1.0, 1.0])).unwrap();
+        assert_eq!(a.recall(), 0.5);
+        assert_eq!(a.precision(), 1.0);
+    }
+
+    #[test]
+    fn empty_cases() {
+        let a = score(&arr(&[0.0, 0.0]), &arr(&[0.0, 0.0])).unwrap();
+        assert_eq!(a.precision(), 1.0);
+        assert_eq!(a.recall(), 1.0);
+        let b = score(&arr(&[0.0]), &arr(&[1.0])).unwrap();
+        assert_eq!(b.f1(), 0.0);
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        assert!(score(&arr(&[1.0]), &arr(&[1.0, 0.0])).is_err());
+    }
+}

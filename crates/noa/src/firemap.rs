@@ -1,0 +1,324 @@
+//! Rapid mapping: automatic fire-map generation from linked data.
+//!
+//! "The automatic generation of fire maps enriched with relevant
+//! geo-information available as open linked data is made possible with
+//! the use of a series of stSPARQL queries and the visualization of the
+//! results" (paper §4). A [`FireMap`] is the queryable product of that
+//! series: one layer per linked dataset, restricted to the mapped
+//! region, plus the detected hotspots.
+
+use teleios_geo::{Coord, Envelope, Geometry};
+use teleios_geo::geometry::{LineString, Polygon};
+use teleios_rdf::strdf::{geometry_literal_wgs84, parse_geometry};
+use teleios_rdf::vocab::{linked, noa};
+use teleios_strabon::{Strabon, StrabonError};
+
+/// One thematic layer of the map.
+#[derive(Debug, Clone)]
+pub struct MapLayer {
+    /// Layer name (e.g. `hotspots`, `places`, `roads`).
+    pub name: String,
+    /// Features: geometry plus display label.
+    pub features: Vec<(Geometry, String)>,
+}
+
+/// A generated fire map.
+#[derive(Debug, Clone)]
+pub struct FireMap {
+    /// Mapped region.
+    pub region: Envelope,
+    /// Layers in drawing order (background first).
+    pub layers: Vec<MapLayer>,
+}
+
+impl FireMap {
+    /// Layer by name.
+    pub fn layer(&self, name: &str) -> Option<&MapLayer> {
+        self.layers.iter().find(|l| l.name == name)
+    }
+
+    /// Total feature count.
+    pub fn num_features(&self) -> usize {
+        self.layers.iter().map(|l| l.features.len()).sum()
+    }
+
+    /// GeoJSON FeatureCollection rendering — what a rapid-mapping GIS
+    /// client ingests. Layers become a `layer` property on each feature.
+    pub fn to_geojson(&self) -> String {
+        use serde_json::{json, Value};
+        let features: Vec<Value> = self
+            .layers
+            .iter()
+            .flat_map(|layer| {
+                layer.features.iter().map(move |(g, label)| {
+                    json!({
+                        "type": "Feature",
+                        "properties": { "layer": layer.name, "label": label },
+                        "geometry": geometry_to_geojson(g),
+                    })
+                })
+            })
+            .collect();
+        serde_json::to_string_pretty(&json!({
+            "type": "FeatureCollection",
+            "bbox": [self.region.min.x, self.region.min.y, self.region.max.x, self.region.max.y],
+            "features": features,
+        }))
+        .expect("geojson serializes")
+    }
+
+    /// Text rendering (the demo's "visualization of the results").
+    pub fn to_text(&self) -> String {
+        let mut out = format!(
+            "Fire map [{:.2}, {:.2}] x [{:.2}, {:.2}]\n",
+            self.region.min.x, self.region.max.x, self.region.min.y, self.region.max.y
+        );
+        for layer in &self.layers {
+            out.push_str(&format!("  layer {:<12} {} feature(s)\n", layer.name, layer.features.len()));
+            for (g, label) in layer.features.iter().take(5) {
+                out.push_str(&format!("    - {} [{}]\n", label, g.type_name()));
+            }
+            if layer.features.len() > 5 {
+                out.push_str(&format!("    … {} more\n", layer.features.len() - 5));
+            }
+        }
+        out
+    }
+}
+
+fn coords_json(coords: &[Coord]) -> serde_json::Value {
+    serde_json::Value::Array(
+        coords
+            .iter()
+            .map(|c| serde_json::json!([c.x, c.y]))
+            .collect(),
+    )
+}
+
+fn polygon_rings_json(p: &Polygon) -> serde_json::Value {
+    let mut rings = vec![coords_json(p.exterior.coords())];
+    rings.extend(p.interiors.iter().map(|r: &LineString| coords_json(r.coords())));
+    serde_json::Value::Array(rings)
+}
+
+/// Convert a geometry to its GeoJSON `geometry` object.
+pub fn geometry_to_geojson(g: &Geometry) -> serde_json::Value {
+    use serde_json::json;
+    match g {
+        Geometry::Point(p) => json!({ "type": "Point", "coordinates": [p.x(), p.y()] }),
+        Geometry::LineString(l) => {
+            json!({ "type": "LineString", "coordinates": coords_json(l.coords()) })
+        }
+        Geometry::Polygon(p) => {
+            json!({ "type": "Polygon", "coordinates": polygon_rings_json(p) })
+        }
+        Geometry::MultiPoint(ps) => json!({
+            "type": "MultiPoint",
+            "coordinates": ps.iter().map(|p| json!([p.x(), p.y()])).collect::<Vec<_>>(),
+        }),
+        Geometry::MultiLineString(ls) => json!({
+            "type": "MultiLineString",
+            "coordinates": ls.iter().map(|l| coords_json(l.coords())).collect::<Vec<_>>(),
+        }),
+        Geometry::MultiPolygon(ps) => json!({
+            "type": "MultiPolygon",
+            "coordinates": ps.iter().map(polygon_rings_json).collect::<Vec<_>>(),
+        }),
+        Geometry::GeometryCollection(gs) => json!({
+            "type": "GeometryCollection",
+            "geometries": gs.iter().map(geometry_to_geojson).collect::<Vec<_>>(),
+        }),
+    }
+}
+
+/// One stSPARQL layer query: features of `class` with geometry
+/// intersecting the region.
+fn layer_query(class: &str, region_lit: &str, label_pattern: Option<&str>) -> String {
+    let label_part = match label_pattern {
+        Some(p) => format!("OPTIONAL {{ ?f <{p}> ?label }}"),
+        None => String::new(),
+    };
+    format!(
+        "PREFIX strdf: <http://strdf.di.uoa.gr/ontology#>\n\
+         SELECT ?f ?g ?label WHERE {{\n\
+           ?f a <{class}> ; strdf:hasGeometry ?g .\n\
+           {label_part}\n\
+           FILTER(strdf:intersects(?g, {region_lit}))\n\
+         }}"
+    )
+}
+
+fn run_layer(
+    db: &mut Strabon,
+    name: &str,
+    class: &str,
+    region_lit: &str,
+    label_prop: Option<&str>,
+) -> Result<MapLayer, StrabonError> {
+    let sols = db.query(&layer_query(class, region_lit, label_prop))?;
+    let mut features = Vec::with_capacity(sols.len());
+    for i in 0..sols.len() {
+        let Some(gterm) = sols.get(i, "g") else { continue };
+        let Ok((geom, _)) = parse_geometry(gterm) else { continue };
+        let label = sols
+            .get(i, "label")
+            .and_then(|t| t.lexical().map(str::to_string))
+            .or_else(|| sols.get(i, "f").and_then(|t| t.as_iri().map(short_iri)))
+            .unwrap_or_default();
+        features.push((geom, label));
+    }
+    Ok(MapLayer { name: name.to_string(), features })
+}
+
+fn short_iri(iri: &str) -> String {
+    iri.rsplit(['/', '#']).next().unwrap_or(iri).to_string()
+}
+
+/// Generate the fire map for a region: coastline, land cover, roads,
+/// populated places, archaeological sites, and the detected hotspots.
+pub fn build_fire_map(db: &mut Strabon, region: &Envelope) -> Result<FireMap, StrabonError> {
+    let region_lit =
+        geometry_literal_wgs84(&Geometry::Polygon(Polygon::from_envelope(region))).to_string();
+    let layers = vec![
+        run_layer(
+            db,
+            "coastline",
+            &format!("{}ontology#LandMass", linked::COASTLINE),
+            &region_lit,
+            None,
+        )?,
+        run_layer(
+            db,
+            "landcover",
+            &format!("{}ontology#Area", linked::CORINE),
+            &region_lit,
+            None,
+        )?,
+        run_layer(db, "roads", &format!("{}Road", linked::LGD), &region_lit, None)?,
+        run_layer(
+            db,
+            "places",
+            &format!("{}ontology#PopulatedPlace", linked::GEONAMES),
+            &region_lit,
+            Some(&format!("{}ontology#name", linked::GEONAMES)),
+        )?,
+        run_layer(
+            db,
+            "sites",
+            "http://dbpedia.org/ontology/ArchaeologicalSite",
+            &region_lit,
+            Some("http://www.w3.org/2000/01/rdf-schema#label"),
+        )?,
+        run_layer(db, "hotspots", noa::HOTSPOT, &region_lit, None)?,
+    ];
+    Ok(FireMap { region: *region, layers })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use teleios_geo::Coord;
+    use teleios_linked::emit;
+    use teleios_linked::world::{World, WorldSpec};
+
+    fn db_with_world() -> (Strabon, World) {
+        let world = World::generate(WorldSpec::default());
+        let mut db = Strabon::new();
+        emit::emit_all(&world, db.store_mut());
+        (db, world)
+    }
+
+    #[test]
+    fn map_has_all_layers() {
+        let (mut db, world) = db_with_world();
+        let map = build_fire_map(&mut db, &world.spec.bbox).unwrap();
+        assert_eq!(map.layers.len(), 6);
+        assert!(map.layer("coastline").unwrap().features.len() == 1);
+        assert!(!map.layer("places").unwrap().features.is_empty());
+        assert!(!map.layer("landcover").unwrap().features.is_empty());
+        assert!(map.layer("hotspots").unwrap().features.is_empty()); // none published
+    }
+
+    #[test]
+    fn region_restricts_layers() {
+        let (mut db, world) = db_with_world();
+        let full = build_fire_map(&mut db, &world.spec.bbox).unwrap();
+        // A tiny corner region far from the landmass centre.
+        let corner = Envelope::new(world.spec.bbox.min, Coord::new(21.05, 36.05));
+        let small = build_fire_map(&mut db, &corner).unwrap();
+        assert!(small.num_features() < full.num_features());
+    }
+
+    #[test]
+    fn place_labels_resolved() {
+        let (mut db, world) = db_with_world();
+        let map = build_fire_map(&mut db, &world.spec.bbox).unwrap();
+        let places = map.layer("places").unwrap();
+        assert!(places.features.iter().any(|(_, l)| l.starts_with("City-")));
+    }
+
+    #[test]
+    fn hotspots_appear_after_publication() {
+        let (mut db, world) = db_with_world();
+        // Publish one hotspot at the window centre.
+        let center = world.spec.bbox.center();
+        db.insert(
+            &teleios_rdf::term::Term::iri("http://teleios.di.uoa.gr/products/p/hotspot/0"),
+            &teleios_rdf::term::Term::iri(teleios_rdf::vocab::rdf::TYPE),
+            &teleios_rdf::term::Term::iri(noa::HOTSPOT),
+        );
+        db.insert(
+            &teleios_rdf::term::Term::iri("http://teleios.di.uoa.gr/products/p/hotspot/0"),
+            &teleios_rdf::term::Term::iri(teleios_rdf::vocab::strdf::HAS_GEOMETRY),
+            &geometry_literal_wgs84(&Geometry::Point(teleios_geo::geometry::Point(center))),
+        );
+        let map = build_fire_map(&mut db, &world.spec.bbox).unwrap();
+        assert_eq!(map.layer("hotspots").unwrap().features.len(), 1);
+    }
+
+    #[test]
+    fn geojson_rendering_is_valid_json() {
+        let (mut db, world) = db_with_world();
+        let map = build_fire_map(&mut db, &world.spec.bbox).unwrap();
+        let geojson = map.to_geojson();
+        let parsed: serde_json::Value = serde_json::from_str(&geojson).unwrap();
+        assert_eq!(parsed["type"], "FeatureCollection");
+        let features = parsed["features"].as_array().unwrap();
+        assert_eq!(features.len(), map.num_features());
+        // Every feature has a geometry type and a layer property.
+        for f in features {
+            assert!(f["geometry"]["type"].is_string());
+            assert!(f["properties"]["layer"].is_string());
+        }
+    }
+
+    #[test]
+    fn geometry_to_geojson_shapes() {
+        use teleios_geo::wkt;
+        let cases = [
+            ("POINT (1 2)", "Point"),
+            ("LINESTRING (0 0, 1 1)", "LineString"),
+            ("POLYGON ((0 0, 1 0, 1 1, 0 0))", "Polygon"),
+            ("MULTIPOLYGON (((0 0, 1 0, 1 1, 0 0)))", "MultiPolygon"),
+            ("GEOMETRYCOLLECTION (POINT (1 2))", "GeometryCollection"),
+        ];
+        for (wkt_text, expect) in cases {
+            let g = wkt::parse(wkt_text).unwrap();
+            let j = geometry_to_geojson(&g);
+            assert_eq!(j["type"], expect, "for {wkt_text}");
+        }
+        // Polygon with a hole has two rings.
+        let d = wkt::parse("POLYGON ((0 0, 9 0, 9 9, 0 0), (1 1, 2 1, 2 2, 1 1))").unwrap();
+        let j = geometry_to_geojson(&d);
+        assert_eq!(j["coordinates"].as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn text_rendering_mentions_layers() {
+        let (mut db, world) = db_with_world();
+        let map = build_fire_map(&mut db, &world.spec.bbox).unwrap();
+        let text = map.to_text();
+        assert!(text.contains("layer places"));
+        assert!(text.contains("Fire map"));
+    }
+}

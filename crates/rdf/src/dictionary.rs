@@ -1,0 +1,104 @@
+//! Term dictionary: interning RDF terms to dense integer ids.
+//!
+//! Strabon stores dictionary-encoded triples in its relational backend;
+//! this mirrors that design. Ids are dense `u32`s so the triple indexes
+//! stay compact and comparisons are integer comparisons.
+
+use crate::term::Term;
+use std::collections::HashMap;
+
+/// Dense id of an interned term.
+pub type TermId = u32;
+
+/// Bidirectional Term ↔ id mapping.
+#[derive(Debug, Clone, Default)]
+pub struct Dictionary {
+    by_term: HashMap<Term, TermId>,
+    by_id: Vec<Term>,
+}
+
+impl Dictionary {
+    /// Empty dictionary.
+    pub fn new() -> Dictionary {
+        Dictionary::default()
+    }
+
+    /// Number of interned terms.
+    pub fn len(&self) -> usize {
+        self.by_id.len()
+    }
+
+    /// True when no terms are interned.
+    pub fn is_empty(&self) -> bool {
+        self.by_id.is_empty()
+    }
+
+    /// Intern a term, returning its id (idempotent).
+    pub fn intern(&mut self, term: &Term) -> TermId {
+        if let Some(&id) = self.by_term.get(term) {
+            return id;
+        }
+        let id = self.by_id.len() as TermId;
+        self.by_id.push(term.clone());
+        self.by_term.insert(term.clone(), id);
+        id
+    }
+
+    /// Look up an already-interned term.
+    pub fn id_of(&self, term: &Term) -> Option<TermId> {
+        self.by_term.get(term).copied()
+    }
+
+    /// Resolve an id back to its term. Panics on an unknown id, which
+    /// indicates a store invariant violation.
+    pub fn term(&self, id: TermId) -> &Term {
+        &self.by_id[id as usize]
+    }
+
+    /// Resolve an id, returning `None` when out of range.
+    pub fn get(&self, id: TermId) -> Option<&Term> {
+        self.by_id.get(id as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut d = Dictionary::new();
+        let a = d.intern(&Term::iri("http://x/a"));
+        let b = d.intern(&Term::iri("http://x/b"));
+        let a2 = d.intern(&Term::iri("http://x/a"));
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let mut d = Dictionary::new();
+        let t = Term::typed_literal("3.5", crate::vocab::xsd::DOUBLE);
+        let id = d.intern(&t);
+        assert_eq!(d.term(id), &t);
+        assert_eq!(d.id_of(&t), Some(id));
+    }
+
+    #[test]
+    fn distinct_literal_forms_distinct_ids() {
+        let mut d = Dictionary::new();
+        let plain = d.intern(&Term::literal("x"));
+        let typed = d.intern(&Term::typed_literal("x", crate::vocab::xsd::STRING));
+        let tagged = d.intern(&Term::lang_literal("x", "en"));
+        assert_ne!(plain, typed);
+        assert_ne!(plain, tagged);
+        assert_ne!(typed, tagged);
+    }
+
+    #[test]
+    fn get_out_of_range() {
+        let d = Dictionary::new();
+        assert!(d.get(0).is_none());
+    }
+}

@@ -1,0 +1,628 @@
+//! SciQL evaluator against a [`Catalog`].
+
+use crate::ast::*;
+use crate::parser::parse;
+use teleios_monet::array::{Dim, NdArray};
+use teleios_monet::{Catalog, DbError, Result};
+
+/// Result of executing a SciQL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SciqlResult {
+    /// DDL / UPDATE completed.
+    Done,
+    /// Scalar reduction result.
+    Scalar(f64),
+    /// Array-valued result (maps and tiled reductions).
+    Array(NdArray),
+}
+
+impl SciqlResult {
+    /// Unwrap a scalar; errors otherwise.
+    pub fn scalar(self) -> Result<f64> {
+        match self {
+            SciqlResult::Scalar(s) => Ok(s),
+            other => Err(DbError::Execution(format!("expected scalar result, got {other:?}"))),
+        }
+    }
+
+    /// Unwrap an array; errors otherwise.
+    pub fn array(self) -> Result<NdArray> {
+        match self {
+            SciqlResult::Array(a) => Ok(a),
+            other => Err(DbError::Execution(format!("expected array result, got {other:?}"))),
+        }
+    }
+}
+
+/// Parse and execute one SciQL statement against the catalog.
+pub fn execute(catalog: &Catalog, sciql: &str) -> Result<SciqlResult> {
+    execute_stmt(catalog, &parse(sciql)?)
+}
+
+/// Execute a parsed statement.
+pub fn execute_stmt(catalog: &Catalog, stmt: &SciqlStmt) -> Result<SciqlResult> {
+    match stmt {
+        SciqlStmt::CreateArray { name, dims, default, .. } => {
+            let dims: Vec<Dim> = dims.iter().map(|d| Dim::new(d.name.clone(), d.size)).collect();
+            catalog.create_array(name, NdArray::filled(dims, *default))?;
+            Ok(SciqlResult::Done)
+        }
+        SciqlStmt::DropArray { name } => {
+            catalog.drop_array(name)?;
+            Ok(SciqlResult::Done)
+        }
+        SciqlStmt::Map { array, slices, expr } => {
+            let a = catalog.array(array)?;
+            let (view, origin) = sliced_view(&a, slices)?;
+            Ok(SciqlResult::Array(map_array(&view, &origin, &a, expr)?))
+        }
+        SciqlStmt::Reduce { array, slices, agg, expr, condition } => {
+            let a = catalog.array(array)?;
+            let (view, origin) = sliced_view(&a, slices)?;
+            match condition {
+                None => {
+                    let mapped = map_array(&view, &origin, &a, expr)?;
+                    Ok(SciqlResult::Scalar(reduce(&mapped, *agg)))
+                }
+                Some(cond) => {
+                    // Aggregate only the cells satisfying the predicate.
+                    let values = collect_matching(&view, &origin, &a, expr, cond)?;
+                    Ok(SciqlResult::Scalar(reduce_values(&values, *agg)))
+                }
+            }
+        }
+        SciqlStmt::TileReduce { array, agg, expr, tile } => {
+            let a = catalog.array(array)?;
+            if tile.len() != a.ndim() {
+                return Err(DbError::ShapeMismatch(format!(
+                    "GROUP BY TILES rank {} != array rank {}",
+                    tile.len(),
+                    a.ndim()
+                )));
+            }
+            let origin = vec![0usize; a.ndim()];
+            let mapped = map_array(&a, &origin, &a, expr)?;
+            let tiles = mapped.tiles(tile)?;
+            let out_dims: Vec<Dim> = a
+                .dims()
+                .iter()
+                .zip(tile)
+                .map(|(d, &t)| Dim::new(d.name.clone(), d.size / t))
+                .collect();
+            let mut out = NdArray::zeros(out_dims);
+            for (tile_origin, t) in tiles {
+                let idx: Vec<usize> = tile_origin.iter().zip(tile).map(|(&o, &ts)| o / ts).collect();
+                out.set(&idx, reduce(&t, *agg))?;
+            }
+            Ok(SciqlResult::Array(out))
+        }
+        SciqlStmt::Update { array, slices, expr, condition } => {
+            let a = catalog.array(array)?;
+            let ranges = resolve_ranges(&a, slices)?;
+            let mut out = a.clone();
+            // Iterate the slice region in place.
+            let mut idx: Vec<usize> = ranges.iter().map(|(s, _)| *s).collect();
+            if ranges.iter().any(|(s, e)| s >= e) {
+                catalog.put_array(array, out);
+                return Ok(SciqlResult::Done);
+            }
+            loop {
+                let v = a.get(&idx).expect("in range");
+                let touch = match condition {
+                    None => true,
+                    Some(cond) => eval_cell(cond, v, &idx, &a)? != 0.0,
+                };
+                if touch {
+                    let nv = eval_cell(expr, v, &idx, &a)?;
+                    out.set(&idx, nv).expect("in range");
+                }
+                let mut k = idx.len();
+                loop {
+                    if k == 0 {
+                        catalog.put_array(array, out);
+                        return Ok(SciqlResult::Done);
+                    }
+                    k -= 1;
+                    idx[k] += 1;
+                    if idx[k] < ranges[k].1 {
+                        break;
+                    }
+                    idx[k] = ranges[k].0;
+                }
+            }
+        }
+    }
+}
+
+/// Resolve optional slices to concrete ranges (empty list = full array).
+fn resolve_ranges(a: &NdArray, slices: &[SliceRange]) -> Result<Vec<(usize, usize)>> {
+    if slices.is_empty() {
+        return Ok(a.dims().iter().map(|d| (0, d.size)).collect());
+    }
+    if slices.len() != a.ndim() {
+        return Err(DbError::ShapeMismatch(format!(
+            "slice rank {} != array rank {}",
+            slices.len(),
+            a.ndim()
+        )));
+    }
+    Ok(a.dims()
+        .iter()
+        .zip(slices)
+        .map(|(d, s)| match s {
+            None => (0, d.size),
+            Some((lo, hi)) => (*lo, *hi),
+        })
+        .collect())
+}
+
+/// Produce the sliced view plus the origin offset of the view in the
+/// source array (dimension variables refer to *source* coordinates).
+fn sliced_view(a: &NdArray, slices: &[SliceRange]) -> Result<(NdArray, Vec<usize>)> {
+    let ranges = resolve_ranges(a, slices)?;
+    let origin: Vec<usize> = ranges.iter().map(|(s, _)| *s).collect();
+    Ok((a.slice(&ranges)?, origin))
+}
+
+/// Element-wise evaluation of `expr` over `view`; `origin` maps view
+/// indices back to source coordinates for dimension variables.
+fn map_array(view: &NdArray, origin: &[usize], source: &NdArray, expr: &CellExpr) -> Result<NdArray> {
+    // Fast path: expressions not referencing dimension variables can use
+    // the flat data directly.
+    if !references_dims(expr, source) {
+        let mut out = view.clone();
+        for cell in out.data_mut() {
+            *cell = eval_cell(expr, *cell, &[], source)?;
+        }
+        return Ok(out);
+    }
+    let mut out = view.clone();
+    if view.is_empty() {
+        return Ok(out);
+    }
+    let shape = view.shape();
+    let mut idx = vec![0usize; shape.len()];
+    loop {
+        let src_idx: Vec<usize> = idx.iter().zip(origin).map(|(&i, &o)| i + o).collect();
+        let v = view.get(&idx).expect("in range");
+        out.set(&idx, eval_cell(expr, v, &src_idx, source)?).expect("in range");
+        let mut k = idx.len();
+        loop {
+            if k == 0 {
+                return Ok(out);
+            }
+            k -= 1;
+            idx[k] += 1;
+            if idx[k] < shape[k] {
+                break;
+            }
+            idx[k] = 0;
+        }
+    }
+}
+
+fn references_dims(expr: &CellExpr, a: &NdArray) -> bool {
+    match expr {
+        CellExpr::Number(_) => false,
+        CellExpr::Var(name) => a.dims().iter().any(|d| d.name.eq_ignore_ascii_case(name)),
+        CellExpr::Binary { left, right, .. } => {
+            references_dims(left, a) || references_dims(right, a)
+        }
+        CellExpr::Neg(e) => references_dims(e, a),
+        CellExpr::Case { arms, otherwise } => {
+            arms.iter()
+                .any(|(c, r)| references_dims(c, a) || references_dims(r, a))
+                || otherwise.as_ref().is_some_and(|e| references_dims(e, a))
+        }
+        CellExpr::Func { args, .. } => args.iter().any(|e| references_dims(e, a)),
+    }
+}
+
+/// Evaluate a cell expression. `v` is the cell value, `idx` the source
+/// coordinates (empty when the expression uses no dimension variables).
+fn eval_cell(expr: &CellExpr, v: f64, idx: &[usize], a: &NdArray) -> Result<f64> {
+    Ok(match expr {
+        CellExpr::Number(n) => *n,
+        CellExpr::Var(name) => {
+            if let Ok(d) = a.dim_index(name) {
+                if idx.is_empty() {
+                    return Err(DbError::Execution(format!(
+                        "dimension variable {name} not available here"
+                    )));
+                }
+                idx[d] as f64
+            } else {
+                // Any non-dimension variable is the cell value attribute.
+                v
+            }
+        }
+        CellExpr::Binary { op, left, right } => {
+            let l = eval_cell(left, v, idx, a)?;
+            let r = eval_cell(right, v, idx, a)?;
+            match op {
+                CellOp::Add => l + r,
+                CellOp::Sub => l - r,
+                CellOp::Mul => l * r,
+                CellOp::Div => l / r,
+                CellOp::Mod => l % r,
+                CellOp::Eq => bool_to_f64(l == r),
+                CellOp::Ne => bool_to_f64(l != r),
+                CellOp::Lt => bool_to_f64(l < r),
+                CellOp::Le => bool_to_f64(l <= r),
+                CellOp::Gt => bool_to_f64(l > r),
+                CellOp::Ge => bool_to_f64(l >= r),
+                CellOp::And => bool_to_f64(l != 0.0 && r != 0.0),
+                CellOp::Or => bool_to_f64(l != 0.0 || r != 0.0),
+            }
+        }
+        CellExpr::Neg(e) => -eval_cell(e, v, idx, a)?,
+        CellExpr::Case { arms, otherwise } => {
+            for (cond, result) in arms {
+                if eval_cell(cond, v, idx, a)? != 0.0 {
+                    return eval_cell(result, v, idx, a);
+                }
+            }
+            match otherwise {
+                Some(e) => eval_cell(e, v, idx, a)?,
+                None => 0.0,
+            }
+        }
+        CellExpr::Func { name, args } => {
+            let vals: Vec<f64> = args
+                .iter()
+                .map(|e| eval_cell(e, v, idx, a))
+                .collect::<Result<_>>()?;
+            let arity = |n: usize| -> Result<()> {
+                if vals.len() == n {
+                    Ok(())
+                } else {
+                    Err(DbError::Execution(format!(
+                        "{name} expects {n} argument(s), got {}",
+                        vals.len()
+                    )))
+                }
+            };
+            match name.as_str() {
+                "ABS" => {
+                    arity(1)?;
+                    vals[0].abs()
+                }
+                "SQRT" => {
+                    arity(1)?;
+                    vals[0].sqrt()
+                }
+                "EXP" => {
+                    arity(1)?;
+                    vals[0].exp()
+                }
+                "LN" => {
+                    arity(1)?;
+                    vals[0].ln()
+                }
+                "LOG10" => {
+                    arity(1)?;
+                    vals[0].log10()
+                }
+                "FLOOR" => {
+                    arity(1)?;
+                    vals[0].floor()
+                }
+                "CEIL" => {
+                    arity(1)?;
+                    vals[0].ceil()
+                }
+                "MIN" => {
+                    arity(2)?;
+                    vals[0].min(vals[1])
+                }
+                "MAX" => {
+                    arity(2)?;
+                    vals[0].max(vals[1])
+                }
+                "POW" => {
+                    arity(2)?;
+                    vals[0].powf(vals[1])
+                }
+                other => return Err(DbError::Execution(format!("unknown function: {other}"))),
+            }
+        }
+    })
+}
+
+#[inline]
+fn bool_to_f64(b: bool) -> f64 {
+    if b {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+/// Walk the view and collect `expr` values where `cond` holds.
+fn collect_matching(
+    view: &NdArray,
+    origin: &[usize],
+    source: &NdArray,
+    expr: &CellExpr,
+    cond: &CellExpr,
+) -> Result<Vec<f64>> {
+    let mut out = Vec::new();
+    if view.is_empty() {
+        return Ok(out);
+    }
+    let shape = view.shape();
+    let mut idx = vec![0usize; shape.len()];
+    loop {
+        let src_idx: Vec<usize> = idx.iter().zip(origin).map(|(&i, &o)| i + o).collect();
+        let v = view.get(&idx).expect("in range");
+        if eval_cell(cond, v, &src_idx, source)? != 0.0 {
+            out.push(eval_cell(expr, v, &src_idx, source)?);
+        }
+        let mut k = idx.len();
+        loop {
+            if k == 0 {
+                return Ok(out);
+            }
+            k -= 1;
+            idx[k] += 1;
+            if idx[k] < shape[k] {
+                break;
+            }
+            idx[k] = 0;
+        }
+    }
+}
+
+/// Reduce a flat value list (the WHERE-filtered aggregate path).
+fn reduce_values(vals: &[f64], agg: CellAgg) -> f64 {
+    match agg {
+        CellAgg::Sum => vals.iter().sum(),
+        CellAgg::Count => vals.len() as f64,
+        CellAgg::Avg => {
+            if vals.is_empty() {
+                f64::NAN
+            } else {
+                vals.iter().sum::<f64>() / vals.len() as f64
+            }
+        }
+        CellAgg::Min => vals.iter().copied().fold(f64::NAN, |a, b| if a.is_nan() { b } else { a.min(b) }),
+        CellAgg::Max => vals.iter().copied().fold(f64::NAN, |a, b| if a.is_nan() { b } else { a.max(b) }),
+        CellAgg::StdDev => {
+            if vals.is_empty() {
+                return f64::NAN;
+            }
+            let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+            (vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / vals.len() as f64).sqrt()
+        }
+    }
+}
+
+fn reduce(a: &NdArray, agg: CellAgg) -> f64 {
+    match agg {
+        CellAgg::Sum => a.sum(),
+        CellAgg::Avg => a.mean().unwrap_or(f64::NAN),
+        CellAgg::Min => a.min().unwrap_or(f64::NAN),
+        CellAgg::Max => a.max().unwrap_or(f64::NAN),
+        CellAgg::Count => a.len() as f64,
+        CellAgg::StdDev => a.std_dev().unwrap_or(f64::NAN),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> Catalog {
+        let cat = Catalog::new();
+        // 4x4 ramp 0..16.
+        let a = NdArray::matrix(4, 4, (0..16).map(|v| v as f64).collect()).unwrap();
+        cat.create_array("img", a).unwrap();
+        cat
+    }
+
+    #[test]
+    fn create_and_reduce() {
+        let cat = Catalog::new();
+        execute(
+            &cat,
+            "CREATE ARRAY a (y INT DIMENSION [3], x INT DIMENSION [3], v DOUBLE DEFAULT 2)",
+        )
+        .unwrap();
+        assert_eq!(execute(&cat, "SELECT SUM(v) FROM a").unwrap(), SciqlResult::Scalar(18.0));
+        assert_eq!(execute(&cat, "SELECT COUNT(*) FROM a").unwrap(), SciqlResult::Scalar(9.0));
+    }
+
+    #[test]
+    fn map_scales_values() {
+        let cat = setup();
+        let r = execute(&cat, "SELECT v * 2 FROM img").unwrap().array().unwrap();
+        assert_eq!(r.get(&[1, 1]).unwrap(), 10.0);
+        assert_eq!(r.shape(), vec![4, 4]);
+    }
+
+    #[test]
+    fn map_does_not_mutate_source() {
+        let cat = setup();
+        execute(&cat, "SELECT v * 2 FROM img").unwrap();
+        assert_eq!(cat.array("img").unwrap().get(&[1, 1]).unwrap(), 5.0);
+    }
+
+    #[test]
+    fn slicing_crops() {
+        let cat = setup();
+        let r = execute(&cat, "SELECT v FROM img[1..3, 1..3]").unwrap().array().unwrap();
+        assert_eq!(r.shape(), vec![2, 2]);
+        assert_eq!(r.data(), &[5.0, 6.0, 9.0, 10.0]);
+    }
+
+    #[test]
+    fn star_slice_keeps_dimension() {
+        let cat = setup();
+        let r = execute(&cat, "SELECT v FROM img[*, 0..1]").unwrap().array().unwrap();
+        assert_eq!(r.shape(), vec![4, 1]);
+        assert_eq!(r.data(), &[0.0, 4.0, 8.0, 12.0]);
+    }
+
+    #[test]
+    fn reduce_over_slice() {
+        let cat = setup();
+        let s = execute(&cat, "SELECT AVG(v) FROM img[0..2, 0..2]").unwrap().scalar().unwrap();
+        assert_eq!(s, (0.0 + 1.0 + 4.0 + 5.0) / 4.0);
+        let m = execute(&cat, "SELECT MAX(v) FROM img").unwrap().scalar().unwrap();
+        assert_eq!(m, 15.0);
+    }
+
+    #[test]
+    fn dimension_variables_in_expressions() {
+        let cat = setup();
+        // v = y * 4 + x on the ramp; so v - y*4 - x == 0 everywhere.
+        let s = execute(&cat, "SELECT SUM(ABS(v - y * 4 - x)) FROM img")
+            .unwrap()
+            .scalar()
+            .unwrap();
+        assert_eq!(s, 0.0);
+    }
+
+    #[test]
+    fn dimension_variables_respect_slice_origin() {
+        let cat = setup();
+        // Within the slice starting at (1,1), y/x are source coordinates.
+        let s = execute(&cat, "SELECT SUM(ABS(v - y * 4 - x)) FROM img[1..4, 1..4]")
+            .unwrap()
+            .scalar()
+            .unwrap();
+        assert_eq!(s, 0.0);
+    }
+
+    #[test]
+    fn tile_reduce_downsamples() {
+        let cat = setup();
+        let r = execute(&cat, "SELECT AVG(v) FROM img GROUP BY TILES [2, 2]")
+            .unwrap()
+            .array()
+            .unwrap();
+        assert_eq!(r.shape(), vec![2, 2]);
+        assert_eq!(r.get(&[0, 0]).unwrap(), 2.5);
+        assert_eq!(r.get(&[1, 1]).unwrap(), 12.5);
+    }
+
+    #[test]
+    fn tile_reduce_matches_ops_baseline() {
+        let cat = setup();
+        let via_sciql = execute(&cat, "SELECT AVG(v) FROM img GROUP BY TILES [2, 2]")
+            .unwrap()
+            .array()
+            .unwrap();
+        let via_ops = crate::ops::tile_mean(&cat.array("img").unwrap(), 2).unwrap();
+        assert_eq!(via_sciql, via_ops);
+    }
+
+    #[test]
+    fn update_classifies_in_place() {
+        let cat = setup();
+        execute(&cat, "UPDATE img SET v = CASE WHEN v > 7 THEN 1 ELSE 0 END").unwrap();
+        let a = cat.array("img").unwrap();
+        assert_eq!(a.sum(), 8.0); // values 8..15
+        assert_eq!(a.get(&[0, 0]).unwrap(), 0.0);
+        assert_eq!(a.get(&[3, 3]).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn update_slice_only() {
+        let cat = setup();
+        execute(&cat, "UPDATE img[0..1, *] SET v = 100").unwrap();
+        let a = cat.array("img").unwrap();
+        assert_eq!(a.get(&[0, 2]).unwrap(), 100.0);
+        assert_eq!(a.get(&[1, 2]).unwrap(), 6.0);
+    }
+
+    #[test]
+    fn update_matches_ops_classify() {
+        let cat = setup();
+        let expected = crate::ops::classify_threshold(&cat.array("img").unwrap(), 7.0);
+        execute(&cat, "UPDATE img SET v = CASE WHEN v > 7 THEN 1 ELSE 0 END").unwrap();
+        assert_eq!(cat.array("img").unwrap(), expected);
+    }
+
+    #[test]
+    fn drop_array_removes() {
+        let cat = setup();
+        execute(&cat, "DROP ARRAY img").unwrap();
+        assert!(execute(&cat, "SELECT SUM(v) FROM img").is_err());
+    }
+
+    #[test]
+    fn errors_propagate() {
+        let cat = setup();
+        assert!(execute(&cat, "SELECT v FROM missing").is_err());
+        assert!(execute(&cat, "SELECT v FROM img[0..9, 0..9]").is_err()); // out of bounds
+        assert!(execute(&cat, "SELECT NOPE(v) FROM img").is_err());
+        assert!(execute(&cat, "SELECT MAX(v, 1, 2) FROM img").is_err());
+    }
+
+    #[test]
+    fn stddev_reduction() {
+        let cat = Catalog::new();
+        let a = NdArray::matrix(1, 4, vec![2.0, 4.0, 4.0, 6.0]).unwrap();
+        cat.create_array("s", a).unwrap();
+        let sd = execute(&cat, "SELECT STDDEV(v) FROM s").unwrap().scalar().unwrap();
+        assert!((sd - 2f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reduce_with_where_filters_cells() {
+        let cat = setup();
+        // Mean of cells above 7 on the 0..16 ramp: (8..=15) avg = 11.5.
+        let s = execute(&cat, "SELECT AVG(v) FROM img WHERE v > 7").unwrap().scalar().unwrap();
+        assert_eq!(s, 11.5);
+        let n = execute(&cat, "SELECT COUNT(*) FROM img WHERE v > 7").unwrap().scalar().unwrap();
+        assert_eq!(n, 8.0);
+        // WHERE with dimension variables.
+        let left = execute(&cat, "SELECT SUM(v) FROM img WHERE x < 2").unwrap().scalar().unwrap();
+        assert_eq!(left, (1 + 4 + 5 + 8 + 9 + 12 + 13) as f64);
+    }
+
+    #[test]
+    fn reduce_with_where_empty_match() {
+        let cat = setup();
+        let s = execute(&cat, "SELECT SUM(v) FROM img WHERE v > 1000").unwrap().scalar().unwrap();
+        assert_eq!(s, 0.0);
+        let avg = execute(&cat, "SELECT AVG(v) FROM img WHERE v > 1000").unwrap().scalar().unwrap();
+        assert!(avg.is_nan());
+    }
+
+    #[test]
+    fn update_with_where_touches_matching_only() {
+        let cat = setup();
+        execute(&cat, "UPDATE img SET v = 0 WHERE v > 7").unwrap();
+        let a = cat.array("img").unwrap();
+        assert_eq!(a.sum(), (0..8).sum::<usize>() as f64);
+        assert_eq!(a.get(&[0, 3]).unwrap(), 3.0); // untouched
+        assert_eq!(a.get(&[3, 3]).unwrap(), 0.0); // zeroed
+    }
+
+    #[test]
+    fn update_where_equivalent_to_case() {
+        let cat = setup();
+        let cat2 = setup();
+        execute(&cat, "UPDATE img SET v = 1 WHERE v > 7").unwrap();
+        execute(&cat2, "UPDATE img SET v = CASE WHEN v > 7 THEN 1 ELSE v END").unwrap();
+        assert_eq!(cat.array("img").unwrap(), cat2.array("img").unwrap());
+    }
+
+    #[test]
+    fn where_with_tiles_rejected() {
+        let cat = setup();
+        assert!(execute(&cat, "SELECT AVG(v) FROM img WHERE v > 1 GROUP BY TILES [2, 2]").is_err());
+    }
+
+    #[test]
+    fn logic_operators() {
+        let cat = setup();
+        let s = execute(&cat, "SELECT SUM(CASE WHEN v > 3 AND v < 8 THEN 1 ELSE 0 END) FROM img")
+            .unwrap()
+            .scalar()
+            .unwrap();
+        assert_eq!(s, 4.0); // 4,5,6,7
+    }
+}

@@ -1,0 +1,553 @@
+//! SciQL parser, built on the `teleios-monet` SQL lexer.
+
+use crate::ast::*;
+use teleios_monet::sql::lexer::{tokenize, Symbol, Token, TokenKind};
+use teleios_monet::{DbError, Result};
+
+/// Parse one SciQL statement.
+///
+/// Canonical SciQL writes dimension extents and slices in square
+/// brackets (`DIMENSION [512]`, `img[0..10, *]`); the shared SQL lexer
+/// has no bracket tokens, so brackets are translated to parentheses
+/// before tokenizing. Both spellings are accepted.
+pub fn parse(input: &str) -> Result<SciqlStmt> {
+    // `lo..hi` ranges are rewritten to `lo TO hi` before tokenizing: the
+    // shared lexer would otherwise glue the dots onto the numbers. SciQL
+    // statements contain no string literals, so the rewrite is safe.
+    let input = input.replace('[', "(").replace(']', ")").replace("..", " TO ");
+    let tokens = tokenize(&input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = p.statement()?;
+    p.accept_symbol(Symbol::Semicolon);
+    if p.peek() != &TokenKind::Eof {
+        return Err(p.err("unexpected trailing input"));
+    }
+    Ok(stmt)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn advance(&mut self) -> TokenKind {
+        let t = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, msg: impl Into<String>) -> DbError {
+        DbError::Parse { position: self.tokens[self.pos].pos, message: msg.into() }
+    }
+
+    fn accept_kw(&mut self, kw: &str) -> bool {
+        if let TokenKind::Ident(s) = self.peek() {
+            if s.eq_ignore_ascii_case(kw) {
+                self.advance();
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.accept_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {kw}")))
+        }
+    }
+
+    fn peek_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), TokenKind::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn accept_symbol(&mut self, sym: Symbol) -> bool {
+        if self.peek() == &TokenKind::Symbol(sym) {
+            self.advance();
+            return true;
+        }
+        false
+    }
+
+    fn expect_symbol(&mut self, sym: Symbol) -> Result<()> {
+        if self.accept_symbol(sym) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {sym:?}")))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.advance() {
+            TokenKind::Ident(s) => Ok(s),
+            other => Err(self.err(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn usize_lit(&mut self) -> Result<usize> {
+        match self.advance() {
+            TokenKind::Int(n) if n >= 0 => Ok(n as usize),
+            other => Err(self.err(format!("expected non-negative integer, found {other:?}"))),
+        }
+    }
+
+    fn statement(&mut self) -> Result<SciqlStmt> {
+        if self.accept_kw("CREATE") {
+            self.expect_kw("ARRAY")?;
+            let name = self.ident()?;
+            self.expect_symbol(Symbol::LParen)?;
+            let mut dims = Vec::new();
+            let mut value_name = String::from("v");
+            let mut default = 0.0;
+            loop {
+                let attr = self.ident()?;
+                let ty = self.ident()?; // INT / DOUBLE / FLOAT ...
+                if self.accept_kw("DIMENSION") {
+                    // `[n]` extent.
+                    if !matches!(self.peek(), TokenKind::Symbol(_)) {
+                        return Err(self.err("expected [extent] after DIMENSION"));
+                    }
+                    self.expect_bracket_open()?;
+                    let size = self.usize_lit()?;
+                    self.expect_bracket_close()?;
+                    dims.push(DimDecl { name: attr, size });
+                } else {
+                    // Value attribute.
+                    let _ = ty; // type is always f64 storage
+                    value_name = attr;
+                    if self.accept_kw("DEFAULT") {
+                        default = self.number()?;
+                    }
+                }
+                if !self.accept_symbol(Symbol::Comma) {
+                    break;
+                }
+            }
+            self.expect_symbol(Symbol::RParen)?;
+            if dims.is_empty() {
+                return Err(self.err("array needs at least one DIMENSION attribute"));
+            }
+            return Ok(SciqlStmt::CreateArray { name, dims, value_name, default });
+        }
+        if self.accept_kw("DROP") {
+            self.expect_kw("ARRAY")?;
+            let name = self.ident()?;
+            return Ok(SciqlStmt::DropArray { name });
+        }
+        if self.accept_kw("UPDATE") {
+            let array = self.ident()?;
+            let slices = self.optional_slices()?;
+            self.expect_kw("SET")?;
+            let _target = self.ident()?; // value attribute name
+            self.expect_symbol(Symbol::Eq)?;
+            let expr = self.cell_expr()?;
+            let condition = if self.accept_kw("WHERE") {
+                Some(self.cell_expr()?)
+            } else {
+                None
+            };
+            return Ok(SciqlStmt::Update { array, slices, expr, condition });
+        }
+        if self.accept_kw("SELECT") {
+            // Aggregate or plain expression?
+            let save = self.pos;
+            if let TokenKind::Ident(name) = self.peek().clone() {
+                if let Some(agg) = CellAgg::parse(&name) {
+                    if self.tokens.get(self.pos + 1).map(|t| &t.kind)
+                        == Some(&TokenKind::Symbol(Symbol::LParen))
+                    {
+                        self.advance();
+                        self.advance();
+                        let expr = if self.accept_symbol(Symbol::Star) {
+                            CellExpr::Number(1.0)
+                        } else {
+                            self.cell_expr()?
+                        };
+                        self.expect_symbol(Symbol::RParen)?;
+                        self.expect_kw("FROM")?;
+                        let array = self.ident()?;
+                        let slices = self.optional_slices()?;
+                        let condition = if self.accept_kw("WHERE") {
+                            Some(self.cell_expr()?)
+                        } else {
+                            None
+                        };
+                        if self.accept_kw("GROUP") {
+                            self.expect_kw("BY")?;
+                            self.expect_kw("TILES")?;
+                            self.expect_bracket_open()?;
+                            let mut tile = vec![self.usize_lit()?];
+                            while self.accept_symbol(Symbol::Comma) {
+                                tile.push(self.usize_lit()?);
+                            }
+                            self.expect_bracket_close()?;
+                            if slices.iter().any(Option::is_some) {
+                                return Err(
+                                    self.err("slicing cannot be combined with GROUP BY TILES")
+                                );
+                            }
+                            if condition.is_some() {
+                                return Err(
+                                    self.err("WHERE cannot be combined with GROUP BY TILES")
+                                );
+                            }
+                            return Ok(SciqlStmt::TileReduce { array, agg, expr, tile });
+                        }
+                        return Ok(SciqlStmt::Reduce { array, slices, agg, expr, condition });
+                    }
+                }
+            }
+            self.pos = save;
+            let expr = self.cell_expr()?;
+            self.expect_kw("FROM")?;
+            let array = self.ident()?;
+            let slices = self.optional_slices()?;
+            return Ok(SciqlStmt::Map { array, slices, expr });
+        }
+        Err(self.err("expected CREATE, DROP, SELECT or UPDATE"))
+    }
+
+    fn expect_bracket_open(&mut self) -> Result<()> {
+        self.expect_symbol(Symbol::LParen)
+    }
+
+    fn expect_bracket_close(&mut self) -> Result<()> {
+        self.expect_symbol(Symbol::RParen)
+    }
+
+    /// Optional `[lo..hi, *, ...]` slice list after an array name.
+    /// `*` means "full extent" for that dimension.
+    fn optional_slices(&mut self) -> Result<Vec<SliceRange>> {
+        if !self.accept_symbol(Symbol::LParen) {
+            return Ok(Vec::new());
+        }
+        let mut out = Vec::new();
+        loop {
+            if self.accept_symbol(Symbol::Star) {
+                out.push(None);
+            } else {
+                let (lo, hi) = self.slice_bounds()?;
+                if hi < lo {
+                    return Err(self.err(format!("empty slice {lo}..{hi}")));
+                }
+                out.push(Some((lo, hi)));
+            }
+            if !self.accept_symbol(Symbol::Comma) {
+                break;
+            }
+        }
+        self.expect_symbol(Symbol::RParen)?;
+        Ok(out)
+    }
+
+    /// Parse `lo..hi` (pre-translated to `lo TO hi` by [`parse`]).
+    fn slice_bounds(&mut self) -> Result<(usize, usize)> {
+        let lo = self.usize_lit()?;
+        self.expect_kw("TO")?;
+        let hi = self.usize_lit()?;
+        Ok((lo, hi))
+    }
+
+    fn number(&mut self) -> Result<f64> {
+        let neg = self.accept_symbol(Symbol::Minus);
+        let v = match self.advance() {
+            TokenKind::Int(i) => i as f64,
+            TokenKind::Float(f) => f,
+            other => return Err(self.err(format!("expected number, found {other:?}"))),
+        };
+        Ok(if neg { -v } else { v })
+    }
+
+    // Expression grammar: OR > AND > comparison > additive > term.
+    fn cell_expr(&mut self) -> Result<CellExpr> {
+        let mut left = self.and_expr()?;
+        while self.accept_kw("OR") {
+            let right = self.and_expr()?;
+            left = CellExpr::Binary { op: CellOp::Or, left: Box::new(left), right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<CellExpr> {
+        let mut left = self.cmp_expr()?;
+        while self.accept_kw("AND") {
+            let right = self.cmp_expr()?;
+            left = CellExpr::Binary { op: CellOp::And, left: Box::new(left), right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn cmp_expr(&mut self) -> Result<CellExpr> {
+        let left = self.add_expr()?;
+        let op = match self.peek() {
+            TokenKind::Symbol(Symbol::Eq) => Some(CellOp::Eq),
+            TokenKind::Symbol(Symbol::Ne) => Some(CellOp::Ne),
+            TokenKind::Symbol(Symbol::Lt) => Some(CellOp::Lt),
+            TokenKind::Symbol(Symbol::Le) => Some(CellOp::Le),
+            TokenKind::Symbol(Symbol::Gt) => Some(CellOp::Gt),
+            TokenKind::Symbol(Symbol::Ge) => Some(CellOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.advance();
+            let right = self.add_expr()?;
+            return Ok(CellExpr::Binary { op, left: Box::new(left), right: Box::new(right) });
+        }
+        Ok(left)
+    }
+
+    fn add_expr(&mut self) -> Result<CellExpr> {
+        let mut left = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Symbol(Symbol::Plus) => CellOp::Add,
+                TokenKind::Symbol(Symbol::Minus) => CellOp::Sub,
+                _ => break,
+            };
+            self.advance();
+            let right = self.mul_expr()?;
+            left = CellExpr::Binary { op, left: Box::new(left), right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn mul_expr(&mut self) -> Result<CellExpr> {
+        let mut left = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Symbol(Symbol::Star) => CellOp::Mul,
+                TokenKind::Symbol(Symbol::Slash) => CellOp::Div,
+                TokenKind::Symbol(Symbol::Percent) => CellOp::Mod,
+                _ => break,
+            };
+            self.advance();
+            let right = self.unary_expr()?;
+            left = CellExpr::Binary { op, left: Box::new(left), right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn unary_expr(&mut self) -> Result<CellExpr> {
+        if self.accept_symbol(Symbol::Minus) {
+            return Ok(CellExpr::Neg(Box::new(self.unary_expr()?)));
+        }
+        if self.accept_symbol(Symbol::Plus) {
+            return self.unary_expr();
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<CellExpr> {
+        if self.peek_kw("CASE") {
+            self.advance();
+            let mut arms = Vec::new();
+            while self.accept_kw("WHEN") {
+                let cond = self.cell_expr()?;
+                self.expect_kw("THEN")?;
+                let result = self.cell_expr()?;
+                arms.push((cond, result));
+            }
+            if arms.is_empty() {
+                return Err(self.err("CASE needs at least one WHEN arm"));
+            }
+            let otherwise = if self.accept_kw("ELSE") {
+                Some(Box::new(self.cell_expr()?))
+            } else {
+                None
+            };
+            self.expect_kw("END")?;
+            return Ok(CellExpr::Case { arms, otherwise });
+        }
+        match self.advance() {
+            TokenKind::Int(i) => Ok(CellExpr::Number(i as f64)),
+            TokenKind::Float(f) => Ok(CellExpr::Number(f)),
+            TokenKind::Symbol(Symbol::LParen) => {
+                let e = self.cell_expr()?;
+                self.expect_symbol(Symbol::RParen)?;
+                Ok(e)
+            }
+            TokenKind::Ident(name) => {
+                if self.peek() == &TokenKind::Symbol(Symbol::LParen) {
+                    self.advance();
+                    let mut args = Vec::new();
+                    if self.peek() != &TokenKind::Symbol(Symbol::RParen) {
+                        args.push(self.cell_expr()?);
+                        while self.accept_symbol(Symbol::Comma) {
+                            args.push(self.cell_expr()?);
+                        }
+                    }
+                    self.expect_symbol(Symbol::RParen)?;
+                    return Ok(CellExpr::Func { name: name.to_ascii_uppercase(), args });
+                }
+                Ok(CellExpr::Var(name))
+            }
+            other => Err(self.err(format!("unexpected token {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_array() {
+        let s = parse(
+            "CREATE ARRAY img (y INT DIMENSION (512), x INT DIMENSION (256), v DOUBLE DEFAULT 0.5)",
+        )
+        .unwrap();
+        match s {
+            SciqlStmt::CreateArray { name, dims, value_name, default } => {
+                assert_eq!(name, "img");
+                assert_eq!(dims.len(), 2);
+                assert_eq!(dims[0].size, 512);
+                assert_eq!(dims[1].name, "x");
+                assert_eq!(value_name, "v");
+                assert_eq!(default, 0.5);
+            }
+            other => panic!("wrong: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn create_requires_dimension() {
+        assert!(parse("CREATE ARRAY a (v DOUBLE)").is_err());
+    }
+
+    #[test]
+    fn select_map() {
+        let s = parse("SELECT v * 2 + 1 FROM img").unwrap();
+        assert!(matches!(s, SciqlStmt::Map { ref array, ref slices, .. } if array == "img" && slices.is_empty()));
+    }
+
+    #[test]
+    fn select_map_with_slice() {
+        let s = parse("SELECT v FROM img(0..10, 5..20)").unwrap();
+        match s {
+            SciqlStmt::Map { slices, .. } => {
+                assert_eq!(slices, vec![Some((0, 10)), Some((5, 20))]);
+            }
+            other => panic!("wrong: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn select_map_star_slice() {
+        let s = parse("SELECT v FROM img(*, 5..20)").unwrap();
+        match s {
+            SciqlStmt::Map { slices, .. } => {
+                assert_eq!(slices, vec![None, Some((5, 20))]);
+            }
+            other => panic!("wrong: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn select_reduce() {
+        let s = parse("SELECT AVG(v) FROM img(0..4, 0..4)").unwrap();
+        assert!(matches!(s, SciqlStmt::Reduce { agg: CellAgg::Avg, .. }));
+        let s2 = parse("SELECT COUNT(*) FROM img").unwrap();
+        assert!(matches!(s2, SciqlStmt::Reduce { agg: CellAgg::Count, .. }));
+    }
+
+    #[test]
+    fn select_tile_reduce() {
+        let s = parse("SELECT MAX(v) FROM img GROUP BY TILES (16, 16)").unwrap();
+        match s {
+            SciqlStmt::TileReduce { agg, tile, .. } => {
+                assert_eq!(agg, CellAgg::Max);
+                assert_eq!(tile, vec![16, 16]);
+            }
+            other => panic!("wrong: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tiles_with_slice_rejected() {
+        assert!(parse("SELECT MAX(v) FROM img(0..2, 0..2) GROUP BY TILES (2, 2)").is_err());
+    }
+
+    #[test]
+    fn update_with_case() {
+        let s = parse("UPDATE img SET v = CASE WHEN v > 310 THEN 1 ELSE 0 END").unwrap();
+        match s {
+            SciqlStmt::Update { expr: CellExpr::Case { arms, otherwise }, .. } => {
+                assert_eq!(arms.len(), 1);
+                assert!(otherwise.is_some());
+            }
+            other => panic!("wrong: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn update_slice() {
+        let s = parse("UPDATE img(0..5, *) SET v = v / 2").unwrap();
+        assert!(matches!(s, SciqlStmt::Update { ref slices, .. } if slices.len() == 2));
+    }
+
+    #[test]
+    fn drop_array() {
+        assert!(matches!(parse("DROP ARRAY img").unwrap(), SciqlStmt::DropArray { .. }));
+    }
+
+    #[test]
+    fn functions_and_vars() {
+        let s = parse("SELECT SQRT(ABS(v - 300)) + x * 0.1 FROM img").unwrap();
+        assert!(matches!(s, SciqlStmt::Map { .. }));
+    }
+
+    #[test]
+    fn empty_slice_rejected() {
+        assert!(parse("SELECT v FROM img(5..2)").is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(parse("SELECT v FROM img img2").is_err());
+    }
+
+    #[test]
+    fn reduce_with_where() {
+        let s = parse("SELECT AVG(v) FROM img WHERE v > 318").unwrap();
+        match s {
+            SciqlStmt::Reduce { condition: Some(_), agg: CellAgg::Avg, .. } => {}
+            other => panic!("wrong: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn update_with_where() {
+        let s = parse("UPDATE img SET v = 0 WHERE v > 318 AND x < 4").unwrap();
+        match s {
+            SciqlStmt::Update { condition: Some(CellExpr::Binary { op: CellOp::And, .. }), .. } => {}
+            other => panic!("wrong: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn where_after_slice() {
+        let s = parse("SELECT SUM(v) FROM img[0..4, *] WHERE v > 0").unwrap();
+        match s {
+            SciqlStmt::Reduce { slices, condition: Some(_), .. } => assert_eq!(slices.len(), 2),
+            other => panic!("wrong: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn case_multiple_arms() {
+        let s =
+            parse("SELECT CASE WHEN v > 320 THEN 2 WHEN v > 310 THEN 1 ELSE 0 END FROM img").unwrap();
+        match s {
+            SciqlStmt::Map { expr: CellExpr::Case { arms, .. }, .. } => assert_eq!(arms.len(), 2),
+            other => panic!("wrong: {other:?}"),
+        }
+    }
+}

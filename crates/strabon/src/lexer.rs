@@ -1,0 +1,489 @@
+//! stSPARQL lexer.
+
+use crate::StrabonError;
+
+/// A token with its byte position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Kind and payload.
+    pub kind: Tok,
+    /// Byte offset.
+    pub pos: usize,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// `?name` or `$name`.
+    Var(String),
+    /// `<iri>`.
+    Iri(String),
+    /// `prefix:local` (possibly empty prefix).
+    PName(String, String),
+    /// Bare word (keywords, `a`, `true`, `false`).
+    Word(String),
+    /// String literal body (unescaped).
+    Str(String),
+    /// Integer literal.
+    Int(i64),
+    /// Decimal/double literal.
+    Num(f64),
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `.`
+    Dot,
+    /// `;`
+    Semicolon,
+    /// `,`
+    Comma,
+    /// `^^`
+    DtSep,
+    /// `@lang`
+    LangTag(String),
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Bang,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// End of input.
+    Eof,
+}
+
+/// Tokenize stSPARQL text.
+pub fn tokenize(input: &str) -> Result<Vec<Token>, StrabonError> {
+    let b = input.as_bytes();
+    let mut pos = 0usize;
+    let mut out = Vec::new();
+    while pos < b.len() {
+        let c = b[pos];
+        if c.is_ascii_whitespace() {
+            pos += 1;
+            continue;
+        }
+        if c == b'#' {
+            while pos < b.len() && b[pos] != b'\n' {
+                pos += 1;
+            }
+            continue;
+        }
+        let start = pos;
+        match c {
+            b'?' | b'$' => {
+                pos += 1;
+                let s = take_while(b, &mut pos, |c| c.is_ascii_alphanumeric() || c == b'_');
+                if s.is_empty() {
+                    return Err(err(start, "empty variable name"));
+                }
+                out.push(Token { kind: Tok::Var(String::from_utf8_lossy(s).into_owned()), pos: start });
+            }
+            b'<' => {
+                // IRI when a '>' appears before any whitespace; else `<`/`<=`.
+                let mut j = pos + 1;
+                let mut is_iri = false;
+                while j < b.len() {
+                    match b[j] {
+                        b'>' => {
+                            is_iri = true;
+                            break;
+                        }
+                        x if x.is_ascii_whitespace() => break,
+                        b'<' => break,
+                        _ => j += 1,
+                    }
+                }
+                if is_iri && j > pos + 1 {
+                    let iri = String::from_utf8_lossy(&b[pos + 1..j]).into_owned();
+                    pos = j + 1;
+                    out.push(Token { kind: Tok::Iri(iri), pos: start });
+                } else if b.get(pos + 1) == Some(&b'=') {
+                    pos += 2;
+                    out.push(Token { kind: Tok::Le, pos: start });
+                } else {
+                    pos += 1;
+                    out.push(Token { kind: Tok::Lt, pos: start });
+                }
+            }
+            b'"' => {
+                pos += 1;
+                let mut s = String::new();
+                loop {
+                    match b.get(pos) {
+                        None => return Err(err(start, "unterminated string")),
+                        Some(b'"') => {
+                            pos += 1;
+                            break;
+                        }
+                        Some(b'\\') => {
+                            pos += 1;
+                            match b.get(pos) {
+                                Some(b'n') => s.push('\n'),
+                                Some(b't') => s.push('\t'),
+                                Some(b'r') => s.push('\r'),
+                                Some(b'"') => s.push('"'),
+                                Some(b'\\') => s.push('\\'),
+                                other => {
+                                    return Err(err(
+                                        pos,
+                                        format!("unknown escape {other:?}"),
+                                    ))
+                                }
+                            }
+                            pos += 1;
+                        }
+                        Some(_) => {
+                            let ch_len = input[pos..].chars().next().map_or(1, char::len_utf8);
+                            s.push_str(&input[pos..pos + ch_len]);
+                            pos += ch_len;
+                        }
+                    }
+                }
+                out.push(Token { kind: Tok::Str(s), pos: start });
+            }
+            b'@' => {
+                pos += 1;
+                let s = take_while(b, &mut pos, |c| c.is_ascii_alphanumeric() || c == b'-');
+                if s.is_empty() {
+                    return Err(err(start, "empty language tag"));
+                }
+                out.push(Token {
+                    kind: Tok::LangTag(String::from_utf8_lossy(s).into_owned()),
+                    pos: start,
+                });
+            }
+            b'^' => {
+                if b.get(pos + 1) == Some(&b'^') {
+                    pos += 2;
+                    out.push(Token { kind: Tok::DtSep, pos: start });
+                } else {
+                    return Err(err(pos, "expected '^^'"));
+                }
+            }
+            b'0'..=b'9' => {
+                let (tok, np) = lex_number(input, pos)?;
+                pos = np;
+                out.push(Token { kind: tok, pos: start });
+            }
+            b'.' => {
+                // Decimal like `.5` or statement dot.
+                if b.get(pos + 1).is_some_and(u8::is_ascii_digit) {
+                    let (tok, np) = lex_number(input, pos)?;
+                    pos = np;
+                    out.push(Token { kind: tok, pos: start });
+                } else {
+                    pos += 1;
+                    out.push(Token { kind: Tok::Dot, pos: start });
+                }
+            }
+            b'{' => {
+                pos += 1;
+                out.push(Token { kind: Tok::LBrace, pos: start });
+            }
+            b'}' => {
+                pos += 1;
+                out.push(Token { kind: Tok::RBrace, pos: start });
+            }
+            b'(' => {
+                pos += 1;
+                out.push(Token { kind: Tok::LParen, pos: start });
+            }
+            b')' => {
+                pos += 1;
+                out.push(Token { kind: Tok::RParen, pos: start });
+            }
+            b';' => {
+                pos += 1;
+                out.push(Token { kind: Tok::Semicolon, pos: start });
+            }
+            b',' => {
+                pos += 1;
+                out.push(Token { kind: Tok::Comma, pos: start });
+            }
+            b'=' => {
+                pos += 1;
+                out.push(Token { kind: Tok::Eq, pos: start });
+            }
+            b'!' => {
+                if b.get(pos + 1) == Some(&b'=') {
+                    pos += 2;
+                    out.push(Token { kind: Tok::Ne, pos: start });
+                } else {
+                    pos += 1;
+                    out.push(Token { kind: Tok::Bang, pos: start });
+                }
+            }
+            b'>' => {
+                if b.get(pos + 1) == Some(&b'=') {
+                    pos += 2;
+                    out.push(Token { kind: Tok::Ge, pos: start });
+                } else {
+                    pos += 1;
+                    out.push(Token { kind: Tok::Gt, pos: start });
+                }
+            }
+            b'&' => {
+                if b.get(pos + 1) == Some(&b'&') {
+                    pos += 2;
+                    out.push(Token { kind: Tok::AndAnd, pos: start });
+                } else {
+                    return Err(err(pos, "expected '&&'"));
+                }
+            }
+            b'|' => {
+                if b.get(pos + 1) == Some(&b'|') {
+                    pos += 2;
+                    out.push(Token { kind: Tok::OrOr, pos: start });
+                } else {
+                    return Err(err(pos, "expected '||'"));
+                }
+            }
+            b'+' => {
+                pos += 1;
+                out.push(Token { kind: Tok::Plus, pos: start });
+            }
+            b'-' => {
+                pos += 1;
+                out.push(Token { kind: Tok::Minus, pos: start });
+            }
+            b'*' => {
+                pos += 1;
+                out.push(Token { kind: Tok::Star, pos: start });
+            }
+            b'/' => {
+                pos += 1;
+                out.push(Token { kind: Tok::Slash, pos: start });
+            }
+            _ if c.is_ascii_alphabetic() || c == b'_' => {
+                let word = take_while(b, &mut pos, |c| {
+                    c.is_ascii_alphanumeric() || c == b'_' || c == b'-' || c == b'.'
+                });
+                let mut word = String::from_utf8_lossy(word).into_owned();
+                // A trailing '.' belongs to the statement, not the word.
+                while word.ends_with('.') {
+                    word.pop();
+                    pos -= 1;
+                }
+                // Prefixed name?
+                if b.get(pos) == Some(&b':') {
+                    pos += 1;
+                    let local = take_while(b, &mut pos, |c| {
+                        c.is_ascii_alphanumeric() || c == b'_' || c == b'-' || c == b'.' || c == b'%'
+                    });
+                    let mut local = String::from_utf8_lossy(local).into_owned();
+                    while local.ends_with('.') {
+                        local.pop();
+                        pos -= 1;
+                    }
+                    out.push(Token { kind: Tok::PName(word, local), pos: start });
+                } else {
+                    out.push(Token { kind: Tok::Word(word), pos: start });
+                }
+            }
+            b':' => {
+                // Empty-prefix prefixed name `:local`.
+                pos += 1;
+                let local = take_while(b, &mut pos, |c| {
+                    c.is_ascii_alphanumeric() || c == b'_' || c == b'-' || c == b'.' || c == b'%'
+                });
+                let mut local = String::from_utf8_lossy(local).into_owned();
+                while local.ends_with('.') {
+                    local.pop();
+                    pos -= 1;
+                }
+                out.push(Token { kind: Tok::PName(String::new(), local), pos: start });
+            }
+            other => {
+                return Err(err(pos, format!("unexpected character '{}'", other as char)));
+            }
+        }
+    }
+    out.push(Token { kind: Tok::Eof, pos: input.len() });
+    Ok(out)
+}
+
+fn take_while<'a>(b: &'a [u8], pos: &mut usize, f: impl Fn(u8) -> bool) -> &'a [u8] {
+    let start = *pos;
+    while *pos < b.len() && f(b[*pos]) {
+        *pos += 1;
+    }
+    &b[start..*pos]
+}
+
+fn lex_number(input: &str, start: usize) -> Result<(Tok, usize), StrabonError> {
+    let b = input.as_bytes();
+    let mut pos = start;
+    let mut is_float = false;
+    while pos < b.len() {
+        match b[pos] {
+            b'0'..=b'9' => pos += 1,
+            b'.' if !is_float && b.get(pos + 1).is_some_and(u8::is_ascii_digit) => {
+                is_float = true;
+                pos += 1;
+            }
+            b'e' | b'E' => {
+                is_float = true;
+                pos += 1;
+                if matches!(b.get(pos), Some(b'+') | Some(b'-')) {
+                    pos += 1;
+                }
+            }
+            _ => break,
+        }
+    }
+    let text = &input[start..pos];
+    let tok = if is_float {
+        Tok::Num(text.parse().map_err(|e| err(start, format!("bad number: {e}")))?)
+    } else {
+        Tok::Int(text.parse().map_err(|e| err(start, format!("bad number: {e}")))?)
+    };
+    Ok((tok, pos))
+}
+
+fn err(pos: usize, msg: impl Into<String>) -> StrabonError {
+    StrabonError::Parse { position: pos, message: msg.into() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(s: &str) -> Vec<Tok> {
+        tokenize(s).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn variables_and_words() {
+        assert_eq!(
+            kinds("SELECT ?x $y WHERE"),
+            vec![
+                Tok::Word("SELECT".into()),
+                Tok::Var("x".into()),
+                Tok::Var("y".into()),
+                Tok::Word("WHERE".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn iri_vs_less_than() {
+        assert_eq!(
+            kinds("<http://x/a> < 5 <= ?v"),
+            vec![
+                Tok::Iri("http://x/a".into()),
+                Tok::Lt,
+                Tok::Int(5),
+                Tok::Le,
+                Tok::Var("v".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn prefixed_names() {
+        assert_eq!(
+            kinds("noa:Hotspot strdf:hasGeometry :local"),
+            vec![
+                Tok::PName("noa".into(), "Hotspot".into()),
+                Tok::PName("strdf".into(), "hasGeometry".into()),
+                Tok::PName("".into(), "local".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn pname_trailing_dot_is_statement_dot() {
+        assert_eq!(
+            kinds("?s a noa:Hotspot ."),
+            vec![
+                Tok::Var("s".into()),
+                Tok::Word("a".into()),
+                Tok::PName("noa".into(), "Hotspot".into()),
+                Tok::Dot,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn typed_literal_tokens() {
+        assert_eq!(
+            kinds("\"POINT (1 2)\"^^strdf:WKT"),
+            vec![
+                Tok::Str("POINT (1 2)".into()),
+                Tok::DtSep,
+                Tok::PName("strdf".into(), "WKT".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lang_tag() {
+        assert_eq!(
+            kinds("\"fire\"@en"),
+            vec![Tok::Str("fire".into()), Tok::LangTag("en".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            kinds("42 2.5 .5 1e3"),
+            vec![Tok::Int(42), Tok::Num(2.5), Tok::Num(0.5), Tok::Num(1000.0), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            kinds("&& || ! != = >= >"),
+            vec![Tok::AndAnd, Tok::OrOr, Tok::Bang, Tok::Ne, Tok::Eq, Tok::Ge, Tok::Gt, Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(kinds("?x # comment\n?y"), vec![Tok::Var("x".into()), Tok::Var("y".into()), Tok::Eof]);
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(kinds(r#""a\"b\n""#), vec![Tok::Str("a\"b\n".into()), Tok::Eof]);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(tokenize("?").is_err());
+        assert!(tokenize("\"unterminated").is_err());
+        assert!(tokenize("&x").is_err());
+    }
+}

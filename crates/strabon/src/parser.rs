@@ -1,0 +1,783 @@
+//! stSPARQL parser.
+
+use crate::ast::*;
+use crate::lexer::{tokenize, Tok, Token};
+use crate::{Result, StrabonError};
+use std::collections::HashMap;
+use teleios_rdf::term::Term;
+use teleios_rdf::vocab;
+
+/// Parse a SELECT or ASK query.
+pub fn parse_query(text: &str) -> Result<Query> {
+    let mut p = Parser::new(text)?;
+    p.parse_prologue()?;
+    let q = if p.accept_word("SELECT") {
+        Query::Select(p.parse_select_body()?)
+    } else if p.accept_word("ASK") {
+        let where_clause = p.parse_group()?;
+        Query::Ask(AskQuery { where_clause })
+    } else if p.accept_word("CONSTRUCT") {
+        let template = p.parse_template()?;
+        p.expect_word("WHERE")?;
+        let where_clause = p.parse_group()?;
+        Query::Construct(ConstructQuery { template, where_clause })
+    } else {
+        return Err(p.err("expected SELECT, ASK or CONSTRUCT"));
+    };
+    p.expect_eof()?;
+    Ok(q)
+}
+
+/// Parse an update request.
+pub fn parse_update(text: &str) -> Result<Update> {
+    let mut p = Parser::new(text)?;
+    p.parse_prologue()?;
+    let u = p.parse_update_body()?;
+    p.expect_eof()?;
+    Ok(u)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    prefixes: HashMap<String, String>,
+}
+
+impl Parser {
+    fn new(text: &str) -> Result<Parser> {
+        let mut prefixes = HashMap::new();
+        // Well-known prefixes are always available.
+        prefixes.insert("rdf".into(), vocab::rdf::NS.to_string());
+        prefixes.insert("rdfs".into(), vocab::rdfs::NS.to_string());
+        prefixes.insert("xsd".into(), vocab::xsd::NS.to_string());
+        prefixes.insert("strdf".into(), vocab::strdf::NS.to_string());
+        Ok(Parser { tokens: tokenize(text)?, pos: 0, prefixes })
+    }
+
+    fn peek(&self) -> &Tok {
+        &self.tokens[self.pos].kind
+    }
+
+    fn advance(&mut self) -> Tok {
+        let t = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, msg: impl Into<String>) -> StrabonError {
+        StrabonError::Parse { position: self.tokens[self.pos].pos, message: msg.into() }
+    }
+
+    fn accept_word(&mut self, w: &str) -> bool {
+        if let Tok::Word(s) = self.peek() {
+            if s.eq_ignore_ascii_case(w) {
+                self.advance();
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_word(&mut self, w: &str) -> Result<()> {
+        if self.accept_word(w) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {w}")))
+        }
+    }
+
+    fn peek_word(&self, w: &str) -> bool {
+        matches!(self.peek(), Tok::Word(s) if s.eq_ignore_ascii_case(w))
+    }
+
+    fn accept_tok(&mut self, t: Tok) -> bool {
+        if self.peek() == &t {
+            self.advance();
+            return true;
+        }
+        false
+    }
+
+    fn expect_tok(&mut self, t: Tok) -> Result<()> {
+        if self.accept_tok(t.clone()) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {t:?}, found {:?}", self.peek())))
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<()> {
+        if self.peek() == &Tok::Eof {
+            Ok(())
+        } else {
+            Err(self.err("unexpected trailing input"))
+        }
+    }
+
+    fn parse_prologue(&mut self) -> Result<()> {
+        while self.peek_word("PREFIX") {
+            self.advance();
+            let Tok::PName(prefix, local) = self.advance() else {
+                return Err(self.err("expected prefix name after PREFIX"));
+            };
+            if !local.is_empty() {
+                return Err(self.err("malformed PREFIX declaration"));
+            }
+            let Tok::Iri(iri) = self.advance() else {
+                return Err(self.err("expected IRI in PREFIX declaration"));
+            };
+            self.prefixes.insert(prefix, iri);
+        }
+        Ok(())
+    }
+
+    fn resolve(&self, prefix: &str, local: &str) -> Result<String> {
+        let ns = self
+            .prefixes
+            .get(prefix)
+            .ok_or_else(|| StrabonError::UnknownPrefix(prefix.to_string()))?;
+        Ok(format!("{ns}{local}"))
+    }
+
+    fn parse_select_body(&mut self) -> Result<SelectQuery> {
+        let distinct = self.accept_word("DISTINCT");
+        let projection = if self.accept_tok(Tok::Star) {
+            Projection::All
+        } else {
+            let mut items = Vec::new();
+            loop {
+                match self.peek().clone() {
+                    Tok::Var(v) => {
+                        self.advance();
+                        items.push(ProjectionItem::Var(v));
+                    }
+                    Tok::LParen => {
+                        self.advance();
+                        let expr = self.parse_expression()?;
+                        self.expect_word("AS")?;
+                        let Tok::Var(v) = self.advance() else {
+                            return Err(self.err("expected variable after AS"));
+                        };
+                        self.expect_tok(Tok::RParen)?;
+                        items.push(ProjectionItem::Expr { expr, var: v });
+                    }
+                    _ => break,
+                }
+            }
+            if items.is_empty() {
+                return Err(self.err("empty SELECT projection"));
+            }
+            Projection::Vars(items)
+        };
+        self.expect_word("WHERE")?;
+        let where_clause = self.parse_group()?;
+        let mut group_by = Vec::new();
+        if self.accept_word("GROUP") {
+            self.expect_word("BY")?;
+            while let Tok::Var(v) = self.peek().clone() {
+                self.advance();
+                group_by.push(v);
+            }
+            if group_by.is_empty() {
+                return Err(self.err("GROUP BY expects at least one variable"));
+            }
+        }
+        let mut order_by = Vec::new();
+        if self.accept_word("ORDER") {
+            self.expect_word("BY")?;
+            loop {
+                if self.accept_word("DESC") {
+                    self.expect_tok(Tok::LParen)?;
+                    let expr = self.parse_expression()?;
+                    self.expect_tok(Tok::RParen)?;
+                    order_by.push(OrderKey { expr, desc: true });
+                } else if self.accept_word("ASC") {
+                    self.expect_tok(Tok::LParen)?;
+                    let expr = self.parse_expression()?;
+                    self.expect_tok(Tok::RParen)?;
+                    order_by.push(OrderKey { expr, desc: false });
+                } else if matches!(self.peek(), Tok::Var(_)) {
+                    let Tok::Var(v) = self.advance() else { unreachable!() };
+                    order_by.push(OrderKey { expr: Expression::Var(v), desc: false });
+                } else {
+                    break;
+                }
+                if !matches!(self.peek(), Tok::Var(_)) && !self.peek_word("DESC") && !self.peek_word("ASC") {
+                    break;
+                }
+            }
+            if order_by.is_empty() {
+                return Err(self.err("empty ORDER BY"));
+            }
+        }
+        let mut limit = None;
+        let mut offset = 0usize;
+        loop {
+            if self.accept_word("LIMIT") {
+                let Tok::Int(n) = self.advance() else {
+                    return Err(self.err("LIMIT expects an integer"));
+                };
+                if n < 0 {
+                    return Err(self.err("LIMIT must be non-negative"));
+                }
+                limit = Some(n as usize);
+            } else if self.accept_word("OFFSET") {
+                let Tok::Int(n) = self.advance() else {
+                    return Err(self.err("OFFSET expects an integer"));
+                };
+                if n < 0 {
+                    return Err(self.err("OFFSET must be non-negative"));
+                }
+                offset = n as usize;
+            } else {
+                break;
+            }
+        }
+        Ok(SelectQuery { distinct, projection, where_clause, group_by, order_by, limit, offset })
+    }
+
+    fn parse_group(&mut self) -> Result<GroupPattern> {
+        self.expect_tok(Tok::LBrace)?;
+        let mut elements = Vec::new();
+        loop {
+            match self.peek().clone() {
+                Tok::RBrace => {
+                    self.advance();
+                    break;
+                }
+                Tok::Word(w) if w.eq_ignore_ascii_case("FILTER") => {
+                    self.advance();
+                    // FILTER [NOT] EXISTS { ... } is pattern-level.
+                    if self.peek_word("EXISTS") {
+                        self.advance();
+                        let group = self.parse_group()?;
+                        elements.push(PatternElement::FilterExists { group, negated: false });
+                        continue;
+                    }
+                    if self.peek_word("NOT") {
+                        let save = self.pos;
+                        self.advance();
+                        if self.accept_word("EXISTS") {
+                            let group = self.parse_group()?;
+                            elements
+                                .push(PatternElement::FilterExists { group, negated: true });
+                            continue;
+                        }
+                        self.pos = save;
+                    }
+                    self.expect_tok(Tok::LParen)?;
+                    let e = self.parse_expression()?;
+                    self.expect_tok(Tok::RParen)?;
+                    elements.push(PatternElement::Filter(e));
+                }
+                Tok::Word(w) if w.eq_ignore_ascii_case("OPTIONAL") => {
+                    self.advance();
+                    elements.push(PatternElement::Optional(self.parse_group()?));
+                }
+                Tok::Word(w) if w.eq_ignore_ascii_case("MINUS") => {
+                    self.advance();
+                    elements.push(PatternElement::Minus(self.parse_group()?));
+                }
+                Tok::Word(w) if w.eq_ignore_ascii_case("BIND") => {
+                    self.advance();
+                    self.expect_tok(Tok::LParen)?;
+                    let expr = self.parse_expression()?;
+                    self.expect_word("AS")?;
+                    let Tok::Var(v) = self.advance() else {
+                        return Err(self.err("expected variable after AS"));
+                    };
+                    self.expect_tok(Tok::RParen)?;
+                    elements.push(PatternElement::Bind { expr, var: v });
+                }
+                Tok::LBrace => {
+                    // Group, possibly a UNION chain.
+                    let first = self.parse_group()?;
+                    if self.peek_word("UNION") {
+                        let mut branches = vec![first];
+                        while self.accept_word("UNION") {
+                            branches.push(self.parse_group()?);
+                        }
+                        elements.push(PatternElement::Union(branches));
+                    } else {
+                        // Inline the nested group.
+                        elements.extend(first.elements);
+                    }
+                }
+                Tok::Dot => {
+                    self.advance();
+                }
+                _ => {
+                    // Triple pattern with `;` and `,` continuation.
+                    let s = self.parse_var_or_term()?;
+                    loop {
+                        let p = self.parse_predicate()?;
+                        loop {
+                            let o = self.parse_var_or_term()?;
+                            elements.push(PatternElement::Triple(PatternTriple {
+                                s: s.clone(),
+                                p: p.clone(),
+                                o,
+                            }));
+                            if !self.accept_tok(Tok::Comma) {
+                                break;
+                            }
+                        }
+                        if !self.accept_tok(Tok::Semicolon) {
+                            break;
+                        }
+                        // A dangling semicolon before `.` or `}` is legal.
+                        if matches!(self.peek(), Tok::Dot | Tok::RBrace) {
+                            break;
+                        }
+                    }
+                    // Optional statement dot.
+                    self.accept_tok(Tok::Dot);
+                }
+            }
+        }
+        Ok(GroupPattern { elements })
+    }
+
+    fn parse_predicate(&mut self) -> Result<VarOrTerm> {
+        if let Tok::Word(w) = self.peek() {
+            if w == "a" {
+                self.advance();
+                return Ok(VarOrTerm::Term(Term::iri(vocab::rdf::TYPE)));
+            }
+        }
+        self.parse_var_or_term()
+    }
+
+    fn parse_var_or_term(&mut self) -> Result<VarOrTerm> {
+        match self.advance() {
+            Tok::Var(v) => Ok(VarOrTerm::Var(v)),
+            Tok::Iri(iri) => Ok(VarOrTerm::Term(Term::iri(iri))),
+            Tok::PName(p, l) => Ok(VarOrTerm::Term(Term::iri(self.resolve(&p, &l)?))),
+            Tok::Str(s) => Ok(VarOrTerm::Term(self.finish_literal(s)?)),
+            Tok::Int(i) => Ok(VarOrTerm::Term(Term::int(i))),
+            Tok::Num(n) => Ok(VarOrTerm::Term(Term::double(n))),
+            Tok::Word(w) if w.eq_ignore_ascii_case("true") => Ok(VarOrTerm::Term(Term::boolean(true))),
+            Tok::Word(w) if w.eq_ignore_ascii_case("false") => {
+                Ok(VarOrTerm::Term(Term::boolean(false)))
+            }
+            other => Err(self.err(format!("expected variable or term, found {other:?}"))),
+        }
+    }
+
+    /// After a string token, consume an optional `^^datatype` or `@lang`.
+    fn finish_literal(&mut self, lexical: String) -> Result<Term> {
+        if self.accept_tok(Tok::DtSep) {
+            let dt = match self.advance() {
+                Tok::Iri(iri) => iri,
+                Tok::PName(p, l) => self.resolve(&p, &l)?,
+                other => return Err(self.err(format!("expected datatype IRI, found {other:?}"))),
+            };
+            return Ok(Term::typed_literal(lexical, dt));
+        }
+        if let Tok::LangTag(lang) = self.peek().clone() {
+            self.advance();
+            return Ok(Term::lang_literal(lexical, lang));
+        }
+        Ok(Term::literal(lexical))
+    }
+
+    // --- expressions -------------------------------------------------
+
+    fn parse_expression(&mut self) -> Result<Expression> {
+        let mut left = self.parse_and()?;
+        while self.accept_tok(Tok::OrOr) {
+            let right = self.parse_and()?;
+            left = Expression::Binary {
+                op: BinaryOp::Or,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> Result<Expression> {
+        let mut left = self.parse_cmp()?;
+        while self.accept_tok(Tok::AndAnd) {
+            let right = self.parse_cmp()?;
+            left = Expression::Binary {
+                op: BinaryOp::And,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn parse_cmp(&mut self) -> Result<Expression> {
+        let left = self.parse_add()?;
+        let op = match self.peek() {
+            Tok::Eq => Some(BinaryOp::Eq),
+            Tok::Ne => Some(BinaryOp::Ne),
+            Tok::Lt => Some(BinaryOp::Lt),
+            Tok::Le => Some(BinaryOp::Le),
+            Tok::Gt => Some(BinaryOp::Gt),
+            Tok::Ge => Some(BinaryOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.advance();
+            let right = self.parse_add()?;
+            return Ok(Expression::Binary { op, left: Box::new(left), right: Box::new(right) });
+        }
+        Ok(left)
+    }
+
+    fn parse_add(&mut self) -> Result<Expression> {
+        let mut left = self.parse_mul()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Plus => BinaryOp::Add,
+                Tok::Minus => BinaryOp::Sub,
+                _ => break,
+            };
+            self.advance();
+            let right = self.parse_mul()?;
+            left = Expression::Binary { op, left: Box::new(left), right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn parse_mul(&mut self) -> Result<Expression> {
+        let mut left = self.parse_unary()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Star => BinaryOp::Mul,
+                Tok::Slash => BinaryOp::Div,
+                _ => break,
+            };
+            self.advance();
+            let right = self.parse_unary()?;
+            left = Expression::Binary { op, left: Box::new(left), right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expression> {
+        if self.accept_tok(Tok::Bang) {
+            return Ok(Expression::Not(Box::new(self.parse_unary()?)));
+        }
+        if self.accept_tok(Tok::Minus) {
+            return Ok(Expression::Neg(Box::new(self.parse_unary()?)));
+        }
+        if self.accept_tok(Tok::Plus) {
+            return self.parse_unary();
+        }
+        self.parse_primary_expr()
+    }
+
+    fn parse_primary_expr(&mut self) -> Result<Expression> {
+        match self.advance() {
+            Tok::Var(v) => Ok(Expression::Var(v)),
+            Tok::Int(i) => Ok(Expression::Const(Term::int(i))),
+            Tok::Num(n) => Ok(Expression::Const(Term::double(n))),
+            Tok::Str(s) => Ok(Expression::Const(self.finish_literal(s)?)),
+            Tok::Iri(iri) => {
+                // IRI function call or IRI constant.
+                if self.peek() == &Tok::LParen {
+                    let args = self.parse_args()?;
+                    Ok(Expression::Call { name: iri, args })
+                } else {
+                    Ok(Expression::Const(Term::iri(iri)))
+                }
+            }
+            Tok::PName(p, l) => {
+                let iri = self.resolve(&p, &l)?;
+                if self.peek() == &Tok::LParen {
+                    let args = self.parse_args()?;
+                    Ok(Expression::Call { name: iri, args })
+                } else {
+                    Ok(Expression::Const(Term::iri(iri)))
+                }
+            }
+            Tok::Word(w) => {
+                let upper = w.to_ascii_uppercase();
+                match upper.as_str() {
+                    "TRUE" => return Ok(Expression::Const(Term::boolean(true))),
+                    "FALSE" => return Ok(Expression::Const(Term::boolean(false))),
+                    _ => {}
+                }
+                if self.peek() == &Tok::LParen {
+                    let args = self.parse_args()?;
+                    Ok(Expression::Call { name: upper, args })
+                } else {
+                    Err(self.err(format!("unexpected word '{w}' in expression")))
+                }
+            }
+            Tok::LParen => {
+                let e = self.parse_expression()?;
+                self.expect_tok(Tok::RParen)?;
+                Ok(e)
+            }
+            other => Err(self.err(format!("unexpected token in expression: {other:?}"))),
+        }
+    }
+
+    fn parse_args(&mut self) -> Result<Vec<Expression>> {
+        self.expect_tok(Tok::LParen)?;
+        let mut args = Vec::new();
+        // `COUNT(*)`: the star stands for "count solutions".
+        if self.accept_tok(Tok::Star) {
+            self.expect_tok(Tok::RParen)?;
+            return Ok(args);
+        }
+        if self.peek() != &Tok::RParen {
+            args.push(self.parse_expression()?);
+            while self.accept_tok(Tok::Comma) {
+                args.push(self.parse_expression()?);
+            }
+        }
+        self.expect_tok(Tok::RParen)?;
+        Ok(args)
+    }
+
+    // --- updates -----------------------------------------------------
+
+    fn parse_update_body(&mut self) -> Result<Update> {
+        if self.accept_word("INSERT") {
+            if self.accept_word("DATA") {
+                return Ok(Update::InsertData(self.parse_template()?));
+            }
+            // INSERT { t } WHERE { p }
+            let insert = self.parse_template()?;
+            self.expect_word("WHERE")?;
+            let where_clause = self.parse_group()?;
+            return Ok(Update::Modify { delete: Vec::new(), insert, where_clause });
+        }
+        if self.accept_word("DELETE") {
+            if self.accept_word("DATA") {
+                return Ok(Update::DeleteData(self.parse_template()?));
+            }
+            if self.accept_word("WHERE") {
+                return Ok(Update::DeleteWhere(self.parse_template()?));
+            }
+            let delete = self.parse_template()?;
+            let insert = if self.accept_word("INSERT") {
+                self.parse_template()?
+            } else {
+                Vec::new()
+            };
+            self.expect_word("WHERE")?;
+            let where_clause = self.parse_group()?;
+            return Ok(Update::Modify { delete, insert, where_clause });
+        }
+        Err(self.err("expected INSERT or DELETE"))
+    }
+
+    fn parse_template(&mut self) -> Result<Vec<TemplateTriple>> {
+        self.expect_tok(Tok::LBrace)?;
+        let mut out = Vec::new();
+        while self.peek() != &Tok::RBrace {
+            if self.accept_tok(Tok::Dot) {
+                continue;
+            }
+            let s = self.parse_var_or_term()?;
+            loop {
+                let p = self.parse_predicate()?;
+                loop {
+                    let o = self.parse_var_or_term()?;
+                    out.push(TemplateTriple { s: s.clone(), p: p.clone(), o });
+                    if !self.accept_tok(Tok::Comma) {
+                        break;
+                    }
+                }
+                if !self.accept_tok(Tok::Semicolon) {
+                    break;
+                }
+                if matches!(self.peek(), Tok::Dot | Tok::RBrace) {
+                    break;
+                }
+            }
+            self.accept_tok(Tok::Dot);
+        }
+        self.expect_tok(Tok::RBrace)?;
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sel(text: &str) -> SelectQuery {
+        match parse_query(text).unwrap() {
+            Query::Select(s) => s,
+            other => panic!("expected select, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn simple_select() {
+        let q = sel("SELECT ?s WHERE { ?s ?p ?o }");
+        assert_eq!(q.projection, Projection::Vars(vec![ProjectionItem::Var("s".into())]));
+        assert_eq!(q.where_clause.elements.len(), 1);
+    }
+
+    #[test]
+    fn prefixes_resolve() {
+        let q = sel(
+            "PREFIX noa: <http://noa.gr/> SELECT ?h WHERE { ?h a noa:Hotspot }",
+        );
+        let PatternElement::Triple(t) = &q.where_clause.elements[0] else { panic!() };
+        assert_eq!(t.p, VarOrTerm::Term(Term::iri(vocab::rdf::TYPE)));
+        assert_eq!(t.o, VarOrTerm::Term(Term::iri("http://noa.gr/Hotspot")));
+    }
+
+    #[test]
+    fn builtin_prefixes_available() {
+        let q = sel("SELECT ?s WHERE { ?s rdf:type strdf:Geometry }");
+        assert_eq!(q.where_clause.elements.len(), 1);
+    }
+
+    #[test]
+    fn semicolon_and_comma_groups() {
+        let q = sel("SELECT * WHERE { ?s a <http://x/C> ; <http://x/p> ?a, ?b . }");
+        assert_eq!(q.where_clause.elements.len(), 3);
+    }
+
+    #[test]
+    fn filter_with_spatial_function() {
+        let q = sel(
+            "SELECT ?g WHERE { ?h strdf:hasGeometry ?g . \
+             FILTER(strdf:distance(?g, \"POINT (1 2)\"^^strdf:WKT) < 2000) }",
+        );
+        let PatternElement::Filter(Expression::Binary { op: BinaryOp::Lt, left, .. }) =
+            &q.where_clause.elements[1]
+        else {
+            panic!("wrong shape: {:?}", q.where_clause.elements[1]);
+        };
+        let Expression::Call { name, args } = &**left else { panic!() };
+        assert!(name.ends_with("distance"));
+        assert_eq!(args.len(), 2);
+    }
+
+    #[test]
+    fn optional_union_minus_bind() {
+        let q = sel(
+            "SELECT * WHERE { \
+               ?s a <http://x/C> . \
+               OPTIONAL { ?s <http://x/p> ?v } \
+               { ?s <http://x/q> ?w } UNION { ?s <http://x/r> ?w } \
+               MINUS { ?s <http://x/bad> ?z } \
+               BIND(?v + 1 AS ?v2) }",
+        );
+        assert_eq!(q.where_clause.elements.len(), 5);
+        assert!(matches!(q.where_clause.elements[1], PatternElement::Optional(_)));
+        assert!(matches!(&q.where_clause.elements[2], PatternElement::Union(b) if b.len() == 2));
+        assert!(matches!(q.where_clause.elements[3], PatternElement::Minus(_)));
+        assert!(matches!(q.where_clause.elements[4], PatternElement::Bind { .. }));
+    }
+
+    #[test]
+    fn distinct_order_limit_offset() {
+        let q = sel(
+            "SELECT DISTINCT ?s WHERE { ?s ?p ?o } ORDER BY DESC(?s) LIMIT 5 OFFSET 10",
+        );
+        assert!(q.distinct);
+        assert_eq!(q.order_by.len(), 1);
+        assert!(q.order_by[0].desc);
+        assert_eq!(q.limit, Some(5));
+        assert_eq!(q.offset, 10);
+    }
+
+    #[test]
+    fn order_by_plain_vars() {
+        let q = sel("SELECT ?a ?b WHERE { ?a <http://x/p> ?b } ORDER BY ?a ?b");
+        assert_eq!(q.order_by.len(), 2);
+    }
+
+    #[test]
+    fn projection_expression() {
+        let q = sel(
+            "SELECT (strdf:area(?g) AS ?area) WHERE { ?s strdf:hasGeometry ?g }",
+        );
+        let Projection::Vars(items) = &q.projection else { panic!() };
+        assert!(matches!(&items[0], ProjectionItem::Expr { var, .. } if var == "area"));
+    }
+
+    #[test]
+    fn ask_query() {
+        let q = parse_query("ASK { ?s a <http://x/C> }").unwrap();
+        assert!(matches!(q, Query::Ask(_)));
+    }
+
+    #[test]
+    fn select_star() {
+        let q = sel("SELECT * WHERE { ?s ?p ?o }");
+        assert_eq!(q.projection, Projection::All);
+    }
+
+    #[test]
+    fn insert_data() {
+        let u = parse_update(
+            "PREFIX ex: <http://x/> INSERT DATA { ex:a ex:p 1 . ex:a ex:q \"s\" }",
+        )
+        .unwrap();
+        match u {
+            Update::InsertData(ts) => assert_eq!(ts.len(), 2),
+            other => panic!("wrong: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn delete_insert_where() {
+        let u = parse_update(
+            "PREFIX ex: <http://x/> \
+             DELETE { ?h a ex:Hotspot } \
+             INSERT { ?h a ex:Refuted } \
+             WHERE { ?h a ex:Hotspot . FILTER(strdf:within(?g, \"POINT (0 0)\"^^strdf:WKT)) }",
+        )
+        .unwrap();
+        match u {
+            Update::Modify { delete, insert, where_clause } => {
+                assert_eq!(delete.len(), 1);
+                assert_eq!(insert.len(), 1);
+                assert_eq!(where_clause.elements.len(), 2);
+            }
+            other => panic!("wrong: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn delete_where_shorthand() {
+        let u = parse_update("DELETE WHERE { ?s <http://x/p> ?o }").unwrap();
+        assert!(matches!(u, Update::DeleteWhere(ts) if ts.len() == 1));
+    }
+
+    #[test]
+    fn insert_where_without_delete() {
+        let u = parse_update(
+            "INSERT { ?s <http://x/derived> true } WHERE { ?s a <http://x/C> }",
+        )
+        .unwrap();
+        assert!(matches!(u, Update::Modify { ref delete, .. } if delete.is_empty()));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_query("SELECT WHERE { }").is_err());
+        assert!(parse_query("SELECT ?s { ?s ?p ?o }").is_err()); // missing WHERE
+        assert!(parse_query("SELECT ?s WHERE { ?s foo:bar ?o }").is_err()); // unknown prefix
+        assert!(parse_update("MODIFY { }").is_err());
+    }
+
+    #[test]
+    fn nested_group_is_inlined() {
+        let q = sel("SELECT * WHERE { { ?s ?p ?o } }");
+        assert_eq!(q.where_clause.elements.len(), 1);
+    }
+
+    #[test]
+    fn boolean_literals_in_patterns() {
+        let q = sel("SELECT ?s WHERE { ?s <http://x/flag> true }");
+        let PatternElement::Triple(t) = &q.where_clause.elements[0] else { panic!() };
+        assert_eq!(t.o, VarOrTerm::Term(Term::boolean(true)));
+    }
+}

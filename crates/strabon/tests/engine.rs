@@ -1,0 +1,673 @@
+//! End-to-end tests of the Strabon engine: loading, querying, updating.
+
+use teleios_rdf::term::Term;
+use teleios_strabon::{Strabon, StrabonConfig};
+
+const PREFIXES: &str = "\
+PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>\n\
+PREFIX noa: <http://teleios.di.uoa.gr/ontologies/noaOntology.owl#>\n\
+PREFIX strdf: <http://strdf.di.uoa.gr/ontology#>\n\
+PREFIX ex: <http://example.org/>\n";
+
+fn fixture() -> Strabon {
+    let mut db = Strabon::new();
+    db.load_turtle(
+        r#"
+@prefix noa: <http://teleios.di.uoa.gr/ontologies/noaOntology.owl#> .
+@prefix strdf: <http://strdf.di.uoa.gr/ontology#> .
+@prefix ex: <http://example.org/> .
+@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .
+
+ex:img1 a noa:RawImage ;
+    noa:isAcquiredBy ex:Meteosat9 ;
+    noa:hasAcquisitionTime "2007-08-25T12:00:00Z"^^xsd:dateTime ;
+    strdf:hasGeometry "POLYGON ((21 36, 24 36, 24 39, 21 39, 21 36))"^^strdf:WKT .
+
+ex:img2 a noa:RawImage ;
+    noa:isAcquiredBy ex:Meteosat8 ;
+    noa:hasAcquisitionTime "2007-08-26T12:00:00Z"^^xsd:dateTime ;
+    strdf:hasGeometry "POLYGON ((10 40, 13 40, 13 43, 10 43, 10 40))"^^strdf:WKT .
+
+ex:h1 a noa:Hotspot ;
+    noa:isDerivedFrom ex:img1 ;
+    noa:hasConfidence 0.9 ;
+    strdf:hasGeometry "POINT (22.3 37.5)"^^strdf:WKT .
+
+ex:h2 a noa:Hotspot ;
+    noa:isDerivedFrom ex:img1 ;
+    noa:hasConfidence 0.4 ;
+    strdf:hasGeometry "POINT (23.9 38.9)"^^strdf:WKT .
+
+ex:h3 a noa:Hotspot ;
+    noa:isDerivedFrom ex:img2 ;
+    noa:hasConfidence 0.7 ;
+    strdf:hasGeometry "POINT (11.5 41.5)"^^strdf:WKT .
+
+ex:olympia a ex:ArchaeologicalSite ;
+    strdf:hasGeometry "POINT (22.3 37.6)"^^strdf:WKT .
+"#,
+    )
+    .unwrap();
+    db
+}
+
+#[test]
+fn load_counts_triples() {
+    let db = fixture();
+    assert_eq!(db.len(), 22);
+}
+
+#[test]
+fn select_by_class() {
+    let mut db = fixture();
+    let sols = db
+        .query(&format!("{PREFIXES} SELECT ?h WHERE {{ ?h a noa:Hotspot }} ORDER BY ?h"))
+        .unwrap();
+    assert_eq!(sols.len(), 3);
+    assert_eq!(sols.get(0, "h"), Some(&Term::iri("http://example.org/h1")));
+}
+
+#[test]
+fn join_across_patterns() {
+    let mut db = fixture();
+    let sols = db
+        .query(&format!(
+            "{PREFIXES} SELECT ?h ?img WHERE {{ \
+               ?h a noa:Hotspot ; noa:isDerivedFrom ?img . \
+               ?img noa:isAcquiredBy ex:Meteosat9 . }}"
+        ))
+        .unwrap();
+    assert_eq!(sols.len(), 2); // h1, h2 from img1
+}
+
+#[test]
+fn numeric_filter() {
+    let mut db = fixture();
+    let sols = db
+        .query(&format!(
+            "{PREFIXES} SELECT ?h WHERE {{ \
+               ?h a noa:Hotspot ; noa:hasConfidence ?c . FILTER(?c >= 0.7) }}"
+        ))
+        .unwrap();
+    assert_eq!(sols.len(), 2);
+}
+
+#[test]
+fn spatial_intersects_filter() {
+    let mut db = fixture();
+    // Peloponnese-ish box covers h1 only.
+    let sols = db
+        .query(&format!(
+            "{PREFIXES} SELECT ?h WHERE {{ \
+               ?h a noa:Hotspot ; strdf:hasGeometry ?g . \
+               FILTER(strdf:intersects(?g, \"POLYGON ((21.5 36.5, 23 36.5, 23 38, 21.5 38, 21.5 36.5))\"^^strdf:WKT)) }}"
+        ))
+        .unwrap();
+    assert_eq!(sols.len(), 1);
+    assert_eq!(sols.get(0, "h"), Some(&Term::iri("http://example.org/h1")));
+}
+
+#[test]
+fn spatial_distance_filter_flagship_query() {
+    // The paper's flagship request: hotspots within distance of an
+    // archaeological site, joined with the acquiring image.
+    let mut db = fixture();
+    let sols = db
+        .query(&format!(
+            "{PREFIXES} SELECT ?img ?h WHERE {{ \
+               ?img a noa:RawImage ; noa:isAcquiredBy ex:Meteosat9 . \
+               ?h a noa:Hotspot ; noa:isDerivedFrom ?img ; strdf:hasGeometry ?hg . \
+               ?site a ex:ArchaeologicalSite ; strdf:hasGeometry ?sg . \
+               FILTER(strdf:distance(?hg, \"POINT (22.3 37.6)\"^^strdf:WKT) < 0.2) }}"
+        ))
+        .unwrap();
+    assert_eq!(sols.len(), 1);
+    assert_eq!(sols.get(0, "h"), Some(&Term::iri("http://example.org/h1")));
+}
+
+#[test]
+fn results_identical_with_and_without_optimizations() {
+    let query = format!(
+        "{PREFIXES} SELECT ?h ?c WHERE {{ \
+           ?h a noa:Hotspot ; noa:hasConfidence ?c ; strdf:hasGeometry ?g . \
+           FILTER(strdf:intersects(?g, \"POLYGON ((20 35, 25 35, 25 40, 20 40, 20 35))\"^^strdf:WKT)) \
+         }} ORDER BY ?h"
+    );
+    let mut fast = fixture();
+    let mut slow = fixture();
+    slow.set_config(StrabonConfig { rdfs_inference: false, optimize_bgp: false, use_spatial_index: false });
+    let a = fast.query(&query).unwrap();
+    let b = slow.query(&query).unwrap();
+    assert_eq!(a, b);
+    assert_eq!(a.len(), 2);
+}
+
+#[test]
+fn optional_binds_when_present() {
+    let mut db = fixture();
+    db.load_turtle(
+        "@prefix ex: <http://example.org/> .\n\
+         @prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .\n\
+         ex:h1 rdfs:label \"big fire\" .",
+    )
+    .unwrap();
+    let sols = db
+        .query(&format!(
+            "{PREFIXES} PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#> \
+             SELECT ?h ?l WHERE {{ ?h a noa:Hotspot . OPTIONAL {{ ?h rdfs:label ?l }} }} ORDER BY ?h"
+        ))
+        .unwrap();
+    assert_eq!(sols.len(), 3);
+    assert_eq!(sols.get(0, "l"), Some(&Term::literal("big fire")));
+    assert_eq!(sols.get(1, "l"), None);
+}
+
+#[test]
+fn union_combines_branches() {
+    let mut db = fixture();
+    let sols = db
+        .query(&format!(
+            "{PREFIXES} SELECT ?x WHERE {{ \
+               {{ ?x a noa:RawImage }} UNION {{ ?x a ex:ArchaeologicalSite }} }}"
+        ))
+        .unwrap();
+    assert_eq!(sols.len(), 3);
+}
+
+#[test]
+fn minus_removes() {
+    let mut db = fixture();
+    let sols = db
+        .query(&format!(
+            "{PREFIXES} SELECT ?h WHERE {{ \
+               ?h a noa:Hotspot . MINUS {{ ?h noa:isDerivedFrom ex:img2 }} }}"
+        ))
+        .unwrap();
+    assert_eq!(sols.len(), 2);
+}
+
+#[test]
+fn bind_and_projection_expression() {
+    let mut db = fixture();
+    let sols = db
+        .query(&format!(
+            "{PREFIXES} SELECT ?h (strdf:area(?g) AS ?a) WHERE {{ \
+               ?h a noa:RawImage ; strdf:hasGeometry ?g . \
+               BIND(1 AS ?one) FILTER(?one = 1) }} ORDER BY ?h"
+        ))
+        .unwrap();
+    assert_eq!(sols.len(), 2);
+    assert_eq!(sols.get(0, "a"), Some(&Term::double(9.0)));
+}
+
+#[test]
+fn distinct_limit_offset() {
+    let mut db = fixture();
+    let sols = db
+        .query(&format!(
+            "{PREFIXES} SELECT DISTINCT ?img WHERE {{ ?h noa:isDerivedFrom ?img }} ORDER BY ?img"
+        ))
+        .unwrap();
+    assert_eq!(sols.len(), 2);
+    let limited = db
+        .query(&format!(
+            "{PREFIXES} SELECT ?h WHERE {{ ?h a noa:Hotspot }} ORDER BY ?h LIMIT 1 OFFSET 1"
+        ))
+        .unwrap();
+    assert_eq!(limited.len(), 1);
+    assert_eq!(limited.get(0, "h"), Some(&Term::iri("http://example.org/h2")));
+}
+
+#[test]
+fn ask_queries() {
+    let mut db = fixture();
+    let yes = db.query(&format!("{PREFIXES} ASK {{ ?h a noa:Hotspot }}")).unwrap();
+    assert_eq!(yes.rows[0][0], Some(Term::boolean(true)));
+    let no = db.query(&format!("{PREFIXES} ASK {{ ?h a ex:Volcano }}")).unwrap();
+    assert_eq!(no.rows[0][0], Some(Term::boolean(false)));
+}
+
+#[test]
+fn insert_data_update() {
+    let mut db = fixture();
+    let n = db
+        .update(&format!(
+            "{PREFIXES} INSERT DATA {{ ex:h9 a noa:Hotspot ; noa:hasConfidence 0.5 }}"
+        ))
+        .unwrap();
+    assert_eq!(n, 2);
+    let sols = db.query(&format!("{PREFIXES} SELECT ?h WHERE {{ ?h a noa:Hotspot }}")).unwrap();
+    assert_eq!(sols.len(), 4);
+}
+
+#[test]
+fn delete_data_update() {
+    let mut db = fixture();
+    let n = db
+        .update(&format!("{PREFIXES} DELETE DATA {{ ex:h1 a noa:Hotspot }}"))
+        .unwrap();
+    assert_eq!(n, 1);
+    let sols = db.query(&format!("{PREFIXES} SELECT ?h WHERE {{ ?h a noa:Hotspot }}")).unwrap();
+    assert_eq!(sols.len(), 2);
+}
+
+#[test]
+fn refinement_style_modify() {
+    // Scenario 2: reclassify hotspots that fall outside a land polygon.
+    let mut db = fixture();
+    let n = db
+        .update(&format!(
+            "{PREFIXES} \
+             DELETE {{ ?h a noa:Hotspot }} \
+             INSERT {{ ?h a ex:RefutedHotspot }} \
+             WHERE {{ \
+               ?h a noa:Hotspot ; strdf:hasGeometry ?g . \
+               FILTER(!strdf:within(?g, \"POLYGON ((20 35, 25 35, 25 40, 20 40, 20 35))\"^^strdf:WKT)) }}"
+        ))
+        .unwrap();
+    // h3 is outside the box: one delete plus one insert.
+    assert_eq!(n, 2);
+    let hot = db.query(&format!("{PREFIXES} SELECT ?h WHERE {{ ?h a noa:Hotspot }}")).unwrap();
+    assert_eq!(hot.len(), 2);
+    let ref_ = db
+        .query(&format!("{PREFIXES} SELECT ?h WHERE {{ ?h a ex:RefutedHotspot }}"))
+        .unwrap();
+    assert_eq!(ref_.len(), 1);
+    assert_eq!(ref_.get(0, "h"), Some(&Term::iri("http://example.org/h3")));
+}
+
+#[test]
+fn delete_where_update() {
+    let mut db = fixture();
+    let n = db
+        .update(&format!("{PREFIXES} DELETE WHERE {{ ?h noa:hasConfidence ?c }}"))
+        .unwrap();
+    assert_eq!(n, 3);
+    let sols = db
+        .query(&format!("{PREFIXES} SELECT ?h WHERE {{ ?h noa:hasConfidence ?c }}"))
+        .unwrap();
+    assert!(sols.is_empty());
+}
+
+#[test]
+fn update_invalidates_spatial_index() {
+    let mut db = fixture();
+    // Prime the sidecar with a spatial query.
+    let q = format!(
+        "{PREFIXES} SELECT ?h WHERE {{ ?h strdf:hasGeometry ?g . \
+         FILTER(strdf:intersects(?g, \"POLYGON ((22 37, 23 37, 23 38, 22 38, 22 37))\"^^strdf:WKT)) }}"
+    );
+    // The window intersects h1, olympia, and img1's footprint.
+    assert_eq!(db.query(&q).unwrap().len(), 3);
+    // Add a new feature inside the window; it must be found.
+    db.update(&format!(
+        "{PREFIXES} INSERT DATA {{ ex:hNew strdf:hasGeometry \"POINT (22.5 37.5)\"^^strdf:WKT }}"
+    ))
+    .unwrap();
+    assert_eq!(db.query(&q).unwrap().len(), 4);
+}
+
+#[test]
+fn template_var_not_in_where_is_error() {
+    let mut db = fixture();
+    let r = db.update(&format!(
+        "{PREFIXES} DELETE {{ ?zzz a noa:Hotspot }} WHERE {{ ?h a noa:Hotspot }}"
+    ));
+    assert!(r.is_err());
+}
+
+#[test]
+fn str_and_regex_builtins() {
+    let mut db = fixture();
+    let sols = db
+        .query(&format!(
+            "{PREFIXES} SELECT ?s WHERE {{ ?s noa:isAcquiredBy ?sat . \
+               FILTER(REGEX(STR(?sat), \"Meteosat9\")) }}"
+        ))
+        .unwrap();
+    assert_eq!(sols.len(), 1);
+}
+
+#[test]
+fn solutions_text_rendering() {
+    let mut db = fixture();
+    let sols = db
+        .query(&format!("{PREFIXES} SELECT ?h WHERE {{ ?h a noa:Hotspot }} ORDER BY ?h LIMIT 1"))
+        .unwrap();
+    let text = sols.to_text();
+    assert!(text.contains("?h"));
+    assert!(text.contains("http://example.org/h1"));
+}
+
+#[test]
+fn empty_result_shapes() {
+    let mut db = fixture();
+    let sols = db
+        .query(&format!("{PREFIXES} SELECT ?x WHERE {{ ?x a ex:Nothing }}"))
+        .unwrap();
+    assert!(sols.is_empty());
+    assert_eq!(sols.vars, vec!["x"]);
+}
+
+#[test]
+fn repeated_variable_in_pattern() {
+    let mut db = Strabon::new();
+    db.load_turtle(
+        "@prefix ex: <http://example.org/> .\n\
+         ex:a ex:knows ex:a .\n\
+         ex:a ex:knows ex:b .",
+    )
+    .unwrap();
+    let sols = db.query("PREFIX ex: <http://example.org/> SELECT ?x WHERE { ?x ex:knows ?x }").unwrap();
+    assert_eq!(sols.len(), 1);
+    assert_eq!(sols.get(0, "x"), Some(&Term::iri("http://example.org/a")));
+}
+
+#[test]
+fn aggregates_count_per_image() {
+    let mut db = fixture();
+    let sols = db
+        .query(&format!(
+            "{PREFIXES} SELECT ?img (COUNT(?h) AS ?n) WHERE {{ \
+               ?h a noa:Hotspot ; noa:isDerivedFrom ?img }} GROUP BY ?img ORDER BY ?img"
+        ))
+        .unwrap();
+    assert_eq!(sols.vars, vec!["img", "n"]);
+    assert_eq!(sols.len(), 2);
+    assert_eq!(sols.get(0, "n"), Some(&Term::int(2))); // img1: h1, h2
+    assert_eq!(sols.get(1, "n"), Some(&Term::int(1))); // img2: h3
+}
+
+#[test]
+fn aggregates_global_without_group() {
+    let mut db = fixture();
+    let sols = db
+        .query(&format!(
+            "{PREFIXES} SELECT (COUNT(*) AS ?n) (AVG(?c) AS ?avg) (MAX(?c) AS ?hi) \
+             WHERE {{ ?h a noa:Hotspot ; noa:hasConfidence ?c }}"
+        ))
+        .unwrap();
+    assert_eq!(sols.len(), 1);
+    assert_eq!(sols.get(0, "n"), Some(&Term::int(3)));
+    let avg = sols.get(0, "avg").unwrap().as_f64().unwrap();
+    assert!((avg - (0.9 + 0.4 + 0.7) / 3.0).abs() < 1e-12);
+    assert_eq!(sols.get(0, "hi").unwrap().as_f64(), Some(0.9));
+}
+
+#[test]
+fn aggregates_sum_min() {
+    let mut db = fixture();
+    let sols = db
+        .query(&format!(
+            "{PREFIXES} SELECT (SUM(?c) AS ?s) (MIN(?c) AS ?lo) WHERE {{ \
+               ?h noa:hasConfidence ?c }}"
+        ))
+        .unwrap();
+    let s = sols.get(0, "s").unwrap().as_f64().unwrap();
+    assert!((s - 2.0).abs() < 1e-12);
+    assert_eq!(sols.get(0, "lo").unwrap().as_f64(), Some(0.4));
+}
+
+#[test]
+fn aggregate_over_empty_group_is_one_row() {
+    let mut db = fixture();
+    let sols = db
+        .query(&format!(
+            "{PREFIXES} SELECT (COUNT(*) AS ?n) WHERE {{ ?x a ex:Nothing }}"
+        ))
+        .unwrap();
+    assert_eq!(sols.len(), 1);
+    assert_eq!(sols.get(0, "n"), Some(&Term::int(0)));
+}
+
+#[test]
+fn spatial_aggregate_total_area() {
+    let mut db = fixture();
+    let sols = db
+        .query(&format!(
+            "{PREFIXES} SELECT (SUM(strdf:area(?g)) AS ?total) WHERE {{ \
+               ?img a noa:RawImage ; strdf:hasGeometry ?g }}"
+        ))
+        .unwrap();
+    // Two 3x3-degree footprints.
+    assert_eq!(sols.get(0, "total").unwrap().as_f64(), Some(18.0));
+}
+
+#[test]
+fn non_grouped_var_in_aggregate_projection_errors() {
+    let mut db = fixture();
+    let r = db.query(&format!(
+        "{PREFIXES} SELECT ?h (COUNT(?c) AS ?n) WHERE {{ ?h noa:hasConfidence ?c }}"
+    ));
+    assert!(r.is_err());
+}
+
+#[test]
+fn rdfs_inference_expands_type_patterns() {
+    let mut db = Strabon::new();
+    db.load_turtle(
+        "@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .\n\
+         @prefix ex: <http://example.org/> .\n\
+         ex:ForestFire rdfs:subClassOf ex:Fire .\n\
+         ex:AgriculturalFire rdfs:subClassOf ex:Fire .\n\
+         ex:Fire rdfs:subClassOf ex:Event .\n\
+         ex:f1 a ex:ForestFire .\n\
+         ex:f2 a ex:AgriculturalFire .\n\
+         ex:f3 a ex:Fire .\n\
+         ex:x1 a ex:Flood .",
+    )
+    .unwrap();
+
+    // Without inference: only the directly-typed instance.
+    let q = "PREFIX ex: <http://example.org/> SELECT ?f WHERE { ?f a ex:Fire }";
+    assert_eq!(db.query(q).unwrap().len(), 1);
+
+    // With inference: the subclass instances too, transitively up to Event.
+    let mut cfg = db.config();
+    cfg.rdfs_inference = true;
+    db.set_config(cfg);
+    assert_eq!(db.query(q).unwrap().len(), 3);
+    let all_events =
+        db.query("PREFIX ex: <http://example.org/> SELECT ?f WHERE { ?f a ex:Event }").unwrap();
+    assert_eq!(all_events.len(), 3);
+    // Unrelated classes are untouched.
+    let floods =
+        db.query("PREFIX ex: <http://example.org/> SELECT ?f WHERE { ?f a ex:Flood }").unwrap();
+    assert_eq!(floods.len(), 1);
+}
+
+#[test]
+fn rdfs_inference_composes_with_joins() {
+    let mut db = fixture();
+    // Make Hotspot a subclass of a broader Observation class and add a
+    // directly-typed Observation.
+    db.load_turtle(
+        "@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .\n\
+         @prefix noa: <http://teleios.di.uoa.gr/ontologies/noaOntology.owl#> .\n\
+         @prefix ex: <http://example.org/> .\n\
+         noa:Hotspot rdfs:subClassOf ex:Observation .\n\
+         ex:obs1 a ex:Observation .",
+    )
+    .unwrap();
+    let mut cfg = db.config();
+    cfg.rdfs_inference = true;
+    db.set_config(cfg);
+    let sols = db
+        .query(&format!(
+            "{PREFIXES} SELECT ?o WHERE {{ ?o a ex:Observation }}"
+        ))
+        .unwrap();
+    // 3 hotspots + 1 direct observation.
+    assert_eq!(sols.len(), 4);
+}
+
+#[test]
+fn temporal_period_functions() {
+    let mut db = Strabon::new();
+    db.load_turtle(
+        "@prefix strdf: <http://strdf.di.uoa.gr/ontology#> .\n\
+         @prefix ex: <http://example.org/> .\n\
+         ex:fire1 strdf:hasValidTime \"[2007-08-25T10:00:00Z, 2007-08-25T16:00:00Z)\"^^strdf:period .\n\
+         ex:fire2 strdf:hasValidTime \"[2007-08-26T09:00:00Z, 2007-08-26T12:00:00Z)\"^^strdf:period .",
+    )
+    .unwrap();
+
+    // Events overlapping the afternoon of the 25th.
+    let sols = db
+        .query(
+            "PREFIX strdf: <http://strdf.di.uoa.gr/ontology#>\n\
+             PREFIX ex: <http://example.org/>\n\
+             SELECT ?f WHERE { ?f strdf:hasValidTime ?t .\n\
+               FILTER(strdf:periodOverlaps(?t, \"[2007-08-25T14:00:00Z, 2007-08-25T20:00:00Z)\"^^strdf:period)) }",
+        )
+        .unwrap();
+    assert_eq!(sols.len(), 1);
+    assert_eq!(sols.get(0, "f"), Some(&Term::iri("http://example.org/fire1")));
+
+    // Events active at a specific instant.
+    let sols = db
+        .query(
+            "PREFIX strdf: <http://strdf.di.uoa.gr/ontology#>\n\
+             SELECT ?f WHERE { ?f strdf:hasValidTime ?t .\n\
+               FILTER(strdf:during(\"2007-08-26T10:30:00Z\", ?t)) }",
+        )
+        .unwrap();
+    assert_eq!(sols.len(), 1);
+    assert_eq!(sols.get(0, "f"), Some(&Term::iri("http://example.org/fire2")));
+
+    // Projecting period bounds.
+    let sols = db
+        .query(
+            "PREFIX strdf: <http://strdf.di.uoa.gr/ontology#>\n\
+             SELECT ?f (strdf:periodStart(?t) AS ?s) WHERE { ?f strdf:hasValidTime ?t } ORDER BY ?s",
+        )
+        .unwrap();
+    assert_eq!(sols.len(), 2);
+    assert_eq!(
+        sols.get(0, "s"),
+        Some(&Term::date_time("2007-08-25T10:00:00Z"))
+    );
+}
+
+#[test]
+fn explain_shows_plan() {
+    let mut db = fixture();
+    let plan = db
+        .query_plan_for_test(&format!(
+            "{PREFIXES} SELECT ?h ?img WHERE {{ \
+               ?h a noa:Hotspot ; strdf:hasGeometry ?g ; noa:isDerivedFrom ?img . \
+               FILTER(strdf:intersects(?g, \"POLYGON ((21 36, 24 36, 24 39, 21 39, 21 36))\"^^strdf:WKT)) }}"
+        ));
+    assert!(plan.contains("spatial push-down: ?g restricted to"));
+    assert!(plan.contains("match"));
+    assert!(plan.contains("(est "));
+    assert!(plan.contains("filter"));
+    // With the optimizer off, patterns keep syntactic order.
+    let mut cfg = db.config();
+    cfg.optimize_bgp = false;
+    cfg.use_spatial_index = false;
+    db.set_config(cfg);
+    let plan2 = db.query_plan_for_test(&format!(
+        "{PREFIXES} SELECT ?h WHERE {{ ?h noa:hasConfidence ?c . ?h a noa:Hotspot }}"
+    ));
+    assert!(plan2.contains("spatial push-down: (none)"));
+    let conf_pos = plan2.find("hasConfidence").unwrap();
+    let type_pos = plan2.find("Hotspot").unwrap();
+    assert!(conf_pos < type_pos, "syntactic order must be preserved:\n{plan2}");
+}
+
+trait ExplainExt {
+    fn query_plan_for_test(&mut self, q: &str) -> String;
+}
+
+impl ExplainExt for Strabon {
+    fn query_plan_for_test(&mut self, q: &str) -> String {
+        self.explain(q).unwrap()
+    }
+}
+
+#[test]
+fn filter_exists_and_not_exists() {
+    let mut db = fixture();
+    // Hotspots whose image also has other hotspots (EXISTS with a
+    // correlated pattern).
+    let with_siblings = db
+        .query(&format!(
+            "{PREFIXES} SELECT ?h WHERE {{ \
+               ?h a noa:Hotspot ; noa:isDerivedFrom ?img . \
+               FILTER EXISTS {{ ?other a noa:Hotspot ; noa:isDerivedFrom ?img . \
+                                FILTER(?other != ?h) }} }}"
+        ))
+        .unwrap();
+    // h1 and h2 share img1; h3 is alone on img2.
+    assert_eq!(with_siblings.len(), 2);
+
+    // Images with no hotspots at all (NOT EXISTS).
+    db.load_turtle(
+        "@prefix noa: <http://teleios.di.uoa.gr/ontologies/noaOntology.owl#> .\n\
+         @prefix ex: <http://example.org/> .\n\
+         ex:img3 a noa:RawImage .",
+    )
+    .unwrap();
+    let quiet = db
+        .query(&format!(
+            "{PREFIXES} SELECT ?img WHERE {{ \
+               ?img a noa:RawImage . \
+               FILTER NOT EXISTS {{ ?h noa:isDerivedFrom ?img }} }}"
+        ))
+        .unwrap();
+    assert_eq!(quiet.len(), 1);
+    assert_eq!(quiet.get(0, "img"), Some(&Term::iri("http://example.org/img3")));
+}
+
+#[test]
+fn construct_derives_triples() {
+    let mut db = fixture();
+    // Derive a flat "dangerousFire" summary graph from high-confidence
+    // hotspots and their geometry.
+    let derived = db
+        .construct(&format!(
+            "{PREFIXES} CONSTRUCT {{ \
+               ?h a ex:DangerousFire . \
+               ?h ex:locatedAt ?g . \
+             }} WHERE {{ \
+               ?h a noa:Hotspot ; noa:hasConfidence ?c ; strdf:hasGeometry ?g . \
+               FILTER(?c >= 0.7) }}"
+        ))
+        .unwrap();
+    // Two hotspots qualify (h1: 0.9, h3: 0.7) x two template triples.
+    assert_eq!(derived.len(), 4);
+    // Materialize and query the derivation.
+    for (s, p, o) in &derived {
+        db.insert(s, p, o);
+    }
+    let sols = db
+        .query(&format!("{PREFIXES} SELECT ?h WHERE {{ ?h a ex:DangerousFire }}"))
+        .unwrap();
+    assert_eq!(sols.len(), 2);
+}
+
+#[test]
+fn construct_deduplicates() {
+    let mut db = fixture();
+    // Every hotspot maps to the same ground triple: one output.
+    let derived = db
+        .construct(&format!(
+            "{PREFIXES} CONSTRUCT {{ ex:event a ex:FireEvent }} WHERE {{ ?h a noa:Hotspot }}"
+        ))
+        .unwrap();
+    assert_eq!(derived.len(), 1);
+}
+
+#[test]
+fn construct_rejects_unbound_template_var() {
+    let mut db = fixture();
+    let r = db.construct(&format!(
+        "{PREFIXES} CONSTRUCT {{ ?zzz a ex:X }} WHERE {{ ?h a noa:Hotspot }}"
+    ));
+    assert!(r.is_err());
+    // And SELECT via construct() is an error.
+    assert!(db
+        .construct(&format!("{PREFIXES} SELECT ?h WHERE {{ ?h a noa:Hotspot }}"))
+        .is_err());
+}

@@ -1,0 +1,386 @@
+//! Synthetic external file formats.
+//!
+//! The paper's archive holds proprietary formats (HDF, native SEVIRI,
+//! GeoTIFF, ESRI shapefiles). We implement three binary stand-ins that
+//! exercise the same code paths: a magic header that is cheap to parse
+//! (metadata extraction) and a payload that is expensive relative to the
+//! header (full materialization).
+
+use crate::{Result, VaultError};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Identifies an external format by its magic / extension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FormatKind {
+    /// SEVIRI-like raw multiband raster (`.sev1`).
+    Sev1,
+    /// GeoTIFF-like georeferenced single-band product (`.gtf1`).
+    Gtf1,
+    /// Shapefile-like WKT geometry set (`.shp1`).
+    Shp1,
+}
+
+impl FormatKind {
+    /// Detect a format from a file name extension.
+    pub fn from_name(name: &str) -> Result<FormatKind> {
+        let ext = name.rsplit('.').next().unwrap_or("");
+        match ext.to_ascii_lowercase().as_str() {
+            "sev1" => Ok(FormatKind::Sev1),
+            "gtf1" => Ok(FormatKind::Gtf1),
+            "shp1" => Ok(FormatKind::Shp1),
+            other => Err(VaultError::UnknownFormat(format!("{name} (.{other})"))),
+        }
+    }
+
+    /// The four-byte magic.
+    pub fn magic(&self) -> &'static [u8; 4] {
+        match self {
+            FormatKind::Sev1 => b"SEV1",
+            FormatKind::Gtf1 => b"GTF1",
+            FormatKind::Shp1 => b"SHP1",
+        }
+    }
+}
+
+/// Header of a `.sev1` raster file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sev1Header {
+    /// Raster rows.
+    pub rows: u32,
+    /// Raster columns.
+    pub cols: u32,
+    /// Spectral bands.
+    pub bands: u32,
+    /// Acquisition instant (ISO-8601).
+    pub acquisition: String,
+    /// Geographic bounding box (min_lon, min_lat, max_lon, max_lat).
+    pub bbox: (f64, f64, f64, f64),
+}
+
+/// Encode a `.sev1` file: header plus row-major band-major f64 payload.
+pub fn encode_sev1(header: &Sev1Header, payload: &[f64]) -> Result<Bytes> {
+    let expect = (header.rows * header.cols * header.bands) as usize;
+    if payload.len() != expect {
+        return Err(VaultError::Malformed(format!(
+            "payload has {} cells, header implies {expect}",
+            payload.len()
+        )));
+    }
+    let mut out = BytesMut::with_capacity(64 + payload.len() * 8);
+    out.put_slice(FormatKind::Sev1.magic());
+    out.put_u32(header.rows);
+    out.put_u32(header.cols);
+    out.put_u32(header.bands);
+    put_string(&mut out, &header.acquisition);
+    out.put_f64(header.bbox.0);
+    out.put_f64(header.bbox.1);
+    out.put_f64(header.bbox.2);
+    out.put_f64(header.bbox.3);
+    for &v in payload {
+        out.put_f64(v);
+    }
+    Ok(out.freeze())
+}
+
+/// Parse only the header of a `.sev1` file (cheap metadata extraction).
+pub fn decode_sev1_header(bytes: &Bytes) -> Result<Sev1Header> {
+    let mut buf = bytes.clone();
+    check_magic(&mut buf, FormatKind::Sev1)?;
+    if buf.remaining() < 12 {
+        return Err(VaultError::Malformed("truncated sev1 header".into()));
+    }
+    let rows = buf.get_u32();
+    let cols = buf.get_u32();
+    let bands = buf.get_u32();
+    let acquisition = get_string(&mut buf)?;
+    if buf.remaining() < 32 {
+        return Err(VaultError::Malformed("truncated sev1 bbox".into()));
+    }
+    let bbox = (buf.get_f64(), buf.get_f64(), buf.get_f64(), buf.get_f64());
+    Ok(Sev1Header { rows, cols, bands, acquisition, bbox })
+}
+
+/// Parse the full `.sev1` file: header plus payload.
+pub fn decode_sev1(bytes: &Bytes) -> Result<(Sev1Header, Vec<f64>)> {
+    let header = decode_sev1_header(bytes)?;
+    let header_len = 4 + 12 + 4 + header.acquisition.len() + 32;
+    let n = (header.rows * header.cols * header.bands) as usize;
+    let mut buf = bytes.slice(header_len..);
+    if buf.remaining() < n * 8 {
+        return Err(VaultError::Malformed(format!(
+            "payload truncated: need {} bytes, have {}",
+            n * 8,
+            buf.remaining()
+        )));
+    }
+    let mut payload = Vec::with_capacity(n);
+    for _ in 0..n {
+        payload.push(buf.get_f64());
+    }
+    Ok((header, payload))
+}
+
+/// Header of a `.gtf1` georeferenced product.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Gtf1Header {
+    /// Raster rows.
+    pub rows: u32,
+    /// Raster columns.
+    pub cols: u32,
+    /// Affine geotransform (origin_x, origin_y, pixel_w, pixel_h).
+    pub transform: (f64, f64, f64, f64),
+    /// EPSG code of the CRS.
+    pub epsg: u32,
+}
+
+impl Gtf1Header {
+    /// Geographic bounding box implied by the transform.
+    pub fn bbox(&self) -> (f64, f64, f64, f64) {
+        let (ox, oy, pw, ph) = self.transform;
+        let x2 = ox + pw * self.cols as f64;
+        let y2 = oy - ph * self.rows as f64;
+        (ox.min(x2), oy.min(y2), ox.max(x2), oy.max(y2))
+    }
+}
+
+/// Encode a `.gtf1` file.
+pub fn encode_gtf1(header: &Gtf1Header, payload: &[f64]) -> Result<Bytes> {
+    let expect = (header.rows * header.cols) as usize;
+    if payload.len() != expect {
+        return Err(VaultError::Malformed(format!(
+            "payload has {} cells, header implies {expect}",
+            payload.len()
+        )));
+    }
+    let mut out = BytesMut::with_capacity(64 + payload.len() * 8);
+    out.put_slice(FormatKind::Gtf1.magic());
+    out.put_u32(header.rows);
+    out.put_u32(header.cols);
+    out.put_u32(header.epsg);
+    out.put_f64(header.transform.0);
+    out.put_f64(header.transform.1);
+    out.put_f64(header.transform.2);
+    out.put_f64(header.transform.3);
+    for &v in payload {
+        out.put_f64(v);
+    }
+    Ok(out.freeze())
+}
+
+/// Parse only the header of a `.gtf1` file.
+pub fn decode_gtf1_header(bytes: &Bytes) -> Result<Gtf1Header> {
+    let mut buf = bytes.clone();
+    check_magic(&mut buf, FormatKind::Gtf1)?;
+    if buf.remaining() < 12 + 32 {
+        return Err(VaultError::Malformed("truncated gtf1 header".into()));
+    }
+    let rows = buf.get_u32();
+    let cols = buf.get_u32();
+    let epsg = buf.get_u32();
+    let transform = (buf.get_f64(), buf.get_f64(), buf.get_f64(), buf.get_f64());
+    Ok(Gtf1Header { rows, cols, transform, epsg })
+}
+
+/// Parse the full `.gtf1` file.
+pub fn decode_gtf1(bytes: &Bytes) -> Result<(Gtf1Header, Vec<f64>)> {
+    let header = decode_gtf1_header(bytes)?;
+    let n = (header.rows * header.cols) as usize;
+    let mut buf = bytes.slice(4 + 12 + 32..);
+    if buf.remaining() < n * 8 {
+        return Err(VaultError::Malformed("gtf1 payload truncated".into()));
+    }
+    let mut payload = Vec::with_capacity(n);
+    for _ in 0..n {
+        payload.push(buf.get_f64());
+    }
+    Ok((header, payload))
+}
+
+/// A `.shp1` record: WKT geometry plus a label attribute.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Shp1Record {
+    /// Geometry in WKT.
+    pub wkt: String,
+    /// Feature label / attribute.
+    pub label: String,
+}
+
+/// Encode a `.shp1` file.
+pub fn encode_shp1(records: &[Shp1Record]) -> Bytes {
+    let mut out = BytesMut::new();
+    out.put_slice(FormatKind::Shp1.magic());
+    out.put_u32(records.len() as u32);
+    for r in records {
+        put_string(&mut out, &r.wkt);
+        put_string(&mut out, &r.label);
+    }
+    out.freeze()
+}
+
+/// Parse a `.shp1` file. The "header" is the record count; record data
+/// doubles as payload.
+pub fn decode_shp1(bytes: &Bytes) -> Result<Vec<Shp1Record>> {
+    let mut buf = bytes.clone();
+    check_magic(&mut buf, FormatKind::Shp1)?;
+    if buf.remaining() < 4 {
+        return Err(VaultError::Malformed("truncated shp1 header".into()));
+    }
+    let n = buf.get_u32() as usize;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let wkt = get_string(&mut buf)?;
+        let label = get_string(&mut buf)?;
+        out.push(Shp1Record { wkt, label });
+    }
+    Ok(out)
+}
+
+/// Record count of a `.shp1` file without decoding records.
+pub fn decode_shp1_count(bytes: &Bytes) -> Result<u32> {
+    let mut buf = bytes.clone();
+    check_magic(&mut buf, FormatKind::Shp1)?;
+    if buf.remaining() < 4 {
+        return Err(VaultError::Malformed("truncated shp1 header".into()));
+    }
+    Ok(buf.get_u32())
+}
+
+fn check_magic(buf: &mut Bytes, kind: FormatKind) -> Result<()> {
+    if buf.remaining() < 4 {
+        return Err(VaultError::Malformed("file too short for magic".into()));
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != kind.magic() {
+        return Err(VaultError::Malformed(format!(
+            "bad magic {:?}, expected {:?}",
+            magic,
+            kind.magic()
+        )));
+    }
+    Ok(())
+}
+
+fn put_string(out: &mut BytesMut, s: &str) {
+    out.put_u32(s.len() as u32);
+    out.put_slice(s.as_bytes());
+}
+
+fn get_string(buf: &mut Bytes) -> Result<String> {
+    if buf.remaining() < 4 {
+        return Err(VaultError::Malformed("truncated string length".into()));
+    }
+    let len = buf.get_u32() as usize;
+    if buf.remaining() < len {
+        return Err(VaultError::Malformed("truncated string body".into()));
+    }
+    let mut raw = vec![0u8; len];
+    buf.copy_to_slice(&mut raw);
+    String::from_utf8(raw).map_err(|e| VaultError::Malformed(format!("bad utf8: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sev1_header() -> Sev1Header {
+        Sev1Header {
+            rows: 2,
+            cols: 3,
+            bands: 2,
+            acquisition: "2007-08-25T12:00:00Z".into(),
+            bbox: (20.0, 35.0, 25.0, 40.0),
+        }
+    }
+
+    #[test]
+    fn format_detection() {
+        assert_eq!(FormatKind::from_name("a.sev1").unwrap(), FormatKind::Sev1);
+        assert_eq!(FormatKind::from_name("b.GTF1").unwrap(), FormatKind::Gtf1);
+        assert_eq!(FormatKind::from_name("c.shp1").unwrap(), FormatKind::Shp1);
+        assert!(FormatKind::from_name("d.tif").is_err());
+    }
+
+    #[test]
+    fn sev1_roundtrip() {
+        let h = sev1_header();
+        let payload: Vec<f64> = (0..12).map(|v| v as f64).collect();
+        let bytes = encode_sev1(&h, &payload).unwrap();
+        let (h2, p2) = decode_sev1(&bytes).unwrap();
+        assert_eq!(h, h2);
+        assert_eq!(payload, p2);
+    }
+
+    #[test]
+    fn sev1_header_only_is_cheap() {
+        let h = sev1_header();
+        let bytes = encode_sev1(&h, &[0.0; 12]).unwrap();
+        let h2 = decode_sev1_header(&bytes).unwrap();
+        assert_eq!(h, h2);
+    }
+
+    #[test]
+    fn sev1_payload_size_checked() {
+        assert!(encode_sev1(&sev1_header(), &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn sev1_truncated_payload_rejected() {
+        let h = sev1_header();
+        let bytes = encode_sev1(&h, &[0.0; 12]).unwrap();
+        let cut = bytes.slice(0..bytes.len() - 8);
+        assert!(decode_sev1(&cut).is_err());
+        // The header still parses.
+        assert!(decode_sev1_header(&cut).is_ok());
+    }
+
+    #[test]
+    fn wrong_magic_rejected() {
+        let h = sev1_header();
+        let bytes = encode_sev1(&h, &[0.0; 12]).unwrap();
+        assert!(decode_gtf1_header(&bytes).is_err());
+        assert!(decode_shp1(&bytes).is_err());
+    }
+
+    #[test]
+    fn gtf1_roundtrip_and_bbox() {
+        let h = Gtf1Header {
+            rows: 10,
+            cols: 20,
+            transform: (21.0, 40.0, 0.1, 0.1),
+            epsg: 4326,
+        };
+        let payload = vec![1.5; 200];
+        let bytes = encode_gtf1(&h, &payload).unwrap();
+        let (h2, p2) = decode_gtf1(&bytes).unwrap();
+        assert_eq!(h, h2);
+        assert_eq!(p2.len(), 200);
+        let bbox = h.bbox();
+        assert_eq!(bbox, (21.0, 39.0, 23.0, 40.0));
+    }
+
+    #[test]
+    fn shp1_roundtrip() {
+        let records = vec![
+            Shp1Record { wkt: "POINT (1 2)".into(), label: "hotspot".into() },
+            Shp1Record { wkt: "POLYGON ((0 0, 1 0, 1 1, 0 0))".into(), label: "burnt".into() },
+        ];
+        let bytes = encode_shp1(&records);
+        assert_eq!(decode_shp1(&bytes).unwrap(), records);
+        assert_eq!(decode_shp1_count(&bytes).unwrap(), 2);
+    }
+
+    #[test]
+    fn shp1_empty() {
+        let bytes = encode_shp1(&[]);
+        assert!(decode_shp1(&bytes).unwrap().is_empty());
+    }
+
+    #[test]
+    fn garbage_rejected_everywhere() {
+        let garbage = Bytes::from_static(b"xx");
+        assert!(decode_sev1_header(&garbage).is_err());
+        assert!(decode_gtf1_header(&garbage).is_err());
+        assert!(decode_shp1(&garbage).is_err());
+    }
+}

@@ -1,0 +1,424 @@
+//! The Data Vault proper: policy, materialization, cache, statistics.
+
+use crate::catalog::{extract_metadata, VaultCatalog};
+use crate::format::{decode_gtf1, decode_sev1, decode_shp1, FormatKind, Shp1Record};
+use crate::repository::Repository;
+use crate::{Result, VaultError};
+use teleios_geo::Envelope;
+use teleios_monet::array::{Dim, NdArray};
+use teleios_monet::Catalog;
+
+/// When payloads are converted into database arrays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IngestionPolicy {
+    /// Convert every file at registration time (the traditional load).
+    Eager,
+    /// Convert on first access (the Data Vault's just-in-time load).
+    Lazy,
+}
+
+/// Access statistics (experiment E5 reads these).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VaultStats {
+    /// Header-only metadata extractions.
+    pub registrations: usize,
+    /// Full payload conversions performed.
+    pub materializations: usize,
+    /// Array requests served from the cache / database.
+    pub cache_hits: usize,
+    /// Array requests that had to materialize.
+    pub cache_misses: usize,
+    /// Cached arrays evicted to respect the cache capacity.
+    pub evictions: usize,
+}
+
+/// The Data Vault: external repository + metadata catalog + array store.
+#[derive(Debug)]
+pub struct DataVault {
+    repository: Repository,
+    catalog: VaultCatalog,
+    db: Catalog,
+    policy: IngestionPolicy,
+    /// LRU order of materialized array names (front = oldest).
+    lru: Vec<String>,
+    cache_capacity: usize,
+    stats: VaultStats,
+}
+
+impl DataVault {
+    /// New vault over a repository and database catalog.
+    ///
+    /// `cache_capacity` bounds how many materialized raster arrays stay
+    /// resident in the database at once (0 = unbounded).
+    pub fn new(
+        repository: Repository,
+        db: Catalog,
+        policy: IngestionPolicy,
+        cache_capacity: usize,
+    ) -> DataVault {
+        DataVault {
+            repository,
+            catalog: VaultCatalog::new(),
+            db,
+            policy,
+            lru: Vec::new(),
+            cache_capacity,
+            stats: VaultStats::default(),
+        }
+    }
+
+    /// The metadata catalog.
+    pub fn catalog(&self) -> &VaultCatalog {
+        &self.catalog
+    }
+
+    /// Persist the metadata catalog as JSON (what survives a restart: the
+    /// repository files plus this catalog; payloads re-materialize on
+    /// demand).
+    pub fn export_catalog(&self) -> String {
+        self.catalog.to_json()
+    }
+
+    /// Restore a previously exported catalog, replacing the current one.
+    /// Records referring to files missing from the repository are kept
+    /// (accessing them errors), matching a vault pointed at a partially
+    /// restored archive.
+    pub fn import_catalog(&mut self, json: &str) -> Result<usize> {
+        let catalog = VaultCatalog::from_json(json)?;
+        let n = catalog.len();
+        self.catalog = catalog;
+        Ok(n)
+    }
+
+    /// The underlying database catalog.
+    pub fn database(&self) -> &Catalog {
+        &self.db
+    }
+
+    /// The repository.
+    pub fn repository(&self) -> &Repository {
+        &self.repository
+    }
+
+    /// Mutable repository access (new files need [`Self::register`]).
+    pub fn repository_mut(&mut self) -> &mut Repository {
+        &mut self.repository
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> VaultStats {
+        self.stats
+    }
+
+    /// The ingestion policy.
+    pub fn policy(&self) -> IngestionPolicy {
+        self.policy
+    }
+
+    /// Register one repository file: header parse into the catalog, plus
+    /// immediate materialization under the eager policy.
+    pub fn register(&mut self, name: &str) -> Result<()> {
+        let bytes = self
+            .repository
+            .get(name)
+            .ok_or_else(|| VaultError::UnknownFile(name.to_string()))?
+            .clone();
+        let record = extract_metadata(name, &bytes)?;
+        self.catalog.register(record);
+        self.stats.registrations += 1;
+        if self.policy == IngestionPolicy::Eager {
+            self.materialize(name)?;
+        }
+        Ok(())
+    }
+
+    /// Register every file currently in the repository.
+    pub fn register_all(&mut self) -> Result<usize> {
+        let names: Vec<String> = self.repository.names().map(str::to_string).collect();
+        for name in &names {
+            self.register(name)?;
+        }
+        Ok(names.len())
+    }
+
+    /// Database array name for a repository file.
+    pub fn array_name(file: &str) -> String {
+        format!("vault::{file}")
+    }
+
+    /// Fetch the raster array for a file, materializing it if needed.
+    /// Errors for `.shp1` files (use [`Self::records_for`]).
+    pub fn array_for(&mut self, name: &str) -> Result<NdArray> {
+        let record = self
+            .catalog
+            .get(name)
+            .ok_or_else(|| VaultError::UnknownFile(name.to_string()))?
+            .clone();
+        if record.format == "shp1" {
+            return Err(VaultError::Malformed(format!(
+                "{name} is a geometry set, not a raster"
+            )));
+        }
+        let array_name = Self::array_name(name);
+        if self.db.has_array(&array_name) {
+            self.stats.cache_hits += 1;
+            self.touch(&array_name);
+            return self
+                .db
+                .array(&array_name)
+                .map_err(|e| VaultError::Database(e.to_string()));
+        }
+        self.stats.cache_misses += 1;
+        self.materialize(name)?;
+        self.db
+            .array(&array_name)
+            .map_err(|e| VaultError::Database(e.to_string()))
+    }
+
+    /// Fetch geometry records for a `.shp1` file (always decoded fresh —
+    /// geometry sets are small next to rasters).
+    pub fn records_for(&mut self, name: &str) -> Result<Vec<Shp1Record>> {
+        let bytes = self
+            .repository
+            .get(name)
+            .ok_or_else(|| VaultError::UnknownFile(name.to_string()))?;
+        decode_shp1(bytes)
+    }
+
+    /// Materialize every registered file whose bbox intersects `window`,
+    /// returning their names. This is the vault's query-driven loading.
+    pub fn materialize_window(&mut self, window: &Envelope) -> Result<Vec<String>> {
+        let names: Vec<String> = self
+            .catalog
+            .covering(window)
+            .into_iter()
+            .map(|r| r.name.clone())
+            .collect();
+        for name in &names {
+            // Reuse the cache path so stats and LRU stay correct.
+            let record = self.catalog.get(name).expect("registered").clone();
+            if record.format != "shp1" {
+                self.array_for(name)?;
+            }
+        }
+        Ok(names)
+    }
+
+    /// Convert one file's payload into a database array.
+    fn materialize(&mut self, name: &str) -> Result<()> {
+        let bytes = self
+            .repository
+            .get(name)
+            .ok_or_else(|| VaultError::UnknownFile(name.to_string()))?
+            .clone();
+        let array_name = Self::array_name(name);
+        let array = match FormatKind::from_name(name)? {
+            FormatKind::Sev1 => {
+                let (h, payload) = decode_sev1(&bytes)?;
+                NdArray::from_vec(
+                    vec![
+                        Dim::new("band", h.bands as usize),
+                        Dim::new("y", h.rows as usize),
+                        Dim::new("x", h.cols as usize),
+                    ],
+                    payload,
+                )
+                .map_err(|e| VaultError::Database(e.to_string()))?
+            }
+            FormatKind::Gtf1 => {
+                let (h, payload) = decode_gtf1(&bytes)?;
+                NdArray::from_vec(
+                    vec![Dim::new("y", h.rows as usize), Dim::new("x", h.cols as usize)],
+                    payload,
+                )
+                .map_err(|e| VaultError::Database(e.to_string()))?
+            }
+            FormatKind::Shp1 => {
+                return Err(VaultError::Malformed(format!(
+                    "{name} is a geometry set, not a raster"
+                )))
+            }
+        };
+        self.db.put_array(&array_name, array);
+        self.stats.materializations += 1;
+        self.touch(&array_name);
+        self.evict_if_needed();
+        Ok(())
+    }
+
+    fn touch(&mut self, array_name: &str) {
+        if let Some(pos) = self.lru.iter().position(|n| n == array_name) {
+            self.lru.remove(pos);
+        }
+        self.lru.push(array_name.to_string());
+    }
+
+    fn evict_if_needed(&mut self) {
+        if self.cache_capacity == 0 {
+            return;
+        }
+        while self.lru.len() > self.cache_capacity {
+            let victim = self.lru.remove(0);
+            if self.db.drop_array(&victim).is_ok() {
+                self.stats.evictions += 1;
+            }
+        }
+    }
+
+    /// Number of arrays currently resident.
+    pub fn resident_arrays(&self) -> usize {
+        self.lru.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::{encode_sev1, encode_shp1, Sev1Header};
+    use teleios_geo::Coord;
+
+    fn scene_bytes(rows: u32, cols: u32, bbox: (f64, f64, f64, f64), fill: f64) -> bytes::Bytes {
+        let h = Sev1Header {
+            rows,
+            cols,
+            bands: 1,
+            acquisition: "2007-08-25T12:00:00Z".into(),
+            bbox,
+        };
+        encode_sev1(&h, &vec![fill; (rows * cols) as usize]).unwrap()
+    }
+
+    fn vault_with(n: usize, policy: IngestionPolicy, cache: usize) -> DataVault {
+        let mut repo = Repository::new();
+        for i in 0..n {
+            let x = i as f64;
+            repo.put(
+                format!("scene-{i:03}.sev1"),
+                scene_bytes(4, 4, (x, 0.0, x + 1.0, 1.0), i as f64),
+            );
+        }
+        let mut v = DataVault::new(repo, Catalog::new(), policy, cache);
+        v.register_all().unwrap();
+        v
+    }
+
+    #[test]
+    fn lazy_defers_materialization() {
+        let mut v = vault_with(10, IngestionPolicy::Lazy, 0);
+        assert_eq!(v.stats().registrations, 10);
+        assert_eq!(v.stats().materializations, 0);
+        let a = v.array_for("scene-003.sev1").unwrap();
+        assert_eq!(a.shape(), vec![1, 4, 4]);
+        assert_eq!(a.data()[0], 3.0);
+        assert_eq!(v.stats().materializations, 1);
+        assert_eq!(v.stats().cache_misses, 1);
+    }
+
+    #[test]
+    fn eager_materializes_everything() {
+        let v = vault_with(10, IngestionPolicy::Eager, 0);
+        assert_eq!(v.stats().materializations, 10);
+        assert_eq!(v.resident_arrays(), 10);
+    }
+
+    #[test]
+    fn second_access_hits_cache() {
+        let mut v = vault_with(5, IngestionPolicy::Lazy, 0);
+        v.array_for("scene-001.sev1").unwrap();
+        v.array_for("scene-001.sev1").unwrap();
+        assert_eq!(v.stats().materializations, 1);
+        assert_eq!(v.stats().cache_hits, 1);
+    }
+
+    #[test]
+    fn cache_evicts_lru() {
+        let mut v = vault_with(5, IngestionPolicy::Lazy, 2);
+        v.array_for("scene-000.sev1").unwrap();
+        v.array_for("scene-001.sev1").unwrap();
+        v.array_for("scene-002.sev1").unwrap(); // evicts 000
+        assert_eq!(v.resident_arrays(), 2);
+        assert_eq!(v.stats().evictions, 1);
+        // Re-access of the evicted scene re-materializes.
+        v.array_for("scene-000.sev1").unwrap();
+        assert_eq!(v.stats().materializations, 4);
+    }
+
+    #[test]
+    fn lru_touch_on_hit() {
+        let mut v = vault_with(3, IngestionPolicy::Lazy, 2);
+        v.array_for("scene-000.sev1").unwrap();
+        v.array_for("scene-001.sev1").unwrap();
+        v.array_for("scene-000.sev1").unwrap(); // refresh 000
+        v.array_for("scene-002.sev1").unwrap(); // evicts 001, not 000
+        assert!(v.database().has_array(&DataVault::array_name("scene-000.sev1")));
+        assert!(!v.database().has_array(&DataVault::array_name("scene-001.sev1")));
+    }
+
+    #[test]
+    fn materialize_window_touches_only_covering() {
+        let mut v = vault_with(10, IngestionPolicy::Lazy, 0);
+        let window = Envelope::new(Coord::new(2.5, 0.2), Coord::new(4.5, 0.8));
+        let names = v.materialize_window(&window).unwrap();
+        assert_eq!(names.len(), 3); // scenes 2, 3, 4
+        assert_eq!(v.stats().materializations, 3);
+    }
+
+    #[test]
+    fn shp1_records_roundtrip() {
+        let mut repo = Repository::new();
+        repo.put(
+            "hotspots.shp1",
+            encode_shp1(&[Shp1Record { wkt: "POINT (1 2)".into(), label: "fire".into() }]),
+        );
+        let mut v = DataVault::new(repo, Catalog::new(), IngestionPolicy::Lazy, 0);
+        v.register_all().unwrap();
+        let recs = v.records_for("hotspots.shp1").unwrap();
+        assert_eq!(recs.len(), 1);
+        assert!(v.array_for("hotspots.shp1").is_err());
+    }
+
+    #[test]
+    fn unknown_file_errors() {
+        let mut v = vault_with(1, IngestionPolicy::Lazy, 0);
+        assert!(matches!(v.array_for("nope.sev1"), Err(VaultError::UnknownFile(_))));
+        assert!(matches!(v.register("nope.sev1"), Err(VaultError::UnknownFile(_))));
+    }
+
+    #[test]
+    fn unregistered_file_not_found_by_array_for() {
+        let mut repo = Repository::new();
+        repo.put("late.sev1", scene_bytes(2, 2, (0.0, 0.0, 1.0, 1.0), 1.0));
+        let mut v = DataVault::new(repo, Catalog::new(), IngestionPolicy::Lazy, 0);
+        assert!(v.array_for("late.sev1").is_err());
+        v.register("late.sev1").unwrap();
+        assert!(v.array_for("late.sev1").is_ok());
+    }
+
+    #[test]
+    fn catalog_survives_export_import() {
+        let v = vault_with(5, IngestionPolicy::Lazy, 0);
+        let json = v.export_catalog();
+        // A fresh vault over the same repository restores discovery
+        // without re-registering.
+        let mut v2 = DataVault::new(v.repository().clone(), Catalog::new(), IngestionPolicy::Lazy, 0);
+        assert_eq!(v2.import_catalog(&json).unwrap(), 5);
+        assert_eq!(v2.catalog().len(), 5);
+        assert_eq!(v2.stats().registrations, 0); // no header parses needed
+        let a = v2.array_for("scene-002.sev1").unwrap();
+        assert_eq!(a.data()[0], 2.0);
+        assert!(v2.import_catalog("garbage").is_err());
+    }
+
+    #[test]
+    fn eager_vs_lazy_cost_shape() {
+        // The E5 claim in miniature: with 10% access, lazy does ~10% of
+        // the conversions eager does.
+        let mut lazy = vault_with(50, IngestionPolicy::Lazy, 0);
+        for i in 0..5 {
+            lazy.array_for(&format!("scene-{:03}.sev1", i * 10)).unwrap();
+        }
+        let eager = vault_with(50, IngestionPolicy::Eager, 0);
+        assert_eq!(lazy.stats().materializations, 5);
+        assert_eq!(eager.stats().materializations, 50);
+    }
+}

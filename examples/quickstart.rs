@@ -1,0 +1,69 @@
+//! Quickstart: stand up a Virtual Earth Observatory, acquire a scene,
+//! run the fire-monitoring chain, and query the results three ways
+//! (stSPARQL, SciQL, SQL).
+//!
+//! Run with: `cargo run --example quickstart`
+
+use teleios::core::observatory::AcquisitionSpec;
+use teleios::core::{portal, Observatory};
+use teleios::noa::ProcessingChain;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A deterministic world: coastline, land cover, cities, temples,
+    // roads — all published as linked data in Strabon.
+    let mut obs = Observatory::with_defaults(42);
+    println!("{}", portal::overview(&obs));
+
+    // Simulate one MSG/SEVIRI acquisition with a forest fire.
+    let id = obs.acquire_scene(&AcquisitionSpec::small_test(7))?;
+    println!("acquired product {id} (metadata cataloged; payload still cold in the vault)\n");
+
+    // Run the five-module NOA processing chain.
+    let report = obs.run_chain(&id, &ProcessingChain::operational())?;
+    println!(
+        "chain '{}' detected {} hotspot pixel(s) in {} feature(s); timings: \
+         ingest {:?}, crop {:?}, georef {:?}, classify {:?}, shapefile {:?}\n",
+        report.derived_id,
+        report.output.hotspot_pixels(),
+        report.output.features.len(),
+        report.output.timings.ingest,
+        report.output.timings.crop,
+        report.output.timings.georef,
+        report.output.timings.classify,
+        report.output.timings.shapefile,
+    );
+
+    // 1. stSPARQL: semantic discovery over products and hotspots.
+    let sols = obs.search(
+        "PREFIX noa: <http://teleios.di.uoa.gr/ontologies/noaOntology.owl#>\n\
+         PREFIX strdf: <http://strdf.di.uoa.gr/ontology#>\n\
+         SELECT ?h ?c WHERE { ?h a noa:Hotspot ; noa:hasConfidence ?c } ORDER BY DESC(?c) LIMIT 5",
+    )?;
+    println!("top hotspots by confidence (stSPARQL):\n{}", sols.to_text());
+
+    // 2. SciQL: declarative array processing over the ingested band.
+    let mean = obs.sciql(&format!("SELECT AVG(v) FROM {id}_band1"))?.scalar()?;
+    println!("scene mean IR_039 brightness temperature (SciQL): {mean:.1} K\n");
+
+    // 3. SQL: the relational side of the catalog.
+    obs.sql("CREATE TABLE runs (product STRING, chain STRING, hotspots INT)")?;
+    obs.sql(&format!(
+        "INSERT INTO runs VALUES ('{id}', '{}', {})",
+        report.derived_id,
+        report.output.hotspot_pixels()
+    ))?;
+    let rs = obs.sql("SELECT * FROM runs")?;
+    println!("run log (SQL):\n{}", rs.to_text());
+
+    // Peek at the query plan Strabon chose (optimizer + spatial index).
+    let plan = obs.strabon.explain(
+        "PREFIX noa: <http://teleios.di.uoa.gr/ontologies/noaOntology.owl#>\n\
+         PREFIX strdf: <http://strdf.di.uoa.gr/ontology#>\n\
+         SELECT ?h WHERE { ?h a noa:Hotspot ; strdf:hasGeometry ?g . \
+           FILTER(strdf:intersects(?g, \"POLYGON ((21 36, 24 36, 24 39, 21 39, 21 36))\"^^strdf:WKT)) }",
+    )?;
+    println!("query plan:\n{plan}");
+
+    println!("{}", portal::overview(&obs));
+    Ok(())
+}

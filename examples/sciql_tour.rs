@@ -1,0 +1,71 @@
+//! A tour of the SciQL array query language: the declarative image
+//! processing surface of the database tier (paper §1: cropping,
+//! resampling, content analysis "in a user-friendly high-level
+//! declarative language").
+//!
+//! Run with: `cargo run --example sciql_tour`
+
+use teleios::monet::Catalog;
+use teleios::sciql::{execute, SciqlResult};
+
+fn show(cat: &Catalog, label: &str, q: &str) -> Result<(), Box<dyn std::error::Error>> {
+    print!("{label}\n  sciql> {q}\n  ");
+    match execute(cat, q)? {
+        SciqlResult::Done => println!("ok\n"),
+        SciqlResult::Scalar(s) => println!("= {s}\n"),
+        SciqlResult::Array(a) => {
+            println!("= array {:?} ({} cells)", a.shape(), a.len());
+            if a.ndim() == 2 && a.shape()[0] <= 8 && a.shape()[1] <= 8 {
+                let cols = a.shape()[1];
+                for r in 0..a.shape()[0] {
+                    let row: Vec<String> = (0..cols)
+                        .map(|c| format!("{:6.1}", a.get(&[r, c]).expect("in range")))
+                        .collect();
+                    println!("    {}", row.join(" "));
+                }
+            }
+            println!();
+        }
+    }
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cat = Catalog::new();
+
+    // Create an 8x8 "thermal image" array and paint a hot blob into it.
+    show(
+        &cat,
+        "1. arrays are first-class objects:",
+        "CREATE ARRAY ir (y INT DIMENSION [8], x INT DIMENSION [8], v DOUBLE DEFAULT 300)",
+    )?;
+    show(
+        &cat,
+        "2. in-place updates over a slice (a synthetic fire):",
+        "UPDATE ir[2..5, 2..5] SET v = 340 + x - y",
+    )?;
+    show(&cat, "3. element-wise queries produce new arrays:", "SELECT v - 300 FROM ir")?;
+    show(&cat, "4. slicing crops without leaving the language:", "SELECT v FROM ir[0..4, 0..4]")?;
+    show(
+        &cat,
+        "5. full reductions:",
+        "SELECT MAX(v) FROM ir",
+    )?;
+    show(
+        &cat,
+        "6. structural group-by (SciQL's tiles) downsamples:",
+        "SELECT AVG(v) FROM ir GROUP BY TILES [4, 4]",
+    )?;
+    show(
+        &cat,
+        "7. classification as a CASE expression (the NOA hotspot step):",
+        "SELECT CASE WHEN v > 318 THEN 1 ELSE 0 END FROM ir",
+    )?;
+    show(
+        &cat,
+        "8. dimension variables join content with position:",
+        "SELECT SUM(CASE WHEN v > 318 AND x < 4 THEN 1 ELSE 0 END) FROM ir",
+    )?;
+    show(&cat, "9. arrays are managed like tables:", "DROP ARRAY ir")?;
+    Ok(())
+}
