@@ -13,6 +13,15 @@ pub enum ObservatoryError {
     Vault(teleios_vault::VaultError),
     /// Unknown product identifier.
     UnknownProduct(String),
+    /// A processing-chain run failed for one specific product; the
+    /// underlying failure is preserved so batch supervision can report
+    /// it per scene.
+    Chain {
+        /// The product whose chain run failed.
+        product_id: String,
+        /// The underlying failure.
+        source: Box<ObservatoryError>,
+    },
 }
 
 impl fmt::Display for ObservatoryError {
@@ -22,6 +31,9 @@ impl fmt::Display for ObservatoryError {
             ObservatoryError::Strabon(e) => write!(f, "strabon: {e}"),
             ObservatoryError::Vault(e) => write!(f, "vault: {e}"),
             ObservatoryError::UnknownProduct(p) => write!(f, "unknown product: {p}"),
+            ObservatoryError::Chain { product_id, source } => {
+                write!(f, "chain failed on {product_id}: {source}")
+            }
         }
     }
 }
@@ -61,5 +73,18 @@ mod tests {
             ObservatoryError::UnknownProduct("p".into()).to_string(),
             "unknown product: p"
         );
+    }
+
+    #[test]
+    fn chain_variant_names_the_product_and_keeps_the_source() {
+        let source = ObservatoryError::Vault(teleios_vault::VaultError::Corrupt("bits".into()));
+        let e = ObservatoryError::Chain {
+            product_id: "scene_0007".into(),
+            source: Box::new(source.clone()),
+        };
+        let text = e.to_string();
+        assert!(text.contains("scene_0007"));
+        assert!(text.contains("corrupt"));
+        assert!(matches!(e, ObservatoryError::Chain { source: s, .. } if *s == source));
     }
 }

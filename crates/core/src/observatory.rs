@@ -18,6 +18,7 @@ use teleios_noa::refine::{
     publish_hotspots, refine_against_landmass, RefineStats,
 };
 use teleios_noa::ProcessingChain;
+use teleios_resilience::{BatchReport, SceneOutcome, SceneReport, Supervisor};
 use teleios_sciql::SciqlResult;
 use teleios_strabon::{Solutions, Strabon};
 use teleios_vault::format::{encode_gtf1, encode_sev1, Gtf1Header, Sev1Header};
@@ -218,13 +219,19 @@ impl Observatory {
             .ok_or_else(|| ObservatoryError::UnknownProduct(product_id.to_string()))
     }
 
-    /// Run a processing chain on a product: the five modules execute,
-    /// the derived product is described in Strabon, and the hotspot
-    /// shapefile is published as stRDF.
-    pub fn run_chain(&mut self, product_id: &str, chain: &ProcessingChain) -> Result<ChainReport> {
-        let raster = self.raster_for(product_id)?;
-        let output = chain.run(&self.db, product_id, &raster)?;
-        let derived_id = format!("{product_id}-{}", chain.id());
+    /// Describe, publish and archive one chain output: derived-product
+    /// metadata in Strabon, hotspot features as stRDF, and the hotspot
+    /// mask back into the vault as a `.gtf1` product. `chain_id` names
+    /// the chain variant that actually produced the output (a degraded
+    /// variant under supervision). Returns the derived product id and
+    /// the number of features published.
+    fn publish_chain_output(
+        &mut self,
+        product_id: &str,
+        chain_id: &str,
+        output: &ChainOutput,
+    ) -> Result<(String, usize)> {
+        let derived_id = format!("{product_id}-{chain_id}");
 
         // Derived-product metadata.
         let footprint = teleios_geo::Geometry::Polygon(
@@ -233,14 +240,14 @@ impl Observatory {
         metadata::describe_derived(
             &derived_id,
             product_id,
-            &chain.id(),
+            chain_id,
             &footprint,
             self.strabon.store_mut(),
         );
 
         // Publish the shapefile.
         let features_published =
-            publish_hotspots(&output.features, product_id, &chain.id(), &mut self.strabon);
+            publish_hotspots(&output.features, product_id, chain_id, &mut self.strabon);
 
         // Archive the derived hotspot mask back into the vault as a
         // georeferenced `.gtf1` product, so later sessions can discover
@@ -257,7 +264,103 @@ impl Observatory {
         self.vault.repository_mut().put(&file, bytes);
         self.vault.register(&file)?;
 
+        Ok((derived_id, features_published))
+    }
+
+    /// Run a processing chain on a product: the five modules execute,
+    /// the derived product is described in Strabon, and the hotspot
+    /// shapefile is published as stRDF. Failures (other than an unknown
+    /// product id) come back as [`ObservatoryError::Chain`] naming the
+    /// product.
+    pub fn run_chain(&mut self, product_id: &str, chain: &ProcessingChain) -> Result<ChainReport> {
+        self.run_chain_inner(product_id, chain).map_err(|e| match e {
+            e @ ObservatoryError::UnknownProduct(_) => e,
+            other => ObservatoryError::Chain {
+                product_id: product_id.to_string(),
+                source: Box::new(other),
+            },
+        })
+    }
+
+    fn run_chain_inner(
+        &mut self,
+        product_id: &str,
+        chain: &ProcessingChain,
+    ) -> Result<ChainReport> {
+        let raster = self.raster_for(product_id)?;
+        let output = chain.run(&self.db, product_id, &raster)?;
+        let (derived_id, features_published) =
+            self.publish_chain_output(product_id, &chain.id(), &output)?;
         Ok(ChainReport { derived_id, output, features_published })
+    }
+
+    /// Run a processing chain over many products under supervision:
+    /// per-scene isolation, retry/backoff and degraded-mode fallbacks
+    /// per the [`Supervisor`]. Scenes whose vault load fails (unknown
+    /// product, quarantined or corrupt file) become `Failed` reports —
+    /// they never abort the batch or stop healthy scenes. Successful
+    /// outputs are described, published and archived exactly like
+    /// [`Self::run_chain`] products, labeled with the chain variant
+    /// that produced them. Reports come back in input order.
+    pub fn run_chain_batch(
+        &mut self,
+        product_ids: &[String],
+        chain: &ProcessingChain,
+        supervisor: &Supervisor,
+    ) -> Result<BatchReport> {
+        // Load scenes through the Data Vault; a failed load is a
+        // per-scene failure, not a batch error.
+        let mut loaded: Vec<(String, GeoRaster)> = Vec::new();
+        let mut load_failed: HashMap<String, String> = HashMap::new();
+        for id in product_ids {
+            match self.raster_for(id) {
+                Ok(raster) => loaded.push((id.clone(), raster)),
+                Err(e) => {
+                    let e = ObservatoryError::Chain {
+                        product_id: id.clone(),
+                        source: Box::new(e),
+                    };
+                    load_failed.insert(id.clone(), e.to_string());
+                }
+            }
+        }
+
+        let supervised = supervisor.run_batch(&self.db, chain, &loaded);
+        let wall_clock = supervised.wall_clock;
+        let mut by_id: HashMap<String, SceneReport> = supervised
+            .scenes
+            .into_iter()
+            .map(|s| (s.product_id.clone(), s))
+            .collect();
+
+        let mut scenes = Vec::with_capacity(product_ids.len());
+        for id in product_ids {
+            if let Some(reason) = load_failed.remove(id) {
+                scenes.push(SceneReport {
+                    product_id: id.clone(),
+                    outcome: SceneOutcome::Failed { reason },
+                    output: None,
+                    chain_id: chain.id(),
+                    attempts: 0,
+                });
+                continue;
+            }
+            let Some(mut report) = by_id.remove(id) else {
+                continue; // duplicate id in the input; first report won
+            };
+            if let Some(output) = report.output.take() {
+                match self.publish_chain_output(id, &report.chain_id, &output) {
+                    Ok(_) => report.output = Some(output),
+                    Err(e) => {
+                        report.outcome = SceneOutcome::Failed {
+                            reason: format!("publishing {id} failed: {e}"),
+                        };
+                    }
+                }
+            }
+            scenes.push(report);
+        }
+        Ok(BatchReport { scenes, wall_clock })
     }
 
     /// Reload a previously archived derived product (the hotspot mask)
@@ -610,5 +713,95 @@ mod tests {
         let b = obs.acquire_scene(&AcquisitionSpec::small_test(2)).unwrap();
         assert_ne!(a, b);
         assert_eq!(obs.product_ids(), vec![a, b]);
+    }
+
+    #[test]
+    fn run_chain_wraps_failures_with_the_product_id() {
+        let mut obs = observatory();
+        // Unknown products keep their dedicated error...
+        assert!(matches!(
+            obs.run_chain("nope", &ProcessingChain::operational()),
+            Err(ObservatoryError::UnknownProduct(_))
+        ));
+        // ...while a real chain failure names the product.
+        let id = obs.acquire_scene(&AcquisitionSpec::small_test(60)).unwrap();
+        let mut plan = teleios_resilience::FaultPlan::new();
+        plan.inject(id.clone(), teleios_resilience::Fault::CorruptPayload);
+        plan.apply_to_repository(obs.vault.repository_mut());
+        let err = obs.run_chain(&id, &ProcessingChain::operational()).unwrap_err();
+        assert!(matches!(&err, ObservatoryError::Chain { product_id, .. } if *product_id == id));
+        assert!(err.to_string().contains("corrupt"));
+    }
+
+    #[test]
+    fn run_chain_batch_supervises_and_publishes() {
+        use teleios_resilience::RetryPolicy;
+        let mut obs = observatory();
+        let mut ids = Vec::new();
+        for i in 0..3 {
+            ids.push(obs.acquire_scene(&AcquisitionSpec::small_test(40 + i)).unwrap());
+        }
+        // Ask for an unknown product too: it must fail alone.
+        let mut requested = ids.clone();
+        requested.push("ghost".to_string());
+        let supervisor = Supervisor::new(RetryPolicy::no_backoff(1));
+        let report = obs
+            .run_chain_batch(&requested, &ProcessingChain::operational(), &supervisor)
+            .unwrap();
+        assert_eq!(report.scenes.len(), 4);
+        assert_eq!(report.succeeded_count(), 3);
+        assert_eq!(report.failed_count(), 1);
+        let ghost = report.report_for("ghost").unwrap();
+        assert!(
+            matches!(&ghost.outcome, SceneOutcome::Failed { reason } if reason.contains("ghost"))
+        );
+        // Healthy scenes were published and archived like run_chain's.
+        for id in &ids {
+            let scene = report.report_for(id).unwrap();
+            assert_eq!(scene.outcome, SceneOutcome::Ok);
+            assert!(scene.output.is_some());
+            assert!(obs
+                .vault
+                .catalog()
+                .get(&format!("{id}-threshold-318.gtf1"))
+                .is_some());
+        }
+        let hotspots = obs
+            .search(
+                "PREFIX noa: <http://teleios.di.uoa.gr/ontologies/noaOntology.owl#> \
+                 SELECT ?h WHERE { ?h a noa:Hotspot }",
+            )
+            .unwrap();
+        assert!(!hotspots.is_empty());
+    }
+
+    #[test]
+    fn run_chain_batch_quarantines_corrupt_scenes_without_losing_healthy_ones() {
+        use teleios_resilience::{Fault, FaultPlan, RetryPolicy};
+        let mut obs = observatory();
+        let mut spec = AcquisitionSpec::small_test(50);
+        spec.cloud_cover = 0.0;
+        let a = obs.acquire_scene(&spec).unwrap();
+        let b = obs.acquire_scene(&AcquisitionSpec::small_test(51)).unwrap();
+        let mut plan = FaultPlan::new();
+        plan.inject(b.clone(), Fault::CorruptPayload);
+        assert_eq!(plan.apply_to_repository(obs.vault.repository_mut()), 1);
+
+        let supervisor = Supervisor::new(RetryPolicy::no_backoff(1));
+        let report = obs
+            .run_chain_batch(
+                &[a.clone(), b.clone()],
+                &ProcessingChain::operational(),
+                &supervisor,
+            )
+            .unwrap();
+        assert_eq!(report.report_for(&a).unwrap().outcome, SceneOutcome::Ok);
+        let bad = report.report_for(&b).unwrap();
+        assert!(
+            matches!(&bad.outcome, SceneOutcome::Failed { reason } if reason.contains("corrupt"))
+        );
+        // The corrupt file sits in quarantine with its stats counted.
+        assert!(obs.vault.is_quarantined(&format!("{b}.sev1")));
+        assert_eq!(obs.vault.stats().decode_failures, 1);
     }
 }

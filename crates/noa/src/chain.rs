@@ -7,12 +7,15 @@
 
 use crate::hotspot::HotspotClassifier;
 use crate::shapefile::{mask_to_features, HotspotFeature};
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 use teleios_geo::Envelope;
 use teleios_ingest::georef;
 use teleios_ingest::raster::{GeoRaster, GeoTransform};
 use teleios_monet::array::NdArray;
-use teleios_monet::{Catalog, Result};
+use teleios_monet::{Catalog, DbError, Result};
 
 /// Per-stage wall-clock timings.
 #[derive(Debug, Clone, Copy, Default)]
@@ -36,8 +39,44 @@ impl StageTimings {
     }
 }
 
+/// One of the five chain modules, as seen by [`StageHook`]s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChainStage {
+    /// (a) ingestion into database arrays.
+    Ingest,
+    /// (b) cropping.
+    Crop,
+    /// (c) georeferencing.
+    Georef,
+    /// (d) classification.
+    Classify,
+    /// (e) shapefile generation.
+    Shapefile,
+}
+
+impl fmt::Display for ChainStage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            ChainStage::Ingest => "ingest",
+            ChainStage::Crop => "crop",
+            ChainStage::Georef => "georef",
+            ChainStage::Classify => "classify",
+            ChainStage::Shapefile => "shapefile",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Hook invoked at the start of every chain stage with the product id,
+/// the stage, and the chain configuration about to execute. Returning
+/// `Err` fails that stage for that scene; panicking simulates a worker
+/// crash. `teleios-resilience` threads its deterministic fault plans
+/// through this to test supervised execution offline; tracing and
+/// metrics collectors fit here too.
+pub type StageHook = Arc<dyn Fn(&str, ChainStage, &ProcessingChain) -> Result<()> + Send + Sync>;
+
 /// The configured chain.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct ProcessingChain {
     /// Classification submodule (module (d)).
     pub classifier: HotspotClassifier,
@@ -46,6 +85,20 @@ pub struct ProcessingChain {
     /// Optional georeferencing target grid (module (c)):
     /// (transform, rows, cols).
     pub target_grid: Option<(GeoTransform, usize, usize)>,
+    /// Optional per-stage hook (fault injection, tracing). `None` in
+    /// production chains.
+    pub stage_hook: Option<StageHook>,
+}
+
+impl fmt::Debug for ProcessingChain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ProcessingChain")
+            .field("classifier", &self.classifier)
+            .field("crop_window", &self.crop_window)
+            .field("target_grid", &self.target_grid)
+            .field("stage_hook", &self.stage_hook.as_ref().map(|_| "<hook>"))
+            .finish()
+    }
 }
 
 impl ProcessingChain {
@@ -55,12 +108,27 @@ impl ProcessingChain {
             classifier: HotspotClassifier::default_operational(),
             crop_window: None,
             target_grid: None,
+            stage_hook: None,
         }
+    }
+
+    /// The same chain with a per-stage hook installed.
+    pub fn with_stage_hook(mut self, hook: StageHook) -> ProcessingChain {
+        self.stage_hook = Some(hook);
+        self
     }
 
     /// Chain identifier (used in product metadata).
     pub fn id(&self) -> String {
         self.classifier.id()
+    }
+
+    /// Fire the stage hook, if any.
+    fn fire_hook(&self, product_id: &str, stage: ChainStage) -> Result<()> {
+        match &self.stage_hook {
+            Some(hook) => hook(product_id, stage, self),
+            None => Ok(()),
+        }
     }
 
     /// Run the chain on a scene raster.
@@ -77,6 +145,7 @@ impl ProcessingChain {
         let mut timings = StageTimings::default();
 
         // (a) ingestion: bands become database arrays.
+        self.fire_hook(product_id, ChainStage::Ingest)?;
         let t0 = Instant::now();
         for b in 0..raster.bands() {
             catalog.put_array(&format!("{product_id}_band{b}"), raster.band(b)?);
@@ -84,6 +153,7 @@ impl ProcessingChain {
         timings.ingest = t0.elapsed();
 
         // (b) cropping.
+        self.fire_hook(product_id, ChainStage::Crop)?;
         let t0 = Instant::now();
         let cropped = match &self.crop_window {
             Some(w) => georef::crop(raster, w)?,
@@ -92,6 +162,7 @@ impl ProcessingChain {
         timings.crop = t0.elapsed();
 
         // (c) georeferencing.
+        self.fire_hook(product_id, ChainStage::Georef)?;
         let t0 = Instant::now();
         let referenced = match &self.target_grid {
             Some((transform, rows, cols)) => {
@@ -102,12 +173,14 @@ impl ProcessingChain {
         timings.georef = t0.elapsed();
 
         // (d) classification.
+        self.fire_hook(product_id, ChainStage::Classify)?;
         let t0 = Instant::now();
         let mask = self.classifier.classify(&referenced)?;
         timings.classify = t0.elapsed();
         catalog.put_array(&format!("{product_id}_hotspots"), mask.clone());
 
         // (e) shapefile generation.
+        self.fire_hook(product_id, ChainStage::Shapefile)?;
         let t0 = Instant::now();
         let features = mask_to_features(&mask, &referenced.geo)?;
         timings.shapefile = t0.elapsed();
@@ -116,32 +189,87 @@ impl ProcessingChain {
     }
 }
 
+/// Extract a human-readable message from a panic payload.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
 impl ProcessingChain {
     /// Run the chain over a batch of scenes in parallel (one worker per
-    /// scene, scoped threads). Outputs come back in input order; any
-    /// failure aborts the batch. NOA's service processes each rapid-scan
-    /// timestep's scenes concurrently — this is that path.
-    pub fn run_many(
+    /// scene, scoped threads), with per-scene panic isolation: a worker
+    /// panic becomes an `Err` for that scene only and NEVER aborts the
+    /// process. Outputs come back in input order. NOA's service processes
+    /// each rapid-scan timestep's scenes concurrently — this is that
+    /// path; `teleios-resilience::Supervisor` adds retry and degraded
+    /// modes on top of it.
+    pub fn run_many_isolated(
         &self,
         catalog: &Catalog,
         scenes: &[(String, GeoRaster)],
-    ) -> Result<Vec<ChainOutput>> {
-        let results: Vec<Result<ChainOutput>> = crossbeam::thread::scope(|scope| {
+    ) -> Vec<Result<ChainOutput>> {
+        let run = crossbeam::thread::scope(|scope| {
             let handles: Vec<_> = scenes
                 .iter()
                 .map(|(id, raster)| {
                     let chain = self.clone();
                     let catalog = catalog.clone();
-                    scope.spawn(move |_| chain.run(&catalog, id, raster))
+                    scope.spawn(move |_| {
+                        catch_unwind(AssertUnwindSafe(|| chain.run(&catalog, id, raster)))
+                            .unwrap_or_else(|payload| {
+                                Err(DbError::Execution(format!(
+                                    "chain worker panicked on {id}: {}",
+                                    panic_message(payload.as_ref())
+                                )))
+                            })
+                    })
                 })
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("chain worker panicked"))
-                .collect()
-        })
-        .expect("scope");
-        results.into_iter().collect()
+                .zip(scenes)
+                .map(|(h, (id, _))| {
+                    h.join().unwrap_or_else(|payload| {
+                        Err(DbError::Execution(format!(
+                            "chain worker for {id} could not be joined: {}",
+                            panic_message(payload.as_ref())
+                        )))
+                    })
+                })
+                .collect::<Vec<Result<ChainOutput>>>()
+        });
+        match run {
+            Ok(results) => results,
+            // Unreachable in practice (workers catch their own panics),
+            // but still: degrade to per-scene errors, never abort.
+            Err(payload) => {
+                let msg = panic_message(payload.as_ref());
+                scenes
+                    .iter()
+                    .map(|(id, _)| {
+                        Err(DbError::Execution(format!(
+                            "chain worker pool panicked while {id} was in flight: {msg}"
+                        )))
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// All-or-nothing batch wrapper over [`Self::run_many_isolated`]:
+    /// the first per-scene failure is returned as the batch error (the
+    /// other scenes still ran to completion — nothing aborts).
+    pub fn run_many(
+        &self,
+        catalog: &Catalog,
+        scenes: &[(String, GeoRaster)],
+    ) -> Result<Vec<ChainOutput>> {
+        self.run_many_isolated(catalog, scenes).into_iter().collect()
     }
 }
 
@@ -250,15 +378,13 @@ mod tests {
         let raster = scene().raster;
         let plain = ProcessingChain {
             classifier: HotspotClassifier::Threshold { kelvin: 318.0 },
-            crop_window: None,
-            target_grid: None,
+            ..ProcessingChain::operational()
         }
         .run(&cat, "a", &raster)
         .unwrap();
         let strict = ProcessingChain {
             classifier: HotspotClassifier::Threshold { kelvin: 340.0 },
-            crop_window: None,
-            target_grid: None,
+            ..ProcessingChain::operational()
         }
         .run(&cat, "b", &raster)
         .unwrap();
@@ -301,5 +427,62 @@ mod tests {
     #[test]
     fn chain_ids() {
         assert_eq!(ProcessingChain::operational().id(), "threshold-318");
+    }
+
+    fn batch_scenes(n: usize) -> Vec<(String, teleios_ingest::raster::GeoRaster)> {
+        (0..n)
+            .map(|i| {
+                let mut spec = SceneSpec::new(90 + i as u64, 32, 32, bbox());
+                spec.cloud_cover = 0.0;
+                spec.fires.push(FireEvent {
+                    center: Coord::new(21.6, 37.4),
+                    radius: 0.08,
+                    intensity: 0.9,
+                });
+                (format!("iso{i}"), generate(&spec, &surface).unwrap().raster)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn worker_panic_is_isolated_per_scene() {
+        let cat = Catalog::new();
+        let chain = ProcessingChain::operational().with_stage_hook(Arc::new(
+            |id: &str, stage: ChainStage, _chain: &ProcessingChain| {
+                if id == "iso1" && stage == ChainStage::Classify {
+                    panic!("injected worker panic");
+                }
+                Ok(())
+            },
+        ));
+        let scenes = batch_scenes(3);
+        let results = chain.run_many_isolated(&cat, &scenes);
+        assert_eq!(results.len(), 3);
+        assert!(results[0].is_ok());
+        let err = results[1].as_ref().unwrap_err().to_string();
+        assert!(err.contains("panicked"), "unexpected error: {err}");
+        assert!(err.contains("iso1"), "error should name the scene: {err}");
+        assert!(err.contains("injected worker panic"), "error should carry the payload: {err}");
+        assert!(results[2].is_ok());
+        // The all-or-nothing wrapper reports the failure as an Err —
+        // and the process is still alive to observe it.
+        assert!(chain.run_many(&cat, &scenes).is_err());
+    }
+
+    #[test]
+    fn stage_hook_error_fails_only_that_scene() {
+        let cat = Catalog::new();
+        let chain = ProcessingChain::operational().with_stage_hook(Arc::new(
+            |id: &str, stage: ChainStage, _chain: &ProcessingChain| {
+                if id == "iso0" && stage == ChainStage::Georef {
+                    return Err(teleios_monet::DbError::Execution("injected georef fault".into()));
+                }
+                Ok(())
+            },
+        ));
+        let scenes = batch_scenes(2);
+        let results = chain.run_many_isolated(&cat, &scenes);
+        assert!(results[0].is_err());
+        assert!(results[1].is_ok());
     }
 }

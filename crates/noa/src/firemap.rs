@@ -64,7 +64,7 @@ impl FireMap {
             "bbox": [self.region.min.x, self.region.min.y, self.region.max.x, self.region.max.y],
             "features": features,
         }))
-        .expect("geojson serializes")
+        .unwrap_or_else(|_| String::from("{\"type\":\"FeatureCollection\",\"features\":[]}"))
     }
 
     /// Text rendering (the demo's "visualization of the results").

@@ -1,3 +1,4 @@
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 //! # teleios-noa — the NOA fire-monitoring application
 //!
 //! The National Observatory of Athens real-time fire hotspot detection
@@ -33,5 +34,5 @@ pub mod hotspot;
 pub mod refine;
 pub mod shapefile;
 
-pub use chain::{ChainOutput, ProcessingChain};
+pub use chain::{ChainOutput, ChainStage, ProcessingChain, StageHook};
 pub use hotspot::HotspotClassifier;

@@ -156,7 +156,9 @@ pub fn features_to_mask(
             for c in 0..cols {
                 let center = geo.pixel_center(r, c);
                 if env.contains_coord(center) && polygon_covers_coord(poly, center) {
-                    out.set(&[r, c], 1.0).expect("in range");
+                    // r/c are bounded by the rows/cols the array was
+                    // built with; a failed set is unreachable.
+                    let _ = out.set(&[r, c], 1.0);
                 }
             }
         }

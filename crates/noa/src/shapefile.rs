@@ -137,7 +137,15 @@ fn polygonize_component(cells: &[(usize, usize)], geo: &GeoTransform) -> Result<
         let mut current = start;
         let mut incoming: Option<(i64, i64)> = None;
         loop {
-            let outs = edges.get_mut(&current).expect("edge chain is closed");
+            // Every boundary corner has as many outgoing as incoming
+            // edges, so the chain can only break on a logic bug — fail
+            // the feature instead of panicking the worker.
+            let Some(outs) = edges.get_mut(&current).filter(|o| !o.is_empty()) else {
+                return Err(teleios_monet::DbError::Execution(format!(
+                    "boundary edge chain broke at corner ({}, {})",
+                    current.0, current.1
+                )));
+            };
             let next = if outs.len() == 1 {
                 outs.remove(0)
             } else {

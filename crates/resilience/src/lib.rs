@@ -1,0 +1,36 @@
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+//! # teleios-resilience — fault-tolerant chain execution
+//!
+//! A real Virtual Earth Observatory ingests hundreds of scenes per day
+//! from an archive where bit rot, truncated writes, and flaky workers
+//! are routine; the paper's demo (§4) quietly assumes every MSG/SEVIRI
+//! acquisition decodes and classifies cleanly. This crate drops that
+//! assumption:
+//!
+//! * [`supervisor::Supervisor`] wraps [`teleios_noa::ProcessingChain`]
+//!   execution with **per-scene isolation** (a panicking worker fails
+//!   one scene, never the batch), **bounded retry with exponential
+//!   backoff** for transient faults, and **degraded-mode fallbacks**
+//!   (contextual classifier → plain threshold; georeferenced target
+//!   grid → native grid) so a partially broken chain still produces a
+//!   usable, honestly-labeled product. The result is a
+//!   [`supervisor::BatchReport`] with a per-scene outcome — `Ok`,
+//!   `Retried(n)`, `Degraded{from,to}` or `Failed{reason}` — instead of
+//!   an all-or-nothing `Result`.
+//! * [`fault::FaultPlan`] is a **seeded, deterministic fault-injection
+//!   harness**: it corrupts vault payloads, truncates file headers, and
+//!   injects classifier errors, georeferencing errors, worker panics
+//!   and transient-then-succeed faults through the chain's
+//!   [`teleios_noa::StageHook`], so the supervisor's guarantees are
+//!   testable offline, scene by scene, with reproducible runs.
+//!
+//! The vault side of the story (payload checksums, quarantine lists,
+//! [`teleios_vault::DataVault::retry_quarantined`]) lives in
+//! `teleios-vault`; experiment E12 (`exp_fault_tolerance`) measures the
+//! whole stack end to end.
+
+pub mod fault;
+pub mod supervisor;
+
+pub use fault::{Fault, FaultPlan};
+pub use supervisor::{BatchReport, RetryPolicy, SceneOutcome, SceneReport, Supervisor};

@@ -1,0 +1,574 @@
+//! Supervised chain execution: retry, backoff, degraded modes.
+//!
+//! [`Supervisor::run_batch`] is the fault-tolerant counterpart of
+//! [`ProcessingChain::run_many_isolated`]: every scene gets its own
+//! worker, its own retry budget, and its own ladder of degraded chain
+//! variants, and the batch always returns a full [`BatchReport`] — one
+//! [`SceneReport`] per input scene, in input order, no matter what the
+//! workers did.
+//!
+//! The degraded ladder is cumulative and honest: first the classifier
+//! is downgraded to the plain operational threshold (the contextual and
+//! adaptive submodules have more ways to fail), then the target grid is
+//! dropped for the native scene grid. The report's `chain_id` names the
+//! variant that actually produced each product, so a degraded product
+//! is never mistaken for a nominal one downstream.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::thread;
+use std::time::{Duration, Instant};
+use teleios_ingest::raster::GeoRaster;
+use teleios_monet::Catalog;
+use teleios_noa::chain::panic_message;
+use teleios_noa::{ChainOutput, HotspotClassifier, ProcessingChain};
+
+/// Bounded retry with exponential backoff.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Extra attempts after the first (0 = no retries).
+    pub max_retries: u32,
+    /// Pause before the first retry.
+    pub base_backoff: Duration,
+    /// Multiplier applied to the pause per additional retry (as
+    /// integer percent: 200 = double each time).
+    pub multiplier_percent: u32,
+    /// Upper bound on any single pause (ignored when zero).
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 2,
+            base_backoff: Duration::from_millis(10),
+            multiplier_percent: 200,
+            max_backoff: Duration::from_millis(200),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that retries immediately — what tests and experiments
+    /// use so injected faults don't cost wall-clock sleeps.
+    pub fn no_backoff(max_retries: u32) -> RetryPolicy {
+        RetryPolicy {
+            max_retries,
+            base_backoff: Duration::ZERO,
+            multiplier_percent: 100,
+            max_backoff: Duration::ZERO,
+        }
+    }
+
+    /// The pause before retry number `retry` (1-based). Zero for
+    /// `retry == 0` or when no base backoff is configured.
+    pub fn backoff_for(&self, retry: u32) -> Duration {
+        if retry == 0 || self.base_backoff.is_zero() {
+            return Duration::ZERO;
+        }
+        let mut pause = self.base_backoff;
+        for _ in 1..retry {
+            pause = pause * self.multiplier_percent / 100;
+        }
+        if !self.max_backoff.is_zero() {
+            pause = pause.min(self.max_backoff);
+        }
+        pause
+    }
+}
+
+/// How one scene fared under supervision.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SceneOutcome {
+    /// Succeeded on the first attempt with the primary chain.
+    Ok,
+    /// Succeeded with the primary chain after this many retries.
+    Retried(u32),
+    /// Succeeded only on a degraded chain variant.
+    Degraded {
+        /// The primary chain's id.
+        from: String,
+        /// The variant that produced the product.
+        to: String,
+    },
+    /// Every attempt — retries and degraded variants — failed.
+    Failed {
+        /// The last error observed.
+        reason: String,
+    },
+}
+
+impl SceneOutcome {
+    /// True for every outcome that yielded a product.
+    pub fn succeeded(&self) -> bool {
+        !matches!(self, SceneOutcome::Failed { .. })
+    }
+}
+
+/// Per-scene supervision result.
+#[derive(Debug, Clone)]
+pub struct SceneReport {
+    /// The scene / product id.
+    pub product_id: String,
+    /// What happened.
+    pub outcome: SceneOutcome,
+    /// The chain output, when any attempt succeeded.
+    pub output: Option<ChainOutput>,
+    /// Id of the chain variant that produced `output` (the primary
+    /// chain's id for `Failed` scenes).
+    pub chain_id: String,
+    /// Total attempts spent, across retries and degraded variants.
+    pub attempts: u32,
+}
+
+/// The supervised batch result: one report per input scene, in input
+/// order.
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// Per-scene reports.
+    pub scenes: Vec<SceneReport>,
+    /// Wall-clock time for the whole batch.
+    pub wall_clock: Duration,
+}
+
+impl BatchReport {
+    /// Scenes that succeeded first try.
+    pub fn ok_count(&self) -> usize {
+        self.scenes.iter().filter(|s| matches!(s.outcome, SceneOutcome::Ok)).count()
+    }
+
+    /// Scenes that needed at least one retry.
+    pub fn retried_count(&self) -> usize {
+        self.scenes.iter().filter(|s| matches!(s.outcome, SceneOutcome::Retried(_))).count()
+    }
+
+    /// Scenes that fell back to a degraded chain variant.
+    pub fn degraded_count(&self) -> usize {
+        self.scenes.iter().filter(|s| matches!(s.outcome, SceneOutcome::Degraded { .. })).count()
+    }
+
+    /// Scenes with no product at all.
+    pub fn failed_count(&self) -> usize {
+        self.scenes.iter().filter(|s| matches!(s.outcome, SceneOutcome::Failed { .. })).count()
+    }
+
+    /// Scenes that produced a product (ok + retried + degraded).
+    pub fn succeeded_count(&self) -> usize {
+        self.scenes.iter().filter(|s| s.outcome.succeeded()).count()
+    }
+
+    /// The report for one scene id.
+    pub fn report_for(&self, product_id: &str) -> Option<&SceneReport> {
+        self.scenes.iter().find(|s| s.product_id == product_id)
+    }
+
+    /// One-line summary for logs and experiment tables.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} scenes: {} ok, {} retried, {} degraded, {} failed in {:.1?}",
+            self.scenes.len(),
+            self.ok_count(),
+            self.retried_count(),
+            self.degraded_count(),
+            self.failed_count(),
+            self.wall_clock
+        )
+    }
+}
+
+/// The cumulative ladder of degraded chain variants, most capable
+/// first. Labels name the variant for [`SceneReport::chain_id`] and
+/// [`SceneOutcome::Degraded`].
+fn degraded_variants(primary: &ProcessingChain) -> Vec<(String, ProcessingChain)> {
+    let mut variants = Vec::new();
+    let mut current = primary.clone();
+    let downgraded = match current.classifier {
+        HotspotClassifier::Threshold { .. } => None,
+        HotspotClassifier::Contextual { kelvin, .. } => {
+            Some(HotspotClassifier::Threshold { kelvin })
+        }
+        HotspotClassifier::Adaptive { .. } => Some(HotspotClassifier::default_operational()),
+    };
+    if let Some(classifier) = downgraded {
+        current.classifier = classifier;
+        variants.push((current.id(), current.clone()));
+    }
+    if current.target_grid.is_some() {
+        current.target_grid = None;
+        variants.push((format!("{}+native-grid", current.id()), current.clone()));
+    }
+    variants
+}
+
+/// Supervised executor for chain batches.
+#[derive(Debug, Clone, Copy)]
+pub struct Supervisor {
+    /// Retry/backoff policy applied per scene to the primary chain.
+    pub retry: RetryPolicy,
+    /// Whether to try degraded chain variants after the retry budget
+    /// is exhausted.
+    pub degraded_mode: bool,
+}
+
+impl Default for Supervisor {
+    fn default() -> Supervisor {
+        Supervisor::new(RetryPolicy::default())
+    }
+}
+
+impl Supervisor {
+    /// Supervisor with the given retry policy and degraded mode on.
+    pub fn new(retry: RetryPolicy) -> Supervisor {
+        Supervisor { retry, degraded_mode: true }
+    }
+
+    /// The same supervisor with degraded-mode fallbacks disabled:
+    /// scenes either succeed with the primary chain or fail.
+    pub fn without_degraded_mode(mut self) -> Supervisor {
+        self.degraded_mode = false;
+        self
+    }
+
+    /// One isolated attempt: panics become errors.
+    fn attempt(
+        catalog: &Catalog,
+        chain: &ProcessingChain,
+        product_id: &str,
+        raster: &GeoRaster,
+    ) -> std::result::Result<ChainOutput, String> {
+        match catch_unwind(AssertUnwindSafe(|| chain.run(catalog, product_id, raster))) {
+            Ok(Ok(output)) => Ok(output),
+            Ok(Err(e)) => Err(e.to_string()),
+            Err(payload) => Err(format!(
+                "chain worker panicked on {product_id}: {}",
+                panic_message(payload.as_ref())
+            )),
+        }
+    }
+
+    /// Supervise one scene: retry the primary chain within the budget,
+    /// then walk the degraded ladder. Never panics, never aborts.
+    pub fn run_scene(
+        &self,
+        catalog: &Catalog,
+        chain: &ProcessingChain,
+        product_id: &str,
+        raster: &GeoRaster,
+    ) -> SceneReport {
+        let mut attempts = 0u32;
+        let mut last_error = String::new();
+        for try_n in 0..=self.retry.max_retries {
+            attempts += 1;
+            match Self::attempt(catalog, chain, product_id, raster) {
+                Ok(output) => {
+                    let outcome = if try_n == 0 {
+                        SceneOutcome::Ok
+                    } else {
+                        SceneOutcome::Retried(try_n)
+                    };
+                    return SceneReport {
+                        product_id: product_id.to_string(),
+                        outcome,
+                        output: Some(output),
+                        chain_id: chain.id(),
+                        attempts,
+                    };
+                }
+                Err(message) => {
+                    last_error = message;
+                    if try_n < self.retry.max_retries {
+                        let pause = self.retry.backoff_for(try_n + 1);
+                        if !pause.is_zero() {
+                            thread::sleep(pause);
+                        }
+                    }
+                }
+            }
+        }
+        if self.degraded_mode {
+            let from = chain.id();
+            for (label, variant) in degraded_variants(chain) {
+                attempts += 1;
+                match Self::attempt(catalog, &variant, product_id, raster) {
+                    Ok(output) => {
+                        return SceneReport {
+                            product_id: product_id.to_string(),
+                            outcome: SceneOutcome::Degraded { from, to: label.clone() },
+                            output: Some(output),
+                            chain_id: label,
+                            attempts,
+                        };
+                    }
+                    Err(message) => last_error = message,
+                }
+            }
+        }
+        SceneReport {
+            product_id: product_id.to_string(),
+            outcome: SceneOutcome::Failed { reason: last_error },
+            output: None,
+            chain_id: chain.id(),
+            attempts,
+        }
+    }
+
+    /// Supervise a batch: one worker per scene (scoped threads),
+    /// reports in input order. A lost scene never takes the batch or
+    /// the process down.
+    pub fn run_batch(
+        &self,
+        catalog: &Catalog,
+        chain: &ProcessingChain,
+        scenes: &[(String, GeoRaster)],
+    ) -> BatchReport {
+        let t0 = Instant::now();
+        let run = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = scenes
+                .iter()
+                .map(|(id, raster)| {
+                    let supervisor = *self;
+                    let chain = chain.clone();
+                    let catalog = catalog.clone();
+                    scope.spawn(move |_| supervisor.run_scene(&catalog, &chain, id, raster))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .zip(scenes)
+                .map(|(handle, (id, _))| {
+                    handle.join().unwrap_or_else(|payload| SceneReport {
+                        product_id: id.clone(),
+                        outcome: SceneOutcome::Failed {
+                            reason: format!(
+                                "supervisor worker for {id} could not be joined: {}",
+                                panic_message(payload.as_ref())
+                            ),
+                        },
+                        output: None,
+                        chain_id: chain.id(),
+                        attempts: 0,
+                    })
+                })
+                .collect::<Vec<SceneReport>>()
+        });
+        let scenes = match run {
+            Ok(reports) => reports,
+            // Unreachable in practice (run_scene catches everything),
+            // but still: degrade to per-scene failures, never abort.
+            Err(payload) => {
+                let message = panic_message(payload.as_ref());
+                scenes
+                    .iter()
+                    .map(|(id, _)| SceneReport {
+                        product_id: id.clone(),
+                        outcome: SceneOutcome::Failed {
+                            reason: format!(
+                                "supervisor pool panicked while {id} was in flight: {message}"
+                            ),
+                        },
+                        output: None,
+                        chain_id: chain.id(),
+                        attempts: 0,
+                    })
+                    .collect()
+            }
+        };
+        BatchReport { scenes, wall_clock: t0.elapsed() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{Fault, FaultPlan};
+    use std::sync::Arc;
+    use teleios_geo::{Coord, Envelope};
+    use teleios_ingest::raster::GeoTransform;
+    use teleios_ingest::seviri::{generate, FireEvent, SceneSpec, SurfaceKind};
+
+    fn bbox() -> Envelope {
+        Envelope::new(Coord::new(21.0, 36.0), Coord::new(24.0, 39.0))
+    }
+
+    fn surface(c: Coord) -> SurfaceKind {
+        if c.x < 23.0 {
+            SurfaceKind::Forest
+        } else {
+            SurfaceKind::Sea
+        }
+    }
+
+    fn scenes(n: usize) -> Vec<(String, GeoRaster)> {
+        (0..n)
+            .map(|i| {
+                let mut spec = SceneSpec::new(700 + i as u64, 32, 32, bbox());
+                spec.cloud_cover = 0.0;
+                spec.glint_rate = 0.0;
+                spec.fires.push(FireEvent {
+                    center: Coord::new(21.6, 37.4),
+                    radius: 0.08,
+                    intensity: 0.9,
+                });
+                (format!("sup{i}"), generate(&spec, &surface).unwrap().raster)
+            })
+            .collect()
+    }
+
+    fn contextual_gridded() -> ProcessingChain {
+        let mut chain = ProcessingChain::operational();
+        chain.classifier = HotspotClassifier::Contextual { kelvin: 318.0, min_neighbors: 2 };
+        chain.target_grid = Some((GeoTransform::fit(&bbox(), 32, 32), 32, 32));
+        chain
+    }
+
+    #[test]
+    fn healthy_batch_is_all_ok() {
+        let supervisor = Supervisor::new(RetryPolicy::no_backoff(1));
+        let batch = scenes(4);
+        let report = supervisor.run_batch(&Catalog::new(), &contextual_gridded(), &batch);
+        assert_eq!(report.scenes.len(), 4);
+        assert_eq!(report.ok_count(), 4);
+        assert_eq!(report.failed_count(), 0);
+        for scene in &report.scenes {
+            assert_eq!(scene.attempts, 1);
+            assert_eq!(scene.chain_id, "contextual-318-n2");
+            assert!(scene.output.is_some());
+        }
+        // Input order is preserved.
+        let ids: Vec<&str> = report.scenes.iter().map(|s| s.product_id.as_str()).collect();
+        assert_eq!(ids, vec!["sup0", "sup1", "sup2", "sup3"]);
+    }
+
+    #[test]
+    fn transient_fault_is_retried_within_budget() {
+        let mut plan = FaultPlan::new();
+        plan.inject("sup1", Fault::Transient { failures: 2 });
+        let chain = ProcessingChain::operational().with_stage_hook(plan.chain_hook());
+        let supervisor = Supervisor::new(RetryPolicy::no_backoff(2));
+        let report = supervisor.run_batch(&Catalog::new(), &chain, &scenes(3));
+        assert_eq!(report.report_for("sup1").unwrap().outcome, SceneOutcome::Retried(2));
+        assert_eq!(report.report_for("sup1").unwrap().attempts, 3);
+        assert_eq!(report.ok_count(), 2);
+        assert_eq!(report.failed_count(), 0);
+    }
+
+    #[test]
+    fn transient_fault_beyond_budget_fails_without_degraded_help() {
+        let mut plan = FaultPlan::new();
+        plan.inject("sup0", Fault::Transient { failures: 5 });
+        // The threshold chain has no degraded ladder, so the scene fails.
+        let chain = ProcessingChain::operational().with_stage_hook(plan.chain_hook());
+        let supervisor = Supervisor::new(RetryPolicy::no_backoff(1));
+        let report = supervisor.run_batch(&Catalog::new(), &chain, &scenes(1));
+        let scene = report.report_for("sup0").unwrap();
+        assert!(matches!(&scene.outcome, SceneOutcome::Failed { reason } if reason.contains("transient")));
+        assert!(scene.output.is_none());
+    }
+
+    #[test]
+    fn classifier_fault_degrades_to_threshold() {
+        let mut plan = FaultPlan::new();
+        plan.inject("sup1", Fault::ClassifierError);
+        let chain = contextual_gridded().with_stage_hook(plan.chain_hook());
+        let supervisor = Supervisor::new(RetryPolicy::no_backoff(1));
+        let report = supervisor.run_batch(&Catalog::new(), &chain, &scenes(2));
+        let scene = report.report_for("sup1").unwrap();
+        assert_eq!(
+            scene.outcome,
+            SceneOutcome::Degraded {
+                from: "contextual-318-n2".to_string(),
+                to: "threshold-318".to_string()
+            }
+        );
+        assert_eq!(scene.chain_id, "threshold-318");
+        assert!(scene.output.is_some());
+        // 2 primary attempts + 1 degraded.
+        assert_eq!(scene.attempts, 3);
+        assert_eq!(report.report_for("sup0").unwrap().outcome, SceneOutcome::Ok);
+    }
+
+    #[test]
+    fn georef_fault_degrades_to_native_grid() {
+        let mut plan = FaultPlan::new();
+        plan.inject("sup0", Fault::GeorefError);
+        let chain = contextual_gridded().with_stage_hook(plan.chain_hook());
+        let supervisor = Supervisor::new(RetryPolicy::no_backoff(0));
+        let report = supervisor.run_batch(&Catalog::new(), &chain, &scenes(1));
+        let scene = report.report_for("sup0").unwrap();
+        assert_eq!(
+            scene.outcome,
+            SceneOutcome::Degraded {
+                from: "contextual-318-n2".to_string(),
+                to: "threshold-318+native-grid".to_string()
+            }
+        );
+        // The product is on the scene's native 32x32 grid.
+        let output = scene.output.as_ref().unwrap();
+        assert_eq!(output.raster.rows(), 32);
+        // 1 primary + threshold variant (also faulted at georef) + native grid.
+        assert_eq!(scene.attempts, 3);
+    }
+
+    #[test]
+    fn worker_panic_fails_one_scene_only() {
+        let mut plan = FaultPlan::new();
+        plan.inject("sup1", Fault::WorkerPanic);
+        let chain = contextual_gridded().with_stage_hook(plan.chain_hook());
+        let supervisor = Supervisor::new(RetryPolicy::no_backoff(1));
+        let report = supervisor.run_batch(&Catalog::new(), &chain, &scenes(3));
+        let scene = report.report_for("sup1").unwrap();
+        assert!(matches!(&scene.outcome, SceneOutcome::Failed { reason } if reason.contains("panicked")));
+        // 2 primary attempts + 2 degraded variants, all panicking.
+        assert_eq!(scene.attempts, 4);
+        assert_eq!(report.succeeded_count(), 2);
+        assert_eq!(report.failed_count(), 1);
+    }
+
+    #[test]
+    fn degraded_mode_can_be_disabled() {
+        let mut plan = FaultPlan::new();
+        plan.inject("sup0", Fault::ClassifierError);
+        let chain = contextual_gridded().with_stage_hook(plan.chain_hook());
+        let supervisor = Supervisor::new(RetryPolicy::no_backoff(1)).without_degraded_mode();
+        let report = supervisor.run_batch(&Catalog::new(), &chain, &scenes(1));
+        assert!(matches!(
+            report.report_for("sup0").unwrap().outcome,
+            SceneOutcome::Failed { .. }
+        ));
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_and_caps() {
+        let policy = RetryPolicy {
+            max_retries: 5,
+            base_backoff: Duration::from_millis(10),
+            multiplier_percent: 200,
+            max_backoff: Duration::from_millis(35),
+        };
+        assert_eq!(policy.backoff_for(0), Duration::ZERO);
+        assert_eq!(policy.backoff_for(1), Duration::from_millis(10));
+        assert_eq!(policy.backoff_for(2), Duration::from_millis(20));
+        assert_eq!(policy.backoff_for(3), Duration::from_millis(35)); // capped from 40
+        assert_eq!(RetryPolicy::no_backoff(3).backoff_for(2), Duration::ZERO);
+    }
+
+    #[test]
+    fn summary_mentions_every_bucket() {
+        let supervisor = Supervisor::new(RetryPolicy::no_backoff(0));
+        let report = supervisor.run_batch(&Catalog::new(), &ProcessingChain::operational(), &scenes(2));
+        let line = report.summary();
+        assert!(line.contains("2 scenes"));
+        assert!(line.contains("2 ok"));
+        assert!(line.contains("0 failed"));
+    }
+
+    #[test]
+    fn degraded_ladder_shape() {
+        let ladder = degraded_variants(&contextual_gridded());
+        assert_eq!(ladder.len(), 2);
+        assert_eq!(ladder[0].0, "threshold-318");
+        assert_eq!(ladder[1].0, "threshold-318+native-grid");
+        assert!(ladder[1].1.target_grid.is_none());
+        // A plain operational chain has nothing to degrade to.
+        assert!(degraded_variants(&ProcessingChain::operational()).is_empty());
+    }
+}

@@ -141,9 +141,10 @@ impl VaultCatalog {
             .collect()
     }
 
-    /// Serialize to JSON.
+    /// Serialize to JSON. (Serialization of this plain map cannot fail;
+    /// an empty object is returned defensively rather than panicking.)
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("catalog serializes")
+        serde_json::to_string_pretty(self).unwrap_or_else(|_| "{}".to_string())
     }
 
     /// Deserialize from JSON.

@@ -1,3 +1,4 @@
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 //! # teleios-vault — the Data Vault
 //!
 //! Implements the Data Vault concept (Ivanova, Kersten, Manegold —
@@ -55,6 +56,12 @@ pub use vault::{DataVault, IngestionPolicy, VaultStats};
 pub enum VaultError {
     /// The file's bytes did not match its declared format.
     Malformed(String),
+    /// The file's payload checksum did not verify (bit rot / truncated
+    /// archive writes).
+    Corrupt(String),
+    /// The named file failed a decode and sits in the quarantine list;
+    /// accesses are refused until [`DataVault::retry_quarantined`].
+    Quarantined(String),
     /// The named file is not in the repository.
     UnknownFile(String),
     /// The file extension matches no registered format.
@@ -67,6 +74,8 @@ impl std::fmt::Display for VaultError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             VaultError::Malformed(m) => write!(f, "malformed file: {m}"),
+            VaultError::Corrupt(m) => write!(f, "corrupt file: {m}"),
+            VaultError::Quarantined(n) => write!(f, "file is quarantined: {n}"),
             VaultError::UnknownFile(n) => write!(f, "unknown file: {n}"),
             VaultError::UnknownFormat(n) => write!(f, "unknown format: {n}"),
             VaultError::Database(m) => write!(f, "database error: {m}"),

@@ -1,9 +1,11 @@
-//! The Data Vault proper: policy, materialization, cache, statistics.
+//! The Data Vault proper: policy, materialization, cache, quarantine,
+//! statistics.
 
 use crate::catalog::{extract_metadata, VaultCatalog};
 use crate::format::{decode_gtf1, decode_sev1, decode_shp1, FormatKind, Shp1Record};
 use crate::repository::Repository;
 use crate::{Result, VaultError};
+use std::collections::BTreeSet;
 use teleios_geo::Envelope;
 use teleios_monet::array::{Dim, NdArray};
 use teleios_monet::Catalog;
@@ -30,6 +32,13 @@ pub struct VaultStats {
     pub cache_misses: usize,
     /// Cached arrays evicted to respect the cache capacity.
     pub evictions: usize,
+    /// Files currently sitting in the quarantine list.
+    pub quarantined: usize,
+    /// Header/payload decodes that failed (corruption, truncation,
+    /// malformed bytes) — each one quarantines its file.
+    pub decode_failures: usize,
+    /// Quarantine retries attempted via [`DataVault::retry_quarantined`].
+    pub retries: usize,
 }
 
 /// The Data Vault: external repository + metadata catalog + array store.
@@ -43,6 +52,9 @@ pub struct DataVault {
     lru: Vec<String>,
     cache_capacity: usize,
     stats: VaultStats,
+    /// Files whose decode failed; accesses are refused until a retry
+    /// clears them, so one corrupt scene can't repeatedly stall a batch.
+    quarantine: BTreeSet<String>,
 }
 
 impl DataVault {
@@ -64,6 +76,7 @@ impl DataVault {
             lru: Vec::new(),
             cache_capacity,
             stats: VaultStats::default(),
+            quarantine: BTreeSet::new(),
         }
     }
 
@@ -116,14 +129,22 @@ impl DataVault {
     }
 
     /// Register one repository file: header parse into the catalog, plus
-    /// immediate materialization under the eager policy.
+    /// immediate materialization under the eager policy. A failed header
+    /// parse or eager decode quarantines the file and returns the error
+    /// (never panics).
     pub fn register(&mut self, name: &str) -> Result<()> {
         let bytes = self
             .repository
             .get(name)
             .ok_or_else(|| VaultError::UnknownFile(name.to_string()))?
             .clone();
-        let record = extract_metadata(name, &bytes)?;
+        let record = match extract_metadata(name, &bytes) {
+            Ok(r) => r,
+            Err(e) => {
+                self.note_decode_failure(name);
+                return Err(e);
+            }
+        };
         self.catalog.register(record);
         self.stats.registrations += 1;
         if self.policy == IngestionPolicy::Eager {
@@ -132,13 +153,25 @@ impl DataVault {
         Ok(())
     }
 
-    /// Register every file currently in the repository.
+    /// Register every file currently in the repository. Files that fail
+    /// to decode are quarantined and skipped rather than aborting the
+    /// sweep; the count of cleanly registered files is returned.
     pub fn register_all(&mut self) -> Result<usize> {
         let names: Vec<String> = self.repository.names().map(str::to_string).collect();
+        let mut clean = 0;
         for name in &names {
-            self.register(name)?;
+            match self.register(name) {
+                Ok(()) => clean += 1,
+                Err(
+                    VaultError::Malformed(_)
+                    | VaultError::Corrupt(_)
+                    | VaultError::UnknownFormat(_)
+                    | VaultError::Quarantined(_),
+                ) => {}
+                Err(e) => return Err(e),
+            }
         }
-        Ok(names.len())
+        Ok(clean)
     }
 
     /// Database array name for a repository file.
@@ -147,8 +180,12 @@ impl DataVault {
     }
 
     /// Fetch the raster array for a file, materializing it if needed.
-    /// Errors for `.shp1` files (use [`Self::records_for`]).
+    /// Errors for `.shp1` files (use [`Self::records_for`]) and for
+    /// quarantined files (use [`Self::retry_quarantined`]).
     pub fn array_for(&mut self, name: &str) -> Result<NdArray> {
+        if self.quarantine.contains(name) {
+            return Err(VaultError::Quarantined(name.to_string()));
+        }
         let record = self
             .catalog
             .get(name)
@@ -176,17 +213,28 @@ impl DataVault {
     }
 
     /// Fetch geometry records for a `.shp1` file (always decoded fresh —
-    /// geometry sets are small next to rasters).
+    /// geometry sets are small next to rasters). Decode failures
+    /// quarantine the file.
     pub fn records_for(&mut self, name: &str) -> Result<Vec<Shp1Record>> {
+        if self.quarantine.contains(name) {
+            return Err(VaultError::Quarantined(name.to_string()));
+        }
         let bytes = self
             .repository
             .get(name)
             .ok_or_else(|| VaultError::UnknownFile(name.to_string()))?;
-        decode_shp1(bytes)
+        match decode_shp1(bytes) {
+            Ok(records) => Ok(records),
+            Err(e) => {
+                self.note_decode_failure(name);
+                Err(e)
+            }
+        }
     }
 
     /// Materialize every registered file whose bbox intersects `window`,
     /// returning their names. This is the vault's query-driven loading.
+    /// Quarantined files are skipped, not fatal.
     pub fn materialize_window(&mut self, window: &Envelope) -> Result<Vec<String>> {
         let names: Vec<String> = self
             .catalog
@@ -195,26 +243,63 @@ impl DataVault {
             .map(|r| r.name.clone())
             .collect();
         for name in &names {
+            if self.quarantine.contains(name) {
+                continue;
+            }
             // Reuse the cache path so stats and LRU stay correct.
-            let record = self.catalog.get(name).expect("registered").clone();
-            if record.format != "shp1" {
+            let format = self.catalog.get(name).map(|r| r.format.clone());
+            if matches!(format.as_deref(), Some(f) if f != "shp1") {
                 self.array_for(name)?;
             }
         }
         Ok(names)
     }
 
-    /// Convert one file's payload into a database array.
-    fn materialize(&mut self, name: &str) -> Result<()> {
-        let bytes = self
-            .repository
-            .get(name)
-            .ok_or_else(|| VaultError::UnknownFile(name.to_string()))?
-            .clone();
-        let array_name = Self::array_name(name);
-        let array = match FormatKind::from_name(name)? {
+    /// Names currently in the quarantine list (sorted).
+    pub fn quarantined(&self) -> Vec<String> {
+        self.quarantine.iter().cloned().collect()
+    }
+
+    /// Whether a file is quarantined.
+    pub fn is_quarantined(&self, name: &str) -> bool {
+        self.quarantine.contains(name)
+    }
+
+    /// Lift a file out of quarantine and re-attempt its decode (e.g.
+    /// after the archive operator restored the bytes). Counts towards
+    /// `stats.retries`; a failing decode re-quarantines the file.
+    pub fn retry_quarantined(&mut self, name: &str) -> Result<()> {
+        if self.quarantine.remove(name) {
+            self.stats.quarantined = self.quarantine.len();
+            self.stats.retries += 1;
+        }
+        if self.catalog.get(name).is_none() {
+            self.register(name)?;
+            if self.policy == IngestionPolicy::Eager {
+                // register already materialized.
+                return Ok(());
+            }
+        }
+        let format = self.catalog.get(name).map(|r| r.format.clone());
+        match format.as_deref() {
+            Some("shp1") => self.records_for(name).map(|_| ()),
+            _ => self.materialize(name),
+        }
+    }
+
+    /// Record a failed decode: quarantine the file and bump the stats.
+    fn note_decode_failure(&mut self, name: &str) {
+        self.stats.decode_failures += 1;
+        self.quarantine.insert(name.to_string());
+        self.stats.quarantined = self.quarantine.len();
+    }
+
+    /// Decode one file's payload. Raster formats yield the array to
+    /// store; geometry sets are validated and yield `None`.
+    fn decode_payload(name: &str, bytes: &bytes::Bytes) -> Result<Option<NdArray>> {
+        match FormatKind::from_name(name)? {
             FormatKind::Sev1 => {
-                let (h, payload) = decode_sev1(&bytes)?;
+                let (h, payload) = decode_sev1(bytes)?;
                 NdArray::from_vec(
                     vec![
                         Dim::new("band", h.bands as usize),
@@ -223,22 +308,44 @@ impl DataVault {
                     ],
                     payload,
                 )
-                .map_err(|e| VaultError::Database(e.to_string()))?
+                .map(Some)
+                .map_err(|e| VaultError::Database(e.to_string()))
             }
             FormatKind::Gtf1 => {
-                let (h, payload) = decode_gtf1(&bytes)?;
+                let (h, payload) = decode_gtf1(bytes)?;
                 NdArray::from_vec(
                     vec![Dim::new("y", h.rows as usize), Dim::new("x", h.cols as usize)],
                     payload,
                 )
-                .map_err(|e| VaultError::Database(e.to_string()))?
+                .map(Some)
+                .map_err(|e| VaultError::Database(e.to_string()))
             }
-            FormatKind::Shp1 => {
-                return Err(VaultError::Malformed(format!(
-                    "{name} is a geometry set, not a raster"
-                )))
+            FormatKind::Shp1 => decode_shp1(bytes).map(|_| None),
+        }
+    }
+
+    /// Convert one file's payload into a database array. Decode failures
+    /// quarantine the file instead of propagating garbage.
+    fn materialize(&mut self, name: &str) -> Result<()> {
+        let bytes = self
+            .repository
+            .get(name)
+            .ok_or_else(|| VaultError::UnknownFile(name.to_string()))?
+            .clone();
+        let array = match Self::decode_payload(name, &bytes) {
+            Ok(Some(array)) => array,
+            Ok(None) => return Ok(()), // validated geometry set
+            Err(e) => {
+                if matches!(
+                    e,
+                    VaultError::Malformed(_) | VaultError::Corrupt(_) | VaultError::UnknownFormat(_)
+                ) {
+                    self.note_decode_failure(name);
+                }
+                return Err(e);
             }
         };
+        let array_name = Self::array_name(name);
         self.db.put_array(&array_name, array);
         self.stats.materializations += 1;
         self.touch(&array_name);
@@ -407,6 +514,96 @@ mod tests {
         let a = v2.array_for("scene-002.sev1").unwrap();
         assert_eq!(a.data()[0], 2.0);
         assert!(v2.import_catalog("garbage").is_err());
+    }
+
+    fn corrupt(bytes: &bytes::Bytes) -> bytes::Bytes {
+        let mut raw = bytes.to_vec();
+        let last = raw.len() - 1;
+        raw[last] ^= 0x01; // bit-flip in the payload region
+        bytes::Bytes::from(raw)
+    }
+
+    #[test]
+    fn lazy_corrupt_payload_quarantined_not_panicking() {
+        let mut repo = Repository::new();
+        repo.put("good.sev1", scene_bytes(4, 4, (0.0, 0.0, 1.0, 1.0), 1.0));
+        repo.put("bad.sev1", corrupt(&scene_bytes(4, 4, (1.0, 0.0, 2.0, 1.0), 2.0)));
+        let mut v = DataVault::new(repo, Catalog::new(), IngestionPolicy::Lazy, 0);
+        // Registration is header-only, so both files register cleanly.
+        assert_eq!(v.register_all().unwrap(), 2);
+        // First access detects the corruption and quarantines.
+        assert!(matches!(v.array_for("bad.sev1"), Err(VaultError::Corrupt(_))));
+        assert!(v.is_quarantined("bad.sev1"));
+        assert_eq!(v.stats().decode_failures, 1);
+        assert_eq!(v.stats().quarantined, 1);
+        // Subsequent accesses short-circuit without re-decoding.
+        assert!(matches!(v.array_for("bad.sev1"), Err(VaultError::Quarantined(_))));
+        assert_eq!(v.stats().decode_failures, 1);
+        // Healthy files are unaffected.
+        assert!(v.array_for("good.sev1").is_ok());
+    }
+
+    #[test]
+    fn eager_corrupt_payload_quarantined_not_panicking() {
+        let mut repo = Repository::new();
+        repo.put("good.sev1", scene_bytes(4, 4, (0.0, 0.0, 1.0, 1.0), 1.0));
+        repo.put("bad.sev1", corrupt(&scene_bytes(4, 4, (1.0, 0.0, 2.0, 1.0), 2.0)));
+        let mut v = DataVault::new(repo, Catalog::new(), IngestionPolicy::Eager, 0);
+        // The sweep survives the corrupt file: one clean registration.
+        assert_eq!(v.register_all().unwrap(), 1);
+        assert!(v.is_quarantined("bad.sev1"));
+        assert_eq!(v.quarantined(), vec!["bad.sev1".to_string()]);
+        assert_eq!(v.stats().materializations, 1);
+        assert!(matches!(v.array_for("bad.sev1"), Err(VaultError::Quarantined(_))));
+    }
+
+    #[test]
+    fn truncated_header_quarantined_under_both_policies() {
+        for policy in [IngestionPolicy::Lazy, IngestionPolicy::Eager] {
+            let mut repo = Repository::new();
+            let full = scene_bytes(4, 4, (0.0, 0.0, 1.0, 1.0), 1.0);
+            repo.put("cut.sev1", full.slice(0..9)); // magic + half the checksum
+            let mut v = DataVault::new(repo, Catalog::new(), policy, 0);
+            assert_eq!(v.register_all().unwrap(), 0);
+            assert!(v.is_quarantined("cut.sev1"), "policy {policy:?}");
+            assert_eq!(v.stats().decode_failures, 1);
+        }
+    }
+
+    #[test]
+    fn retry_quarantined_after_repair() {
+        let good = scene_bytes(4, 4, (0.0, 0.0, 1.0, 1.0), 7.0);
+        let mut repo = Repository::new();
+        repo.put("flaky.sev1", corrupt(&good));
+        let mut v = DataVault::new(repo, Catalog::new(), IngestionPolicy::Lazy, 0);
+        v.register_all().unwrap();
+        assert!(v.array_for("flaky.sev1").is_err());
+        assert!(v.is_quarantined("flaky.sev1"));
+        // Retrying without repairing fails and re-quarantines.
+        assert!(v.retry_quarantined("flaky.sev1").is_err());
+        assert!(v.is_quarantined("flaky.sev1"));
+        // Repair the bytes, retry, and the file is healthy again.
+        v.repository_mut().put("flaky.sev1", good);
+        v.retry_quarantined("flaky.sev1").unwrap();
+        assert!(!v.is_quarantined("flaky.sev1"));
+        let a = v.array_for("flaky.sev1").unwrap();
+        assert_eq!(a.data()[0], 7.0);
+        assert_eq!(v.stats().retries, 2);
+        assert_eq!(v.stats().quarantined, 0);
+    }
+
+    #[test]
+    fn corrupt_shp1_records_quarantined() {
+        let clean = encode_shp1(&[Shp1Record { wkt: "POINT (1 2)".into(), label: "fire".into() }]);
+        let mut repo = Repository::new();
+        repo.put("geoms.shp1", corrupt(&clean));
+        let mut v = DataVault::new(repo, Catalog::new(), IngestionPolicy::Lazy, 0);
+        // Header (record count) parses, so registration succeeds...
+        assert_eq!(v.register_all().unwrap(), 1);
+        // ...but record access detects corruption and quarantines.
+        assert!(matches!(v.records_for("geoms.shp1"), Err(VaultError::Corrupt(_))));
+        assert!(v.is_quarantined("geoms.shp1"));
+        assert!(matches!(v.records_for("geoms.shp1"), Err(VaultError::Quarantined(_))));
     }
 
     #[test]

@@ -44,18 +44,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let chains = [
         ProcessingChain {
             classifier: HotspotClassifier::Threshold { kelvin: 318.0 },
-            crop_window: None,
-            target_grid: None,
+            ..ProcessingChain::operational()
         },
         ProcessingChain {
             classifier: HotspotClassifier::Adaptive { sigma: 4.0 },
-            crop_window: None,
-            target_grid: None,
+            ..ProcessingChain::operational()
         },
         ProcessingChain {
             classifier: HotspotClassifier::Contextual { kelvin: 318.0, min_neighbors: 2 },
-            crop_window: None,
-            target_grid: None,
+            ..ProcessingChain::operational()
         },
     ];
     let latest = products.last().expect("scenes acquired").clone();

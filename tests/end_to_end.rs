@@ -152,7 +152,7 @@ fn classifier_tradeoffs_hold() {
     let truth = obs.truth_for(&id).unwrap();
 
     let run = |obs: &mut Observatory, cls: HotspotClassifier| {
-        let chain = ProcessingChain { classifier: cls, crop_window: None, target_grid: None };
+        let chain = ProcessingChain { classifier: cls, ..ProcessingChain::operational() };
         let report = obs.run_chain(&id, &chain).unwrap();
         accuracy::score(&report.output.mask, &truth).unwrap()
     };
