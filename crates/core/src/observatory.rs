@@ -327,6 +327,7 @@ impl Observatory {
 
         let supervised = supervisor.run_batch(&self.db, chain, &loaded);
         let wall_clock = supervised.wall_clock;
+        let pool = supervised.pool;
         let mut by_id: HashMap<String, SceneReport> = supervised
             .scenes
             .into_iter()
@@ -360,7 +361,7 @@ impl Observatory {
             }
             scenes.push(report);
         }
-        Ok(BatchReport { scenes, wall_clock })
+        Ok(BatchReport { scenes, wall_clock, pool })
     }
 
     /// Reload a previously archived derived product (the hotspot mask)

@@ -1,0 +1,33 @@
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+//! TELEIOS morsel-driven parallel execution engine.
+//!
+//! The paper sells the database tier as running "as fast as the
+//! underlying hardware allows"; this crate supplies the in-process
+//! half of that promise: a reusable scoped worker pool plus a
+//! morsel/chunk partitioning API that the monet column kernels, the
+//! SciQL array operators and the resilience batch supervisor all
+//! share.
+//!
+//! Design rules (every consumer relies on them):
+//!
+//! * **Determinism** — operators built on [`WorkerPool::run`] must be
+//!   bit-identical to their sequential counterparts. The pool returns
+//!   results in task order, so partitioning the input into ordered
+//!   [`morsel::morsels`] and concatenating per-morsel outputs
+//!   reproduces the sequential scan order exactly.
+//! * **Sequential is the `threads = 1` case** — a pool sized at one
+//!   thread runs tasks inline on the caller with no channels, no
+//!   spawning and no behavioral difference. Setting the
+//!   `TELEIOS_THREADS` environment variable to `1` therefore turns
+//!   the whole engine back into the seed's sequential code path.
+//! * **Panic transparency** — a panicking task does not poison the
+//!   pool; [`WorkerPool::run`] re-raises the payload of the earliest
+//!   failing task (matching sequential panic semantics), while
+//!   [`WorkerPool::try_run_bounded`] hands every payload back to the
+//!   caller for per-task isolation (the supervisor's contract).
+
+pub mod morsel;
+pub mod pool;
+
+pub use morsel::{fixed_morsels, morsels, DEFAULT_MORSEL_CELLS};
+pub use pool::{default_threads, PoolStats, WorkerPool};

@@ -1,0 +1,100 @@
+//! Morsel partitioning: split an index space into contiguous,
+//! ordered, non-empty ranges.
+//!
+//! Two flavors exist because they serve different determinism needs:
+//!
+//! * [`morsels`] splits `0..len` into at most `parts` near-equal
+//!   ranges — used when per-element work is order-insensitive or
+//!   exactly reconstructible by in-order concatenation (selection,
+//!   probing, element-wise maps).
+//! * [`fixed_morsels`] splits into chunks of a **thread-count
+//!   independent** size — used for floating-point reductions, where
+//!   the chunk boundaries (not the worker count) decide the rounding,
+//!   so the result is identical no matter how many threads run.
+
+use std::ops::Range;
+
+/// Default chunk size (in cells/rows) for fixed-size reduction
+/// morsels. Arrays at or below this size reduce with the plain
+/// sequential left fold.
+pub const DEFAULT_MORSEL_CELLS: usize = 65_536;
+
+/// Split `0..len` into at most `parts` contiguous, ordered,
+/// near-equal, non-empty ranges. Returns an empty vector when
+/// `len == 0`; never returns more than `len` ranges.
+///
+/// Concatenating the ranges in order always reproduces `0..len`, so
+/// any per-morsel computation whose outputs concatenate in morsel
+/// order is identical to the sequential scan.
+pub fn morsels(len: usize, parts: usize) -> Vec<Range<usize>> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let parts = parts.clamp(1, len);
+    let base = len / parts;
+    let extra = len % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let size = base + usize::from(i < extra);
+        out.push(start..start + size);
+        start += size;
+    }
+    out
+}
+
+/// Split `0..len` into chunks of exactly `chunk` elements (the last
+/// chunk may be shorter). The boundaries depend only on `len` and
+/// `chunk`, never on the worker count — combining per-chunk partial
+/// results left-to-right therefore gives the same floating-point
+/// rounding at every thread count.
+pub fn fixed_morsels(len: usize, chunk: usize) -> Vec<Range<usize>> {
+    let chunk = chunk.max(1);
+    let mut out = Vec::with_capacity(len.div_ceil(chunk));
+    let mut start = 0;
+    while start < len {
+        let end = (start + chunk).min(len);
+        out.push(start..end);
+        start = end;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn morsels_cover_exactly() {
+        for len in [0usize, 1, 2, 7, 100, 1001] {
+            for parts in [1usize, 2, 3, 4, 8, 200] {
+                let ms = morsels(len, parts);
+                let mut next = 0;
+                for m in &ms {
+                    assert_eq!(m.start, next, "len={len} parts={parts}");
+                    assert!(!m.is_empty(), "empty morsel for len={len} parts={parts}");
+                    next = m.end;
+                }
+                assert_eq!(next, len);
+                assert!(ms.len() <= parts.max(1));
+                assert!(ms.len() <= len.max(1) || len == 0);
+            }
+        }
+    }
+
+    #[test]
+    fn morsels_are_balanced() {
+        let ms = morsels(10, 3);
+        let sizes: Vec<usize> = ms.iter().map(|r| r.len()).collect();
+        assert_eq!(sizes, vec![4, 3, 3]);
+    }
+
+    #[test]
+    fn fixed_morsels_ignore_thread_count() {
+        let ms = fixed_morsels(100, 32);
+        let sizes: Vec<usize> = ms.iter().map(|r| r.len()).collect();
+        assert_eq!(sizes, vec![32, 32, 32, 4]);
+        assert!(fixed_morsels(0, 32).is_empty());
+        assert_eq!(fixed_morsels(5, 0).len(), 5); // chunk clamped to 1
+    }
+}

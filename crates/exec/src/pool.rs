@@ -1,0 +1,338 @@
+//! Scoped worker pool built on `crossbeam` scope + channels.
+//!
+//! The pool is a lightweight value (`Copy`): it records a thread
+//! count and spins up scoped workers per call, so it can borrow the
+//! caller's data (columns, chunks, arrays) without `Arc` plumbing.
+//! Results always come back in task-submission order.
+
+use std::num::NonZeroUsize;
+use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::thread;
+
+use crate::morsel::morsels;
+
+/// Worker count from the environment: `TELEIOS_THREADS` when set to a
+/// positive integer, otherwise [`std::thread::available_parallelism`].
+/// Read on every call so harnesses can sweep thread counts in-process.
+pub fn default_threads() -> usize {
+    match std::env::var("TELEIOS_THREADS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => available(),
+        },
+        Err(_) => available(),
+    }
+}
+
+fn available() -> usize {
+    thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+}
+
+/// Observability for a bounded-queue run: how many workers served the
+/// queue, the queue's capacity, and the peak number of tasks waiting
+/// in the queue (sampled by the producer after each enqueue — the
+/// bounded channel guarantees it never exceeds `queue_capacity`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Worker threads that served the run (1 = inline on the caller).
+    pub workers: usize,
+    /// Capacity of the bounded task queue.
+    pub queue_capacity: usize,
+    /// Peak queued-but-not-yet-claimed task count observed.
+    pub max_queue_depth: usize,
+}
+
+/// A morsel-driven worker pool. `Copy` and stateless between calls:
+/// construct one per operator invocation (or keep one around — both
+/// are free).
+#[derive(Debug, Clone, Copy)]
+pub struct WorkerPool {
+    threads: usize,
+}
+
+impl Default for WorkerPool {
+    /// A pool sized by [`default_threads`] (`TELEIOS_THREADS` env
+    /// override, else available parallelism).
+    fn default() -> WorkerPool {
+        WorkerPool { threads: default_threads() }
+    }
+}
+
+impl WorkerPool {
+    /// A pool with an explicit worker count (clamped to at least 1).
+    pub fn with_threads(threads: usize) -> WorkerPool {
+        WorkerPool { threads: threads.max(1) }
+    }
+
+    /// The worker count this pool will use.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Morsel ranges for an input of `len` elements, one per worker
+    /// (fewer when `len < threads`).
+    pub fn morsels_for(&self, len: usize) -> Vec<Range<usize>> {
+        morsels(len, self.threads)
+    }
+
+    /// Run `tasks` and return their results in task order.
+    ///
+    /// With one thread (or fewer than two tasks) the tasks run inline
+    /// on the caller, sequentially — the exact seed code path. In
+    /// parallel mode a panicking task's payload is re-raised on the
+    /// caller once all workers have drained, choosing the earliest
+    /// failing task so panic identity matches the sequential run.
+    pub fn run<T, F>(&self, tasks: Vec<F>) -> Vec<T>
+    where
+        T: Send,
+        F: FnOnce() -> T + Send,
+    {
+        if self.threads <= 1 || tasks.len() <= 1 {
+            return tasks.into_iter().map(|f| f()).collect();
+        }
+        let (slots, _) = self.dispatch(tasks, None);
+        let mut out = Vec::with_capacity(slots.len());
+        for slot in slots {
+            match slot {
+                Ok(v) => out.push(v),
+                Err(payload) => resume_unwind(payload),
+            }
+        }
+        out
+    }
+
+    /// Run `tasks` through a bounded queue of `queue_capacity` slots,
+    /// returning per-task results (`Err` carries a panic payload) in
+    /// task order, plus queue statistics.
+    ///
+    /// The producer blocks while the queue is full, so memory for
+    /// in-flight work is bounded by `queue_capacity + workers`
+    /// regardless of how many tasks are submitted. With one thread
+    /// the tasks run inline, each still isolated by `catch_unwind`.
+    pub fn try_run_bounded<T, F>(
+        &self,
+        queue_capacity: usize,
+        tasks: Vec<F>,
+    ) -> (Vec<thread::Result<T>>, PoolStats)
+    where
+        T: Send,
+        F: FnOnce() -> T + Send,
+    {
+        let queue_capacity = queue_capacity.max(1);
+        if self.threads <= 1 {
+            let results = tasks
+                .into_iter()
+                .map(|f| catch_unwind(AssertUnwindSafe(f)))
+                .collect();
+            let stats =
+                PoolStats { workers: 1, queue_capacity, max_queue_depth: 0 };
+            return (results, stats);
+        }
+        self.dispatch(tasks, Some(queue_capacity))
+    }
+
+    /// Shared parallel executor. `bound` selects a bounded task queue
+    /// (capacity in tasks) or an unbounded one (everything enqueued up
+    /// front). Results come back indexed in submission order.
+    fn dispatch<T, F>(
+        &self,
+        tasks: Vec<F>,
+        bound: Option<usize>,
+    ) -> (Vec<thread::Result<T>>, PoolStats)
+    where
+        T: Send,
+        F: FnOnce() -> T + Send,
+    {
+        let n = tasks.len();
+        let workers = self.threads.min(n.max(1));
+        let (task_tx, task_rx) = match bound {
+            Some(cap) => crossbeam::channel::bounded::<(usize, F)>(cap),
+            None => crossbeam::channel::unbounded::<(usize, F)>(),
+        };
+        let (res_tx, res_rx) =
+            crossbeam::channel::unbounded::<(usize, thread::Result<T>)>();
+
+        let mut max_queue_depth = 0usize;
+        let scope_result = crossbeam::thread::scope(|scope| {
+            for _ in 0..workers {
+                let task_rx = task_rx.clone();
+                let res_tx = res_tx.clone();
+                scope.spawn(move |_| {
+                    for (i, task) in task_rx.iter() {
+                        let outcome = catch_unwind(AssertUnwindSafe(task));
+                        if res_tx.send((i, outcome)).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+            drop(res_tx);
+            // Produce on the caller thread; a bounded queue applies
+            // backpressure here while workers drain it.
+            for pair in tasks.into_iter().enumerate() {
+                if task_tx.send(pair).is_err() {
+                    break; // all workers gone; unreachable in practice
+                }
+                max_queue_depth = max_queue_depth.max(task_tx.len());
+            }
+            drop(task_tx);
+
+            let mut slots: Vec<Option<thread::Result<T>>> =
+                (0..n).map(|_| None).collect();
+            for (i, outcome) in res_rx.iter() {
+                if i < slots.len() {
+                    slots[i] = Some(outcome);
+                }
+            }
+            slots
+        });
+
+        let stats = PoolStats {
+            workers,
+            queue_capacity: bound.unwrap_or(0),
+            max_queue_depth,
+        };
+        match scope_result {
+            Ok(slots) => {
+                let results = slots
+                    .into_iter()
+                    .map(|slot| match slot {
+                        Some(outcome) => outcome,
+                        // Every worker sends exactly one result per
+                        // received task and the queue was fully drained.
+                        None => unreachable!("pool task produced no result"),
+                    })
+                    .collect();
+                (results, stats)
+            }
+            // Workers only run caught code; a scope-level panic would
+            // mean the channel plumbing itself failed.
+            Err(payload) => resume_unwind(payload),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_come_back_in_task_order() {
+        for threads in 1..=8 {
+            let pool = WorkerPool::with_threads(threads);
+            let tasks: Vec<_> =
+                (0..50).map(|i| move || i * i).collect();
+            let got = pool.run(tasks);
+            let expect: Vec<i32> = (0..50).map(|i| i * i).collect();
+            assert_eq!(got, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn borrows_caller_data() {
+        let data: Vec<u64> = (0..10_000).collect();
+        let pool = WorkerPool::with_threads(4);
+        let tasks: Vec<_> = pool
+            .morsels_for(data.len())
+            .into_iter()
+            .map(|r| {
+                let slice = &data[r.start..r.end];
+                move || slice.iter().sum::<u64>()
+            })
+            .collect();
+        let total: u64 = pool.run(tasks).into_iter().sum();
+        assert_eq!(total, data.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn run_reraises_earliest_panic() {
+        let pool = WorkerPool::with_threads(4);
+        let tasks: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..8)
+            .map(|i| {
+                Box::new(move || {
+                    if i == 3 {
+                        panic!("boom at 3");
+                    }
+                    if i == 6 {
+                        panic!("boom at 6");
+                    }
+                    i
+                }) as Box<dyn FnOnce() -> usize + Send>
+            })
+            .collect();
+        let err = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run(tasks.into_iter().map(|f| move || f()).collect::<Vec<_>>())
+        }))
+        .expect_err("pool must re-raise the task panic");
+        let msg = err
+            .downcast_ref::<&str>()
+            .copied()
+            .map(str::to_string)
+            .or_else(|| err.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert_eq!(msg, "boom at 3");
+    }
+
+    #[test]
+    fn bounded_queue_never_exceeds_capacity() {
+        let pool = WorkerPool::with_threads(4);
+        let done = AtomicUsize::new(0);
+        let tasks: Vec<_> = (0..200)
+            .map(|i| {
+                let done = &done;
+                move || {
+                    done.fetch_add(1, Ordering::SeqCst);
+                    i
+                }
+            })
+            .collect();
+        let (results, stats) = pool.try_run_bounded(8, tasks);
+        assert_eq!(done.load(Ordering::SeqCst), 200);
+        assert_eq!(stats.workers, 4);
+        assert_eq!(stats.queue_capacity, 8);
+        assert!(
+            stats.max_queue_depth <= stats.queue_capacity,
+            "queue depth {} exceeded capacity {}",
+            stats.max_queue_depth,
+            stats.queue_capacity
+        );
+        let got: Vec<i32> = results.into_iter().map(|r| r.unwrap()).collect();
+        assert_eq!(got, (0..200).collect::<Vec<i32>>());
+    }
+
+    #[test]
+    fn bounded_run_isolates_panics_per_task() {
+        for threads in [1usize, 4] {
+            let pool = WorkerPool::with_threads(threads);
+            let tasks: Vec<_> = (0..10)
+                .map(|i| {
+                    move || {
+                        assert!(i != 4, "scene 4 exploded");
+                        i
+                    }
+                })
+                .collect();
+            let (results, _) = pool.try_run_bounded(4, tasks);
+            assert_eq!(results.len(), 10);
+            for (i, r) in results.into_iter().enumerate() {
+                if i == 4 {
+                    assert!(r.is_err(), "threads={threads}");
+                } else {
+                    assert_eq!(r.unwrap(), i, "threads={threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn env_override_controls_default_threads() {
+        std::env::set_var("TELEIOS_THREADS", "3");
+        assert_eq!(default_threads(), 3);
+        std::env::set_var("TELEIOS_THREADS", "not-a-number");
+        assert!(default_threads() >= 1);
+        std::env::remove_var("TELEIOS_THREADS");
+        assert!(default_threads() >= 1);
+    }
+}

@@ -9,6 +9,11 @@
 
 use crate::error::DbError;
 use crate::Result;
+use teleios_exec::{fixed_morsels, WorkerPool, DEFAULT_MORSEL_CELLS};
+
+/// Minimum cell count before element-wise array operators split work
+/// across the worker pool; below this the plain loops win outright.
+pub const PAR_CELL_THRESHOLD: usize = 16_384;
 
 /// A named array dimension.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -170,8 +175,8 @@ impl NdArray {
             return Ok(out);
         }
         loop {
-            let v = self.get(&idx).expect("bounds checked");
-            out.set(&out_idx, v).expect("bounds checked");
+            let v = self.get(&idx)?; // in range: bounds checked above
+            out.set(&out_idx, v)?;
             // Odometer increment.
             let mut k = idx.len();
             loop {
@@ -190,13 +195,114 @@ impl NdArray {
         }
     }
 
-    /// Element-wise map into a new array.
-    pub fn map<F: Fn(f64) -> f64>(&self, f: F) -> NdArray {
-        NdArray { dims: self.dims.clone(), data: self.data.iter().map(|&v| f(v)).collect() }
+    /// Element-wise map into a new array, on the default worker pool
+    /// (`TELEIOS_THREADS` override, else available parallelism). Maps
+    /// are order-independent per cell, so the result is bit-identical
+    /// at every thread count. See [`Self::map_with`].
+    pub fn map<F: Fn(f64) -> f64 + Sync>(&self, f: F) -> NdArray {
+        self.map_with(&WorkerPool::default(), f)
     }
 
-    /// Element-wise combination of two same-shape arrays.
-    pub fn zip_map<F: Fn(f64, f64) -> f64>(&self, other: &NdArray, f: F) -> Result<NdArray> {
+    /// [`Self::map`] with an explicit worker pool. Row-major chunks of
+    /// the output are filled by independent workers; a one-thread pool
+    /// (or a small array) runs the plain sequential loop.
+    pub fn map_with<F: Fn(f64) -> f64 + Sync>(&self, pool: &WorkerPool, f: F) -> NdArray {
+        let n = self.data.len();
+        if pool.threads() <= 1 || n < PAR_CELL_THRESHOLD {
+            return NdArray {
+                dims: self.dims.clone(),
+                data: self.data.iter().map(|&v| f(v)).collect(),
+            };
+        }
+        let mut out = vec![0.0f64; n];
+        let size = n.div_ceil(pool.threads());
+        let f = &f;
+        pool.run(
+            out.chunks_mut(size)
+                .zip(self.data.chunks(size))
+                .map(|(dst, src)| {
+                    move || {
+                        for (o, &v) in dst.iter_mut().zip(src) {
+                            *o = f(v);
+                        }
+                    }
+                })
+                .collect::<Vec<_>>(),
+        );
+        NdArray { dims: self.dims.clone(), data: out }
+    }
+
+    /// Fallible element-wise map (parallel like [`Self::map`]); the
+    /// first error in row-major cell order is returned.
+    pub fn try_map<E, F>(&self, f: F) -> std::result::Result<NdArray, E>
+    where
+        E: Send,
+        F: Fn(f64) -> std::result::Result<f64, E> + Sync,
+    {
+        self.try_map_with(&WorkerPool::default(), f)
+    }
+
+    /// [`Self::try_map`] with an explicit worker pool. Each worker
+    /// stops at its chunk's first error; collecting chunk results in
+    /// row-major order returns the same error the sequential loop hits
+    /// first.
+    pub fn try_map_with<E, F>(
+        &self,
+        pool: &WorkerPool,
+        f: F,
+    ) -> std::result::Result<NdArray, E>
+    where
+        E: Send,
+        F: Fn(f64) -> std::result::Result<f64, E> + Sync,
+    {
+        let n = self.data.len();
+        if pool.threads() <= 1 || n < PAR_CELL_THRESHOLD {
+            let mut data = Vec::with_capacity(n);
+            for &v in &self.data {
+                data.push(f(v)?);
+            }
+            return Ok(NdArray { dims: self.dims.clone(), data });
+        }
+        let mut out = vec![0.0f64; n];
+        let size = n.div_ceil(pool.threads());
+        let f = &f;
+        let results: Vec<std::result::Result<(), E>> = pool.run(
+            out.chunks_mut(size)
+                .zip(self.data.chunks(size))
+                .map(|(dst, src)| {
+                    move || {
+                        for (o, &v) in dst.iter_mut().zip(src) {
+                            *o = f(v)?;
+                        }
+                        Ok(())
+                    }
+                })
+                .collect::<Vec<_>>(),
+        );
+        for res in results {
+            res?;
+        }
+        Ok(NdArray { dims: self.dims.clone(), data: out })
+    }
+
+    /// Element-wise combination of two same-shape arrays, on the
+    /// default worker pool. See [`Self::zip_map_with`].
+    pub fn zip_map<F: Fn(f64, f64) -> f64 + Sync>(
+        &self,
+        other: &NdArray,
+        f: F,
+    ) -> Result<NdArray> {
+        self.zip_map_with(&WorkerPool::default(), other, f)
+    }
+
+    /// [`Self::zip_map`] with an explicit worker pool; bit-identical
+    /// at every thread count.
+    pub fn zip_map_with<F: Fn(f64, f64) -> f64 + Sync>(
+        &self,
+        pool: &WorkerPool,
+        other: &NdArray,
+        f: F,
+    ) -> Result<NdArray> {
         if self.shape() != other.shape() {
             return Err(DbError::ShapeMismatch(format!(
                 "zip of shapes {:?} and {:?}",
@@ -204,30 +310,124 @@ impl NdArray {
                 other.shape()
             )));
         }
-        Ok(NdArray {
-            dims: self.dims.clone(),
-            data: self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect(),
-        })
+        let n = self.data.len();
+        if pool.threads() <= 1 || n < PAR_CELL_THRESHOLD {
+            return Ok(NdArray {
+                dims: self.dims.clone(),
+                data: self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect(),
+            });
+        }
+        let mut out = vec![0.0f64; n];
+        let size = n.div_ceil(pool.threads());
+        let f = &f;
+        pool.run(
+            out.chunks_mut(size)
+                .zip(self.data.chunks(size).zip(other.data.chunks(size)))
+                .map(|(dst, (a, b))| {
+                    move || {
+                        for ((o, &x), &y) in dst.iter_mut().zip(a).zip(b) {
+                            *o = f(x, y);
+                        }
+                    }
+                })
+                .collect::<Vec<_>>(),
+        );
+        Ok(NdArray { dims: self.dims.clone(), data: out })
     }
 
-    /// Fold over all cells.
+    /// Fold over all cells. Inherently sequential (arbitrary
+    /// accumulator); reductions with parallel kernels are
+    /// [`Self::sum`], [`Self::min`], [`Self::max`].
     pub fn fold<A, F: FnMut(A, f64) -> A>(&self, init: A, f: F) -> A {
         self.data.iter().copied().fold(init, f)
     }
 
-    /// Sum of all cells.
+    /// Sum of all cells, on the default worker pool. See
+    /// [`Self::sum_with`].
     pub fn sum(&self) -> f64 {
-        self.data.iter().sum()
+        self.sum_with(&WorkerPool::default())
     }
 
-    /// Minimum cell (NaN-resistant); `None` when empty.
+    /// Sum with an explicit worker pool.
+    ///
+    /// Arrays of at most [`DEFAULT_MORSEL_CELLS`] cells use the plain
+    /// left fold (the seed behavior, bit-for-bit). Larger arrays sum
+    /// per fixed-size chunk and combine the partials left-to-right;
+    /// the chunk boundaries depend only on the array length, never on
+    /// the thread count, so the floating-point rounding — and hence
+    /// the result — is identical at every pool size.
+    pub fn sum_with(&self, pool: &WorkerPool) -> f64 {
+        self.chunked_sum(pool, |v| v)
+    }
+
+    /// Chunked, deterministic `Σ f(v)` shared by sum and std_dev.
+    fn chunked_sum<F: Fn(f64) -> f64 + Sync>(&self, pool: &WorkerPool, f: F) -> f64 {
+        let n = self.data.len();
+        if n <= DEFAULT_MORSEL_CELLS {
+            return self.data.iter().map(|&v| f(v)).sum();
+        }
+        let data = &self.data;
+        let f = &f;
+        let chunks = fixed_morsels(n, DEFAULT_MORSEL_CELLS);
+        let partials: Vec<f64> = if pool.threads() <= 1 {
+            chunks
+                .into_iter()
+                .map(|r| data[r].iter().map(|&v| f(v)).sum())
+                .collect()
+        } else {
+            pool.run(
+                chunks
+                    .into_iter()
+                    .map(|r| move || data[r].iter().map(|&v| f(v)).sum::<f64>())
+                    .collect(),
+            )
+        };
+        partials.into_iter().sum()
+    }
+
+    /// Minimum cell (NaN-resistant); `None` when empty. `f64::min` is
+    /// associative and commutative over non-NaN values, so the
+    /// chunk-parallel reduction is identical to the sequential one.
     pub fn min(&self) -> Option<f64> {
-        self.data.iter().copied().filter(|v| !v.is_nan()).reduce(f64::min)
+        self.min_with(&WorkerPool::default())
+    }
+
+    /// [`Self::min`] with an explicit worker pool.
+    pub fn min_with(&self, pool: &WorkerPool) -> Option<f64> {
+        self.chunked_reduce(pool, f64::min)
     }
 
     /// Maximum cell (NaN-resistant); `None` when empty.
     pub fn max(&self) -> Option<f64> {
-        self.data.iter().copied().filter(|v| !v.is_nan()).reduce(f64::max)
+        self.max_with(&WorkerPool::default())
+    }
+
+    /// [`Self::max`] with an explicit worker pool.
+    pub fn max_with(&self, pool: &WorkerPool) -> Option<f64> {
+        self.chunked_reduce(pool, f64::max)
+    }
+
+    /// NaN-filtered reduction with an associative, commutative
+    /// combiner (min/max), parallel over fixed-size chunks.
+    fn chunked_reduce(
+        &self,
+        pool: &WorkerPool,
+        combine: fn(f64, f64) -> f64,
+    ) -> Option<f64> {
+        let n = self.data.len();
+        if pool.threads() <= 1 || n <= DEFAULT_MORSEL_CELLS {
+            return self.data.iter().copied().filter(|v| !v.is_nan()).reduce(combine);
+        }
+        let data = &self.data;
+        let partials: Vec<Option<f64>> = pool.run(
+            fixed_morsels(n, DEFAULT_MORSEL_CELLS)
+                .into_iter()
+                .map(|r| {
+                    move || data[r].iter().copied().filter(|v| !v.is_nan()).reduce(combine)
+                })
+                .collect(),
+        );
+        partials.into_iter().flatten().reduce(combine)
     }
 
     /// Mean of all cells; `None` when empty.
@@ -239,10 +439,12 @@ impl NdArray {
         }
     }
 
-    /// Population standard deviation; `None` when empty.
+    /// Population standard deviation; `None` when empty. The
+    /// sum-of-squares pass uses the same deterministic chunked
+    /// reduction as [`Self::sum`].
     pub fn std_dev(&self) -> Option<f64> {
         let mean = self.mean()?;
-        let var = self.data.iter().map(|&v| (v - mean) * (v - mean)).sum::<f64>()
+        let var = self.chunked_sum(&WorkerPool::default(), |v| (v - mean) * (v - mean))
             / self.len() as f64;
         Some(var.sqrt())
     }

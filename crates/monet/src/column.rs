@@ -10,9 +10,14 @@ use crate::error::DbError;
 use crate::value::{DataType, Value};
 use crate::Result;
 use std::cmp::Ordering;
+use teleios_exec::WorkerPool;
 
 /// Row identifier within a column/table.
 pub type RowId = u32;
+
+/// Minimum input size (rows) before the parallel kernels split work
+/// across the pool; below this the sequential kernels win outright.
+pub const PAR_ROW_THRESHOLD: usize = 4096;
 
 /// Comparison operator for vectorized selections.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -224,8 +229,7 @@ impl Column {
         match &self.data {
             ColumnData::Int(data) => {
                 // Allow comparing an INT column against a DOUBLE constant.
-                if matches!(value, Value::Double(_)) {
-                    let needle = value.as_f64().expect("double constant");
+                if let Value::Double(needle) = *value {
                     let sel = |i: usize| -> bool {
                         (data[i] as f64)
                             .partial_cmp(&needle)
@@ -284,6 +288,57 @@ impl Column {
         Ok(out)
     }
 
+    /// Parallel [`Self::select`]: the row space (or candidate list) is
+    /// partitioned into contiguous, ordered morsels, each worker runs
+    /// the sequential kernel over its morsel, and the per-worker
+    /// sorted RowId runs are concatenated in morsel order. Because
+    /// morsels are disjoint ascending ranges, that concatenation *is*
+    /// the k-way merge — the output is bit-identical to `select`.
+    ///
+    /// Inputs below [`PAR_ROW_THRESHOLD`] rows, or a pool with one
+    /// thread, fall through to the sequential kernel directly.
+    pub fn par_select(
+        &self,
+        op: CmpOp,
+        value: &Value,
+        cands: Option<&[RowId]>,
+        pool: &WorkerPool,
+    ) -> Result<Vec<RowId>> {
+        let n = cands.map_or(self.len(), <[RowId]>::len);
+        if pool.threads() <= 1 || n < PAR_ROW_THRESHOLD {
+            return self.select(op, value, cands);
+        }
+        let parts = pool.morsels_for(n);
+        let runs: Vec<Result<Vec<RowId>>> = match cands {
+            Some(list) => pool.run(
+                parts
+                    .into_iter()
+                    .map(|r| {
+                        let sub = &list[r.start..r.end];
+                        move || self.select(op, value, Some(sub))
+                    })
+                    .collect(),
+            ),
+            None => pool.run(
+                parts
+                    .into_iter()
+                    .map(|r| {
+                        move || {
+                            let ids: Vec<RowId> =
+                                (r.start as RowId..r.end as RowId).collect();
+                            self.select(op, value, Some(&ids))
+                        }
+                    })
+                    .collect(),
+            ),
+        };
+        let mut out = Vec::new();
+        for run in runs {
+            out.extend(run?);
+        }
+        Ok(out)
+    }
+
     /// Range selection `lo <= x <= hi` (both optional); NULLs excluded.
     pub fn select_range(
         &self,
@@ -306,11 +361,32 @@ impl Column {
 
     /// Gather the values at `rows` into a new column (positional join).
     pub fn gather(&self, rows: &[RowId]) -> Column {
-        let mut out = Column::new(self.data_type());
-        for &rid in rows {
-            out.push(self.get(rid as usize)).expect("same type");
-        }
-        out
+        // Keep the validity vector only when a NULL is actually
+        // gathered, matching `push`-based construction.
+        let validity = self.validity.as_ref().and_then(|v| {
+            let gathered: Vec<bool> =
+                rows.iter().map(|&rid| v[rid as usize]).collect();
+            if gathered.iter().all(|&ok| ok) {
+                None
+            } else {
+                Some(gathered)
+            }
+        });
+        let data = match &self.data {
+            ColumnData::Int(v) => {
+                ColumnData::Int(rows.iter().map(|&rid| v[rid as usize]).collect())
+            }
+            ColumnData::Double(v) => {
+                ColumnData::Double(rows.iter().map(|&rid| v[rid as usize]).collect())
+            }
+            ColumnData::Str(v) => {
+                ColumnData::Str(rows.iter().map(|&rid| v[rid as usize].clone()).collect())
+            }
+            ColumnData::Bool(v) => {
+                ColumnData::Bool(rows.iter().map(|&rid| v[rid as usize]).collect())
+            }
+        };
+        Column { data, validity }
     }
 
     /// Iterate values (NULL-aware).

@@ -7,13 +7,15 @@
 //! express falls back to row-at-a-time evaluation. A pure row-at-a-time
 //! reference filter is kept public for the ablation benchmark (E6/E4).
 
-use crate::column::{CmpOp, Column, RowId};
+use crate::column::{CmpOp, Column, RowId, PAR_ROW_THRESHOLD};
 use crate::error::DbError;
 use crate::sql::ast::{AggFunc, BinOp, Expr};
 use crate::table::Table;
 use crate::value::{DataType, Value};
 use crate::Result;
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
+use teleios_exec::WorkerPool;
 
 /// A bundle of equal-length named columns flowing between operators.
 #[derive(Debug, Clone)]
@@ -451,15 +453,26 @@ fn compile_conjuncts(expr: &Expr, out: &mut Vec<(String, CmpOp, Value)>) -> bool
 }
 
 /// Filter a chunk, using the columnar candidate-list fast path when the
-/// predicate is a conjunction of simple comparisons.
+/// predicate is a conjunction of simple comparisons. Selection passes
+/// run on the default worker pool (`TELEIOS_THREADS` override, else
+/// available parallelism); see [`filter_with`] for an explicit pool.
 pub fn filter(chunk: &Chunk, predicate: &Expr) -> Result<Chunk> {
+    filter_with(&WorkerPool::default(), chunk, predicate)
+}
+
+/// [`filter`] with an explicit worker pool. A one-thread pool is the
+/// exact sequential code path; results are identical at every pool
+/// size (each candidate-narrowing pass is a morsel-parallel
+/// [`Column::par_select`], which is bit-identical to `select`).
+pub fn filter_with(pool: &WorkerPool, chunk: &Chunk, predicate: &Expr) -> Result<Chunk> {
     let mut conjuncts = Vec::new();
     if compile_conjuncts(predicate, &mut conjuncts) && !conjuncts.is_empty() {
         // Columnar path: run each conjunct as a candidate-narrowing pass.
         let mut cands: Option<Vec<RowId>> = None;
         for (col_name, op, value) in &conjuncts {
             let idx = chunk.resolve(col_name)?;
-            let selected = chunk.column(idx).select(*op, value, cands.as_deref())?;
+            let selected =
+                chunk.column(idx).par_select(*op, value, cands.as_deref(), pool)?;
             cands = Some(selected);
             if cands.as_ref().is_some_and(Vec::is_empty) {
                 break;
@@ -514,8 +527,27 @@ pub fn project(chunk: &Chunk, exprs: &[(Expr, String)]) -> Result<Chunk> {
     Ok(Chunk::new(names, cols))
 }
 
-/// Hash equi-join of two chunks on key expressions.
+/// Hash equi-join of two chunks on key expressions, on the default
+/// worker pool. See [`hash_join_with`].
 pub fn hash_join(
+    left: &Chunk,
+    right: &Chunk,
+    left_key: &Expr,
+    right_key: &Expr,
+) -> Result<Chunk> {
+    hash_join_with(&WorkerPool::default(), left, right, left_key, right_key)
+}
+
+/// Hash equi-join with an explicit worker pool.
+///
+/// Both phases are morsel-parallel yet bit-identical to the
+/// sequential join: the build side is partitioned into ordered
+/// morsels whose local hash tables merge in morsel order (so every
+/// key's RowId list stays ascending, as the sequential build
+/// produces), and probe morsels emit `(build, probe)` row pairs that
+/// concatenate in morsel order (the sequential probe order).
+pub fn hash_join_with(
+    pool: &WorkerPool,
     left: &Chunk,
     right: &Chunk,
     left_key: &Expr,
@@ -528,28 +560,94 @@ pub fn hash_join(
         } else {
             (right, left, right_key, left_key, false)
         };
+
+    let build_n = build.num_rows();
     let mut ht: HashMap<HashableValue, Vec<RowId>> = HashMap::new();
-    for i in 0..build.num_rows() {
-        let k = eval_expr(build, i, build_key)?;
-        if k.is_null() {
-            continue;
+    if pool.threads() <= 1 || build_n < PAR_ROW_THRESHOLD {
+        for i in 0..build_n {
+            let k = eval_expr(build, i, build_key)?;
+            if k.is_null() {
+                continue;
+            }
+            ht.entry(HashableValue(k)).or_default().push(i as RowId);
         }
-        ht.entry(HashableValue(k)).or_default().push(i as RowId);
-    }
-    let mut build_rows: Vec<RowId> = Vec::new();
-    let mut probe_rows: Vec<RowId> = Vec::new();
-    for j in 0..probe.num_rows() {
-        let k = eval_expr(probe, j, probe_key)?;
-        if k.is_null() {
-            continue;
-        }
-        if let Some(matches) = ht.get(&HashableValue(k)) {
-            for &i in matches {
-                build_rows.push(i);
-                probe_rows.push(j as RowId);
+    } else {
+        let partials: Vec<Result<HashMap<HashableValue, Vec<RowId>>>> = pool.run(
+            pool.morsels_for(build_n)
+                .into_iter()
+                .map(|r| {
+                    move || {
+                        let mut local: HashMap<HashableValue, Vec<RowId>> =
+                            HashMap::new();
+                        for i in r {
+                            let k = eval_expr(build, i, build_key)?;
+                            if k.is_null() {
+                                continue;
+                            }
+                            local.entry(HashableValue(k)).or_default().push(i as RowId);
+                        }
+                        Ok(local)
+                    }
+                })
+                .collect(),
+        );
+        // Merge in morsel order: per-key row ids stay ascending.
+        for partial in partials {
+            for (k, mut rids) in partial? {
+                ht.entry(k).or_default().append(&mut rids);
             }
         }
     }
+
+    let probe_n = probe.num_rows();
+    let mut build_rows: Vec<RowId> = Vec::new();
+    let mut probe_rows: Vec<RowId> = Vec::new();
+    if pool.threads() <= 1 || probe_n < PAR_ROW_THRESHOLD {
+        for j in 0..probe_n {
+            let k = eval_expr(probe, j, probe_key)?;
+            if k.is_null() {
+                continue;
+            }
+            if let Some(matches) = ht.get(&HashableValue(k)) {
+                for &i in matches {
+                    build_rows.push(i);
+                    probe_rows.push(j as RowId);
+                }
+            }
+        }
+    } else {
+        let ht_ref = &ht;
+        let partials: Vec<Result<(Vec<RowId>, Vec<RowId>)>> = pool.run(
+            pool.morsels_for(probe_n)
+                .into_iter()
+                .map(|r| {
+                    move || {
+                        let mut b: Vec<RowId> = Vec::new();
+                        let mut p: Vec<RowId> = Vec::new();
+                        for j in r {
+                            let k = eval_expr(probe, j, probe_key)?;
+                            if k.is_null() {
+                                continue;
+                            }
+                            if let Some(matches) = ht_ref.get(&HashableValue(k)) {
+                                for &i in matches {
+                                    b.push(i);
+                                    p.push(j as RowId);
+                                }
+                            }
+                        }
+                        Ok((b, p))
+                    }
+                })
+                .collect(),
+        );
+        for partial in partials {
+            let (mut b, mut p) = partial?;
+            build_rows.append(&mut b);
+            probe_rows.append(&mut p);
+        }
+    }
+
     let build_chunk = build.take(&build_rows);
     let probe_chunk = probe.take(&probe_rows);
     Ok(if build_is_left {
@@ -640,20 +738,85 @@ pub struct AggSpec {
     pub name: String,
 }
 
-/// Group-by aggregation. With empty `group_by` produces a single row.
+/// Group-by aggregation on the default worker pool. With empty
+/// `group_by` produces a single row. See [`aggregate_with`].
 pub fn aggregate(chunk: &Chunk, group_by: &[Expr], aggs: &[AggSpec]) -> Result<Chunk> {
+    aggregate_with(&WorkerPool::default(), chunk, group_by, aggs)
+}
+
+/// Group-by aggregation with an explicit worker pool.
+///
+/// Grouping runs as thread-local partial group maps over ordered
+/// morsels; merging the partials in morsel order reproduces both the
+/// sequential first-encounter group order and each group's ascending
+/// row-id list, so the output chunk is bit-identical to the
+/// sequential run. Per-group aggregate evaluation then fans out over
+/// the pool, one task per group, collected in group order.
+pub fn aggregate_with(
+    pool: &WorkerPool,
+    chunk: &Chunk,
+    group_by: &[Expr],
+    aggs: &[AggSpec],
+) -> Result<Chunk> {
     // Group rows by key tuple.
+    let n = chunk.num_rows();
     let mut groups: HashMap<Vec<HashableValue>, Vec<RowId>> = HashMap::new();
     let mut order: Vec<Vec<HashableValue>> = Vec::new();
-    for i in 0..chunk.num_rows() {
-        let key: Vec<HashableValue> = group_by
-            .iter()
-            .map(|e| eval_expr(chunk, i, e).map(HashableValue))
-            .collect::<Result<_>>()?;
-        if !groups.contains_key(&key) {
-            order.push(key.clone());
+    if pool.threads() <= 1 || n < PAR_ROW_THRESHOLD {
+        for i in 0..n {
+            let key: Vec<HashableValue> = group_by
+                .iter()
+                .map(|e| eval_expr(chunk, i, e).map(HashableValue))
+                .collect::<Result<_>>()?;
+            if !groups.contains_key(&key) {
+                order.push(key.clone());
+            }
+            groups.entry(key).or_default().push(i as RowId);
         }
-        groups.entry(key).or_default().push(i as RowId);
+    } else {
+        type Partial = (Vec<Vec<HashableValue>>, HashMap<Vec<HashableValue>, Vec<RowId>>);
+        let partials: Vec<Result<Partial>> = pool.run(
+            pool.morsels_for(n)
+                .into_iter()
+                .map(|r| {
+                    move || {
+                        let mut local_groups: HashMap<Vec<HashableValue>, Vec<RowId>> =
+                            HashMap::new();
+                        let mut local_order: Vec<Vec<HashableValue>> = Vec::new();
+                        for i in r {
+                            let key: Vec<HashableValue> = group_by
+                                .iter()
+                                .map(|e| eval_expr(chunk, i, e).map(HashableValue))
+                                .collect::<Result<_>>()?;
+                            if !local_groups.contains_key(&key) {
+                                local_order.push(key.clone());
+                            }
+                            local_groups.entry(key).or_default().push(i as RowId);
+                        }
+                        Ok((local_order, local_groups))
+                    }
+                })
+                .collect(),
+        );
+        // Merge partials in morsel order: global first-encounter order
+        // and ascending per-group row ids, exactly as sequential.
+        for partial in partials {
+            let (local_order, mut local_groups) = partial?;
+            for key in local_order {
+                let Some(mut rids) = local_groups.remove(&key) else {
+                    continue;
+                };
+                match groups.entry(key) {
+                    Entry::Occupied(mut e) => {
+                        e.get_mut().append(&mut rids);
+                    }
+                    Entry::Vacant(e) => {
+                        order.push(e.key().clone());
+                        e.insert(rids);
+                    }
+                }
+            }
+        }
     }
     if group_by.is_empty() && groups.is_empty() {
         // Global aggregate over zero rows still yields one row.
@@ -670,16 +833,42 @@ pub fn aggregate(chunk: &Chunk, group_by: &[Expr], aggs: &[AggSpec]) -> Result<C
     }
     names.extend(aggs.iter().map(|a| a.name.clone()));
 
-    // Compute output rows.
-    let mut out_rows: Vec<Vec<Value>> = Vec::with_capacity(order.len());
-    for key in &order {
-        let rids = &groups[key];
-        let mut row: Vec<Value> = key.iter().map(|h| h.0.clone()).collect();
-        for agg in aggs {
-            row.push(eval_aggregate(chunk, rids, agg)?);
-        }
-        out_rows.push(row);
-    }
+    // Compute output rows, one task per group when it pays off.
+    let out_rows: Vec<Vec<Value>> =
+        if pool.threads() <= 1 || order.len() <= 1 || n < PAR_ROW_THRESHOLD {
+            let mut rows = Vec::with_capacity(order.len());
+            for key in &order {
+                let rids = &groups[key];
+                let mut row: Vec<Value> = key.iter().map(|h| h.0.clone()).collect();
+                for agg in aggs {
+                    row.push(eval_aggregate(chunk, rids, agg)?);
+                }
+                rows.push(row);
+            }
+            rows
+        } else {
+            let groups_ref = &groups;
+            let results: Vec<Result<Vec<Value>>> = pool.run(
+                order
+                    .iter()
+                    .map(|key| {
+                        move || {
+                            let rids = groups_ref
+                                .get(key)
+                                .map(|v| v.as_slice())
+                                .unwrap_or(&[]);
+                            let mut row: Vec<Value> =
+                                key.iter().map(|h| h.0.clone()).collect();
+                            for agg in aggs {
+                                row.push(eval_aggregate(chunk, rids, agg)?);
+                            }
+                            Ok(row)
+                        }
+                    })
+                    .collect(),
+            );
+            results.into_iter().collect::<Result<Vec<_>>>()?
+        };
 
     rows_to_chunk(names, out_rows)
 }

@@ -79,11 +79,10 @@ pub fn execute_select(provider: &dyn TableProvider, select: &Select) -> Result<C
     }
 
     // 4. Apply remaining conjuncts as a filter.
-    if !conjuncts.is_empty() {
-        let pred = conjuncts
-            .into_iter()
-            .reduce(|a, b| Expr::binary(BinOp::And, a, b))
-            .expect("non-empty");
+    if let Some(pred) = conjuncts
+        .into_iter()
+        .reduce(|a, b| Expr::binary(BinOp::And, a, b))
+    {
         current = exec::filter(&current, &pred)?;
     }
 
@@ -249,14 +248,18 @@ fn plan_aggregate(select: &Select, input: &Chunk) -> Result<Chunk> {
                         .find(|(_, n)| n.eq_ignore_ascii_case(c))
                         .map(|(e, _)| e.clone())
                         .unwrap_or_else(|| k.expr.clone()),
-                    Expr::Func { name, args } if AggFunc::parse(name).is_some() => {
+                    Expr::Func { name, args } => {
                         // ORDER BY COUNT(*) etc: match an existing agg spec.
-                        let func = AggFunc::parse(name).expect("checked");
-                        let arg = args.first().cloned().and_then(strip_star);
-                        aggs.iter()
-                            .find(|a| a.func == func && a.expr == arg)
-                            .map(|a| Expr::Column(a.name.clone()))
-                            .unwrap_or_else(|| k.expr.clone())
+                        match AggFunc::parse(name) {
+                            Some(func) => {
+                                let arg = args.first().cloned().and_then(strip_star);
+                                aggs.iter()
+                                    .find(|a| a.func == func && a.expr == arg)
+                                    .map(|a| Expr::Column(a.name.clone()))
+                                    .unwrap_or_else(|| k.expr.clone())
+                            }
+                            None => k.expr.clone(),
+                        }
                     }
                     other => other.clone(),
                 };
@@ -289,7 +292,9 @@ fn strip_star(e: Expr) -> Option<Expr> {
 fn rewrite_having(expr: &Expr, aggs: &mut Vec<AggSpec>) -> Result<Expr> {
     Ok(match expr {
         Expr::Func { name, args } if AggFunc::parse(name).is_some() => {
-            let func = AggFunc::parse(name).expect("checked");
+            let Some(func) = AggFunc::parse(name) else {
+                return Ok(expr.clone()); // unreachable: guard above
+            };
             let arg = match args.first() {
                 Some(Expr::Column(c)) if c == "*" => None,
                 Some(e) => Some(e.clone()),

@@ -95,7 +95,7 @@ impl Table {
             })
             .collect::<Result<_>>()?;
         for (col, v) in self.columns.iter_mut().zip(coerced) {
-            col.push(v).expect("validated above");
+            col.push(v)?; // cannot fail: validated above
         }
         Ok(())
     }
@@ -159,7 +159,7 @@ impl Table {
         let mut rebuilt = Column::new(d.ty);
         for i in 0..self.num_rows() {
             let v = if i == row { value.clone() } else { self.columns[col].get(i) };
-            rebuilt.push(v).expect("validated");
+            rebuilt.push(v)?; // cannot fail: validated above
         }
         self.columns[col] = rebuilt;
         Ok(())
@@ -206,7 +206,7 @@ impl Table {
                     Some(v) => (*v).clone(),
                     None => self.columns[c].get(i),
                 };
-                rebuilt.push(v).expect("validated");
+                rebuilt.push(v)?; // cannot fail: validated above
             }
             self.columns[c] = rebuilt;
         }

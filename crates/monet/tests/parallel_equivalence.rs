@@ -1,0 +1,274 @@
+//! Parallel ≡ sequential equivalence tests.
+//!
+//! Every morsel-parallel operator must be *bit-identical* to its
+//! sequential counterpart at any thread count — a one-thread pool runs
+//! the exact sequential code path, so these tests compare pools of
+//! 1–8 threads against each other on inputs large enough to cross the
+//! parallel thresholds (`PAR_ROW_THRESHOLD`, `PAR_CELL_THRESHOLD`).
+
+use proptest::prelude::*;
+use teleios_exec::WorkerPool;
+use teleios_monet::array::{NdArray, PAR_CELL_THRESHOLD};
+use teleios_monet::column::{CmpOp, Column, PAR_ROW_THRESHOLD};
+use teleios_monet::exec::{aggregate_with, filter_with, hash_join_with, AggSpec, Chunk};
+use teleios_monet::sql::ast::{AggFunc, BinOp, Expr};
+use teleios_monet::value::Value;
+
+const THREAD_COUNTS: [usize; 5] = [1, 2, 3, 4, 8];
+
+/// Deterministic pseudo-random stream (splitmix64) so the large
+/// fixtures need no RNG dependency and never flake.
+struct Mix(u64);
+
+impl Mix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn int(&mut self, modulus: u64) -> i64 {
+        (self.next() % modulus) as i64
+    }
+
+    fn double(&mut self) -> f64 {
+        (self.next() % 2_000_000) as f64 / 1000.0 - 1000.0
+    }
+}
+
+fn chunks_equal(a: &Chunk, b: &Chunk) -> bool {
+    a.names() == b.names()
+        && a.num_rows() == b.num_rows()
+        && (0..a.num_rows()).all(|i| a.row(i) == b.row(i))
+}
+
+fn col(name: &str) -> Expr {
+    Expr::Column(name.into())
+}
+
+fn lit(v: impl Into<Value>) -> Expr {
+    Expr::Literal(v.into())
+}
+
+/// A two-column chunk (int key, double value) big enough to cross the
+/// row-parallel threshold.
+fn big_chunk(seed: u64, rows: usize, key_range: u64) -> Chunk {
+    let mut mix = Mix(seed);
+    let keys: Vec<i64> = (0..rows).map(|_| mix.int(key_range)).collect();
+    let vals: Vec<f64> = (0..rows).map(|_| mix.double()).collect();
+    Chunk::new(
+        vec!["t.k".into(), "t.v".into()],
+        vec![Column::from_ints(keys), Column::from_doubles(vals)],
+    )
+}
+
+#[test]
+fn par_select_matches_select_at_all_thread_counts() {
+    let mut mix = Mix(7);
+    let n = 2 * PAR_ROW_THRESHOLD + 123;
+    let vals: Vec<f64> = (0..n).map(|_| mix.double()).collect();
+    let column = Column::from_doubles(vals);
+    let needle = Value::Double(0.0);
+    for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+        let sequential = column.select(op, &needle, None).unwrap();
+        // Narrowing candidates: every third row.
+        let cands: Vec<u32> = (0..n as u32).step_by(3).collect();
+        let sequential_narrowed = column.select(op, &needle, Some(&cands)).unwrap();
+        for t in THREAD_COUNTS {
+            let pool = WorkerPool::with_threads(t);
+            assert_eq!(
+                column.par_select(op, &needle, None, &pool).unwrap(),
+                sequential,
+                "op {op:?} at {t} threads"
+            );
+            assert_eq!(
+                column.par_select(op, &needle, Some(&cands), &pool).unwrap(),
+                sequential_narrowed,
+                "op {op:?} with candidates at {t} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn parallel_filter_matches_sequential() {
+    let chunk = big_chunk(11, 2 * PAR_ROW_THRESHOLD, 64);
+    let pred = Expr::binary(
+        BinOp::And,
+        Expr::binary(BinOp::Gt, col("v"), lit(-250.0)),
+        Expr::binary(BinOp::Lt, col("k"), lit(48i64)),
+    );
+    let sequential = filter_with(&WorkerPool::with_threads(1), &chunk, &pred).unwrap();
+    assert!(sequential.num_rows() > 0);
+    for t in THREAD_COUNTS {
+        let parallel = filter_with(&WorkerPool::with_threads(t), &chunk, &pred).unwrap();
+        assert!(chunks_equal(&sequential, &parallel), "filter diverged at {t} threads");
+    }
+}
+
+#[test]
+fn parallel_hash_join_matches_sequential() {
+    let left = big_chunk(21, PAR_ROW_THRESHOLD + 1000, 500);
+    let right = {
+        let mut mix = Mix(22);
+        let rows = PAR_ROW_THRESHOLD + 500;
+        let keys: Vec<i64> = (0..rows).map(|_| mix.int(500)).collect();
+        let vals: Vec<f64> = (0..rows).map(|_| mix.double()).collect();
+        Chunk::new(
+            vec!["r.k".into(), "r.w".into()],
+            vec![Column::from_ints(keys), Column::from_doubles(vals)],
+        )
+    };
+    let sequential =
+        hash_join_with(&WorkerPool::with_threads(1), &left, &right, &col("t.k"), &col("r.k"))
+            .unwrap();
+    assert!(sequential.num_rows() > 0);
+    for t in THREAD_COUNTS {
+        let parallel =
+            hash_join_with(&WorkerPool::with_threads(t), &left, &right, &col("t.k"), &col("r.k"))
+                .unwrap();
+        assert!(chunks_equal(&sequential, &parallel), "join diverged at {t} threads");
+    }
+}
+
+#[test]
+fn parallel_aggregate_matches_sequential() {
+    let chunk = big_chunk(31, 2 * PAR_ROW_THRESHOLD, 64);
+    let aggs = vec![
+        AggSpec { func: AggFunc::Count, expr: None, name: "n".into() },
+        AggSpec { func: AggFunc::Sum, expr: Some(col("v")), name: "s".into() },
+        AggSpec { func: AggFunc::Min, expr: Some(col("v")), name: "lo".into() },
+        AggSpec { func: AggFunc::Max, expr: Some(col("v")), name: "hi".into() },
+        AggSpec { func: AggFunc::Avg, expr: Some(col("v")), name: "m".into() },
+    ];
+    let group_by = [col("k")];
+    let sequential =
+        aggregate_with(&WorkerPool::with_threads(1), &chunk, &group_by, &aggs).unwrap();
+    assert_eq!(sequential.num_rows(), 64);
+    for t in THREAD_COUNTS {
+        let parallel =
+            aggregate_with(&WorkerPool::with_threads(t), &chunk, &group_by, &aggs).unwrap();
+        // Bit-identical includes the first-encounter group order.
+        assert!(chunks_equal(&sequential, &parallel), "group-by diverged at {t} threads");
+    }
+}
+
+#[test]
+fn parallel_global_aggregate_matches_sequential() {
+    let chunk = big_chunk(41, 2 * PAR_ROW_THRESHOLD, 64);
+    let aggs = vec![AggSpec { func: AggFunc::Sum, expr: Some(col("v")), name: "s".into() }];
+    let sequential = aggregate_with(&WorkerPool::with_threads(1), &chunk, &[], &aggs).unwrap();
+    for t in THREAD_COUNTS {
+        let parallel = aggregate_with(&WorkerPool::with_threads(t), &chunk, &[], &aggs).unwrap();
+        assert!(chunks_equal(&sequential, &parallel), "global agg diverged at {t} threads");
+    }
+}
+
+fn big_array(seed: u64, cells: usize) -> NdArray {
+    let mut mix = Mix(seed);
+    let data: Vec<f64> = (0..cells).map(|_| mix.double()).collect();
+    NdArray::matrix(cells / 128, 128, data).unwrap()
+}
+
+#[test]
+fn parallel_array_map_and_zip_map_match_sequential() {
+    let cells = 2 * PAR_CELL_THRESHOLD;
+    let a = big_array(51, cells);
+    let b = big_array(52, cells);
+    let seq_map = a.map_with(&WorkerPool::with_threads(1), |v| v * 0.5 + 1.0);
+    let seq_zip = a.zip_map_with(&WorkerPool::with_threads(1), &b, |x, y| x.max(y) - x * y).unwrap();
+    for t in THREAD_COUNTS {
+        let pool = WorkerPool::with_threads(t);
+        let par_map = a.map_with(&pool, |v| v * 0.5 + 1.0);
+        assert_eq!(seq_map.data(), par_map.data(), "map diverged at {t} threads");
+        let par_zip = a.zip_map_with(&pool, &b, |x, y| x.max(y) - x * y).unwrap();
+        assert_eq!(seq_zip.data(), par_zip.data(), "zip_map diverged at {t} threads");
+    }
+}
+
+#[test]
+fn parallel_array_reductions_match_sequential() {
+    let a = big_array(61, 3 * PAR_CELL_THRESHOLD);
+    let pool1 = WorkerPool::with_threads(1);
+    let seq_sum = a.sum_with(&pool1);
+    let seq_min = a.min_with(&pool1);
+    let seq_max = a.max_with(&pool1);
+    for t in THREAD_COUNTS {
+        let pool = WorkerPool::with_threads(t);
+        // to_bits: the sums must agree exactly, not just approximately.
+        assert_eq!(a.sum_with(&pool).to_bits(), seq_sum.to_bits(), "sum diverged at {t} threads");
+        assert_eq!(a.min_with(&pool), seq_min, "min diverged at {t} threads");
+        assert_eq!(a.max_with(&pool), seq_max, "max diverged at {t} threads");
+    }
+}
+
+#[test]
+fn parallel_try_map_reports_the_first_error() {
+    let cells = 2 * PAR_CELL_THRESHOLD;
+    let mut data = vec![1.0f64; cells];
+    // Errors scattered across chunks; the earliest one must win.
+    data[cells - 1] = -1.0;
+    data[PAR_CELL_THRESHOLD + 7] = -1.0;
+    data[137] = -1.0;
+    let a = NdArray::matrix(cells / 128, 128, data).unwrap();
+    let f = |v: f64| {
+        if v < 0.0 {
+            Err(format!("negative cell {v}"))
+        } else {
+            Ok(v.sqrt())
+        }
+    };
+    let sequential = a.try_map_with(&WorkerPool::with_threads(1), f);
+    assert!(sequential.is_err());
+    for t in THREAD_COUNTS {
+        let parallel = a.try_map_with(&WorkerPool::with_threads(t), f);
+        assert_eq!(
+            sequential.as_ref().err(),
+            parallel.as_ref().err(),
+            "error choice diverged at {t} threads"
+        );
+    }
+    // And the all-healthy case round-trips.
+    let ok = a.map(|v| v.abs()).try_map_with(&WorkerPool::with_threads(4), f).unwrap();
+    assert_eq!(ok.shape(), a.shape());
+}
+
+proptest! {
+    // Randomized small/medium inputs: mostly below the thresholds
+    // (checking the sequential fallback) with the occasional crossing.
+    #[test]
+    fn prop_par_select_matches(
+        vals in proptest::collection::vec(-100i64..100, 0..300),
+        needle in -100i64..100,
+        threads in 1usize..=8,
+    ) {
+        let column = Column::from_ints(vals);
+        let pool = WorkerPool::with_threads(threads);
+        for op in [CmpOp::Eq, CmpOp::Lt, CmpOp::Ge] {
+            let v = Value::Int(needle);
+            prop_assert_eq!(
+                column.par_select(op, &v, None, &pool).unwrap(),
+                column.select(op, &v, None).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn prop_array_kernels_match(
+        data in proptest::collection::vec(-100.0f64..100.0, 1..256),
+        threads in 1usize..=8,
+    ) {
+        let a = NdArray::matrix(1, data.len(), data).unwrap();
+        let pool = WorkerPool::with_threads(threads);
+        let pool1 = WorkerPool::with_threads(1);
+        prop_assert_eq!(a.map_with(&pool, |v| v * 3.0).data(), a.map_with(&pool1, |v| v * 3.0).data());
+        prop_assert_eq!(a.sum_with(&pool).to_bits(), a.sum_with(&pool1).to_bits());
+        prop_assert_eq!(a.min_with(&pool), a.min_with(&pool1));
+        prop_assert_eq!(a.max_with(&pool), a.max_with(&pool1));
+        let z = a.zip_map_with(&pool, &a, |x, y| x + y).unwrap();
+        let z1 = a.zip_map_with(&pool1, &a, |x, y| x + y).unwrap();
+        prop_assert_eq!(z.data(), z1.data());
+    }
+}

@@ -151,34 +151,50 @@ impl FaultPlan {
             .collect()
     }
 
-    /// Apply the plan's data faults to a repository in place, assuming
-    /// the vault naming convention `{id}.sev1`. Returns the number of
-    /// files actually mutated (ids without a matching file are
-    /// skipped).
+    /// Apply the plan's data faults to a repository in place. An id
+    /// that already names a file (contains an extension) is mutated
+    /// directly; otherwise every vault product derived from the id is
+    /// a target — the raw acquisition `{id}.sev1` plus the derived
+    /// `{id}.gtf1` raster and `{id}.shp1` feature products, whichever
+    /// exist. Returns the number of files actually mutated (ids with
+    /// no matching file are skipped).
     pub fn apply_to_repository(&self, repository: &mut Repository) -> usize {
         let mut applied = 0;
         for (id, fault) in &self.faults {
-            let name = format!("{id}.sev1");
-            let Some(bytes) = repository.get(&name).cloned() else {
+            if !fault.is_data_fault() {
                 continue;
+            }
+            let names: Vec<String> = if id.contains('.') && repository.get(id).is_some() {
+                vec![id.clone()]
+            } else {
+                ["sev1", "gtf1", "shp1"]
+                    .iter()
+                    .map(|ext| format!("{id}.{ext}"))
+                    .filter(|name| repository.get(name).is_some())
+                    .collect()
             };
-            match fault {
-                Fault::CorruptPayload => {
-                    let mut raw = bytes.to_vec();
-                    if let Some(last) = raw.last_mut() {
-                        *last ^= 0x01;
+            for name in names {
+                let Some(bytes) = repository.get(&name).cloned() else {
+                    continue;
+                };
+                match fault {
+                    Fault::CorruptPayload => {
+                        let mut raw = bytes.to_vec();
+                        if let Some(last) = raw.last_mut() {
+                            *last ^= 0x01;
+                        }
+                        repository.put(name, bytes::Bytes::from(raw));
+                        applied += 1;
                     }
-                    repository.put(name, bytes::Bytes::from(raw));
-                    applied += 1;
+                    Fault::TruncateHeader => {
+                        // Keep the magic plus half the checksum: enough
+                        // to identify the format, not enough to parse.
+                        let cut = bytes.len().min(9);
+                        repository.put(name, bytes.slice(0..cut));
+                        applied += 1;
+                    }
+                    _ => {}
                 }
-                Fault::TruncateHeader => {
-                    // Keep the magic plus half the checksum: enough to
-                    // identify the format, not enough to parse it.
-                    let cut = bytes.len().min(9);
-                    repository.put(name, bytes.slice(0..cut));
-                    applied += 1;
-                }
-                _ => {}
             }
         }
         applied
@@ -323,6 +339,58 @@ mod tests {
         let mut plan = FaultPlan::new();
         plan.inject("ghost", Fault::CorruptPayload);
         assert_eq!(plan.apply_to_repository(&mut repo), 0);
+    }
+
+    fn gtf1_file(fill: f64) -> bytes::Bytes {
+        let h = teleios_vault::format::Gtf1Header {
+            rows: 4,
+            cols: 4,
+            transform: (20.0, 0.25, 35.0, 0.25),
+            epsg: 4326,
+        };
+        teleios_vault::format::encode_gtf1(&h, &vec![fill; 16]).unwrap()
+    }
+
+    fn shp1_file() -> bytes::Bytes {
+        teleios_vault::format::encode_shp1(&[teleios_vault::format::Shp1Record {
+            wkt: "POINT (21.6 37.4)".into(),
+            label: "hotspot".into(),
+        }])
+    }
+
+    #[test]
+    fn data_faults_reach_derived_products() {
+        let mut repo = Repository::new();
+        repo.put("s0.sev1", scene_file(1.0));
+        repo.put("s0.gtf1", gtf1_file(300.0));
+        repo.put("s0.shp1", shp1_file());
+        let clean_gtf1 = repo.get("s0.gtf1").cloned().unwrap();
+        let clean_shp1 = repo.get("s0.shp1").cloned().unwrap();
+
+        let mut plan = FaultPlan::new();
+        plan.inject("s0", Fault::CorruptPayload);
+        // All three products of the scene are mutated.
+        assert_eq!(plan.apply_to_repository(&mut repo), 3);
+        assert_ne!(repo.get("s0.gtf1").cloned().unwrap(), clean_gtf1);
+        assert_ne!(repo.get("s0.shp1").cloned().unwrap(), clean_shp1);
+        // The corruption is exactly what the format checksums catch.
+        assert!(teleios_vault::format::decode_gtf1(repo.get("s0.gtf1").unwrap()).is_err());
+        assert!(teleios_vault::format::decode_shp1(repo.get("s0.shp1").unwrap()).is_err());
+    }
+
+    #[test]
+    fn dotted_id_targets_one_file() {
+        let mut repo = Repository::new();
+        repo.put("s0.sev1", scene_file(1.0));
+        repo.put("s0.gtf1", gtf1_file(300.0));
+        let clean_sev1 = repo.get("s0.sev1").cloned().unwrap();
+
+        let mut plan = FaultPlan::new();
+        plan.inject("s0.gtf1", Fault::TruncateHeader);
+        assert_eq!(plan.apply_to_repository(&mut repo), 1);
+        // The sibling raw acquisition is untouched.
+        assert_eq!(repo.get("s0.sev1").cloned().unwrap(), clean_sev1);
+        assert_eq!(repo.get("s0.gtf1").unwrap().len(), 9);
     }
 
     #[test]

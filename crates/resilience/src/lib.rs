@@ -34,3 +34,4 @@ pub mod supervisor;
 
 pub use fault::{Fault, FaultPlan};
 pub use supervisor::{BatchReport, RetryPolicy, SceneOutcome, SceneReport, Supervisor};
+pub use teleios_exec::PoolStats;

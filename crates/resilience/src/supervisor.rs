@@ -1,11 +1,11 @@
 //! Supervised chain execution: retry, backoff, degraded modes.
 //!
 //! [`Supervisor::run_batch`] is the fault-tolerant counterpart of
-//! [`ProcessingChain::run_many_isolated`]: every scene gets its own
-//! worker, its own retry budget, and its own ladder of degraded chain
-//! variants, and the batch always returns a full [`BatchReport`] — one
-//! [`SceneReport`] per input scene, in input order, no matter what the
-//! workers did.
+//! [`ProcessingChain::run_many_isolated`]: scenes run on a bounded
+//! worker pool (no thread-per-scene spawning), each with its own retry
+//! budget and its own ladder of degraded chain variants, and the batch
+//! always returns a full [`BatchReport`] — one [`SceneReport`] per
+//! input scene, in input order, no matter what the workers did.
 //!
 //! The degraded ladder is cumulative and honest: first the classifier
 //! is downgraded to the plain operational threshold (the contextual and
@@ -17,6 +17,7 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::thread;
 use std::time::{Duration, Instant};
+use teleios_exec::{default_threads, PoolStats, WorkerPool};
 use teleios_ingest::raster::GeoRaster;
 use teleios_monet::Catalog;
 use teleios_noa::chain::panic_message;
@@ -128,6 +129,9 @@ pub struct BatchReport {
     pub scenes: Vec<SceneReport>,
     /// Wall-clock time for the whole batch.
     pub wall_clock: Duration,
+    /// Worker-pool statistics for the run (worker count, queue
+    /// capacity, peak queue depth).
+    pub pool: PoolStats,
 }
 
 impl BatchReport {
@@ -207,6 +211,10 @@ pub struct Supervisor {
     /// Whether to try degraded chain variants after the retry budget
     /// is exhausted.
     pub degraded_mode: bool,
+    /// Worker count for [`Self::run_batch`]'s bounded pool; `0` means
+    /// the executor default (`TELEIOS_THREADS` env override, else
+    /// available parallelism).
+    pub workers: usize,
 }
 
 impl Default for Supervisor {
@@ -218,13 +226,19 @@ impl Default for Supervisor {
 impl Supervisor {
     /// Supervisor with the given retry policy and degraded mode on.
     pub fn new(retry: RetryPolicy) -> Supervisor {
-        Supervisor { retry, degraded_mode: true }
+        Supervisor { retry, degraded_mode: true, workers: 0 }
     }
 
     /// The same supervisor with degraded-mode fallbacks disabled:
     /// scenes either succeed with the primary chain or fail.
     pub fn without_degraded_mode(mut self) -> Supervisor {
         self.degraded_mode = false;
+        self
+    }
+
+    /// The same supervisor with an explicit batch worker count.
+    pub fn with_workers(mut self, workers: usize) -> Supervisor {
+        self.workers = workers;
         self
     }
 
@@ -311,9 +325,12 @@ impl Supervisor {
         }
     }
 
-    /// Supervise a batch: one worker per scene (scoped threads),
-    /// reports in input order. A lost scene never takes the batch or
-    /// the process down.
+    /// Supervise a batch on a bounded worker pool: `workers` threads
+    /// (the executor default when zero) drain a task queue capped at
+    /// `2 × workers` entries, so memory for in-flight scenes stays
+    /// bounded no matter how large the archive is. Reports come back
+    /// in input order; a lost scene never takes the batch or the
+    /// process down.
     pub fn run_batch(
         &self,
         catalog: &Catalog,
@@ -321,58 +338,41 @@ impl Supervisor {
         scenes: &[(String, GeoRaster)],
     ) -> BatchReport {
         let t0 = Instant::now();
-        let run = crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = scenes
-                .iter()
-                .map(|(id, raster)| {
-                    let supervisor = *self;
-                    let chain = chain.clone();
-                    let catalog = catalog.clone();
-                    scope.spawn(move |_| supervisor.run_scene(&catalog, &chain, id, raster))
+        let workers = if self.workers == 0 { default_threads() } else { self.workers };
+        let pool = WorkerPool::with_threads(workers);
+        let queue_capacity = 2 * workers.max(1);
+        let tasks: Vec<_> = scenes
+            .iter()
+            .map(|(id, raster)| {
+                let supervisor = *self;
+                let chain = chain.clone();
+                let catalog = catalog.clone();
+                move || supervisor.run_scene(&catalog, &chain, id, raster)
+            })
+            .collect();
+        let (outcomes, pool_stats) = pool.try_run_bounded(queue_capacity, tasks);
+        let scenes = outcomes
+            .into_iter()
+            .zip(scenes)
+            .map(|(outcome, (id, _))| {
+                // Unreachable in practice (run_scene catches
+                // everything), but still: a worker panic degrades to a
+                // per-scene failure, never an abort.
+                outcome.unwrap_or_else(|payload| SceneReport {
+                    product_id: id.clone(),
+                    outcome: SceneOutcome::Failed {
+                        reason: format!(
+                            "supervisor worker for {id} could not be joined: {}",
+                            panic_message(payload.as_ref())
+                        ),
+                    },
+                    output: None,
+                    chain_id: chain.id(),
+                    attempts: 0,
                 })
-                .collect();
-            handles
-                .into_iter()
-                .zip(scenes)
-                .map(|(handle, (id, _))| {
-                    handle.join().unwrap_or_else(|payload| SceneReport {
-                        product_id: id.clone(),
-                        outcome: SceneOutcome::Failed {
-                            reason: format!(
-                                "supervisor worker for {id} could not be joined: {}",
-                                panic_message(payload.as_ref())
-                            ),
-                        },
-                        output: None,
-                        chain_id: chain.id(),
-                        attempts: 0,
-                    })
-                })
-                .collect::<Vec<SceneReport>>()
-        });
-        let scenes = match run {
-            Ok(reports) => reports,
-            // Unreachable in practice (run_scene catches everything),
-            // but still: degrade to per-scene failures, never abort.
-            Err(payload) => {
-                let message = panic_message(payload.as_ref());
-                scenes
-                    .iter()
-                    .map(|(id, _)| SceneReport {
-                        product_id: id.clone(),
-                        outcome: SceneOutcome::Failed {
-                            reason: format!(
-                                "supervisor pool panicked while {id} was in flight: {message}"
-                            ),
-                        },
-                        output: None,
-                        chain_id: chain.id(),
-                        attempts: 0,
-                    })
-                    .collect()
-            }
-        };
-        BatchReport { scenes, wall_clock: t0.elapsed() }
+            })
+            .collect::<Vec<SceneReport>>();
+        BatchReport { scenes, wall_clock: t0.elapsed(), pool: pool_stats }
     }
 }
 

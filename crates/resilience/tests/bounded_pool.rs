@@ -1,0 +1,96 @@
+//! Batch supervision on the bounded worker pool.
+//!
+//! `Supervisor::run_batch` used to spawn one thread per scene; it now
+//! drains the batch through a fixed-size `teleios_exec::WorkerPool`
+//! behind a bounded task queue. These tests pin the new guarantees: a
+//! 200-scene batch on a 4-worker pool never exceeds the queue bound,
+//! keeps input order, and loses no healthy scene — with or without
+//! poisoned scenes in the mix.
+
+use teleios_geo::{Coord, Envelope};
+use teleios_ingest::raster::GeoRaster;
+use teleios_ingest::seviri::{generate, FireEvent, SceneSpec, SurfaceKind};
+use teleios_monet::Catalog;
+use teleios_noa::ProcessingChain;
+use teleios_resilience::{Fault, FaultPlan, RetryPolicy, SceneOutcome, Supervisor};
+
+fn bbox() -> Envelope {
+    Envelope::new(Coord::new(21.0, 36.0), Coord::new(24.0, 39.0))
+}
+
+fn scenes(n: usize) -> Vec<(String, GeoRaster)> {
+    (0..n)
+        .map(|i| {
+            let mut spec = SceneSpec::new(900 + i as u64, 16, 16, bbox());
+            spec.cloud_cover = 0.0;
+            spec.glint_rate = 0.0;
+            spec.fires.push(FireEvent {
+                center: Coord::new(21.6, 37.4),
+                radius: 0.2,
+                intensity: 0.9,
+            });
+            (format!("batch{i:03}"), generate(&spec, &|_| SurfaceKind::Forest).unwrap().raster)
+        })
+        .collect()
+}
+
+#[test]
+fn large_batch_on_small_pool_respects_queue_bound() {
+    let batch = scenes(200);
+    let supervisor = Supervisor::new(RetryPolicy::no_backoff(1)).with_workers(4);
+    let report = supervisor.run_batch(&Catalog::new(), &ProcessingChain::operational(), &batch);
+
+    assert_eq!(report.scenes.len(), 200);
+    assert_eq!(report.ok_count(), 200);
+    assert_eq!(report.failed_count(), 0);
+    // Input order is preserved across the pool.
+    for (i, scene) in report.scenes.iter().enumerate() {
+        assert_eq!(scene.product_id, format!("batch{i:03}"));
+    }
+    // Pool shape: 4 workers, queue capped at 2× workers, and the
+    // producer never stacked more than the cap in flight.
+    assert_eq!(report.pool.workers, 4);
+    assert_eq!(report.pool.queue_capacity, 8);
+    assert!(
+        report.pool.max_queue_depth <= report.pool.queue_capacity,
+        "queue depth {} exceeded capacity {}",
+        report.pool.max_queue_depth,
+        report.pool.queue_capacity
+    );
+}
+
+#[test]
+fn poisoned_scenes_on_bounded_pool_lose_no_healthy_scene() {
+    let batch = scenes(40);
+    let mut plan = FaultPlan::new();
+    plan.inject("batch007", Fault::WorkerPanic).inject("batch023", Fault::WorkerPanic);
+    let chain = ProcessingChain::operational().with_stage_hook(plan.chain_hook());
+    let supervisor = Supervisor::new(RetryPolicy::no_backoff(1)).with_workers(4);
+    let report = supervisor.run_batch(&Catalog::new(), &chain, &batch);
+
+    assert_eq!(report.scenes.len(), 40);
+    assert_eq!(report.failed_count(), 2);
+    assert_eq!(report.ok_count(), 38);
+    for scene in &report.scenes {
+        let poisoned = scene.product_id == "batch007" || scene.product_id == "batch023";
+        match (&scene.outcome, poisoned) {
+            (SceneOutcome::Failed { .. }, true) | (SceneOutcome::Ok, false) => {}
+            (outcome, _) => {
+                panic!("scene {} had unexpected outcome {outcome:?}", scene.product_id)
+            }
+        }
+    }
+}
+
+#[test]
+fn default_worker_count_follows_executor_default() {
+    let batch = scenes(3);
+    // workers = 0 delegates to the executor default
+    // (`TELEIOS_THREADS` / available parallelism), which is ≥ 1 and
+    // clamped to the batch size by the pool.
+    let supervisor = Supervisor::new(RetryPolicy::no_backoff(1));
+    let report = supervisor.run_batch(&Catalog::new(), &ProcessingChain::operational(), &batch);
+    assert_eq!(report.ok_count(), 3);
+    assert!(report.pool.workers >= 1, "pool ran with no workers");
+    assert!(report.pool.max_queue_depth <= report.pool.queue_capacity);
+}

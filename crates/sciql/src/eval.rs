@@ -107,14 +107,14 @@ pub fn execute_stmt(catalog: &Catalog, stmt: &SciqlStmt) -> Result<SciqlResult> 
                 return Ok(SciqlResult::Done);
             }
             loop {
-                let v = a.get(&idx).expect("in range");
+                let v = a.get(&idx)?; // in range: resolve_ranges checked
                 let touch = match condition {
                     None => true,
                     Some(cond) => eval_cell(cond, v, &idx, &a)? != 0.0,
                 };
                 if touch {
                     let nv = eval_cell(expr, v, &idx, &a)?;
-                    out.set(&idx, nv).expect("in range");
+                    out.set(&idx, nv)?;
                 }
                 let mut k = idx.len();
                 loop {
@@ -167,14 +167,12 @@ fn sliced_view(a: &NdArray, slices: &[SliceRange]) -> Result<(NdArray, Vec<usize
 /// Element-wise evaluation of `expr` over `view`; `origin` maps view
 /// indices back to source coordinates for dimension variables.
 fn map_array(view: &NdArray, origin: &[usize], source: &NdArray, expr: &CellExpr) -> Result<NdArray> {
-    // Fast path: expressions not referencing dimension variables can use
-    // the flat data directly.
+    // Fast path: expressions not referencing dimension variables are
+    // pure per-cell kernels — run them through the morsel-parallel
+    // `NdArray::try_map` (sequential below the cell threshold), so
+    // SciQL maps inherit the executor's speedup.
     if !references_dims(expr, source) {
-        let mut out = view.clone();
-        for cell in out.data_mut() {
-            *cell = eval_cell(expr, *cell, &[], source)?;
-        }
-        return Ok(out);
+        return view.try_map(|cell| eval_cell(expr, cell, &[], source));
     }
     let mut out = view.clone();
     if view.is_empty() {
@@ -184,8 +182,8 @@ fn map_array(view: &NdArray, origin: &[usize], source: &NdArray, expr: &CellExpr
     let mut idx = vec![0usize; shape.len()];
     loop {
         let src_idx: Vec<usize> = idx.iter().zip(origin).map(|(&i, &o)| i + o).collect();
-        let v = view.get(&idx).expect("in range");
-        out.set(&idx, eval_cell(expr, v, &src_idx, source)?).expect("in range");
+        let v = view.get(&idx)?; // in range: idx stays inside shape
+        out.set(&idx, eval_cell(expr, v, &src_idx, source)?)?;
         let mut k = idx.len();
         loop {
             if k == 0 {
@@ -354,7 +352,7 @@ fn collect_matching(
     let mut idx = vec![0usize; shape.len()];
     loop {
         let src_idx: Vec<usize> = idx.iter().zip(origin).map(|(&i, &o)| i + o).collect();
-        let v = view.get(&idx).expect("in range");
+        let v = view.get(&idx)?; // in range: idx stays inside shape
         if eval_cell(cond, v, &src_idx, source)? != 0.0 {
             out.push(eval_cell(expr, v, &src_idx, source)?);
         }

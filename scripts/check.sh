@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Full pre-merge gate: release build, test suite, and lints.
+#
+# Usage: scripts/check.sh
+# Run from anywhere inside the repo; requires only the Rust toolchain.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo clippy --workspace --all-targets"
+cargo clippy --workspace --all-targets
+
+echo "==> all checks passed"

@@ -1,5 +1,6 @@
 //! TELEIOS facade: re-exports every tier of the Virtual Earth Observatory.
 pub use teleios_core as core;
+pub use teleios_exec as exec;
 pub use teleios_geo as geo;
 pub use teleios_ingest as ingest;
 pub use teleios_linked as linked;
