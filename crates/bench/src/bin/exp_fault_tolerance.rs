@@ -45,9 +45,8 @@ fn acquire_scenes(obs: &mut Observatory, n: usize) -> Vec<String> {
 fn supervised_chain(obs: &Observatory, plan: &FaultPlan) -> ProcessingChain {
     ProcessingChain {
         classifier: HotspotClassifier::Contextual { kelvin: 318.0, min_neighbors: 2 },
-        crop_window: None,
         target_grid: Some((GeoTransform::fit(&obs.region(), 32, 32), 32, 32)),
-        stage_hook: None,
+        ..ProcessingChain::operational()
     }
     .with_stage_hook(plan.chain_hook())
 }

@@ -1,3 +1,4 @@
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 //! # teleios-core — the Virtual Earth Observatory
 //!
 //! The facade wiring every tier of the TELEIOS architecture (paper
@@ -31,4 +32,6 @@ pub mod observatory;
 pub mod portal;
 
 pub use error::ObservatoryError;
-pub use observatory::Observatory;
+pub use observatory::{
+    BurntAreaReport, Observatory, ProductOutcome, ProductReport, RefineReport,
+};

@@ -2,6 +2,8 @@
 
 use crate::ObservatoryError;
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
 use teleios_geo::{Coord, Envelope};
 use teleios_ingest::metadata;
 use teleios_ingest::raster::{GeoRaster, GeoTransform};
@@ -12,10 +14,10 @@ use teleios_mining::ontology::Ontology;
 use teleios_monet::array::NdArray;
 use teleios_monet::catalog::ResultSet;
 use teleios_monet::Catalog;
-use teleios_noa::chain::ChainOutput;
+use teleios_noa::chain::{panic_message, ChainOutput};
 use teleios_noa::firemap::{build_fire_map, FireMap};
 use teleios_noa::refine::{
-    publish_hotspots, refine_against_landmass, RefineStats,
+    publish_hotspots, refine_against_landmass, refine_product_against_landmass, RefineStats,
 };
 use teleios_noa::ProcessingChain;
 use teleios_resilience::{BatchReport, SceneOutcome, SceneReport, Supervisor};
@@ -87,6 +89,109 @@ pub struct ChainReport {
     pub output: ChainOutput,
     /// Hotspot features published to Strabon.
     pub features_published: usize,
+}
+
+/// How one product fared inside a supervised service pass
+/// ([`Observatory::refine_products_supervised`],
+/// [`Observatory::derive_burnt_area_supervised`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProductOutcome {
+    /// The product's pass completed.
+    Ok,
+    /// The product's pass failed (bad data, query error, panic); other
+    /// products were not affected.
+    Failed {
+        /// What went wrong.
+        reason: String,
+    },
+    /// The deadline was exhausted before this product's pass started.
+    Skipped {
+        /// Why the product was never attempted.
+        reason: String,
+    },
+}
+
+/// Per-product entry of a supervised service report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProductReport {
+    /// The product id.
+    pub product_id: String,
+    /// What happened.
+    pub outcome: ProductOutcome,
+}
+
+/// Partial-result report of a supervised refinement pass: per-product
+/// outcomes plus the aggregate [`RefineStats`] over the products that
+/// completed. A poisoned or overdue product costs exactly its own
+/// entry, never the pass.
+#[derive(Debug, Clone)]
+pub struct RefineReport {
+    /// One entry per input product, in input order.
+    pub products: Vec<ProductReport>,
+    /// Aggregate refinement counts over the `Ok` products.
+    pub stats: RefineStats,
+    /// Wall-clock time for the whole pass.
+    pub wall_clock: Duration,
+}
+
+/// Partial-result report of a supervised burnt-area derivation.
+#[derive(Debug, Clone)]
+pub struct BurntAreaReport {
+    /// One entry per input product, in input order.
+    pub products: Vec<ProductReport>,
+    /// Burnt-area scar features published from the surviving masks.
+    pub features_published: usize,
+    /// Wall-clock time for the whole pass.
+    pub wall_clock: Duration,
+}
+
+impl RefineReport {
+    /// Products whose pass completed.
+    pub fn ok_count(&self) -> usize {
+        self.products.iter().filter(|p| p.outcome == ProductOutcome::Ok).count()
+    }
+
+    /// Products whose pass failed.
+    pub fn failed_count(&self) -> usize {
+        self.products.iter().filter(|p| matches!(p.outcome, ProductOutcome::Failed { .. })).count()
+    }
+
+    /// Products never attempted because the deadline ran out.
+    pub fn skipped_count(&self) -> usize {
+        self.products.iter().filter(|p| matches!(p.outcome, ProductOutcome::Skipped { .. })).count()
+    }
+
+    /// True when every product completed.
+    pub fn is_complete(&self) -> bool {
+        self.ok_count() == self.products.len()
+    }
+
+    /// The entry for one product id.
+    pub fn report_for(&self, product_id: &str) -> Option<&ProductReport> {
+        self.products.iter().find(|p| p.product_id == product_id)
+    }
+}
+
+impl BurntAreaReport {
+    /// Products whose mask made it into the derivation.
+    pub fn ok_count(&self) -> usize {
+        self.products.iter().filter(|p| p.outcome == ProductOutcome::Ok).count()
+    }
+
+    /// Products whose mask could not be built.
+    pub fn failed_count(&self) -> usize {
+        self.products.iter().filter(|p| matches!(p.outcome, ProductOutcome::Failed { .. })).count()
+    }
+
+    /// Products never attempted because the deadline ran out.
+    pub fn skipped_count(&self) -> usize {
+        self.products.iter().filter(|p| matches!(p.outcome, ProductOutcome::Skipped { .. })).count()
+    }
+
+    /// The entry for one product id.
+    pub fn report_for(&self, product_id: &str) -> Option<&ProductReport> {
+        self.products.iter().find(|p| p.product_id == product_id)
+    }
 }
 
 /// The Virtual Earth Observatory.
@@ -343,6 +448,7 @@ impl Observatory {
                     output: None,
                     chain_id: chain.id(),
                     attempts: 0,
+                    timed_out_stages: Vec::new(),
                 });
                 continue;
             }
@@ -375,6 +481,53 @@ impl Observatory {
     pub fn refine_products(&mut self) -> Result<RefineStats> {
         let landmass = emit::landmass_literal(&self.world);
         Ok(refine_against_landmass(&mut self.strabon, &landmass)?)
+    }
+
+    /// Supervised scenario-2 refinement: each product is refined in its
+    /// own isolated pass (product-scoped stSPARQL updates, panics
+    /// caught), under a cooperative `deadline` checked between
+    /// products — an in-progress pass is never interrupted, but once
+    /// the budget is spent the remaining products are `Skipped`. The
+    /// report always covers every input product; a poisoned product
+    /// costs exactly its own entry.
+    pub fn refine_products_supervised(
+        &mut self,
+        product_ids: &[String],
+        deadline: Duration,
+    ) -> RefineReport {
+        let started = Instant::now();
+        let landmass = emit::landmass_literal(&self.world);
+        let mut products = Vec::with_capacity(product_ids.len());
+        let mut stats = RefineStats { before: 0, kept: 0, refuted: 0, clipped: 0 };
+        for id in product_ids {
+            if started.elapsed() >= deadline {
+                products.push(ProductReport {
+                    product_id: id.clone(),
+                    outcome: ProductOutcome::Skipped {
+                        reason: format!("refinement deadline {deadline:?} exhausted"),
+                    },
+                });
+                continue;
+            }
+            let strabon = &mut self.strabon;
+            let outcome = match catch_unwind(AssertUnwindSafe(|| {
+                refine_product_against_landmass(strabon, &landmass, id)
+            })) {
+                Ok(Ok(s)) => {
+                    stats.before += s.before;
+                    stats.kept += s.kept;
+                    stats.refuted += s.refuted;
+                    stats.clipped += s.clipped;
+                    ProductOutcome::Ok
+                }
+                Ok(Err(e)) => ProductOutcome::Failed { reason: e.to_string() },
+                Err(payload) => ProductOutcome::Failed {
+                    reason: format!("refinement panicked: {}", panic_message(payload.as_ref())),
+                },
+            };
+            products.push(ProductReport { product_id: id.clone(), outcome });
+        }
+        RefineReport { products, stats, wall_clock: started.elapsed() }
     }
 
     /// stSPARQL search over products, annotations and linked data.
@@ -439,6 +592,81 @@ impl Observatory {
         let n = features.len();
         teleios_noa::burnt::publish_burnt_area(&features, event_id, &period, &mut self.strabon);
         Ok(n)
+    }
+
+    /// Supervised burnt-area derivation: each product's refined mask is
+    /// built in isolation (panics caught, per-product failures
+    /// recorded) under a cooperative `deadline` checked between
+    /// products; the scar features are then derived from whatever
+    /// masks survived. Zero surviving masks is a valid partial result
+    /// — a report with no features — not an error. `Err` is reserved
+    /// for the final cross-product aggregation failing (e.g. products
+    /// on different grids).
+    pub fn derive_burnt_area_supervised(
+        &mut self,
+        product_ids: &[String],
+        event_id: &str,
+        deadline: Duration,
+    ) -> Result<BurntAreaReport> {
+        let started = Instant::now();
+        let mut products = Vec::with_capacity(product_ids.len());
+        let mut masks = Vec::new();
+        let mut geo: Option<GeoTransform> = None;
+        let mut times: Vec<String> = Vec::new();
+        for id in product_ids {
+            if started.elapsed() >= deadline {
+                products.push(ProductReport {
+                    product_id: id.clone(),
+                    outcome: ProductOutcome::Skipped {
+                        reason: format!("burnt-area deadline {deadline:?} exhausted"),
+                    },
+                });
+                continue;
+            }
+            let mut mask_pass = || -> Result<(NdArray, GeoTransform, String)> {
+                let raster = self.raster_for(id)?;
+                let survivors =
+                    teleios_noa::refine::surviving_hotspot_geometries(&mut self.strabon, id)?;
+                let polys: Vec<&teleios_geo::geometry::Polygon> = survivors.iter().collect();
+                let mask = teleios_noa::refine::features_to_mask(
+                    &polys,
+                    &raster.geo,
+                    raster.rows(),
+                    raster.cols(),
+                );
+                Ok((mask, raster.geo, raster.acquisition))
+            };
+            let outcome = match catch_unwind(AssertUnwindSafe(&mut mask_pass)) {
+                Ok(Ok((mask, g, t))) => {
+                    masks.push(mask);
+                    geo.get_or_insert(g);
+                    times.push(t);
+                    ProductOutcome::Ok
+                }
+                Ok(Err(e)) => ProductOutcome::Failed { reason: e.to_string() },
+                Err(payload) => ProductOutcome::Failed {
+                    reason: format!("mask derivation panicked: {}", panic_message(payload.as_ref())),
+                },
+            };
+            products.push(ProductReport { product_id: id.clone(), outcome });
+        }
+        let Some(geo) = geo else {
+            // No mask survived; report the losses instead of erroring.
+            return Ok(BurntAreaReport {
+                products,
+                features_published: 0,
+                wall_clock: started.elapsed(),
+            });
+        };
+        times.sort();
+        let period = teleios_rdf::strdf::Period::new(
+            times.first().cloned().unwrap_or_default(),
+            times.last().cloned().unwrap_or_default(),
+        );
+        let features = teleios_noa::burnt::burnt_area_features(&masks, &geo)?;
+        let features_published = features.len();
+        teleios_noa::burnt::publish_burnt_area(&features, event_id, &period, &mut self.strabon);
+        Ok(BurntAreaReport { products, features_published, wall_clock: started.elapsed() })
     }
 
     /// The semantic-annotation service (Fig. 2): cut the product into
@@ -662,6 +890,110 @@ mod tests {
             ))
             .unwrap();
         assert_eq!(sols.len(), n);
+    }
+
+    #[test]
+    fn supervised_refinement_isolates_a_poisoned_product() {
+        let mut obs = observatory();
+        let mut ids = Vec::new();
+        for i in 0..2 {
+            let mut spec = AcquisitionSpec::small_test(30 + i);
+            spec.glint_rate = 0.03;
+            spec.cloud_cover = 0.0;
+            let id = obs.acquire_scene(&spec).unwrap();
+            obs.run_chain(&id, &ProcessingChain::operational()).unwrap();
+            ids.push(id);
+        }
+        // A product id with a space poisons its scoped stSPARQL update
+        // (the IRI no longer lexes); healthy products must not notice.
+        let with_poison =
+            vec![ids[0].clone(), "bad id".to_string(), ids[1].clone()];
+        let report =
+            obs.refine_products_supervised(&with_poison, Duration::from_secs(3600));
+        assert_eq!(report.products.len(), 3);
+        assert_eq!(report.ok_count(), 2);
+        assert_eq!(report.failed_count(), 1);
+        assert!(!report.is_complete());
+        assert!(matches!(
+            &report.report_for("bad id").unwrap().outcome,
+            ProductOutcome::Failed { .. }
+        ));
+        // The healthy products were actually refined.
+        assert!(report.stats.before > 0);
+        assert!(report.stats.refuted > 0, "expected sea hotspots refuted");
+    }
+
+    #[test]
+    fn supervised_refinement_deadline_skips_the_tail() {
+        let mut obs = observatory();
+        let id = obs.acquire_scene(&AcquisitionSpec::small_test(7)).unwrap();
+        obs.run_chain(&id, &ProcessingChain::operational()).unwrap();
+        let report =
+            obs.refine_products_supervised(&[id.clone()], Duration::ZERO);
+        assert_eq!(report.ok_count(), 0);
+        assert_eq!(report.skipped_count(), 1);
+        assert!(matches!(
+            &report.report_for(&id).unwrap().outcome,
+            ProductOutcome::Skipped { reason } if reason.contains("deadline")
+        ));
+        assert_eq!(report.stats.before, 0);
+    }
+
+    #[test]
+    fn supervised_burnt_area_reports_partial_results() {
+        let mut obs = observatory();
+        let center = obs.region().center();
+        let mut ids = Vec::new();
+        for i in 0..3 {
+            let mut spec = AcquisitionSpec::small_test(40 + i);
+            spec.cloud_cover = 0.0;
+            spec.fires = vec![teleios_ingest::seviri::FireEvent {
+                center: Coord::new(center.x + i as f64 * 0.05, center.y),
+                radius: 0.08,
+                intensity: 0.9,
+            }];
+            let id = obs.acquire_scene(&spec).unwrap();
+            obs.run_chain(&id, &ProcessingChain::operational()).unwrap();
+            ids.push(id);
+        }
+        obs.refine_products().unwrap();
+        // A ghost product fails its own mask pass; the scars still come
+        // from the three healthy masks.
+        let mut with_ghost = ids.clone();
+        with_ghost.insert(1, "ghost".to_string());
+        let report = obs
+            .derive_burnt_area_supervised(&with_ghost, "event-s1", Duration::from_secs(3600))
+            .unwrap();
+        assert_eq!(report.products.len(), 4);
+        assert_eq!(report.ok_count(), 3);
+        assert_eq!(report.failed_count(), 1);
+        assert!(report.features_published > 0);
+        assert!(matches!(
+            &report.report_for("ghost").unwrap().outcome,
+            ProductOutcome::Failed { .. }
+        ));
+        let sols = obs
+            .search(&format!(
+                "SELECT ?b WHERE {{ ?b a <{}> }}",
+                teleios_noa::burnt::BURNT_AREA
+            ))
+            .unwrap();
+        assert_eq!(sols.len(), report.features_published);
+    }
+
+    #[test]
+    fn supervised_burnt_area_with_no_surviving_mask_is_a_report_not_an_error() {
+        let mut obs = observatory();
+        let report = obs
+            .derive_burnt_area_supervised(
+                &["ghost".to_string()],
+                "event-s2",
+                Duration::from_secs(3600),
+            )
+            .unwrap();
+        assert_eq!(report.features_published, 0);
+        assert_eq!(report.failed_count(), 1);
+        assert_eq!(report.ok_count(), 0);
     }
 
     #[test]

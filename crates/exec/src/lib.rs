@@ -25,9 +25,17 @@
 //!   failing task (matching sequential panic semantics), while
 //!   [`WorkerPool::try_run_bounded`] hands every payload back to the
 //!   caller for per-task isolation (the supervisor's contract).
+//! * **Cooperative cancellation** — a [`CancelToken`] passed to
+//!   [`WorkerPool::try_run_bounded_cancellable`] is checked between
+//!   morsels only: in-flight tasks finish, queued tasks are skipped
+//!   (`None` slots), and nothing is ever killed. Long-running tasks
+//!   that want finer-grained cancellation poll the same token at
+//!   their own safe points.
 
+pub mod cancel;
 pub mod morsel;
 pub mod pool;
 
+pub use cancel::CancelToken;
 pub use morsel::{fixed_morsels, morsels, DEFAULT_MORSEL_CELLS};
 pub use pool::{default_threads, PoolStats, WorkerPool};

@@ -10,6 +10,7 @@ use std::ops::Range;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::thread;
 
+use crate::cancel::CancelToken;
 use crate::morsel::morsels;
 
 /// Worker count from the environment: `TELEIOS_THREADS` when set to a
@@ -91,12 +92,14 @@ impl WorkerPool {
         if self.threads <= 1 || tasks.len() <= 1 {
             return tasks.into_iter().map(|f| f()).collect();
         }
-        let (slots, _) = self.dispatch(tasks, None);
+        let (slots, _) = self.dispatch(tasks, None, None);
         let mut out = Vec::with_capacity(slots.len());
         for slot in slots {
             match slot {
-                Ok(v) => out.push(v),
-                Err(payload) => resume_unwind(payload),
+                // No cancel token was passed, so every task ran.
+                None => unreachable!("uncancellable run skipped a task"),
+                Some(Ok(v)) => out.push(v),
+                Some(Err(payload)) => resume_unwind(payload),
             }
         }
         out
@@ -129,17 +132,67 @@ impl WorkerPool {
                 PoolStats { workers: 1, queue_capacity, max_queue_depth: 0 };
             return (results, stats);
         }
-        self.dispatch(tasks, Some(queue_capacity))
+        let (slots, stats) = self.dispatch(tasks, Some(queue_capacity), None);
+        let results = slots
+            .into_iter()
+            .map(|slot| match slot {
+                Some(outcome) => outcome,
+                // No cancel token was passed, so every task ran.
+                None => unreachable!("uncancellable run skipped a task"),
+            })
+            .collect();
+        (results, stats)
+    }
+
+    /// Like [`Self::try_run_bounded`], but checks `cancel` between
+    /// morsels: once the token fires, the producer stops enqueuing and
+    /// every worker skips the tasks it claims, so in-flight work drains
+    /// instead of running to completion. Skipped tasks come back as
+    /// `None` in their submission-order slot; completed ones as
+    /// `Some(result)`. Tasks already executing when the token fires
+    /// are *not* interrupted — cancellation inside a task is the
+    /// task's own business (the NOA chain checks the same token at
+    /// stage boundaries).
+    pub fn try_run_bounded_cancellable<T, F>(
+        &self,
+        queue_capacity: usize,
+        tasks: Vec<F>,
+        cancel: &CancelToken,
+    ) -> (Vec<Option<thread::Result<T>>>, PoolStats)
+    where
+        T: Send,
+        F: FnOnce() -> T + Send,
+    {
+        let queue_capacity = queue_capacity.max(1);
+        if self.threads <= 1 {
+            let results = tasks
+                .into_iter()
+                .map(|f| {
+                    if cancel.is_cancelled() {
+                        None
+                    } else {
+                        Some(catch_unwind(AssertUnwindSafe(f)))
+                    }
+                })
+                .collect();
+            let stats =
+                PoolStats { workers: 1, queue_capacity, max_queue_depth: 0 };
+            return (results, stats);
+        }
+        self.dispatch(tasks, Some(queue_capacity), Some(cancel))
     }
 
     /// Shared parallel executor. `bound` selects a bounded task queue
     /// (capacity in tasks) or an unbounded one (everything enqueued up
-    /// front). Results come back indexed in submission order.
+    /// front). Results come back indexed in submission order; a `None`
+    /// slot means the task was skipped because `cancel` fired before a
+    /// worker executed it (only possible when `cancel` is `Some`).
     fn dispatch<T, F>(
         &self,
         tasks: Vec<F>,
         bound: Option<usize>,
-    ) -> (Vec<thread::Result<T>>, PoolStats)
+        cancel: Option<&CancelToken>,
+    ) -> (Vec<Option<thread::Result<T>>>, PoolStats)
     where
         T: Send,
         F: FnOnce() -> T + Send,
@@ -151,7 +204,7 @@ impl WorkerPool {
             None => crossbeam::channel::unbounded::<(usize, F)>(),
         };
         let (res_tx, res_rx) =
-            crossbeam::channel::unbounded::<(usize, thread::Result<T>)>();
+            crossbeam::channel::unbounded::<(usize, Option<thread::Result<T>>)>();
 
         let mut max_queue_depth = 0usize;
         let scope_result = crossbeam::thread::scope(|scope| {
@@ -160,7 +213,14 @@ impl WorkerPool {
                 let res_tx = res_tx.clone();
                 scope.spawn(move |_| {
                     for (i, task) in task_rx.iter() {
-                        let outcome = catch_unwind(AssertUnwindSafe(task));
+                        // Check between morsels: a claimed-but-not-yet
+                        // started task is skipped once the token fires,
+                        // so the batch drains instead of running every
+                        // queued kernel to completion.
+                        let outcome = match cancel {
+                            Some(token) if token.is_cancelled() => None,
+                            _ => Some(catch_unwind(AssertUnwindSafe(task))),
+                        };
                         if res_tx.send((i, outcome)).is_err() {
                             break;
                         }
@@ -169,8 +229,12 @@ impl WorkerPool {
             }
             drop(res_tx);
             // Produce on the caller thread; a bounded queue applies
-            // backpressure here while workers drain it.
+            // backpressure here while workers drain it. A fired cancel
+            // token stops production — unsubmitted tasks stay `None`.
             for pair in tasks.into_iter().enumerate() {
+                if cancel.is_some_and(CancelToken::is_cancelled) {
+                    break;
+                }
                 if task_tx.send(pair).is_err() {
                     break; // all workers gone; unreachable in practice
                 }
@@ -182,7 +246,7 @@ impl WorkerPool {
                 (0..n).map(|_| None).collect();
             for (i, outcome) in res_rx.iter() {
                 if i < slots.len() {
-                    slots[i] = Some(outcome);
+                    slots[i] = outcome;
                 }
             }
             slots
@@ -194,18 +258,7 @@ impl WorkerPool {
             max_queue_depth,
         };
         match scope_result {
-            Ok(slots) => {
-                let results = slots
-                    .into_iter()
-                    .map(|slot| match slot {
-                        Some(outcome) => outcome,
-                        // Every worker sends exactly one result per
-                        // received task and the queue was fully drained.
-                        None => unreachable!("pool task produced no result"),
-                    })
-                    .collect();
-                (results, stats)
-            }
+            Ok(slots) => (slots, stats),
             // Workers only run caught code; a scope-level panic would
             // mean the channel plumbing itself failed.
             Err(payload) => resume_unwind(payload),
@@ -324,6 +377,74 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn cancellable_run_completes_when_token_never_fires() {
+        for threads in [1usize, 4] {
+            let pool = WorkerPool::with_threads(threads);
+            let token = CancelToken::new();
+            let tasks: Vec<_> = (0..20).map(|i| move || i * 2).collect();
+            let (slots, _) = pool.try_run_bounded_cancellable(4, tasks, &token);
+            let got: Vec<i32> = slots
+                .into_iter()
+                .map(|s| s.expect("no task skipped").expect("no panic"))
+                .collect();
+            assert_eq!(got, (0..20).map(|i| i * 2).collect::<Vec<i32>>(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn pre_cancelled_token_skips_every_task() {
+        for threads in [1usize, 4] {
+            let pool = WorkerPool::with_threads(threads);
+            let token = CancelToken::new();
+            token.cancel("batch deadline");
+            let ran = AtomicUsize::new(0);
+            let tasks: Vec<_> = (0..32)
+                .map(|i| {
+                    let ran = &ran;
+                    move || {
+                        ran.fetch_add(1, Ordering::SeqCst);
+                        i
+                    }
+                })
+                .collect();
+            let (slots, _) = pool.try_run_bounded_cancellable(4, tasks, &token);
+            assert_eq!(slots.len(), 32, "threads={threads}");
+            assert!(slots.iter().all(Option::is_none), "threads={threads}");
+            assert_eq!(ran.load(Ordering::SeqCst), 0, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn mid_run_cancellation_drains_without_running_the_tail() {
+        let pool = WorkerPool::with_threads(2);
+        let token = CancelToken::new();
+        let ran = AtomicUsize::new(0);
+        let fire = token.clone();
+        let tasks: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..64)
+            .map(|i| {
+                let ran = &ran;
+                let fire = fire.clone();
+                Box::new(move || {
+                    if i == 3 {
+                        fire.cancel("task 3 pulled the plug");
+                    }
+                    ran.fetch_add(1, Ordering::SeqCst);
+                    i
+                }) as Box<dyn FnOnce() -> usize + Send>
+            })
+            .collect();
+        let (slots, _) = pool.try_run_bounded_cancellable(4, tasks, &token);
+        assert_eq!(slots.len(), 64);
+        let executed = ran.load(Ordering::SeqCst);
+        // The task that fired the token still ran; the queued tail did
+        // not (queue capacity bounds how much was already in flight).
+        assert!(executed < 64, "cancellation should skip the tail, ran {executed}");
+        assert!(slots.iter().filter(|s| s.is_some()).count() == executed);
+        // Slot 3 definitely completed (it fired the token after running).
+        assert!(slots[3].is_some());
     }
 
     #[test]

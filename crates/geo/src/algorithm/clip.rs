@@ -265,7 +265,9 @@ fn perturb(p: &Polygon, magnitude: f64, salt: u64) -> Polygon {
     // Keep ring closed.
     if out.exterior.0.len() > 1 {
         let first = out.exterior.0[0];
-        *out.exterior.0.last_mut().expect("non-empty ring") = first;
+        if let Some(last) = out.exterior.0.last_mut() {
+            *last = first;
+        }
     }
     out
 }
@@ -425,10 +427,12 @@ fn try_overlay(subject: &Polygon, clip: &Polygon, op: OverlayOp) -> Result<Overl
                 }
                 ring.push(w.coord);
             }
-            // Switch to the twin vertex on the other list.
-            let twin = list.verts[walker]
-                .neighbor
-                .expect("intersection vertex must have a neighbor");
+            // Switch to the twin vertex on the other list. Every
+            // intersection vertex is built with a neighbor; a missing
+            // one means the ring cannot be continued.
+            let Some(twin) = list.verts[walker].neighbor else {
+                break;
+            };
             on_subject = !on_subject;
             cur = twin;
             // Closed when we return to the starting intersection (on either list).

@@ -10,7 +10,7 @@ use crate::geometry::{Geometry, LineString, Point, Polygon};
 /// collinear → `LineString`).
 pub fn convex_hull_coords(coords: &[Coord]) -> Option<Geometry> {
     let mut pts: Vec<Coord> = coords.to_vec();
-    pts.sort_by(|a, b| a.x.partial_cmp(&b.x).unwrap().then(a.y.partial_cmp(&b.y).unwrap()));
+    pts.sort_by(|a, b| a.x.total_cmp(&b.x).then(a.y.total_cmp(&b.y)));
     pts.dedup_by(|a, b| a.distance(b) < 1e-15);
 
     match pts.len() {

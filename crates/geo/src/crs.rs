@@ -93,8 +93,11 @@ pub fn transform(g: &Geometry, from: Crs, to: Crs) -> Result<Geometry> {
         return Err(e);
     }
     Ok(match (from, to) {
+        // The domain scan above rejected out-of-range latitudes, so
+        // the projection cannot fail here; pass the coordinate through
+        // unchanged rather than unwrap.
         (Crs::Wgs84, Crs::WebMercator) => g.map_coords(|c| {
-            wgs84_to_mercator(c).expect("domain validated above")
+            wgs84_to_mercator(c).unwrap_or(c)
         }),
         (Crs::WebMercator, Crs::Wgs84) => g.map_coords(mercator_to_wgs84),
         _ => unreachable!("identical CRSs handled above"),

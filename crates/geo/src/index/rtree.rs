@@ -151,7 +151,11 @@ impl<T> RTree<T> {
             }
             level = next;
         }
-        RTree { root: level.pop().expect("non-empty level"), len }
+        // `level` always holds exactly one root here; an empty level
+        // (impossible: the empty-input case returned early) falls back
+        // to an empty leaf.
+        let root = level.pop().unwrap_or(Node::Leaf { env: Envelope::EMPTY, entries: Vec::new() });
+        RTree { root, len }
     }
 
     /// Insert one entry (Guttman insertion with quadratic split).
@@ -378,7 +382,7 @@ fn insert_rec<T>(node: &mut Node<T>, env: Envelope, value: T) -> Option<(Node<T>
                         })
                 })
                 .map(|(i, _)| i)
-                .expect("inner node has children");
+                .unwrap_or(0);
             if let Some((a, b)) = insert_rec(&mut children[idx], env, value) {
                 children[idx] = a;
                 children.push(b);

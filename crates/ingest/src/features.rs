@@ -66,10 +66,12 @@ pub fn extract_patches(raster: &GeoRaster, size: usize) -> Result<Vec<Patch>> {
                 features.push(tile.max().unwrap_or(0.0));
                 tiles.push(tile);
             }
-            // Texture on the thermal-most band (last).
-            let t = tiles.last().expect("at least one band");
-            features.push(gradient_energy(t));
-            features.push(range_ratio(t));
+            // Texture on the thermal-most band (last); rasters always
+            // carry at least one band.
+            if let Some(t) = tiles.last() {
+                features.push(gradient_energy(t));
+                features.push(range_ratio(t));
+            }
 
             // Geographic envelope: union of the corner pixel envelopes.
             let env = raster

@@ -1,3 +1,4 @@
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 //! # teleios-ingest — the ingestion tier
 //!
 //! Components that transform original satellite data into database

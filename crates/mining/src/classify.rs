@@ -117,7 +117,8 @@ impl Classifier {
                     .take(*k)
                     .find(|(_, l)| votes[l] == best)
                     .map(|(_, l)| *l)
-                    .expect("non-empty training set")
+                    // Empty training set: no label to emit.
+                    .unwrap_or("")
             }
             Classifier::Centroid { centroids, scaler } => {
                 let probe = scale(features, scaler);
@@ -129,7 +130,8 @@ impl Classifier {
                             .unwrap_or(std::cmp::Ordering::Equal)
                     })
                     .map(|(l, _)| l.as_str())
-                    .expect("non-empty centroids")
+                    // Empty centroid set: no label to emit.
+                    .unwrap_or("")
             }
         }
     }
@@ -157,7 +159,9 @@ impl Classifier {
             }
         }
         labels.sort();
-        let idx = |l: &str| labels.iter().position(|x| x == l).expect("label known");
+        // Every label the classifier can emit is in `labels` (merged
+        // above), so the position lookup cannot miss.
+        let idx = |l: &str| labels.iter().position(|x| x == l).unwrap_or(0);
         let mut counts = vec![vec![0usize; labels.len()]; labels.len()];
         for e in eval {
             let predicted = self.classify(&e.features).to_string();

@@ -11,6 +11,7 @@ use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+use teleios_exec::CancelToken;
 use teleios_geo::Envelope;
 use teleios_ingest::georef;
 use teleios_ingest::raster::{GeoRaster, GeoTransform};
@@ -88,6 +89,13 @@ pub struct ProcessingChain {
     /// Optional per-stage hook (fault injection, tracing). `None` in
     /// production chains.
     pub stage_hook: Option<StageHook>,
+    /// Optional cooperative cancellation token, checked at every stage
+    /// boundary (before the stage hook fires). A cancelled token fails
+    /// the *next* stage with the token's reason — the running stage is
+    /// never interrupted, so partial catalog state stays consistent.
+    /// `teleios-resilience`'s deadline watchdog cancels this; `None`
+    /// in unsupervised chains.
+    pub cancel: Option<CancelToken>,
 }
 
 impl fmt::Debug for ProcessingChain {
@@ -97,6 +105,7 @@ impl fmt::Debug for ProcessingChain {
             .field("crop_window", &self.crop_window)
             .field("target_grid", &self.target_grid)
             .field("stage_hook", &self.stage_hook.as_ref().map(|_| "<hook>"))
+            .field("cancel", &self.cancel.as_ref().map(CancelToken::is_cancelled))
             .finish()
     }
 }
@@ -109,6 +118,7 @@ impl ProcessingChain {
             crop_window: None,
             target_grid: None,
             stage_hook: None,
+            cancel: None,
         }
     }
 
@@ -118,13 +128,31 @@ impl ProcessingChain {
         self
     }
 
+    /// The same chain with a cooperative cancellation token installed.
+    pub fn with_cancel_token(mut self, token: CancelToken) -> ProcessingChain {
+        self.cancel = Some(token);
+        self
+    }
+
     /// Chain identifier (used in product metadata).
     pub fn id(&self) -> String {
         self.classifier.id()
     }
 
-    /// Fire the stage hook, if any.
+    /// Check the cancellation token (if any), then fire the stage
+    /// hook (if any). A cancelled token fails the stage before any of
+    /// its work — or its injected faults — can run.
     fn fire_hook(&self, product_id: &str, stage: ChainStage) -> Result<()> {
+        if let Some(token) = &self.cancel {
+            if token.is_cancelled() {
+                let reason = token
+                    .reason()
+                    .unwrap_or_else(|| "cancellation requested".to_string());
+                return Err(DbError::Execution(format!(
+                    "{product_id} cancelled before {stage}: {reason}"
+                )));
+            }
+        }
         match &self.stage_hook {
             Some(hook) => hook(product_id, stage, self),
             None => Ok(()),
@@ -427,6 +455,44 @@ mod tests {
     #[test]
     fn chain_ids() {
         assert_eq!(ProcessingChain::operational().id(), "threshold-318");
+    }
+
+    #[test]
+    fn pre_cancelled_token_fails_the_first_stage() {
+        let cat = Catalog::new();
+        let token = CancelToken::new();
+        token.cancel("deadline overshot");
+        let chain = ProcessingChain::operational().with_cancel_token(token);
+        let err = chain.run(&cat, "c0", &scene().raster).unwrap_err().to_string();
+        assert!(err.contains("c0 cancelled before ingest"), "{err}");
+        assert!(err.contains("deadline overshot"), "{err}");
+        // Nothing was ingested.
+        assert!(!cat.has_array("c0_band0"));
+    }
+
+    #[test]
+    fn mid_chain_cancellation_stops_before_the_next_stage() {
+        let cat = Catalog::new();
+        let token = CancelToken::new();
+        let fire = token.clone();
+        // Fire the token from the classify hook: the classify stage
+        // itself still runs (cooperative, never interrupted), and the
+        // chain fails at the next stage boundary.
+        let chain = ProcessingChain::operational()
+            .with_cancel_token(token)
+            .with_stage_hook(Arc::new(
+                move |_id: &str, stage: ChainStage, _chain: &ProcessingChain| {
+                    if stage == ChainStage::Classify {
+                        fire.cancel("watchdog: classify overdue");
+                    }
+                    Ok(())
+                },
+            ));
+        let err = chain.run(&cat, "c1", &scene().raster).unwrap_err().to_string();
+        assert!(err.contains("c1 cancelled before shapefile"), "{err}");
+        assert!(err.contains("watchdog: classify overdue"), "{err}");
+        // Stages before the cancellation point completed normally.
+        assert!(cat.has_array("c1_band0"));
     }
 
     fn batch_scenes(n: usize) -> Vec<(String, teleios_ingest::raster::GeoRaster)> {

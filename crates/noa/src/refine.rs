@@ -66,18 +66,37 @@ pub fn publish_hotspots(
 ///    parts of the geometries of the hotspots that are inconsistent
 ///    with the geospatial data available" (paper §4).
 pub fn refinement_updates(landmass_wkt: &Term) -> [String; 2] {
+    refinement_updates_scoped(landmass_wkt, None)
+}
+
+/// The scenario-2 updates, optionally restricted to the hotspots of one
+/// product (`?h noa:isDerivedFrom <product>`). `None` refines every
+/// hotspot in the store, exactly like [`refinement_updates`];
+/// `Some(product_id)` is what supervised refinement uses to keep each
+/// product's pass isolated from the others.
+pub fn refinement_updates_scoped(
+    landmass_wkt: &Term,
+    product_id: Option<&str>,
+) -> [String; 2] {
+    let scope = match product_id {
+        Some(pid) => format!(
+            " ; noa:isDerivedFrom <http://teleios.di.uoa.gr/products/{pid}>"
+        ),
+        None => String::new(),
+    };
     let refute = format!(
         "PREFIX noa: <{noa_ns}>\n\
          PREFIX strdf: <{strdf_ns}>\n\
          DELETE {{ ?h a noa:Hotspot }}\n\
          INSERT {{ ?h a <{refuted}> }}\n\
          WHERE {{\n\
-           ?h a noa:Hotspot ; strdf:hasGeometry ?g .\n\
+           ?h a noa:Hotspot{scope} ; strdf:hasGeometry ?g .\n\
            FILTER(strdf:disjoint(?g, {lit}))\n\
          }}",
         noa_ns = noa::NS,
         strdf_ns = strdf::NS,
         refuted = REFUTED_HOTSPOT,
+        scope = scope,
         lit = landmass_wkt,
     );
     let clip = format!(
@@ -86,12 +105,13 @@ pub fn refinement_updates(landmass_wkt: &Term) -> [String; 2] {
          DELETE {{ ?h strdf:hasGeometry ?g }}\n\
          INSERT {{ ?h strdf:hasGeometry ?clipped }}\n\
          WHERE {{\n\
-           ?h a noa:Hotspot ; strdf:hasGeometry ?g .\n\
+           ?h a noa:Hotspot{scope} ; strdf:hasGeometry ?g .\n\
            FILTER(!strdf:within(?g, {lit}))\n\
            BIND(strdf:intersection(?g, {lit}) AS ?clipped)\n\
          }}",
         noa_ns = noa::NS,
         strdf_ns = strdf::NS,
+        scope = scope,
         lit = landmass_wkt,
     );
     [refute, clip]
@@ -129,6 +149,34 @@ pub fn refine_against_landmass(
     };
     let before = count(db, noa::HOTSPOT)?;
     let [refute, clip] = refinement_updates(landmass_wkt);
+    db.update(&refute)?;
+    // Each clipped hotspot contributes one delete plus one insert.
+    let clipped = db.update(&clip)? / 2;
+    let kept = count(db, noa::HOTSPOT)?;
+    let refuted = count(db, REFUTED_HOTSPOT)?;
+    Ok(RefineStats { before, kept, refuted, clipped })
+}
+
+/// Execute the refinement for one product only: the scenario-2 updates
+/// scoped by `noa:isDerivedFrom`, with the before/after counts equally
+/// scoped. Other products' hotspots are untouched, so a supervisor can
+/// run this per product and keep a poisoned product's failure isolated.
+pub fn refine_product_against_landmass(
+    db: &mut Strabon,
+    landmass_wkt: &Term,
+    product_id: &str,
+) -> Result<RefineStats, StrabonError> {
+    let count = |db: &mut Strabon, class: &str| -> Result<usize, StrabonError> {
+        let sols = db.query(&format!(
+            "PREFIX noa: <{}>\n\
+             SELECT ?h WHERE {{ ?h a <{class}> ; \
+             noa:isDerivedFrom <http://teleios.di.uoa.gr/products/{product_id}> }}",
+            noa::NS,
+        ))?;
+        Ok(sols.len())
+    };
+    let before = count(db, noa::HOTSPOT)?;
+    let [refute, clip] = refinement_updates_scoped(landmass_wkt, Some(product_id));
     db.update(&refute)?;
     // Each clipped hotspot contributes one delete plus one insert.
     let clipped = db.update(&clip)? / 2;
@@ -256,6 +304,54 @@ mod tests {
         assert!(clip.contains("strdf:intersection"));
         assert!(clip.contains("BIND"));
         assert_eq!(refinement_update(&landmass()), refute);
+    }
+
+    #[test]
+    fn scoped_refinement_leaves_other_products_alone() {
+        let mut db = Strabon::new();
+        publish_hotspots(&features(), "p1", "threshold-318", &mut db);
+        publish_hotspots(&features(), "p2", "threshold-318", &mut db);
+        let stats = refine_product_against_landmass(&mut db, &landmass(), "p1").unwrap();
+        assert_eq!(stats.before, 2);
+        assert_eq!(stats.kept, 1);
+        assert_eq!(stats.refuted, 1);
+        // p2 is untouched: both of its hotspots still classified.
+        let p2 = db
+            .query(&format!(
+                "PREFIX noa: <{}> SELECT ?h WHERE {{ ?h a noa:Hotspot ; \
+                 noa:isDerivedFrom <http://teleios.di.uoa.gr/products/p2> }}",
+                noa::NS
+            ))
+            .unwrap();
+        assert_eq!(p2.len(), 2);
+    }
+
+    #[test]
+    fn per_product_passes_add_up_to_the_global_pass() {
+        let mut global = Strabon::new();
+        publish_hotspots(&features(), "p1", "threshold-318", &mut global);
+        publish_hotspots(&features(), "p2", "threshold-318", &mut global);
+        let g = refine_against_landmass(&mut global, &landmass()).unwrap();
+
+        let mut scoped = Strabon::new();
+        publish_hotspots(&features(), "p1", "threshold-318", &mut scoped);
+        publish_hotspots(&features(), "p2", "threshold-318", &mut scoped);
+        let s1 = refine_product_against_landmass(&mut scoped, &landmass(), "p1").unwrap();
+        let s2 = refine_product_against_landmass(&mut scoped, &landmass(), "p2").unwrap();
+        assert_eq!(g.before, s1.before + s2.before);
+        assert_eq!(g.kept, s1.kept + s2.kept);
+        assert_eq!(g.refuted, s1.refuted + s2.refuted);
+        assert_eq!(g.clipped, s1.clipped + s2.clipped);
+    }
+
+    #[test]
+    fn scoped_updates_carry_the_product_constraint() {
+        let [refute, clip] = refinement_updates_scoped(&landmass(), Some("p9"));
+        assert!(refute.contains("noa:isDerivedFrom <http://teleios.di.uoa.gr/products/p9>"));
+        assert!(clip.contains("noa:isDerivedFrom <http://teleios.di.uoa.gr/products/p9>"));
+        let unscoped = refinement_updates_scoped(&landmass(), None);
+        assert_eq!(unscoped, refinement_updates(&landmass()));
+        assert!(!unscoped[0].contains("isDerivedFrom"));
     }
 
     #[test]

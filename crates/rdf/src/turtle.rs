@@ -294,7 +294,9 @@ impl<'a> TurtleParser<'a> {
         let mut text = String::new();
         let mut is_decimal = false;
         if matches!(self.peek_char(), Some('-') | Some('+')) {
-            text.push(self.bump().expect("peeked"));
+            if let Some(sign) = self.bump() {
+                text.push(sign);
+            }
         }
         while let Some(c) = self.peek_char() {
             match c {
@@ -318,7 +320,9 @@ impl<'a> TurtleParser<'a> {
                     text.push(c);
                     self.bump();
                     if matches!(self.peek_char(), Some('-') | Some('+')) {
-                        text.push(self.bump().expect("peeked"));
+                        if let Some(sign) = self.bump() {
+                            text.push(sign);
+                        }
                     }
                 }
                 _ => break,

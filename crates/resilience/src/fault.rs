@@ -17,15 +17,22 @@
 //!   (an unrecoverable `Failed` scene that must not take the batch
 //!   down with it);
 //! * [`Fault::Transient`] fails the first `failures` attempts, then
-//!   succeeds — the retry/backoff case.
+//!   succeeds — the retry/backoff case;
+//! * [`Fault::Hang`] wedges a stage for a fixed duration, polling the
+//!   chain's cancellation token so the deadline watchdog can cut it
+//!   short — the timeout-budget case, deterministic without
+//!   wall-clock flakiness.
 //!
 //! Plans built with [`FaultPlan::seeded`] are reproducible: the same
-//! seed, id list, and rate always select the same scenes and kinds.
+//! seed, id list, and rate always select the same scenes and kinds
+//! ([`FaultPlan::seeded_with`] swaps the kind palette while keeping
+//! the same scene selection).
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
 use teleios_monet::DbError;
 use teleios_noa::chain::{ChainStage, ProcessingChain, StageHook};
 use teleios_noa::HotspotClassifier;
@@ -54,6 +61,20 @@ pub enum Fault {
         /// Number of leading attempts that fail.
         failures: u32,
     },
+    /// The named stage wedges for `duration` before proceeding — on
+    /// every attempt. The sleep polls the chain's [`CancelToken`]
+    /// (when one is installed), so a deadline watchdog cuts the hang
+    /// short deterministically: `duration` can be minutes without the
+    /// test ever waiting minutes. With no token the hang sleeps in
+    /// full, modelling an unsupervised wedge.
+    ///
+    /// [`CancelToken`]: teleios_exec::CancelToken
+    Hang {
+        /// The stage that hangs.
+        stage: ChainStage,
+        /// How long it hangs (uncancelled).
+        duration: Duration,
+    },
 }
 
 impl Fault {
@@ -72,6 +93,7 @@ impl Fault {
             Fault::GeorefError => "georef-error",
             Fault::WorkerPanic => "worker-panic",
             Fault::Transient { .. } => "transient",
+            Fault::Hang { .. } => "hang",
         }
     }
 }
@@ -103,13 +125,24 @@ impl FaultPlan {
     /// [`SEEDED_KINDS`], guaranteeing a mixed fault population at any
     /// non-trivial rate. Deterministic in (seed, ids, rate).
     pub fn seeded(seed: u64, ids: &[String], rate: f64) -> FaultPlan {
+        FaultPlan::seeded_with(seed, ids, rate, &SEEDED_KINDS)
+    }
+
+    /// [`Self::seeded`] generalized over the kind palette: selected
+    /// ids cycle round-robin through `kinds` instead of
+    /// [`SEEDED_KINDS`]. The id *selection* depends only on (seed,
+    /// ids, rate), so two palettes over the same seed fault the same
+    /// scenes — experiment harnesses use this to compare fault kinds
+    /// on identical populations (E14 sweeps hang faults this way). An
+    /// empty palette yields an empty plan.
+    pub fn seeded_with(seed: u64, ids: &[String], rate: f64, kinds: &[Fault]) -> FaultPlan {
         let mut rng = StdRng::seed_from_u64(seed);
         let rate = rate.clamp(0.0, 1.0);
         let mut plan = FaultPlan::new();
         let mut next = 0usize;
         for id in ids {
-            if rng.random_bool(rate) {
-                plan.faults.insert(id.clone(), SEEDED_KINDS[next % SEEDED_KINDS.len()]);
+            if rng.random_bool(rate) && !kinds.is_empty() {
+                plan.faults.insert(id.clone(), kinds[next % kinds.len()]);
                 next += 1;
             }
         }
@@ -239,6 +272,25 @@ impl FaultPlan {
                         if *n <= *failures {
                             return Err(DbError::Execution(format!(
                                 "injected transient fault on {id} (attempt {n})"
+                            )));
+                        }
+                    }
+                }
+                Fault::Hang { stage: hang_stage, duration } => {
+                    if stage == *hang_stage {
+                        let cancelled = match &chain.cancel {
+                            // Cancel-aware sleep: a fired deadline cuts
+                            // the hang short at ~1 ms granularity.
+                            Some(token) => token.sleep_cancellable(*duration),
+                            // Unsupervised chain: the wedge runs in full.
+                            None => {
+                                std::thread::sleep(*duration);
+                                false
+                            }
+                        };
+                        if cancelled {
+                            return Err(DbError::Execution(format!(
+                                "injected hang on {id} at {stage} cancelled by deadline"
                             )));
                         }
                     }
@@ -420,6 +472,60 @@ mod tests {
         assert!(hook("s", ChainStage::Ingest, &chain).is_ok());
         // Other stages never count as attempts.
         assert!(hook("s", ChainStage::Crop, &chain).is_ok());
+    }
+
+    #[test]
+    fn seeded_with_keeps_the_scene_selection() {
+        let ids = ids(60);
+        let default_plan = FaultPlan::seeded(19, &ids, 0.25);
+        let hang = Fault::Hang {
+            stage: ChainStage::Classify,
+            duration: std::time::Duration::from_millis(50),
+        };
+        let hang_plan = FaultPlan::seeded_with(19, &ids, 0.25, &[hang]);
+        // Same scenes selected, different kinds assigned.
+        let default_ids: Vec<&str> = default_plan.iter().map(|(id, _)| id).collect();
+        let hang_ids: Vec<&str> = hang_plan.iter().map(|(id, _)| id).collect();
+        assert_eq!(default_ids, hang_ids);
+        assert!(hang_plan.iter().all(|(_, f)| f == hang));
+        // An empty palette selects nothing.
+        assert!(FaultPlan::seeded_with(19, &ids, 0.25, &[]).is_empty());
+    }
+
+    #[test]
+    fn hook_hang_without_token_sleeps_in_full() {
+        let mut plan = FaultPlan::new();
+        let pause = std::time::Duration::from_millis(20);
+        plan.inject("s", Fault::Hang { stage: ChainStage::Crop, duration: pause });
+        let hook = plan.chain_hook();
+        let chain = ProcessingChain::operational();
+        let t0 = std::time::Instant::now();
+        assert!(hook("s", ChainStage::Crop, &chain).is_ok());
+        assert!(t0.elapsed() >= pause, "hang should wait out its duration");
+        // Other stages and other scenes are unaffected.
+        let t0 = std::time::Instant::now();
+        assert!(hook("s", ChainStage::Ingest, &chain).is_ok());
+        assert!(hook("other", ChainStage::Crop, &chain).is_ok());
+        assert!(t0.elapsed() < pause);
+    }
+
+    #[test]
+    fn hook_hang_with_cancelled_token_errors_promptly() {
+        let mut plan = FaultPlan::new();
+        // Minutes of hang — the cancelled token must cut it short.
+        plan.inject(
+            "s",
+            Fault::Hang { stage: ChainStage::Classify, duration: std::time::Duration::from_secs(120) },
+        );
+        let hook = plan.chain_hook();
+        let token = teleios_exec::CancelToken::new();
+        token.cancel("deadline");
+        let chain = ProcessingChain::operational().with_cancel_token(token);
+        let t0 = std::time::Instant::now();
+        let err = hook("s", ChainStage::Classify, &chain).unwrap_err().to_string();
+        assert!(t0.elapsed() < std::time::Duration::from_secs(5));
+        assert!(err.contains("hang"), "{err}");
+        assert!(err.contains("cancelled"), "{err}");
     }
 
     #[test]

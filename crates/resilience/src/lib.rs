@@ -19,19 +19,31 @@
 //!   an all-or-nothing `Result`.
 //! * [`fault::FaultPlan`] is a **seeded, deterministic fault-injection
 //!   harness**: it corrupts vault payloads, truncates file headers, and
-//!   injects classifier errors, georeferencing errors, worker panics
-//!   and transient-then-succeed faults through the chain's
-//!   [`teleios_noa::StageHook`], so the supervisor's guarantees are
-//!   testable offline, scene by scene, with reproducible runs.
+//!   injects classifier errors, georeferencing errors, worker panics,
+//!   transient-then-succeed faults and cancel-aware stage hangs through
+//!   the chain's [`teleios_noa::StageHook`], so the supervisor's
+//!   guarantees are testable offline, scene by scene, with reproducible
+//!   runs.
+//! * [`deadline::StageBudget`] adds **deadline-aware supervision**: a
+//!   soft per-stage deadline plus a hard per-attempt deadline, enforced
+//!   by a watchdog thread through cooperative [`CancelToken`]
+//!   cancellation (nothing is ever killed — the chain drains at its
+//!   next stage boundary). Overdue scenes end `Timeout` with the
+//!   overshot stage recorded; a [`deadline::CircuitBreaker`] skips a
+//!   chain variant batch-wide after repeated timeouts, jumping straight
+//!   to the next degraded rung.
 //!
 //! The vault side of the story (payload checksums, quarantine lists,
 //! [`teleios_vault::DataVault::retry_quarantined`]) lives in
 //! `teleios-vault`; experiment E12 (`exp_fault_tolerance`) measures the
-//! whole stack end to end.
+//! retry/degraded stack end to end and E14 (`exp_timeout_budgets`)
+//! sweeps deadline budgets against hang rates.
 
+pub mod deadline;
 pub mod fault;
 pub mod supervisor;
 
+pub use deadline::{CircuitBreaker, StageBudget};
 pub use fault::{Fault, FaultPlan};
 pub use supervisor::{BatchReport, RetryPolicy, SceneOutcome, SceneReport, Supervisor};
-pub use teleios_exec::PoolStats;
+pub use teleios_exec::{CancelToken, PoolStats};

@@ -15,13 +15,18 @@
 //! is never mistaken for a nominal one downstream.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
-use teleios_exec::{default_threads, PoolStats, WorkerPool};
+use teleios_exec::{default_threads, CancelToken, PoolStats, WorkerPool};
 use teleios_ingest::raster::GeoRaster;
 use teleios_monet::Catalog;
-use teleios_noa::chain::panic_message;
+use teleios_noa::chain::{panic_message, ChainStage};
 use teleios_noa::{ChainOutput, HotspotClassifier, ProcessingChain};
+
+use crate::deadline::{
+    AttemptRegistry, BatchDeadline, CircuitBreaker, InFlightAttempt, StageBudget, Watchdog,
+};
 
 /// Bounded retry with exponential backoff.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -61,14 +66,24 @@ impl RetryPolicy {
     }
 
     /// The pause before retry number `retry` (1-based). Zero for
-    /// `retry == 0` or when no base backoff is configured.
+    /// `retry == 0` or when no base backoff is configured. Saturating:
+    /// a huge multiplier or retry count pegs the pause at
+    /// `Duration::MAX` (then the cap) instead of panicking on
+    /// overflow.
     pub fn backoff_for(&self, retry: u32) -> Duration {
         if retry == 0 || self.base_backoff.is_zero() {
             return Duration::ZERO;
         }
         let mut pause = self.base_backoff;
         for _ in 1..retry {
-            pause = pause * self.multiplier_percent / 100;
+            match pause.checked_mul(self.multiplier_percent) {
+                Some(grown) => pause = grown / 100,
+                None => {
+                    // Already beyond any plausible cap; stop growing.
+                    pause = Duration::MAX;
+                    break;
+                }
+            }
         }
         if !self.max_backoff.is_zero() {
             pause = pause.min(self.max_backoff);
@@ -96,12 +111,25 @@ pub enum SceneOutcome {
         /// The last error observed.
         reason: String,
     },
+    /// No attempt produced a product and at least one attempt was
+    /// cancelled by the deadline watchdog: the scene is lost to
+    /// timeouts, not to data or logic faults.
+    Timeout {
+        /// The stage that was running when the last overdue attempt
+        /// was cancelled (`"unstarted"` if it never reached a stage).
+        stage: String,
+        /// The cancellation reason from the watchdog.
+        reason: String,
+    },
 }
 
 impl SceneOutcome {
     /// True for every outcome that yielded a product.
     pub fn succeeded(&self) -> bool {
-        !matches!(self, SceneOutcome::Failed { .. })
+        !matches!(
+            self,
+            SceneOutcome::Failed { .. } | SceneOutcome::Timeout { .. }
+        )
     }
 }
 
@@ -119,6 +147,10 @@ pub struct SceneReport {
     pub chain_id: String,
     /// Total attempts spent, across retries and degraded variants.
     pub attempts: u32,
+    /// One `"variant/stage"` entry per attempt the deadline watchdog
+    /// cancelled, in attempt order — the timeout chain for this scene.
+    /// Empty when no attempt timed out.
+    pub timed_out_stages: Vec<String>,
 }
 
 /// The supervised batch result: one report per input scene, in input
@@ -150,9 +182,19 @@ impl BatchReport {
         self.scenes.iter().filter(|s| matches!(s.outcome, SceneOutcome::Degraded { .. })).count()
     }
 
-    /// Scenes with no product at all.
+    /// Scenes that failed on data or logic faults (not timeouts).
     pub fn failed_count(&self) -> usize {
         self.scenes.iter().filter(|s| matches!(s.outcome, SceneOutcome::Failed { .. })).count()
+    }
+
+    /// Scenes lost to deadline timeouts.
+    pub fn timeout_count(&self) -> usize {
+        self.scenes.iter().filter(|s| matches!(s.outcome, SceneOutcome::Timeout { .. })).count()
+    }
+
+    /// Scenes with no product at all (failed + timed out).
+    pub fn lost_count(&self) -> usize {
+        self.scenes.iter().filter(|s| !s.outcome.succeeded()).count()
     }
 
     /// Scenes that produced a product (ok + retried + degraded).
@@ -168,12 +210,13 @@ impl BatchReport {
     /// One-line summary for logs and experiment tables.
     pub fn summary(&self) -> String {
         format!(
-            "{} scenes: {} ok, {} retried, {} degraded, {} failed in {:.1?}",
+            "{} scenes: {} ok, {} retried, {} degraded, {} failed, {} timeout in {:.1?}",
             self.scenes.len(),
             self.ok_count(),
             self.retried_count(),
             self.degraded_count(),
             self.failed_count(),
+            self.timeout_count(),
             self.wall_clock
         )
     }
@@ -215,6 +258,19 @@ pub struct Supervisor {
     /// the executor default (`TELEIOS_THREADS` env override, else
     /// available parallelism).
     pub workers: usize,
+    /// Per-attempt deadline budgets (soft per-stage + hard per-scene).
+    /// Unlimited by default; a limited budget arms the watchdog.
+    pub budget: StageBudget,
+    /// Hard deadline for a whole [`Self::run_batch`] call:
+    /// once overshot, no further scene is dispatched and in-flight
+    /// attempts are cancelled. `Duration::MAX` (the default) disables
+    /// it.
+    pub batch_deadline: Duration,
+    /// Attempt-level timeouts on one chain variant before its circuit
+    /// opens and the supervisor skips it (straight to the next
+    /// degraded rung) for the rest of the batch. Zero disables the
+    /// breaker.
+    pub breaker_threshold: u32,
 }
 
 impl Default for Supervisor {
@@ -223,10 +279,24 @@ impl Default for Supervisor {
     }
 }
 
+/// Timeouts per variant before the circuit opens, unless overridden
+/// with [`Supervisor::with_breaker_threshold`]. "Times out twice →
+/// stop burning deadline budget on it."
+pub const DEFAULT_BREAKER_THRESHOLD: u32 = 2;
+
 impl Supervisor {
-    /// Supervisor with the given retry policy and degraded mode on.
+    /// Supervisor with the given retry policy, degraded mode on, no
+    /// deadlines, and the default circuit-breaker threshold (the
+    /// breaker only matters once a budget is set).
     pub fn new(retry: RetryPolicy) -> Supervisor {
-        Supervisor { retry, degraded_mode: true, workers: 0 }
+        Supervisor {
+            retry,
+            degraded_mode: true,
+            workers: 0,
+            budget: StageBudget::unlimited(),
+            batch_deadline: Duration::MAX,
+            breaker_threshold: DEFAULT_BREAKER_THRESHOLD,
+        }
     }
 
     /// The same supervisor with degraded-mode fallbacks disabled:
@@ -239,6 +309,26 @@ impl Supervisor {
     /// The same supervisor with an explicit batch worker count.
     pub fn with_workers(mut self, workers: usize) -> Supervisor {
         self.workers = workers;
+        self
+    }
+
+    /// The same supervisor with per-attempt deadline budgets. Arms the
+    /// watchdog in [`Self::run_scene`] and [`Self::run_batch`].
+    pub fn with_budget(mut self, budget: StageBudget) -> Supervisor {
+        self.budget = budget;
+        self
+    }
+
+    /// The same supervisor with a whole-batch hard deadline.
+    pub fn with_batch_deadline(mut self, deadline: Duration) -> Supervisor {
+        self.batch_deadline = deadline;
+        self
+    }
+
+    /// The same supervisor with an explicit circuit-breaker threshold
+    /// (zero disables the breaker).
+    pub fn with_breaker_threshold(mut self, threshold: u32) -> Supervisor {
+        self.breaker_threshold = threshold;
         self
     }
 
@@ -259,8 +349,150 @@ impl Supervisor {
         }
     }
 
+    /// One deadline-instrumented attempt: the chain runs with a fresh
+    /// [`CancelToken`] and a stage-tracking hook wrapped around the
+    /// caller's hook, registered with the watchdog's registry for the
+    /// duration. Returns the attempt result plus, when the token was
+    /// fired, the `(stage, reason)` the cancellation landed on.
+    fn deadline_attempt(
+        catalog: &Catalog,
+        chain: &ProcessingChain,
+        variant_id: &str,
+        product_id: &str,
+        raster: &GeoRaster,
+        registry: &AttemptRegistry,
+    ) -> (std::result::Result<ChainOutput, String>, Option<(String, String)>) {
+        let token = CancelToken::new();
+        let attempt =
+            Arc::new(InFlightAttempt::new(product_id, variant_id, token.clone()));
+        let tracker = Arc::clone(&attempt);
+        let original_hook = chain.stage_hook.clone();
+        let mut instrumented = chain.clone().with_cancel_token(token.clone());
+        instrumented.stage_hook = Some(Arc::new(
+            move |id: &str, stage: ChainStage, ch: &ProcessingChain| {
+                tracker.enter_stage(stage);
+                match &original_hook {
+                    Some(hook) => hook(id, stage, ch),
+                    None => Ok(()),
+                }
+            },
+        ));
+        registry.register(Arc::clone(&attempt));
+        let result = Self::attempt(catalog, &instrumented, product_id, raster);
+        registry.deregister(&attempt);
+        let timeout = if result.is_err() && token.is_cancelled() {
+            let reason = token
+                .reason()
+                .unwrap_or_else(|| "deadline cancellation".to_string());
+            Some((attempt.stage_label(), reason))
+        } else {
+            None
+        };
+        (result, timeout)
+    }
+
     /// Supervise one scene: retry the primary chain within the budget,
-    /// then walk the degraded ladder. Never panics, never aborts.
+    /// then walk the degraded ladder — skipping any variant whose
+    /// timeout circuit is open, as long as a further rung exists (the
+    /// last rung is always attempted, so the breaker can never strand
+    /// a healthy scene). Never panics, never aborts.
+    fn run_scene_supervised(
+        &self,
+        catalog: &Catalog,
+        chain: &ProcessingChain,
+        product_id: &str,
+        raster: &GeoRaster,
+        registry: &AttemptRegistry,
+        breaker: &CircuitBreaker,
+    ) -> SceneReport {
+        let primary_id = chain.id();
+        let mut rungs: Vec<(String, ProcessingChain)> =
+            vec![(primary_id.clone(), chain.clone())];
+        if self.degraded_mode {
+            rungs.extend(degraded_variants(chain));
+        }
+        let rung_count = rungs.len();
+
+        let mut attempts = 0u32;
+        let mut last_error = String::new();
+        let mut timed_out_stages: Vec<String> = Vec::new();
+        let mut last_timeout: Option<(String, String)> = None;
+
+        for (rung_idx, (variant_id, variant)) in rungs.into_iter().enumerate() {
+            let is_primary = rung_idx == 0;
+            let has_next_rung = rung_idx + 1 < rung_count;
+            if has_next_rung && breaker.is_open(&variant_id) {
+                last_error = format!(
+                    "variant {variant_id} skipped: circuit open after repeated timeouts"
+                );
+                continue;
+            }
+            let tries = if is_primary { self.retry.max_retries + 1 } else { 1 };
+            for try_n in 0..tries {
+                attempts += 1;
+                let (result, timeout) = Self::deadline_attempt(
+                    catalog, &variant, &variant_id, product_id, raster, registry,
+                );
+                match result {
+                    Ok(output) => {
+                        let outcome = if !is_primary {
+                            SceneOutcome::Degraded {
+                                from: primary_id.clone(),
+                                to: variant_id.clone(),
+                            }
+                        } else if try_n == 0 {
+                            SceneOutcome::Ok
+                        } else {
+                            SceneOutcome::Retried(try_n)
+                        };
+                        return SceneReport {
+                            product_id: product_id.to_string(),
+                            outcome,
+                            output: Some(output),
+                            chain_id: variant_id,
+                            attempts,
+                            timed_out_stages,
+                        };
+                    }
+                    Err(message) => {
+                        last_error = message;
+                        if let Some((stage, reason)) = timeout {
+                            timed_out_stages.push(format!("{variant_id}/{stage}"));
+                            breaker.record_timeout(&variant_id);
+                            last_timeout = Some((stage, reason));
+                            // A variant that just tripped its circuit
+                            // gets no further retries either (unless
+                            // it is the scene's last resort).
+                            if has_next_rung && breaker.is_open(&variant_id) {
+                                break;
+                            }
+                        }
+                        if try_n + 1 < tries {
+                            let pause = self.retry.backoff_for(try_n + 1);
+                            if !pause.is_zero() {
+                                thread::sleep(pause);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let outcome = match last_timeout {
+            Some((stage, reason)) => SceneOutcome::Timeout { stage, reason },
+            None => SceneOutcome::Failed { reason: last_error },
+        };
+        SceneReport {
+            product_id: product_id.to_string(),
+            outcome,
+            output: None,
+            chain_id: primary_id,
+            attempts,
+            timed_out_stages,
+        }
+    }
+
+    /// Supervise one scene, standalone: a private watchdog enforces
+    /// the deadline budget (when one is set) for just this call.
     pub fn run_scene(
         &self,
         catalog: &Catalog,
@@ -268,69 +500,30 @@ impl Supervisor {
         product_id: &str,
         raster: &GeoRaster,
     ) -> SceneReport {
-        let mut attempts = 0u32;
-        let mut last_error = String::new();
-        for try_n in 0..=self.retry.max_retries {
-            attempts += 1;
-            match Self::attempt(catalog, chain, product_id, raster) {
-                Ok(output) => {
-                    let outcome = if try_n == 0 {
-                        SceneOutcome::Ok
-                    } else {
-                        SceneOutcome::Retried(try_n)
-                    };
-                    return SceneReport {
-                        product_id: product_id.to_string(),
-                        outcome,
-                        output: Some(output),
-                        chain_id: chain.id(),
-                        attempts,
-                    };
-                }
-                Err(message) => {
-                    last_error = message;
-                    if try_n < self.retry.max_retries {
-                        let pause = self.retry.backoff_for(try_n + 1);
-                        if !pause.is_zero() {
-                            thread::sleep(pause);
-                        }
-                    }
-                }
-            }
+        let registry = AttemptRegistry::default();
+        let breaker = CircuitBreaker::new(self.breaker_threshold);
+        let watchdog = if self.budget.is_unlimited() {
+            None
+        } else {
+            Some(Watchdog::spawn(registry.clone(), self.budget, None))
+        };
+        let report = self
+            .run_scene_supervised(catalog, chain, product_id, raster, &registry, &breaker);
+        if let Some(watchdog) = watchdog {
+            watchdog.stop();
         }
-        if self.degraded_mode {
-            let from = chain.id();
-            for (label, variant) in degraded_variants(chain) {
-                attempts += 1;
-                match Self::attempt(catalog, &variant, product_id, raster) {
-                    Ok(output) => {
-                        return SceneReport {
-                            product_id: product_id.to_string(),
-                            outcome: SceneOutcome::Degraded { from, to: label.clone() },
-                            output: Some(output),
-                            chain_id: label,
-                            attempts,
-                        };
-                    }
-                    Err(message) => last_error = message,
-                }
-            }
-        }
-        SceneReport {
-            product_id: product_id.to_string(),
-            outcome: SceneOutcome::Failed { reason: last_error },
-            output: None,
-            chain_id: chain.id(),
-            attempts,
-        }
+        report
     }
 
     /// Supervise a batch on a bounded worker pool: `workers` threads
     /// (the executor default when zero) drain a task queue capped at
     /// `2 × workers` entries, so memory for in-flight scenes stays
-    /// bounded no matter how large the archive is. Reports come back
-    /// in input order; a lost scene never takes the batch or the
-    /// process down.
+    /// bounded no matter how large the archive is. A single watchdog
+    /// thread polices every in-flight attempt's deadline budget plus
+    /// the whole-batch deadline; a single circuit breaker is shared by
+    /// all scenes, so a chain variant that keeps timing out is skipped
+    /// batch-wide. Reports come back in input order; a lost scene
+    /// never takes the batch or the process down.
     pub fn run_batch(
         &self,
         catalog: &Catalog,
@@ -341,24 +534,49 @@ impl Supervisor {
         let workers = if self.workers == 0 { default_threads() } else { self.workers };
         let pool = WorkerPool::with_threads(workers);
         let queue_capacity = 2 * workers.max(1);
+        let registry = AttemptRegistry::default();
+        let breaker = CircuitBreaker::new(self.breaker_threshold);
+        let batch_token = CancelToken::new();
+        let has_batch_deadline = self.batch_deadline != Duration::MAX;
+        let watchdog = if self.budget.is_unlimited() && !has_batch_deadline {
+            None
+        } else {
+            let batch = has_batch_deadline.then(|| BatchDeadline {
+                started: t0,
+                deadline: self.batch_deadline,
+                token: batch_token.clone(),
+            });
+            Some(Watchdog::spawn(registry.clone(), self.budget, batch))
+        };
         let tasks: Vec<_> = scenes
             .iter()
             .map(|(id, raster)| {
                 let supervisor = *self;
                 let chain = chain.clone();
                 let catalog = catalog.clone();
-                move || supervisor.run_scene(&catalog, &chain, id, raster)
+                let registry = registry.clone();
+                let breaker = breaker.clone();
+                move || {
+                    supervisor.run_scene_supervised(
+                        &catalog, &chain, id, raster, &registry, &breaker,
+                    )
+                }
             })
             .collect();
-        let (outcomes, pool_stats) = pool.try_run_bounded(queue_capacity, tasks);
+        let (outcomes, pool_stats) =
+            pool.try_run_bounded_cancellable(queue_capacity, tasks, &batch_token);
+        if let Some(watchdog) = watchdog {
+            watchdog.stop();
+        }
         let scenes = outcomes
             .into_iter()
             .zip(scenes)
-            .map(|(outcome, (id, _))| {
-                // Unreachable in practice (run_scene catches
+            .map(|(slot, (id, _))| match slot {
+                Some(Ok(report)) => report,
+                // Unreachable in practice (run_scene_supervised catches
                 // everything), but still: a worker panic degrades to a
                 // per-scene failure, never an abort.
-                outcome.unwrap_or_else(|payload| SceneReport {
+                Some(Err(payload)) => SceneReport {
                     product_id: id.clone(),
                     outcome: SceneOutcome::Failed {
                         reason: format!(
@@ -369,7 +587,26 @@ impl Supervisor {
                     output: None,
                     chain_id: chain.id(),
                     attempts: 0,
-                })
+                    timed_out_stages: Vec::new(),
+                },
+                // The batch deadline fired before this scene was
+                // dispatched; the pool drained without running it.
+                None => SceneReport {
+                    product_id: id.clone(),
+                    outcome: SceneOutcome::Timeout {
+                        stage: "unstarted".to_string(),
+                        reason: batch_token.reason().unwrap_or_else(|| {
+                            format!(
+                                "batch deadline {:?} overshot before {id} was dispatched",
+                                self.batch_deadline
+                            )
+                        }),
+                    },
+                    output: None,
+                    chain_id: chain.id(),
+                    attempts: 0,
+                    timed_out_stages: Vec::new(),
+                },
             })
             .collect::<Vec<SceneReport>>();
         BatchReport { scenes, wall_clock: t0.elapsed(), pool: pool_stats }
@@ -559,6 +796,189 @@ mod tests {
         assert!(line.contains("2 scenes"));
         assert!(line.contains("2 ok"));
         assert!(line.contains("0 failed"));
+    }
+
+    #[test]
+    fn backoff_saturates_instead_of_panicking() {
+        // Regression: `pause * multiplier_percent` used to overflow and
+        // panic for large multipliers / deep retry counts.
+        let policy = RetryPolicy {
+            max_retries: u32::MAX,
+            base_backoff: Duration::from_secs(u64::MAX / 2),
+            multiplier_percent: u32::MAX,
+            max_backoff: Duration::ZERO,
+        };
+        assert_eq!(policy.backoff_for(40), Duration::MAX);
+        // With a cap, the saturated pause is clamped to it.
+        let capped = RetryPolicy { max_backoff: Duration::from_millis(50), ..policy };
+        assert_eq!(capped.backoff_for(40), Duration::from_millis(50));
+        // Sane policies are unaffected.
+        assert_eq!(
+            RetryPolicy::default().backoff_for(2),
+            Duration::from_millis(20)
+        );
+    }
+
+    fn hang(stage: teleios_noa::chain::ChainStage) -> Fault {
+        Fault::Hang { stage, duration: Duration::from_secs(10) }
+    }
+
+    #[test]
+    fn hung_scene_times_out_and_records_the_stage() {
+        let mut plan = FaultPlan::new();
+        plan.inject("sup0", hang(ChainStage::Classify));
+        // Threshold chain: no degraded ladder, so the scene is lost to
+        // the timeout alone.
+        let chain = ProcessingChain::operational().with_stage_hook(plan.chain_hook());
+        let supervisor = Supervisor::new(RetryPolicy::no_backoff(0))
+            .with_budget(StageBudget::hard(Duration::from_millis(150)));
+        let t0 = Instant::now();
+        let report = supervisor.run_batch(&Catalog::new(), &chain, &scenes(2));
+        // Far below the 10 s hang: cancellation cut it short.
+        assert!(t0.elapsed() < Duration::from_secs(5));
+        let lost = report.report_for("sup0").unwrap();
+        assert!(
+            matches!(&lost.outcome, SceneOutcome::Timeout { stage, .. } if stage == "classify"),
+            "unexpected outcome {:?}",
+            lost.outcome
+        );
+        assert_eq!(lost.timed_out_stages, vec!["threshold-318/classify".to_string()]);
+        assert!(lost.output.is_none());
+        assert!(!lost.outcome.succeeded());
+        // The healthy scene is untouched.
+        assert_eq!(report.report_for("sup1").unwrap().outcome, SceneOutcome::Ok);
+        assert_eq!(report.timeout_count(), 1);
+        assert_eq!(report.failed_count(), 0);
+        assert_eq!(report.lost_count(), 1);
+        assert!(report.summary().contains("1 timeout"));
+    }
+
+    #[test]
+    fn soft_stage_budget_cancels_a_wedged_stage() {
+        let mut plan = FaultPlan::new();
+        plan.inject("sup0", hang(ChainStage::Georef));
+        let chain = ProcessingChain::operational().with_stage_hook(plan.chain_hook());
+        let supervisor = Supervisor::new(RetryPolicy::no_backoff(0)).with_budget(
+            StageBudget::new(Duration::from_millis(120), Duration::from_secs(3600)),
+        );
+        let report = supervisor.run_scene(
+            &Catalog::new(),
+            &chain,
+            "sup0",
+            &scenes(1)[0].1,
+        );
+        match &report.outcome {
+            SceneOutcome::Timeout { stage, reason } => {
+                assert_eq!(stage, "georef");
+                assert!(reason.contains("soft deadline"), "{reason}");
+            }
+            other => panic!("expected a soft-stage timeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn timeout_trips_the_breaker_and_later_scenes_skip_the_variant() {
+        let mut plan = FaultPlan::new();
+        plan.inject("sup0", hang(ChainStage::Classify));
+        let chain = contextual_gridded().with_stage_hook(plan.chain_hook());
+        // One worker: sup0 runs (and trips the primary's circuit)
+        // before sup1 starts, deterministically.
+        let supervisor = Supervisor::new(RetryPolicy::no_backoff(1))
+            .with_workers(1)
+            .with_budget(StageBudget::hard(Duration::from_millis(150)));
+        let report = supervisor.run_batch(&Catalog::new(), &chain, &scenes(2));
+
+        // sup0 timed out on every rung: twice on the primary (tripping
+        // its breaker at the default threshold of 2), once on each
+        // degraded variant (the last rung is still attempted).
+        let lost = report.report_for("sup0").unwrap();
+        assert!(matches!(&lost.outcome, SceneOutcome::Timeout { .. }));
+        assert_eq!(
+            lost.timed_out_stages,
+            vec![
+                "contextual-318-n2/classify".to_string(),
+                "contextual-318-n2/classify".to_string(),
+                "threshold-318/classify".to_string(),
+                "threshold-318+native-grid/classify".to_string(),
+            ]
+        );
+        assert_eq!(lost.attempts, 4);
+
+        // sup1 is healthy but the primary's circuit is open, so it
+        // goes straight to the degraded ladder — delivered, not lost.
+        let healthy = report.report_for("sup1").unwrap();
+        assert_eq!(
+            healthy.outcome,
+            SceneOutcome::Degraded {
+                from: "contextual-318-n2".to_string(),
+                to: "threshold-318".to_string(),
+            }
+        );
+        assert!(healthy.output.is_some());
+    }
+
+    #[test]
+    fn breaker_never_strands_a_scene_on_its_last_rung() {
+        let mut plan = FaultPlan::new();
+        plan.inject("sup0", hang(ChainStage::Classify));
+        // Threshold chain: one rung only. Even with its circuit open
+        // after sup0's timeouts, sup1 must still be attempted on it.
+        let chain = ProcessingChain::operational().with_stage_hook(plan.chain_hook());
+        let supervisor = Supervisor::new(RetryPolicy::no_backoff(1))
+            .with_workers(1)
+            .with_budget(StageBudget::hard(Duration::from_millis(150)));
+        let report = supervisor.run_batch(&Catalog::new(), &chain, &scenes(2));
+        assert!(matches!(
+            report.report_for("sup0").unwrap().outcome,
+            SceneOutcome::Timeout { .. }
+        ));
+        assert_eq!(report.report_for("sup1").unwrap().outcome, SceneOutcome::Ok);
+    }
+
+    #[test]
+    fn batch_deadline_stops_dispatch_and_drains_in_flight_scenes() {
+        let mut plan = FaultPlan::new();
+        plan.inject("sup0", hang(ChainStage::Classify));
+        let chain = ProcessingChain::operational().with_stage_hook(plan.chain_hook());
+        // Generous per-scene budget, tight batch deadline: the batch
+        // arm of the watchdog must both cancel the in-flight hang and
+        // keep the queued scenes from dispatching.
+        let supervisor = Supervisor::new(RetryPolicy::no_backoff(0))
+            .with_workers(1)
+            .with_budget(StageBudget::hard(Duration::from_secs(3600)))
+            .with_batch_deadline(Duration::from_millis(40));
+        let t0 = Instant::now();
+        let report = supervisor.run_batch(&Catalog::new(), &chain, &scenes(4));
+        assert!(t0.elapsed() < Duration::from_secs(5));
+        assert_eq!(report.scenes.len(), 4);
+        let first = report.report_for("sup0").unwrap();
+        assert!(
+            matches!(&first.outcome, SceneOutcome::Timeout { reason, .. } if reason.contains("batch deadline")),
+            "unexpected outcome {:?}",
+            first.outcome
+        );
+        for id in ["sup1", "sup2", "sup3"] {
+            let scene = report.report_for(id).unwrap();
+            assert!(
+                matches!(&scene.outcome, SceneOutcome::Timeout { stage, .. } if stage == "unstarted"),
+                "{id}: unexpected outcome {:?}",
+                scene.outcome
+            );
+            assert_eq!(scene.attempts, 0);
+        }
+    }
+
+    #[test]
+    fn unlimited_budget_changes_nothing_for_faulted_batches() {
+        let mut plan = FaultPlan::new();
+        plan.inject("sup1", Fault::Transient { failures: 2 });
+        let chain = ProcessingChain::operational().with_stage_hook(plan.chain_hook());
+        let supervisor = Supervisor::new(RetryPolicy::no_backoff(2))
+            .with_budget(StageBudget::unlimited());
+        let report = supervisor.run_batch(&Catalog::new(), &chain, &scenes(3));
+        assert_eq!(report.report_for("sup1").unwrap().outcome, SceneOutcome::Retried(2));
+        assert_eq!(report.timeout_count(), 0);
+        assert!(report.scenes.iter().all(|s| s.timed_out_stages.is_empty()));
     }
 
     #[test]

@@ -543,11 +543,13 @@ fn plan_order(
     let mut remaining: Vec<usize> = (0..patterns.len()).collect();
     let mut order = Vec::with_capacity(patterns.len());
     while !remaining.is_empty() {
-        let (pick_pos, _) = remaining
+        let Some((pick_pos, _)) = remaining
             .iter()
             .enumerate()
             .min_by_key(|(_, &pi)| estimate_pattern(env, patterns[pi], &bound, restrictions))
-            .expect("non-empty remaining");
+        else {
+            break; // unreachable: the loop guard keeps `remaining` non-empty
+        };
         let pi = remaining.remove(pick_pos);
         for v in [&patterns[pi].s, &patterns[pi].p, &patterns[pi].o] {
             if let Some(name) = v.var() {
@@ -639,13 +641,13 @@ pub fn eval_group(
                 });
             }
             PatternElement::Bind { expr, var } => {
-                let slot = env
-                    .vars
-                    .get(var)
-                    .expect("BIND variable registered during var collection");
-                for b in &mut bindings {
-                    let v = eval_expression(env, b, expr);
-                    b[slot] = v.map(Bound::Computed);
+                // The variable was registered during var collection; a
+                // miss means the binding has nowhere to land.
+                if let Some(slot) = env.vars.get(var) {
+                    for b in &mut bindings {
+                        let v = eval_expression(env, b, expr);
+                        b[slot] = v.map(Bound::Computed);
+                    }
                 }
             }
             PatternElement::FilterExists { group: inner, negated } => {
@@ -690,11 +692,13 @@ fn eval_bgp(
         let mut remaining: Vec<usize> = (0..patterns.len()).collect();
         let mut order = Vec::with_capacity(patterns.len());
         while !remaining.is_empty() {
-            let (pick_pos, _) = remaining
+            let Some((pick_pos, _)) = remaining
                 .iter()
                 .enumerate()
                 .min_by_key(|(_, &pi)| estimate_pattern(env, patterns[pi], &bound, restrictions))
-                .expect("non-empty remaining");
+            else {
+                break; // unreachable: the loop guard keeps `remaining` non-empty
+            };
             let pi = remaining.remove(pick_pos);
             for v in [&patterns[pi].s, &patterns[pi].p, &patterns[pi].o] {
                 if let Some(name) = v.var() {
@@ -810,7 +814,11 @@ fn extend_with_pattern(
                 None => Pos::Dead,
             },
             VarOrTerm::Var(name) => {
-                let slot = env.vars.get(name).expect("var registered");
+                // Unregistered variables (never produced by the
+                // collector) can never match anything.
+                let Some(slot) = env.vars.get(name) else {
+                    return Pos::Dead;
+                };
                 match &binding[slot] {
                     Some(Bound::Id(id)) => Pos::Const(*id),
                     Some(Bound::Computed(t)) => match env.store.id_of(t) {

@@ -157,9 +157,9 @@ pub(crate) fn instantiate(
                 }
             }
         }
-        let o = terms.pop().expect("three terms");
-        let p = terms.pop().expect("two terms");
-        let s = terms.pop().expect("one term");
+        let (Some(o), Some(p), Some(s)) = (terms.pop(), terms.pop(), terms.pop()) else {
+            continue 'next; // unreachable: the loop above pushed all three
+        };
         out.push((s, p, o));
     }
 }

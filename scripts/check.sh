@@ -1,11 +1,21 @@
 #!/usr/bin/env bash
-# Full pre-merge gate: release build, test suite, and lints.
+# Pre-merge gate: release build, test suite, lints, and the E14 smoke
+# run (a hung-stage regression fails this gate instead of hanging it).
 #
-# Usage: scripts/check.sh
+# Usage: scripts/check.sh [--quick]
+#   --quick   build + tier-1 tests only (skips clippy and the E14 smoke)
 # Run from anywhere inside the repo; requires only the Rust toolchain.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+quick=0
+for arg in "$@"; do
+    case "$arg" in
+        --quick) quick=1 ;;
+        *) echo "unknown argument: $arg" >&2; exit 2 ;;
+    esac
+done
 
 echo "==> cargo build --release"
 cargo build --release
@@ -13,7 +23,18 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+if [ "$quick" -eq 1 ]; then
+    echo "==> quick checks passed (clippy + E14 smoke skipped)"
+    exit 0
+fi
+
 echo "==> cargo clippy --workspace --all-targets"
 cargo clippy --workspace --all-targets
+
+# Deadline supervision must bound a wedged stage: if cancellation
+# regresses, the smoke run wedges and the timeout turns that into a
+# failure rather than a hung gate.
+echo "==> E14 smoke (timeout budgets)"
+timeout 300 cargo run --release -p teleios-bench --bin exp_timeout_budgets -- --smoke
 
 echo "==> all checks passed"

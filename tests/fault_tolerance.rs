@@ -65,9 +65,8 @@ fn seeded_fault_plan_batch_meets_the_acceptance_criteria() {
     assert_eq!(applied, plan.data_fault_ids().len());
     let chain = ProcessingChain {
         classifier: HotspotClassifier::Contextual { kelvin: 318.0, min_neighbors: 2 },
-        crop_window: None,
         target_grid: Some((GeoTransform::fit(&obs.region(), 32, 32), 32, 32)),
-        stage_hook: None,
+        ..ProcessingChain::operational()
     }
     .with_stage_hook(plan.chain_hook());
 
