@@ -1,15 +1,20 @@
 //! E4 — BGP join-order optimizer ablation: selectivity-ordered vs
 //! syntactic pattern order.
 
+use teleios_bench::report::{self, Align, Table};
 use teleios_bench::{bgp_query, build_archive, fmt_duration, time_avg};
 use teleios_strabon::StrabonConfig;
 
 fn main() {
-    println!("E4: BGP evaluation with and without join-order optimization\n");
-    println!(
-        "{:>9} {:>7} {:>12} {:>12} {:>9}",
-        "products", "rows", "optimized", "syntactic", "speedup"
-    );
+    report::title("E4: BGP evaluation with and without join-order optimization");
+    let table = Table::new(&[
+        ("products", 9, Align::Right),
+        ("rows", 7, Align::Right),
+        ("optimized", 12, Align::Right),
+        ("syntactic", 12, Align::Right),
+        ("speedup", 9, Align::Right),
+    ]);
+    table.header();
     let query = bgp_query();
     for n in [1_000usize, 5_000, 20_000] {
         let mut optimized = build_archive(n, 0, StrabonConfig::default());
@@ -27,13 +32,12 @@ fn main() {
         let t_naive = time_avg(reps, || {
             naive.query(&query).expect("query");
         });
-        println!(
-            "{:>9} {:>7} {:>12} {:>12} {:>8.1}x",
-            n,
-            rows,
+        table.row(&[
+            n.to_string(),
+            rows.to_string(),
             fmt_duration(t_opt),
             fmt_duration(t_naive),
-            t_naive.as_secs_f64() / t_opt.as_secs_f64(),
-        );
+            format!("{:.1}x", t_naive.as_secs_f64() / t_opt.as_secs_f64()),
+        ]);
     }
 }

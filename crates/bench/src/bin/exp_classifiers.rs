@@ -2,6 +2,7 @@
 //! three chains of demo scenario 1 against ground truth, across scenes
 //! with varying artifact rates.
 
+use teleios_bench::report::{self, Align, Table};
 use teleios_bench::{bench_bbox, bench_surface, fmt_duration, time_avg};
 use teleios_geo::Coord;
 use teleios_ingest::seviri::{self, FireEvent, SceneSpec};
@@ -9,7 +10,17 @@ use teleios_noa::accuracy;
 use teleios_noa::hotspot::HotspotClassifier;
 
 fn main() {
-    println!("E2: classification submodules vs ground truth (avg of 5 scenes, 128²)\n");
+    report::title("E2: classification submodules vs ground truth (avg of 5 scenes, 128²)");
+    let table = Table::indented(
+        2,
+        &[
+            ("classifier", 22, Align::Left),
+            ("precision", 9, Align::Right),
+            ("recall", 9, Align::Right),
+            ("F1", 9, Align::Right),
+            ("runtime", 12, Align::Right),
+        ],
+    );
     let classifiers = [
         HotspotClassifier::Threshold { kelvin: 318.0 },
         HotspotClassifier::Threshold { kelvin: 325.0 },
@@ -17,11 +28,8 @@ fn main() {
         HotspotClassifier::Contextual { kelvin: 318.0, min_neighbors: 2 },
     ];
     for glint in [0.0f64, 0.01, 0.03] {
-        println!("glint rate {glint}:");
-        println!(
-            "  {:<22} {:>9} {:>9} {:>9} {:>12}",
-            "classifier", "precision", "recall", "F1", "runtime"
-        );
+        report::note(&format!("glint rate {glint}:"));
+        table.header();
         for classifier in &classifiers {
             let mut p = 0.0;
             let mut r = 0.0;
@@ -48,15 +56,14 @@ fn main() {
                 });
             }
             let n = SCENES as f64;
-            println!(
-                "  {:<22} {:>9.3} {:>9.3} {:>9.3} {:>12}",
+            table.row(&[
                 classifier.id(),
-                p / n,
-                r / n,
-                f1 / n,
+                format!("{:.3}", p / n),
+                format!("{:.3}", r / n),
+                format!("{:.3}", f1 / n),
                 fmt_duration(runtime / SCENES as u32),
-            );
+            ]);
         }
-        println!();
+        report::blank();
     }
 }

@@ -2,6 +2,7 @@
 //! of the fraction of the archive actually accessed (the paper's "up to
 //! 95% of the data … has never been accessed").
 
+use teleios_bench::report::{self, Align, Table};
 use teleios_bench::{fmt_duration, time_once};
 use teleios_monet::Catalog;
 use teleios_vault::format::{encode_sev1, Sev1Header};
@@ -27,7 +28,9 @@ fn archive(n_files: usize, size: usize) -> Repository {
 fn main() {
     const N_FILES: usize = 500;
     const SIZE: usize = 48;
-    println!("E5: Data Vault — lazy vs eager over a {N_FILES}-file archive ({SIZE}² x3 bands)\n");
+    report::title(&format!(
+        "E5: Data Vault — lazy vs eager over a {N_FILES}-file archive ({SIZE}² x3 bands)"
+    ));
     let repo = archive(N_FILES, SIZE);
 
     // Time-to-first-query: register everything, touch one file.
@@ -38,19 +41,23 @@ fn main() {
             vault.array_for("scene-0000.sev1").expect("access");
             vault.stats()
         });
-        println!(
+        report::note(&format!(
             "time-to-first-query {:?}: {} ({} payload conversions)",
             policy,
             fmt_duration(t),
             stats.materializations
-        );
+        ));
     }
-    println!();
+    report::blank();
 
-    println!(
-        "{:>10} {:>12} {:>12} {:>14} {:>14}",
-        "accessed", "lazy", "eager", "lazy convs", "eager convs"
-    );
+    let table = Table::new(&[
+        ("accessed", 10, Align::Right),
+        ("lazy", 12, Align::Right),
+        ("eager", 12, Align::Right),
+        ("lazy convs", 14, Align::Right),
+        ("eager convs", 14, Align::Right),
+    ]);
+    table.header();
     for pct in [1usize, 5, 25, 50, 100] {
         let step = (100 / pct).max(1);
         let run = |policy: IngestionPolicy| {
@@ -65,13 +72,12 @@ fn main() {
         };
         let (lazy_convs, t_lazy) = run(IngestionPolicy::Lazy);
         let (eager_convs, t_eager) = run(IngestionPolicy::Eager);
-        println!(
-            "{:>9}% {:>12} {:>12} {:>14} {:>14}",
-            pct,
+        table.row(&[
+            format!("{pct}%"),
             fmt_duration(t_lazy),
             fmt_duration(t_eager),
-            lazy_convs,
-            eager_convs
-        );
+            lazy_convs.to_string(),
+            eager_convs.to_string(),
+        ]);
     }
 }

@@ -8,6 +8,7 @@
 //! while the baseline loses the entire batch as soon as one fault
 //! lands. Prints the table recorded in EXPERIMENTS.md.
 
+use teleios_bench::report::{self, Align, Table};
 use teleios_core::observatory::AcquisitionSpec;
 use teleios_core::Observatory;
 use teleios_geo::Coord;
@@ -52,11 +53,20 @@ fn supervised_chain(obs: &Observatory, plan: &FaultPlan) -> ProcessingChain {
 }
 
 fn main() {
-    println!("E12: supervised 50-scene batch vs all-or-nothing, under seeded fault plans\n");
-    println!(
-        "{:>5} {:>7} {:>4} {:>7} {:>8} {:>6} {:>12} {:>7} {:>9} {:>14}",
-        "rate", "faulted", "ok", "retried", "degraded", "failed", "healthy_lost", "recall", "batch", "baseline"
-    );
+    report::title("E12: supervised 50-scene batch vs all-or-nothing, under seeded fault plans");
+    let table = Table::new(&[
+        ("rate", 5, Align::Right),
+        ("faulted", 7, Align::Right),
+        ("ok", 4, Align::Right),
+        ("retried", 7, Align::Right),
+        ("degraded", 8, Align::Right),
+        ("failed", 6, Align::Right),
+        ("healthy_lost", 12, Align::Right),
+        ("recall", 7, Align::Right),
+        ("batch", 9, Align::Right),
+        ("baseline", 14, Align::Right),
+    ]);
+    table.header();
     for rate in [0.0, 0.1, 0.2, 0.3] {
         // A fresh observatory per rate: fault plans corrupt the archive.
         let mut obs = Observatory::with_defaults(99);
@@ -112,19 +122,18 @@ fn main() {
             Err(_) => "batch lost".to_string(),
         };
 
-        println!(
-            "{:>4.0}% {:>7} {:>4} {:>7} {:>8} {:>6} {:>12} {:>7.3} {:>9} {:>14}",
-            rate * 100.0,
-            plan.len(),
-            report.ok_count(),
-            report.retried_count(),
-            report.degraded_count(),
-            report.failed_count(),
-            healthy_lost,
-            mean_recall,
+        table.row(&[
+            format!("{:.0}%", rate * 100.0),
+            plan.len().to_string(),
+            report.ok_count().to_string(),
+            report.retried_count().to_string(),
+            report.degraded_count().to_string(),
+            report.failed_count().to_string(),
+            healthy_lost.to_string(),
+            format!("{mean_recall:.3}"),
             teleios_bench::fmt_duration(report.wall_clock),
             baseline,
-        );
+        ]);
     }
-    println!("\n(*: corrupted scenes already lost at vault load, before the baseline ran)");
+    report::note("\n(*: corrupted scenes already lost at vault load, before the baseline ran)");
 }

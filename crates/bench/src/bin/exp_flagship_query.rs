@@ -1,15 +1,20 @@
 //! E3 — flagship spatial-query latency vs archive size, with and
 //! without the R-tree spatial sidecar.
 
+use teleios_bench::report::{self, Align, Table};
 use teleios_bench::{build_archive, fmt_duration, spatial_region_query, time_avg};
 use teleios_strabon::StrabonConfig;
 
 fn main() {
-    println!("E3: spatial query latency vs archive size (indexed vs scan)\n");
-    println!(
-        "{:>9} {:>7} {:>12} {:>12} {:>9}",
-        "products", "rows", "indexed", "scan", "speedup"
-    );
+    report::title("E3: spatial query latency vs archive size (indexed vs scan)");
+    let table = Table::new(&[
+        ("products", 9, Align::Right),
+        ("rows", 7, Align::Right),
+        ("indexed", 12, Align::Right),
+        ("scan", 12, Align::Right),
+        ("speedup", 9, Align::Right),
+    ]);
+    table.header();
     let query = spatial_region_query();
     for n in [1_000usize, 5_000, 20_000, 50_000] {
         let mut indexed = build_archive(n, 8, StrabonConfig::default());
@@ -27,13 +32,12 @@ fn main() {
         let t_scan = time_avg(reps, || {
             scan.query(&query).expect("query");
         });
-        println!(
-            "{:>9} {:>7} {:>12} {:>12} {:>8.1}x",
-            n,
-            rows,
+        table.row(&[
+            n.to_string(),
+            rows.to_string(),
             fmt_duration(t_idx),
             fmt_duration(t_scan),
-            t_scan.as_secs_f64() / t_idx.as_secs_f64(),
-        );
+            format!("{:.1}x", t_scan.as_secs_f64() / t_idx.as_secs_f64()),
+        ]);
     }
 }

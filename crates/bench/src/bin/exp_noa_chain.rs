@@ -2,16 +2,24 @@
 //!
 //! Prints the table recorded in EXPERIMENTS.md.
 
+use teleios_bench::report::{self, Align, Table};
 use teleios_bench::{fire_scene, fmt_duration};
 use teleios_monet::Catalog;
 use teleios_noa::ProcessingChain;
 
 fn main() {
-    println!("E1: NOA processing-chain stage latency (operational chain)\n");
-    println!(
-        "{:>6} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12} {:>9}",
-        "size", "ingest", "crop", "georef", "classify", "shapefile", "total", "hotspots"
-    );
+    report::title("E1: NOA processing-chain stage latency (operational chain)");
+    let table = Table::new(&[
+        ("size", 6, Align::Right),
+        ("ingest", 12, Align::Right),
+        ("crop", 12, Align::Right),
+        ("georef", 12, Align::Right),
+        ("classify", 12, Align::Right),
+        ("shapefile", 12, Align::Right),
+        ("total", 12, Align::Right),
+        ("hotspots", 9, Align::Right),
+    ]);
+    table.header();
     for size in [64usize, 128, 256, 512, 1024] {
         let scene = fire_scene(size, 1);
         let cat = Catalog::new();
@@ -30,8 +38,7 @@ fn main() {
             .map(|o| o.timings.total())
             .sum::<std::time::Duration>()
             / outputs.len() as u32;
-        println!(
-            "{:>6} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12} {:>9}",
+        table.row(&[
             format!("{size}²"),
             fmt_duration(avg(|t| t.ingest)),
             fmt_duration(avg(|t| t.crop)),
@@ -39,7 +46,7 @@ fn main() {
             fmt_duration(avg(|t| t.classify)),
             fmt_duration(avg(|t| t.shapefile)),
             fmt_duration(total),
-            outputs[0].hotspot_pixels(),
-        );
+            outputs[0].hotspot_pixels().to_string(),
+        ]);
     }
 }

@@ -15,6 +15,7 @@
 //! harness prints the machine's available parallelism so a ~1.0×
 //! result on a single-core container reads as expected, not broken.
 
+use teleios_bench::report::{self, Align, Table};
 use teleios_bench::{fmt_duration, time_avg};
 use teleios_exec::WorkerPool;
 use teleios_monet::array::NdArray;
@@ -59,14 +60,12 @@ struct Row {
 }
 
 impl Row {
-    fn print(&self) {
+    fn print(&self, table: &Table) {
         let t1 = self.times[0].as_secs_f64();
-        let cells: Vec<String> = self.times.iter().map(|t| fmt_duration(*t)).collect();
-        let speedup4 = t1 / self.times[2].as_secs_f64();
-        println!(
-            "{:<16} {:>9} {:>10} {:>10} {:>10} {:>10} {:>9.2}x",
-            self.kernel, self.size, cells[0], cells[1], cells[2], cells[3], speedup4
-        );
+        let mut cells = vec![self.kernel.to_string(), self.size.to_string()];
+        cells.extend(self.times.iter().map(|t| fmt_duration(*t)));
+        cells.push(format!("{:.2}x", t1 / self.times[2].as_secs_f64()));
+        table.row(&cells);
     }
 }
 
@@ -83,15 +82,21 @@ fn sweep(kernel: &'static str, size: usize, reps: usize, mut f: impl FnMut(&Work
 
 fn main() {
     let machine = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-    println!("E13: morsel-driven parallel speedup (threads 1/2/4/8)\n");
-    println!(
+    report::title("E13: morsel-driven parallel speedup (threads 1/2/4/8)");
+    report::note(&format!(
         "machine parallelism: {machine} (speedups flatten at this bound; \
          a 1-core host shows ~1.0x everywhere)\n"
-    );
-    println!(
-        "{:<16} {:>9} {:>10} {:>10} {:>10} {:>10} {:>9}",
-        "kernel", "rows", "t=1", "t=2", "t=4", "t=8", "x@4"
-    );
+    ));
+    let table = Table::new(&[
+        ("kernel", 16, Align::Left),
+        ("rows", 9, Align::Right),
+        ("t=1", 10, Align::Right),
+        ("t=2", 10, Align::Right),
+        ("t=4", 10, Align::Right),
+        ("t=8", 10, Align::Right),
+        ("x@4", 10, Align::Right),
+    ]);
+    table.header();
 
     let mut rows: Vec<Row> = Vec::new();
 
@@ -105,7 +110,7 @@ fn main() {
             let got = column.par_select(CmpOp::Gt, &needle, None, pool).expect("par_select");
             assert_eq!(got.len(), expect.len());
         }));
-        rows.last().expect("row").print();
+        rows.last().expect("row").print(&table);
     }
 
     // --- monet: group-by aggregation ---------------------------------
@@ -127,7 +132,7 @@ fn main() {
             let out = aggregate_with(pool, &chunk, &group_by, &aggs).expect("aggregate");
             assert_eq!(out.num_rows(), 64);
         }));
-        rows.last().expect("row").print();
+        rows.last().expect("row").print(&table);
     }
 
     // --- monet: hash join --------------------------------------------
@@ -143,7 +148,7 @@ fn main() {
             let out = hash_join_with(pool, &left, &right, &lk, &rk).expect("join");
             assert!(out.num_rows() >= n); // ~4 matches per probe row
         }));
-        rows.last().expect("row").print();
+        rows.last().expect("row").print(&table);
     }
 
     // --- SciQL / NdArray: reduce and map -----------------------------
@@ -155,17 +160,17 @@ fn main() {
         rows.push(sweep("sciql-reduce", n, reps, |pool| {
             assert_eq!(img.sum_with(pool).to_bits(), expect.to_bits());
         }));
-        rows.last().expect("row").print();
+        rows.last().expect("row").print(&table);
         rows.push(sweep("sciql-map", n, reps, |pool| {
             // The NOA calibration kernel: scale + offset per pixel.
             let out = img.map_with(pool, |v| v * 1.02 + 1.5);
             assert_eq!(out.len(), n);
         }));
-        rows.last().expect("row").print();
+        rows.last().expect("row").print(&table);
     }
 
     // --- summary ------------------------------------------------------
-    println!();
+    report::blank();
     for kernel in ["select", "group-by", "sciql-reduce"] {
         let best = rows
             .iter()
@@ -173,13 +178,13 @@ fn main() {
             .max_by_key(|r| r.size)
             .expect("kernel rows");
         let speedup4 = best.times[0].as_secs_f64() / best.times[2].as_secs_f64();
-        println!(
+        report::note(&format!(
             "largest {kernel} input ({} rows): {:.2}x at 4 threads (acceptance: >=2x on >=4 cores)",
             best.size, speedup4
-        );
+        ));
     }
-    println!(
+    report::note(
         "\nAll parallel operators are bit-identical to their sequential twins \
-         (asserted above and property-tested in parallel_equivalence.rs)."
+         (asserted above and property-tested in parallel_equivalence.rs).",
     );
 }

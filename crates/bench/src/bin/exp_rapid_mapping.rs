@@ -1,6 +1,7 @@
 //! E10 — fire-map generation latency vs region size and linked-data
 //! volume (the rapid-mapping service of demo scenario 2).
 
+use teleios_bench::report::{self, Align, Table};
 use teleios_bench::{fmt_duration, time_avg};
 use teleios_core::observatory::AcquisitionSpec;
 use teleios_core::Observatory;
@@ -10,11 +11,15 @@ use teleios_linked::world::WorldSpec;
 use teleios_noa::ProcessingChain;
 
 fn main() {
-    println!("E10: rapid-mapping fire-map generation latency\n");
-    println!(
-        "{:>8} {:>12} {:>10} {:>12} {:>10}",
-        "places", "region", "features", "latency", "layers"
-    );
+    report::title("E10: rapid-mapping fire-map generation latency");
+    let table = Table::new(&[
+        ("places", 8, Align::Right),
+        ("region", 12, Align::Right),
+        ("features", 10, Align::Right),
+        ("latency", 12, Align::Right),
+        ("layers", 10, Align::Right),
+    ]);
+    table.header();
     for n_places in [25usize, 100, 400] {
         let mut obs = Observatory::new(WorldSpec {
             seed: 42,
@@ -46,14 +51,13 @@ fn main() {
             let t = time_avg(3, || {
                 obs.fire_map(&region).expect("map");
             });
-            println!(
-                "{:>8} {:>12} {:>10} {:>12} {:>10}",
-                n_places,
+            table.row(&[
+                n_places.to_string(),
                 format!("{:.2}°", half * 2.0),
-                map.num_features(),
+                map.num_features().to_string(),
                 fmt_duration(t),
-                map.layers.len(),
-            );
+                map.layers.len().to_string(),
+            ]);
         }
     }
 }

@@ -1,6 +1,7 @@
 //! E7 — thematic-accuracy improvement from the stSPARQL refinement step
 //! (demo scenario 2), across glint rates and coastline complexities.
 
+use teleios_bench::report::{self, Align, Table};
 use teleios_bench::{fmt_duration, time_once};
 use teleios_core::observatory::AcquisitionSpec;
 use teleios_core::Observatory;
@@ -9,7 +10,7 @@ use teleios_ingest::seviri::FireEvent;
 use teleios_linked::world::WorldSpec;
 use teleios_noa::{accuracy, refine, ProcessingChain};
 
-fn run_case(coast_points: usize, glint: f64) {
+fn run_case(table: &Table, coast_points: usize, glint: f64) {
     let mut obs = Observatory::new(WorldSpec {
         seed: 42,
         coast_points,
@@ -44,31 +45,38 @@ fn run_case(coast_points: usize, glint: f64) {
         refine::features_to_mask(&polys, &raster.geo, raster.rows(), raster.cols());
     let after = accuracy::score(&refined, &truth).expect("score");
 
-    println!(
-        "{:>7} {:>6} {:>9} {:>8} {:>8} {:>11.3} {:>10.3} {:>8.3} {:>7.3} {:>12}",
-        coast_points,
-        glint,
-        stats.before,
-        stats.refuted,
-        stats.clipped,
-        before.precision(),
-        after.precision(),
-        before.f1(),
-        after.f1(),
+    table.row(&[
+        coast_points.to_string(),
+        glint.to_string(),
+        stats.before.to_string(),
+        stats.refuted.to_string(),
+        stats.clipped.to_string(),
+        format!("{:.3}", before.precision()),
+        format!("{:.3}", after.precision()),
+        format!("{:.3}", before.f1()),
+        format!("{:.3}", after.f1()),
         fmt_duration(t_refine),
-    );
+    ]);
 }
 
 fn main() {
-    println!("E7: stSPARQL refinement — accuracy before/after (96² scenes)\n");
-    println!(
-        "{:>7} {:>6} {:>9} {:>8} {:>8} {:>11} {:>10} {:>8} {:>7} {:>12}",
-        "coast", "glint", "features", "refuted", "clipped", "prec_before", "prec_after", "f1_bef",
-        "f1_aft", "update_time"
-    );
+    report::title("E7: stSPARQL refinement — accuracy before/after (96² scenes)");
+    let table = Table::new(&[
+        ("coast", 7, Align::Right),
+        ("glint", 6, Align::Right),
+        ("features", 9, Align::Right),
+        ("refuted", 8, Align::Right),
+        ("clipped", 8, Align::Right),
+        ("prec_before", 11, Align::Right),
+        ("prec_after", 10, Align::Right),
+        ("f1_bef", 8, Align::Right),
+        ("f1_aft", 7, Align::Right),
+        ("update_time", 12, Align::Right),
+    ]);
+    table.header();
     for coast_points in [24usize, 48, 96] {
         for glint in [0.01f64, 0.03, 0.06] {
-            run_case(coast_points, glint);
+            run_case(&table, coast_points, glint);
         }
     }
 }

@@ -3,6 +3,7 @@
 //! language (paper §1 claims the chain can live in SciQL; this measures
 //! what that costs).
 
+use teleios_bench::report::{self, Align, Table};
 use teleios_bench::{fmt_duration, time_avg};
 use teleios_monet::array::NdArray;
 use teleios_monet::Catalog;
@@ -14,11 +15,15 @@ fn image(size: usize) -> NdArray {
 }
 
 fn main() {
-    println!("E6: SciQL statement vs native array code (same result checked)\n");
-    println!(
-        "{:>6} {:<26} {:>12} {:>12} {:>9}",
-        "size", "operation", "sciql", "native", "overhead"
-    );
+    report::title("E6: SciQL statement vs native array code (same result checked)");
+    let table = Table::new(&[
+        ("size", 6, Align::Right),
+        ("operation", 26, Align::Left),
+        ("sciql", 12, Align::Right),
+        ("native", 12, Align::Right),
+        ("overhead", 9, Align::Right),
+    ]);
+    table.header();
     for size in [128usize, 256, 512, 1024] {
         let img = image(size);
         let cat = Catalog::new();
@@ -36,14 +41,13 @@ fn main() {
         let t_n = time_avg(reps, || {
             ops::classify_threshold(&img, 318.0);
         });
-        println!(
-            "{:>6} {:<26} {:>12} {:>12} {:>8.1}x",
+        table.row(&[
             format!("{size}²"),
-            "threshold classify",
+            "threshold classify".to_string(),
             fmt_duration(t_s),
             fmt_duration(t_n),
-            t_s.as_secs_f64() / t_n.as_secs_f64()
-        );
+            format!("{:.1}x", t_s.as_secs_f64() / t_n.as_secs_f64()),
+        ]);
 
         // Tiled aggregation (patch means).
         let tile_q = "SELECT AVG(v) FROM img GROUP BY TILES [16, 16]";
@@ -56,14 +60,13 @@ fn main() {
         let t_n = time_avg(reps, || {
             ops::tile_mean(&img, 16).expect("tile mean");
         });
-        println!(
-            "{:>6} {:<26} {:>12} {:>12} {:>8.1}x",
-            "",
-            "16x16 tile mean",
+        table.row(&[
+            "".to_string(),
+            "16x16 tile mean".to_string(),
             fmt_duration(t_s),
             fmt_duration(t_n),
-            t_s.as_secs_f64() / t_n.as_secs_f64()
-        );
+            format!("{:.1}x", t_s.as_secs_f64() / t_n.as_secs_f64()),
+        ]);
 
         // Calibration (scale + offset).
         let cal_q = "SELECT v * 1.02 + 1.5 FROM img";
@@ -73,13 +76,12 @@ fn main() {
         let t_n = time_avg(reps, || {
             ops::calibrate(&img, 1.02, 1.5);
         });
-        println!(
-            "{:>6} {:<26} {:>12} {:>12} {:>8.1}x",
-            "",
-            "radiometric calibrate",
+        table.row(&[
+            "".to_string(),
+            "radiometric calibrate".to_string(),
             fmt_duration(t_s),
             fmt_duration(t_n),
-            t_s.as_secs_f64() / t_n.as_secs_f64()
-        );
+            format!("{:.1}x", t_s.as_secs_f64() / t_n.as_secs_f64()),
+        ]);
     }
 }

@@ -7,6 +7,7 @@
 //! products burn, annotate them through the mining pipeline, and compare
 //! three discovery strategies against ground truth.
 
+use teleios_bench::report::{self, Align, Table};
 use teleios_bench::{bench_bbox, bench_surface};
 use teleios_geo::Coord;
 use teleios_ingest::features::extract_patches;
@@ -20,7 +21,7 @@ use teleios_rdf::term::Term;
 const PATCH: usize = 8;
 
 fn main() {
-    println!("E8: semantic-annotation search vs raw metadata search\n");
+    report::title("E8: semantic-annotation search vs raw metadata search");
     const N_SCENES: usize = 40;
 
     // Half the scenes burn (forest fires), half are quiet.
@@ -121,22 +122,34 @@ fn main() {
     let (pe, re) = score(&exact);
     let (ps, rs) = score(&subsumed);
 
-    println!("{:<38} {:>6} {:>9} {:>9}", "strategy", "found", "precision", "recall");
-    println!(
-        "{:<38} {:>6} {:>9} {:>9.2}",
-        "metadata keyword ('fire')", metadata_hits, "-", 0.0
-    );
-    println!(
-        "{:<38} {:>6} {:>9.2} {:>9.2}",
-        "annotation search (noa:ForestFire)", exact.len(), pe, re
-    );
-    println!(
-        "{:<38} {:>6} {:>9.2} {:>9.2}",
-        "subsumption search (noa:Fire)", subsumed.len(), ps, rs
-    );
-    println!(
+    let table = Table::new(&[
+        ("strategy", 38, Align::Left),
+        ("found", 6, Align::Right),
+        ("precision", 9, Align::Right),
+        ("recall", 9, Align::Right),
+    ]);
+    table.header();
+    table.row(&[
+        "metadata keyword ('fire')".to_string(),
+        metadata_hits.to_string(),
+        "-".to_string(),
+        format!("{:.2}", 0.0),
+    ]);
+    table.row(&[
+        "annotation search (noa:ForestFire)".to_string(),
+        exact.len().to_string(),
+        format!("{pe:.2}"),
+        format!("{re:.2}"),
+    ]);
+    table.row(&[
+        "subsumption search (noa:Fire)".to_string(),
+        subsumed.len().to_string(),
+        format!("{ps:.2}"),
+        format!("{rs:.2}"),
+    ]);
+    report::note(&format!(
         "\nground truth: {truth_count}/{N_SCENES} scenes burn; \
          annotations: {} triples in store",
         store.len()
-    );
+    ));
 }

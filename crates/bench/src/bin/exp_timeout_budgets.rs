@@ -14,6 +14,7 @@
 //! by `scripts/check.sh` as a hang-regression gate.
 
 use std::time::Duration;
+use teleios_bench::report::{self, Align, Table};
 use teleios_core::observatory::AcquisitionSpec;
 use teleios_core::Observatory;
 use teleios_geo::Coord;
@@ -92,15 +93,24 @@ fn main() {
         )
     };
 
-    println!(
-        "E14: {scenes}-scene batch, classify-stage hangs of {}, per-attempt deadline sweep{}\n",
+    report::title(&format!(
+        "E14: {scenes}-scene batch, classify-stage hangs of {}, per-attempt deadline sweep{}",
         teleios_bench::fmt_duration(hang),
         if smoke { " (smoke)" } else { "" },
-    );
-    println!(
-        "{:>9} {:>5} {:>7} {:>4} {:>7} {:>8} {:>7} {:>6} {:>12} {:>9}",
-        "budget", "rate", "faulted", "ok", "retried", "degraded", "timeout", "failed", "healthy_lost", "batch"
-    );
+    ));
+    let table = Table::new(&[
+        ("budget", 9, Align::Right),
+        ("rate", 5, Align::Right),
+        ("faulted", 7, Align::Right),
+        ("ok", 4, Align::Right),
+        ("retried", 7, Align::Right),
+        ("degraded", 8, Align::Right),
+        ("timeout", 7, Align::Right),
+        ("failed", 6, Align::Right),
+        ("healthy_lost", 12, Align::Right),
+        ("batch", 9, Align::Right),
+    ]);
+    table.header();
 
     for budget in &budgets {
         for &rate in &rates {
@@ -122,19 +132,18 @@ fn main() {
                 .filter(|s| plan.fault_for(&s.product_id).is_none() && !s.outcome.succeeded())
                 .count();
 
-            println!(
-                "{:>9} {:>4.0}% {:>7} {:>4} {:>7} {:>8} {:>7} {:>6} {:>12} {:>9}",
+            table.row(&[
                 budget_label(budget),
-                rate * 100.0,
-                plan.len(),
-                report.ok_count(),
-                report.retried_count(),
-                report.degraded_count(),
-                report.timeout_count(),
-                report.failed_count(),
-                healthy_lost,
+                format!("{:.0}%", rate * 100.0),
+                plan.len().to_string(),
+                report.ok_count().to_string(),
+                report.retried_count().to_string(),
+                report.degraded_count().to_string(),
+                report.timeout_count().to_string(),
+                report.failed_count().to_string(),
+                healthy_lost.to_string(),
                 teleios_bench::fmt_duration(report.wall_clock),
-            );
+            ]);
 
             assert_eq!(
                 healthy_lost, 0,
@@ -143,8 +152,8 @@ fn main() {
             );
         }
     }
-    println!(
+    report::note(
         "\n(a loose budget out-waits hung stages; a tight one bounds batch wall-clock and\n\
-         converts each hung scene into a recorded Timeout instead of a wedged worker)"
+         converts each hung scene into a recorded Timeout instead of a wedged worker)",
     );
 }

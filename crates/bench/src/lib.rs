@@ -1,9 +1,13 @@
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 //! Shared fixtures for the TELEIOS experiment suite (E1–E11).
 //!
 //! Every experiment in `EXPERIMENTS.md` builds its workload through the
 //! generators here, so Criterion benches (`benches/`) and the
 //! table-printing harness binaries (`src/bin/exp_*.rs`) measure exactly
 //! the same thing.
+
+pub mod report;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -44,6 +48,7 @@ pub fn fire_scene(size: usize, seed: u64) -> Scene {
         radius: 0.06,
         intensity: 0.7,
     });
+    // teleios-lint: allow(no-panic) — bench fixture; a malformed spec is a programmer error
     seviri::generate(&spec, &bench_surface).expect("scene generation")
 }
 

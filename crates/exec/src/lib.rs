@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 //! TELEIOS morsel-driven parallel execution engine.
 //!
@@ -31,11 +32,19 @@
 //!   (`None` slots), and nothing is ever killed. Long-running tasks
 //!   that want finer-grained cancellation poll the same token at
 //!   their own safe points.
+//!
+//! The `loom` feature swaps the [`CancelToken`]'s atomics and mutex
+//! for the `teleios-loom` modeled primitives so `tests/loom.rs` can
+//! exhaustively interleave the first-wins cancel protocol; it changes
+//! no public API and is never enabled in normal builds
+//! (`scripts/check.sh --full` runs it).
 
 pub mod cancel;
 pub mod morsel;
 pub mod pool;
+pub mod spawn;
 
 pub use cancel::CancelToken;
 pub use morsel::{fixed_morsels, morsels, DEFAULT_MORSEL_CELLS};
 pub use pool::{default_threads, PoolStats, WorkerPool};
+pub use spawn::spawn_named;

@@ -1,0 +1,185 @@
+//! Exhaustive model-checking of the exec/cancel race surface.
+//!
+//! Compiled only with the `loom` feature, which swaps the
+//! [`CancelToken`]'s atomics and mutex for `teleios-loom` modeled
+//! primitives — so these models exercise the *shipped* token code,
+//! not a re-implementation. `teleios_loom::model` then runs each
+//! closure once per schedule until the whole interleaving tree of the
+//! modeled operations is explored.
+//!
+//! Covered races (the surface the E14 deadline watchdog depends on):
+//!
+//! 1. **First-wins cancel** — two racing `cancel` calls: exactly one
+//!    wins in every schedule and the recorded reason is the winner's.
+//! 2. **Cancel vs. read vs. reason-write** — a reader can observe the
+//!    documented flag-before-reason window, but never a reason
+//!    without the flag, and never a torn/foreign reason.
+//! 3. **`sleep_cancellable` wakeup** — via its time-free core
+//!    `poll_cancellable`: a poll loop racing a canceller either
+//!    observes the cancel or completes, and always observes it once
+//!    `cancel` has returned.
+//! 4. **Bounded-queue submit/drain/cancel** — the two token checks of
+//!    `try_run_bounded_cancellable` (producer-side before enqueue,
+//!    worker-side per claim), modeled over a loom mutex queue:
+//!    enqueues always form a clean prefix, and skips always form a
+//!    clean suffix, in every interleaving.
+#![cfg(feature = "loom")]
+
+use teleios_exec::CancelToken;
+use teleios_loom::sync::{Arc, Mutex};
+use teleios_loom::thread;
+
+#[test]
+fn first_wins_cancel_race() {
+    teleios_loom::model(|| {
+        let token = CancelToken::new();
+        let (a, b) = (token.clone(), token.clone());
+        let ta = thread::spawn(move || a.cancel("A"));
+        let tb = thread::spawn(move || b.cancel("B"));
+        let won_a = ta.join().unwrap();
+        let won_b = tb.join().unwrap();
+        assert!(won_a ^ won_b, "exactly one cancel must win");
+        assert!(token.is_cancelled());
+        let expected = if won_a { "A" } else { "B" };
+        assert_eq!(
+            token.reason().as_deref(),
+            Some(expected),
+            "the recorded reason must be the winning call's"
+        );
+    });
+}
+
+#[test]
+fn reason_never_visible_before_flag() {
+    teleios_loom::model(|| {
+        let token = CancelToken::new();
+        let canceller = token.clone();
+        let reader = token.clone();
+        let tc = thread::spawn(move || {
+            canceller.cancel("stop");
+        });
+        let tr = thread::spawn(move || {
+            // Read the reason FIRST, the flag second. Because cancel()
+            // publishes flag-then-reason, a visible reason implies the
+            // flag read afterwards must be true — in every schedule.
+            let reason = reader.reason();
+            let flag_after = reader.is_cancelled();
+            if let Some(r) = &reason {
+                assert_eq!(r, "stop", "no torn or foreign reason");
+                assert!(flag_after, "reason visible but flag not: publication order broken");
+            }
+        });
+        tr.join().unwrap();
+        tc.join().unwrap();
+        // Once cancel() has returned, both sides are published.
+        assert!(token.is_cancelled());
+        assert_eq!(token.reason().as_deref(), Some("stop"));
+    });
+}
+
+#[test]
+fn poll_wakeup_vs_cancel() {
+    teleios_loom::model(|| {
+        let token = CancelToken::new();
+        let canceller = token.clone();
+        let tc = thread::spawn(move || {
+            canceller.cancel("deadline");
+        });
+        // The time-free core of sleep_cancellable: up to 2 polls with
+        // a scheduler yield between them. In some schedules the poll
+        // sees the cancel (true), in others it completes first
+        // (false) — both are legal; what must NEVER happen is a poll
+        // returning true on an uncancelled token.
+        let woke = token.poll_cancellable(2);
+        if woke {
+            assert!(token.is_cancelled());
+        }
+        tc.join().unwrap();
+        // After cancel() has returned, a poll must always observe it:
+        // the sleep loop cannot oversleep a published cancellation.
+        assert!(token.poll_cancellable(1), "published cancel missed by poll");
+        assert_eq!(token.reason().as_deref(), Some("deadline"));
+    });
+}
+
+#[test]
+fn bounded_queue_producer_halts_on_cancel() {
+    // Producer half of try_run_bounded_cancellable: the token is
+    // checked before every enqueue, so whatever interleaving the
+    // canceller gets, the queue is always a clean prefix [0, 1, ..].
+    teleios_loom::model(|| {
+        let token = CancelToken::new();
+        let queue: Arc<Mutex<Vec<usize>>> = Arc::new(Mutex::new(Vec::new()));
+        let producer_token = token.clone();
+        let producer_queue = Arc::clone(&queue);
+        let tp = thread::spawn(move || {
+            for i in 0..3usize {
+                if producer_token.is_cancelled() {
+                    return i; // halted before enqueueing i
+                }
+                producer_queue.lock().unwrap().push(i);
+            }
+            3
+        });
+        let canceller = token.clone();
+        let tc = thread::spawn(move || {
+            canceller.cancel("halt submissions");
+        });
+        let halted_at = tp.join().unwrap();
+        tc.join().unwrap();
+        let q = queue.lock().unwrap();
+        let expected: Vec<usize> = (0..q.len()).collect();
+        assert_eq!(*q, expected, "enqueues must form a clean prefix");
+        assert_eq!(
+            q.len(),
+            halted_at,
+            "everything the producer enqueued before halting is in the queue"
+        );
+        if halted_at < 3 {
+            assert!(token.is_cancelled(), "producer halted without a cancel");
+        }
+    });
+}
+
+#[test]
+fn bounded_queue_worker_skips_form_a_suffix() {
+    // Worker half of try_run_bounded_cancellable: the token is checked
+    // per claimed task; executed tasks become Some, skipped tasks
+    // None. Because the flag is monotone (first-wins swap, never
+    // reset), the Nones must form a suffix in every interleaving — a
+    // Some after a None would mean the cancel "unhappened".
+    teleios_loom::model(|| {
+        let token = CancelToken::new();
+        let worker_token = token.clone();
+        let tw = thread::spawn(move || {
+            (0..3usize)
+                .map(|i| {
+                    if worker_token.is_cancelled() {
+                        None
+                    } else {
+                        Some(i)
+                    }
+                })
+                .collect::<Vec<Option<usize>>>()
+        });
+        let canceller = token.clone();
+        let tc = thread::spawn(move || {
+            canceller.cancel("drain");
+        });
+        let results = tw.join().unwrap();
+        tc.join().unwrap();
+        let first_skip = results.iter().position(|r| r.is_none());
+        if let Some(k) = first_skip {
+            assert!(
+                results[k..].iter().all(|r| r.is_none()),
+                "skips must be a suffix, got {results:?}"
+            );
+            assert!(token.is_cancelled());
+        }
+        for (i, r) in results.iter().enumerate() {
+            if let Some(v) = r {
+                assert_eq!(*v, i, "executed slots keep task order");
+            }
+        }
+    });
+}

@@ -1,0 +1,73 @@
+//! Seeded violations for the teleios-lint self-test. Each rule L1–L5
+//! must fire exactly where `FIXTURE_EXPECTED` says — and nowhere
+//! else: the decoys below prove the masking, whole-token matching,
+//! test-region, and allow-marker logic.
+
+pub enum FixtureError {
+    Broken,
+}
+
+pub fn l1_thread_spawn() {
+    std::thread::spawn(|| {});
+}
+
+pub fn l2_unwrap(v: Option<u8>) -> u8 {
+    v.unwrap()
+}
+
+pub fn l2_panic() {
+    panic!("boom");
+}
+
+pub fn l3_println() {
+    println!("tables go through teleios-bench::report");
+}
+
+pub fn l5_relaxed(flag: &std::sync::atomic::AtomicBool) -> bool {
+    flag.load(std::sync::atomic::Ordering::Relaxed)
+}
+
+// ---- decoys: nothing below may produce a finding ----
+
+pub enum CoveredError {
+    Known,
+}
+
+impl std::fmt::Display for CoveredError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "known failure")
+    }
+}
+
+impl std::error::Error for CoveredError {}
+
+pub fn decoy_masked_text() {
+    let _in_string = "thread::spawn(); x.unwrap(); println!(); Ordering::Relaxed";
+    let _quote_char = '"';
+    let _raw = r#"panic!("raw string")"#;
+    // thread::spawn and x.unwrap() in a line comment
+    /* println!("block comment") /* nested: panic!() */ */
+}
+
+pub fn decoy_whole_tokens(v: Option<u8>) -> u8 {
+    v.unwrap_or_else(|| 0)
+}
+
+pub fn decoy_allow_marker() {
+    // teleios-lint: allow(no-panic) — fixture proves suppression works
+    panic!("suppressed by the marker above");
+}
+
+pub fn decoy_lifetime<'a>(x: &'a str) -> &'a str {
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn decoy_test_code() {
+        let v: Option<u8> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+        println!("fine inside #[cfg(test)]");
+    }
+}

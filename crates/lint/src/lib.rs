@@ -1,0 +1,142 @@
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+//! # teleios-lint — the workspace invariant checker
+//!
+//! The TELEIOS crates rely on a handful of architectural invariants
+//! that ordinary compilation cannot enforce: all parallelism flows
+//! through `teleios-exec`, library code never panics or prints, every
+//! public error enum is a real `std::error::Error`, and atomics stay
+//! sequentially consistent outside the substrate (so the
+//! `teleios-loom` model checker's SeqCst model stays faithful). This
+//! crate turns those conventions into a mechanical gate: a pure-std
+//! scanner that masks comments/strings, tokenizes what remains,
+//! tracks `#[cfg(test)]` regions, and reports violations as
+//! `path:line:col` diagnostics.
+//!
+//! Rules (stable names usable in `// teleios-lint: allow(<name>)`):
+//!
+//! | rule              | invariant                                             |
+//! |-------------------|-------------------------------------------------------|
+//! | `no-thread-spawn` | L1: no `std::thread::{spawn, Builder}` outside the substrate crates |
+//! | `no-panic`        | L2: no `unwrap`/`expect`/`panic!`/`todo!`/`unimplemented!` in library code |
+//! | `no-println`      | L3: no `println!`/`eprintln!` in library code          |
+//! | `error-impls`     | L4: public `*Error` enums implement `Display` + `Error` |
+//! | `no-relaxed`      | L5: no `Ordering::Relaxed` outside `crates/exec`       |
+//! | `crate-attrs`     | crate roots carry `forbid(unsafe_code)` + clippy denies |
+//!
+//! Exemptions are structural, not ad-hoc: `crates/exec` and
+//! `crates/loom` may own threads and relaxed atomics (L1/L5); binary,
+//! bench, and example targets may print and fail fast (L2/L3) since a
+//! driver aborting on a setup error is correct behavior; `#[cfg(test)]`
+//! code may do all of the above. Deliberate single-site exceptions in
+//! library code take a `// teleios-lint: allow(<rule>)` marker on the
+//! same line or the line above.
+
+pub mod mask;
+pub mod rules;
+pub mod workspace;
+
+pub use rules::{scan_file, FilePolicy, Finding, Rule};
+pub use workspace::{find_workspace_root, scan_workspace};
+
+/// The seeded-violation fixture used by the self-test.
+pub const FIXTURE: &str = include_str!("../fixtures/violations.rs");
+
+/// Exactly the findings the fixture must produce, in sorted order:
+/// one (or more) per rule L1–L5, nothing from the decoys.
+pub const FIXTURE_EXPECTED: &[(usize, Rule)] = &[
+    (6, Rule::ErrorImpls),
+    (11, Rule::NoThreadSpawn),
+    (15, Rule::NoPanic),
+    (19, Rule::NoPanic),
+    (23, Rule::NoPrintln),
+    (27, Rule::NoRelaxed),
+];
+
+/// Run the scanner over the embedded fixture and check the findings
+/// against [`FIXTURE_EXPECTED`] exactly. Returns human-readable
+/// report lines; `Err` lines describe the first mismatch.
+pub fn run_self_test() -> Result<Vec<String>, Vec<String>> {
+    let mut findings = scan_file("fixtures/violations.rs", FIXTURE, FilePolicy::default());
+    findings.sort();
+    let got: Vec<(usize, Rule)> = findings.iter().map(|f| (f.line, f.rule)).collect();
+    let expected: Vec<(usize, Rule)> = FIXTURE_EXPECTED.to_vec();
+    if got == expected {
+        let mut lines: Vec<String> = findings
+            .iter()
+            .map(|f| format!("  fires as expected: {f}"))
+            .collect();
+        lines.push(format!(
+            "self-test OK: {} seeded violations caught, 0 false positives from decoys",
+            findings.len()
+        ));
+        Ok(lines)
+    } else {
+        let mut lines = vec!["self-test FAILED".to_string()];
+        for (line, rule) in &expected {
+            if !got.contains(&(*line, *rule)) {
+                lines.push(format!("  missing: fixture line {line} rule {}", rule.name()));
+            }
+        }
+        for f in &findings {
+            if !expected.contains(&(f.line, f.rule)) {
+                lines.push(format!("  unexpected: {f}"));
+            }
+        }
+        Err(lines)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixture_self_test_passes() {
+        let report = run_self_test().expect("fixture findings must match FIXTURE_EXPECTED");
+        assert!(report.iter().any(|l| l.contains("self-test OK")));
+    }
+
+    #[test]
+    fn fixture_covers_every_rule_l1_to_l5() {
+        let rules: std::collections::HashSet<Rule> =
+            FIXTURE_EXPECTED.iter().map(|(_, r)| *r).collect();
+        for rule in [
+            Rule::NoThreadSpawn,
+            Rule::NoPanic,
+            Rule::NoPrintln,
+            Rule::ErrorImpls,
+            Rule::NoRelaxed,
+        ] {
+            assert!(rules.contains(&rule), "fixture misses {}", rule.name());
+        }
+    }
+
+    #[test]
+    fn fixture_diagnostics_carry_file_and_line() {
+        let findings = scan_file("fixtures/violations.rs", FIXTURE, FilePolicy::default());
+        for f in findings {
+            let rendered = format!("{f}");
+            assert!(
+                rendered.starts_with(&format!("fixtures/violations.rs:{}:", f.line)),
+                "diagnostic must lead with file:line — got {rendered}"
+            );
+            assert!(f.col >= 1);
+        }
+    }
+
+    #[test]
+    fn rule_names_round_trip() {
+        for rule in [
+            Rule::NoThreadSpawn,
+            Rule::NoPanic,
+            Rule::NoPrintln,
+            Rule::ErrorImpls,
+            Rule::NoRelaxed,
+            Rule::CrateAttrs,
+        ] {
+            assert_eq!(Rule::from_name(rule.name()), Some(rule));
+        }
+        assert_eq!(Rule::from_name("no-such-rule"), None);
+    }
+}

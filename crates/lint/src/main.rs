@@ -1,0 +1,93 @@
+#![forbid(unsafe_code)]
+//! Driver: `teleios-lint [--root <path>] [--self-test]`.
+//!
+//! Default mode scans every workspace member and exits non-zero on
+//! any violated invariant; `--self-test` runs the scanner over the
+//! seeded fixture and verifies each rule L1–L5 fires with a
+//! file:line diagnostic (and that the decoys stay silent).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: teleios-lint [--root <workspace-dir>] [--self-test]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut self_test = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => return usage(),
+            },
+            "--self-test" => self_test = true,
+            "--help" | "-h" => {
+                println!("teleios-lint: TELEIOS workspace invariant checker");
+                println!();
+                println!("  --root <dir>   workspace root (default: walk up from cwd)");
+                println!("  --self-test    verify rules L1-L5 fire on the seeded fixture");
+                return ExitCode::SUCCESS;
+            }
+            _ => return usage(),
+        }
+    }
+
+    if self_test {
+        return match teleios_lint::run_self_test() {
+            Ok(lines) => {
+                for line in lines {
+                    println!("{line}");
+                }
+                ExitCode::SUCCESS
+            }
+            Err(lines) => {
+                for line in lines {
+                    eprintln!("{line}");
+                }
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+            match teleios_lint::find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!("teleios-lint: no workspace Cargo.toml found above {}", cwd.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    };
+
+    match teleios_lint::scan_workspace(&root) {
+        // A clean scan of zero files means the root was wrong, not that
+        // the workspace is clean — a mispathed CI invocation must fail.
+        Ok((_, 0)) => {
+            eprintln!("teleios-lint: no .rs files under {} (wrong --root?)", root.display());
+            ExitCode::FAILURE
+        }
+        Ok((findings, file_count)) if findings.is_empty() => {
+            println!("teleios-lint: workspace clean ({file_count} files, 6 rules)");
+            ExitCode::SUCCESS
+        }
+        Ok((findings, file_count)) => {
+            for f in &findings {
+                eprintln!("{f}");
+            }
+            eprintln!("teleios-lint: {} finding(s) across {file_count} files", findings.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("teleios-lint: io error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

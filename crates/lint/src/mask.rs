@@ -1,0 +1,241 @@
+//! Source masking: replace the *contents* of comments, string
+//! literals, and char literals with spaces (newlines preserved) so the
+//! rule scanner can match tokens by offset without being fooled by
+//! `"thread::spawn"` in a string or `panic!` in a doc comment. The
+//! output has the same byte length as the input, so byte offsets (and
+//! therefore line:col positions) carry over unchanged.
+
+fn is_ident_char(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+fn blank(out: &mut [u8], from: usize, to: usize) {
+    for slot in out.iter_mut().take(to).skip(from) {
+        if *slot != b'\n' {
+            *slot = b' ';
+        }
+    }
+}
+
+/// Mask a normal (escaped) string literal; `i` is at the opening `"`.
+/// Returns the index just past the closing quote.
+fn mask_string(out: &mut [u8], b: &[u8], i: usize) -> usize {
+    let n = b.len();
+    let mut j = i + 1;
+    while j < n {
+        if b[j] == b'\\' {
+            j += 2;
+        } else if b[j] == b'"' {
+            blank(out, i, j + 1);
+            return j + 1;
+        } else {
+            j += 1;
+        }
+    }
+    blank(out, i, n);
+    n
+}
+
+/// Mask a raw string literal. `start` is the first byte of the whole
+/// literal (the `r`/`br` prefix), `quote` the opening `"`, `hashes`
+/// the number of `#`s. Returns the index just past the terminator.
+fn mask_raw_string(out: &mut [u8], b: &[u8], start: usize, quote: usize, hashes: usize) -> usize {
+    let n = b.len();
+    let mut k = quote + 1;
+    while k < n {
+        if b[k] == b'"' && k + hashes < n + 1 && b[k + 1..].len() >= hashes && b[k + 1..k + 1 + hashes].iter().all(|h| *h == b'#') {
+            let end = k + hashes;
+            blank(out, start, end + 1);
+            return end + 1;
+        }
+        k += 1;
+    }
+    blank(out, start, n);
+    n
+}
+
+/// Mask a char / byte-char literal; `i` is at the opening `'`.
+/// Returns the index just past the closing quote.
+fn mask_char_lit(out: &mut [u8], b: &[u8], i: usize) -> usize {
+    let n = b.len();
+    let mut j = i + 1;
+    while j < n {
+        if b[j] == b'\\' {
+            j += 2;
+        } else if b[j] == b'\'' {
+            blank(out, i, j + 1);
+            return j + 1;
+        } else {
+            j += 1;
+        }
+    }
+    blank(out, i, n);
+    n
+}
+
+/// Produce a same-length copy of `src` with comment, string-literal,
+/// and char-literal contents replaced by spaces (newlines kept).
+pub fn mask_code(src: &str) -> String {
+    let b = src.as_bytes();
+    let n = b.len();
+    let mut out = b.to_vec();
+    let mut i = 0usize;
+    while i < n {
+        let c = b[i];
+        // Line comment (also `///` and `//!` doc comments).
+        if c == b'/' && i + 1 < n && b[i + 1] == b'/' {
+            let start = i;
+            while i < n && b[i] != b'\n' {
+                i += 1;
+            }
+            blank(&mut out, start, i);
+            continue;
+        }
+        // Block comment, possibly nested.
+        if c == b'/' && i + 1 < n && b[i + 1] == b'*' {
+            let start = i;
+            i += 2;
+            let mut depth = 1usize;
+            while i < n && depth > 0 {
+                if b[i] == b'/' && i + 1 < n && b[i + 1] == b'*' {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == b'*' && i + 1 < n && b[i + 1] == b'/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            blank(&mut out, start, i);
+            continue;
+        }
+        // Identifier — or a prefixed literal (`r""`, `r#""#`, `b""`,
+        // `br#""#`, `b''`) or raw identifier (`r#type`).
+        if is_ident_char(c) {
+            let start = i;
+            while i < n && is_ident_char(b[i]) {
+                i += 1;
+            }
+            let word = &b[start..i];
+            if i < n && matches!(word, b"r" | b"b" | b"br" | b"rb") {
+                let next = b[i];
+                if next == b'\'' && word == b"b" {
+                    i = mask_char_lit(&mut out, b, i);
+                    continue;
+                }
+                if next == b'"' {
+                    if word == b"b" {
+                        i = mask_string(&mut out, b, i);
+                    } else {
+                        i = mask_raw_string(&mut out, b, start, i, 0);
+                    }
+                    continue;
+                }
+                if next == b'#' {
+                    let mut j = i;
+                    let mut hashes = 0usize;
+                    while j < n && b[j] == b'#' {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if j < n && b[j] == b'"' && word != b"b" {
+                        i = mask_raw_string(&mut out, b, start, j, hashes);
+                        continue;
+                    }
+                    if hashes == 1 && word == b"r" && j < n && is_ident_char(b[j]) {
+                        // Raw identifier `r#type`: skip the hash; the
+                        // next loop turn consumes the identifier.
+                        i += 1;
+                        continue;
+                    }
+                }
+            }
+            continue;
+        }
+        if c == b'"' {
+            i = mask_string(&mut out, b, i);
+            continue;
+        }
+        if c == b'\'' {
+            // Char literal vs. lifetime/label: a literal is `'\...'`,
+            // `'x'`, or a single non-ASCII scalar quoted; anything
+            // else (`'a`, `'static`, `'_`) is a lifetime — leave it.
+            if i + 1 < n && b[i + 1] == b'\\' {
+                i = mask_char_lit(&mut out, b, i);
+                continue;
+            }
+            if i + 2 < n && b[i + 2] == b'\'' {
+                blank(&mut out, i, i + 3);
+                i += 3;
+                continue;
+            }
+            if i + 1 < n && b[i + 1] >= 0x80 {
+                i = mask_char_lit(&mut out, b, i);
+                continue;
+            }
+            i += 1;
+            continue;
+        }
+        i += 1;
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::mask_code;
+
+    #[test]
+    fn masks_line_and_block_comments() {
+        let m = mask_code("a // x.unwrap()\nb /* panic! /* nested */ still */ c");
+        assert!(!m.contains("unwrap"));
+        assert!(!m.contains("panic"));
+        assert!(!m.contains("nested"));
+        assert!(m.contains('a') && m.contains('b') && m.contains('c'));
+        assert!(m.contains('\n'), "newlines survive masking");
+    }
+
+    #[test]
+    fn masks_strings_and_raw_strings() {
+        let m = mask_code(r##"let s = "thread::spawn"; let r = r#"println!("x")"#; code();"##);
+        assert!(!m.contains("spawn"));
+        assert!(!m.contains("println"));
+        assert!(m.contains("code"));
+    }
+
+    #[test]
+    fn masks_escaped_quote_in_string() {
+        let m = mask_code(r#"let s = "a\"b.unwrap()"; after();"#);
+        assert!(!m.contains("unwrap"));
+        assert!(m.contains("after"));
+    }
+
+    #[test]
+    fn char_literals_masked_lifetimes_kept() {
+        let m = mask_code(r#"let q = '"'; fn f<'a>(x: &'a str) -> &'a str { x } let e = '\''; "no string opened".len();"#);
+        assert!(m.contains("'a"), "lifetimes preserved");
+        assert!(!m.contains("no string opened"), "the quote char literal must not open a string");
+    }
+
+    #[test]
+    fn same_length_preserves_offsets() {
+        let src = "let a = \"x\"; // c\nb.unwrap();";
+        let m = mask_code(src);
+        assert_eq!(m.len(), src.len());
+        assert_eq!(m.find("unwrap"), src.find("unwrap"));
+    }
+
+    #[test]
+    fn raw_identifiers_pass_through() {
+        let m = mask_code("let r#type = 1; r#type + 1");
+        assert!(m.contains("type"));
+    }
+
+    #[test]
+    fn byte_literals_masked() {
+        let m = mask_code(r#"let x = b"unwrap"; let y = b'u'; keep();"#);
+        assert!(!m.contains("unwrap"));
+        assert!(m.contains("keep"));
+    }
+}

@@ -1,0 +1,573 @@
+//! The rule engine: tokenize masked source, locate `#[cfg(test)]` /
+//! `#[test]` regions, and run the architectural rules L1–L5 over a
+//! single file. Workspace-level policy (which crates/targets are
+//! exempt from which rules) arrives via [`FilePolicy`].
+
+use crate::mask::mask_code;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// The architectural invariants. Names are the stable identifiers
+/// used in diagnostics and in `// teleios-lint: allow(<name>)`
+/// suppression markers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Rule {
+    /// L1: no `std::thread::spawn` / `thread::Builder` outside the
+    /// concurrency substrate (`teleios-exec`, `teleios-loom`).
+    NoThreadSpawn,
+    /// L2: no `unwrap`/`expect`/`panic!`/`todo!`/`unimplemented!` in
+    /// library code outside `#[cfg(test)]`.
+    NoPanic,
+    /// L3: no `println!`/`eprintln!` in library code.
+    NoPrintln,
+    /// L4: every public `*Error` enum implements `Display` and
+    /// `std::error::Error`.
+    ErrorImpls,
+    /// L5: no `Ordering::Relaxed` outside `crates/exec`.
+    NoRelaxed,
+    /// Crate-root check: every workspace member carries
+    /// `forbid(unsafe_code)` plus the clippy unwrap/expect denies.
+    CrateAttrs,
+}
+
+impl Rule {
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::NoThreadSpawn => "no-thread-spawn",
+            Rule::NoPanic => "no-panic",
+            Rule::NoPrintln => "no-println",
+            Rule::ErrorImpls => "error-impls",
+            Rule::NoRelaxed => "no-relaxed",
+            Rule::CrateAttrs => "crate-attrs",
+        }
+    }
+
+    pub fn from_name(name: &str) -> Option<Rule> {
+        match name {
+            "no-thread-spawn" => Some(Rule::NoThreadSpawn),
+            "no-panic" => Some(Rule::NoPanic),
+            "no-println" => Some(Rule::NoPrintln),
+            "error-impls" => Some(Rule::ErrorImpls),
+            "no-relaxed" => Some(Rule::NoRelaxed),
+            "crate-attrs" => Some(Rule::CrateAttrs),
+            _ => None,
+        }
+    }
+}
+
+/// One diagnostic: `path:line:col: [rule] message`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    pub path: String,
+    pub line: usize,
+    pub col: usize,
+    pub rule: Rule,
+    pub msg: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: [{}] {}",
+            self.path,
+            self.line,
+            self.col,
+            self.rule.name(),
+            self.msg
+        )
+    }
+}
+
+/// Per-file exemptions, derived from where the file lives.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FilePolicy {
+    /// `crates/exec` and `crates/loom`: the substrate that is allowed
+    /// to own OS threads and relaxed atomics.
+    pub substrate: bool,
+    /// Binary / bench / example targets: drivers fail fast by design
+    /// (L2 exempt) and print their tables (L3 exempt). L1/L4/L5 still
+    /// apply.
+    pub bin_target: bool,
+}
+
+/// Byte-offset → 1-based line:col mapping.
+pub struct LineIndex {
+    starts: Vec<usize>,
+}
+
+impl LineIndex {
+    pub fn new(src: &str) -> LineIndex {
+        let mut starts = vec![0usize];
+        for (i, b) in src.bytes().enumerate() {
+            if b == b'\n' {
+                starts.push(i + 1);
+            }
+        }
+        LineIndex { starts }
+    }
+
+    pub fn line_col(&self, off: usize) -> (usize, usize) {
+        let idx = match self.starts.binary_search(&off) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        (idx + 1, off - self.starts[idx] + 1)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TokKind<'a> {
+    Ident(&'a str),
+    Punct(u8),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Tok<'a> {
+    kind: TokKind<'a>,
+    off: usize,
+}
+
+fn tokenize(masked: &str) -> Vec<Tok<'_>> {
+    let b = masked.as_bytes();
+    let n = b.len();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    while i < n {
+        let c = b[i];
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        if c.is_ascii_alphanumeric() || c == b'_' {
+            let start = i;
+            while i < n && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                i += 1;
+            }
+            toks.push(Tok {
+                kind: TokKind::Ident(&masked[start..i]),
+                off: start,
+            });
+            continue;
+        }
+        if c.is_ascii() {
+            toks.push(Tok {
+                kind: TokKind::Punct(c),
+                off: i,
+            });
+        }
+        i += 1;
+    }
+    toks
+}
+
+fn ident_at<'a>(toks: &[Tok<'a>], i: usize) -> Option<&'a str> {
+    match toks.get(i)?.kind {
+        TokKind::Ident(s) => Some(s),
+        TokKind::Punct(_) => None,
+    }
+}
+
+fn is_ident(toks: &[Tok<'_>], i: usize, s: &str) -> bool {
+    ident_at(toks, i) == Some(s)
+}
+
+fn is_punct(toks: &[Tok<'_>], i: usize, c: u8) -> bool {
+    matches!(toks.get(i), Some(Tok { kind: TokKind::Punct(p), .. }) if *p == c)
+}
+
+/// Skip an attribute starting at index `i` (which must be `#`);
+/// returns the index just past the closing `]`.
+fn skip_attr(toks: &[Tok<'_>], i: usize) -> usize {
+    let mut k = i + 1;
+    let mut depth = 0usize;
+    while k < toks.len() {
+        if is_punct(toks, k, b'[') {
+            depth += 1;
+        } else if is_punct(toks, k, b']') {
+            depth -= 1;
+            if depth == 0 {
+                return k + 1;
+            }
+        }
+        k += 1;
+    }
+    toks.len()
+}
+
+/// Byte ranges covered by `#[cfg(test)]` / `#[test]` items. Only the
+/// exact forms are recognized — the workspace uses no other spelling,
+/// and `#[cfg_attr(not(test), ...)]` must *not* create a region.
+fn test_regions(toks: &[Tok<'_>]) -> Vec<(usize, usize)> {
+    let mut regions = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !(is_punct(toks, i, b'#') && is_punct(toks, i + 1, b'[')) {
+            i += 1;
+            continue;
+        }
+        let is_test_attr = (is_ident(toks, i + 2, "cfg")
+            && is_punct(toks, i + 3, b'(')
+            && is_ident(toks, i + 4, "test")
+            && is_punct(toks, i + 5, b')')
+            && is_punct(toks, i + 6, b']'))
+            || (is_ident(toks, i + 2, "test") && is_punct(toks, i + 3, b']'));
+        if !is_test_attr {
+            i = skip_attr(toks, i);
+            continue;
+        }
+        let start_off = toks[i].off;
+        // Skip this attribute plus any stacked ones (`#[cfg(test)]
+        // #[derive(..)] struct S;`).
+        let mut j = skip_attr(toks, i);
+        while is_punct(toks, j, b'#') && is_punct(toks, j + 1, b'[') {
+            j = skip_attr(toks, j);
+        }
+        // The item extends to its matched `{...}` block, or to a `;`
+        // for block-less items.
+        let mut end_off = toks.last().map(|t| t.off).unwrap_or(start_off);
+        let mut k = j;
+        while k < toks.len() {
+            if is_punct(toks, k, b';') {
+                end_off = toks[k].off;
+                break;
+            }
+            if is_punct(toks, k, b'{') {
+                let mut depth = 0usize;
+                while k < toks.len() {
+                    if is_punct(toks, k, b'{') {
+                        depth += 1;
+                    } else if is_punct(toks, k, b'}') {
+                        depth -= 1;
+                        if depth == 0 {
+                            end_off = toks[k].off;
+                            break;
+                        }
+                    }
+                    k += 1;
+                }
+                break;
+            }
+            k += 1;
+        }
+        regions.push((start_off, end_off));
+        i = j;
+    }
+    regions
+}
+
+fn in_test(regions: &[(usize, usize)], off: usize) -> bool {
+    regions.iter().any(|(s, e)| *s <= off && off <= *e)
+}
+
+/// `// teleios-lint: allow(<rule>)` markers by line. A marker
+/// suppresses findings of that rule on its own line and the next one
+/// (so a marker can sit on a comment line above a long statement).
+fn allow_markers(raw: &str) -> HashMap<usize, HashSet<Rule>> {
+    let mut map: HashMap<usize, HashSet<Rule>> = HashMap::new();
+    for (i, line) in raw.lines().enumerate() {
+        let Some(p) = line.find("teleios-lint: allow(") else {
+            continue;
+        };
+        let after = &line[p + "teleios-lint: allow(".len()..];
+        let Some(q) = after.find(')') else { continue };
+        if let Some(rule) = Rule::from_name(&after[..q]) {
+            map.entry(i + 1).or_default().insert(rule);
+        }
+    }
+    map
+}
+
+/// Trait impls in the file, as `(last trait path segment, type name)`
+/// pairs — enough to verify `impl Display for FooError` and
+/// `impl std::error::Error for FooError`.
+fn impl_pairs<'a>(toks: &[Tok<'a>]) -> Vec<(&'a str, &'a str)> {
+    let mut pairs = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !is_ident(toks, i, "impl") {
+            i += 1;
+            continue;
+        }
+        let mut trait_seg: Option<&str> = None;
+        let mut generic_depth = 0usize;
+        let mut j = i + 1;
+        let limit = (i + 40).min(toks.len());
+        while j < limit {
+            match toks[j].kind {
+                TokKind::Punct(b'<') => generic_depth += 1,
+                TokKind::Punct(b'>') => generic_depth = generic_depth.saturating_sub(1),
+                TokKind::Punct(b'{') | TokKind::Punct(b';') => break,
+                TokKind::Ident("for") if generic_depth == 0 => {
+                    if let (Some(t), Some(ty)) = (trait_seg, ident_at(toks, j + 1)) {
+                        pairs.push((t, ty));
+                    }
+                    break;
+                }
+                TokKind::Ident(s) => trait_seg = Some(s),
+                TokKind::Punct(_) => {}
+            }
+            j += 1;
+        }
+        i = j.max(i + 1);
+    }
+    pairs
+}
+
+/// Run rules L1–L5 over one file. `path` is only used to label
+/// findings.
+pub fn scan_file(path: &str, raw: &str, policy: FilePolicy) -> Vec<Finding> {
+    let masked = mask_code(raw);
+    let toks = tokenize(&masked);
+    let idx = LineIndex::new(raw);
+    let regions = test_regions(&toks);
+    let allows = allow_markers(raw);
+    let mut findings: Vec<Finding> = Vec::new();
+    let push = |off: usize, rule: Rule, msg: String, findings: &mut Vec<Finding>| {
+        let (line, col) = idx.line_col(off);
+        let allowed = allows.get(&line).is_some_and(|s| s.contains(&rule))
+            || (line > 1 && allows.get(&(line - 1)).is_some_and(|s| s.contains(&rule)));
+        if !allowed {
+            findings.push(Finding {
+                path: path.to_string(),
+                line,
+                col,
+                rule,
+                msg,
+            });
+        }
+    };
+
+    for i in 0..toks.len() {
+        let off = toks[i].off;
+        // L1 — thread::spawn / thread::Builder
+        if !policy.substrate
+            && is_ident(&toks, i, "thread")
+            && is_punct(&toks, i + 1, b':')
+            && is_punct(&toks, i + 2, b':')
+            && !in_test(&regions, off)
+        {
+            if let Some(what @ ("spawn" | "Builder")) = ident_at(&toks, i + 3) {
+                push(
+                    off,
+                    Rule::NoThreadSpawn,
+                    format!("std::thread::{what}: OS threads belong to teleios-exec (WorkerPool / spawn_named)"),
+                    &mut findings,
+                );
+            }
+        }
+        // L2 — unwrap/expect/panic!/todo!/unimplemented!
+        if !policy.bin_target && !in_test(&regions, off) {
+            if let Some(name @ ("unwrap" | "expect")) = ident_at(&toks, i) {
+                // `self.expect(..)` is a parser combinator method in
+                // the WKT/SQL/SPARQL parsers, not Option/Result::expect
+                // (`self` is never an Option in this workspace).
+                let own_method = name == "expect" && i >= 2 && is_ident(&toks, i - 2, "self");
+                if !own_method && i > 0 && is_punct(&toks, i - 1, b'.') && is_punct(&toks, i + 1, b'(') {
+                    push(
+                        off,
+                        Rule::NoPanic,
+                        format!(".{name}() in library code: return a typed error instead"),
+                        &mut findings,
+                    );
+                }
+            }
+            if let Some(name @ ("panic" | "todo" | "unimplemented")) = ident_at(&toks, i) {
+                if is_punct(&toks, i + 1, b'!') {
+                    push(
+                        off,
+                        Rule::NoPanic,
+                        format!("{name}! in library code: return a typed error instead"),
+                        &mut findings,
+                    );
+                }
+            }
+        }
+        // L3 — println!/eprintln!
+        if !policy.bin_target && !in_test(&regions, off) {
+            if let Some(name @ ("println" | "eprintln")) = ident_at(&toks, i) {
+                if is_punct(&toks, i + 1, b'!') {
+                    push(
+                        off,
+                        Rule::NoPrintln,
+                        format!("{name}! in library code: route output through the caller or a report type"),
+                        &mut findings,
+                    );
+                }
+            }
+        }
+        // L5 — Ordering::Relaxed
+        if !policy.substrate
+            && is_ident(&toks, i, "Ordering")
+            && is_punct(&toks, i + 1, b':')
+            && is_punct(&toks, i + 2, b':')
+            && is_ident(&toks, i + 3, "Relaxed")
+        {
+            push(
+                off,
+                Rule::NoRelaxed,
+                "Ordering::Relaxed outside crates/exec: the loom model assumes SeqCst".to_string(),
+                &mut findings,
+            );
+        }
+    }
+
+    // L4 — public *Error enums must impl Display + Error.
+    let pairs = impl_pairs(&toks);
+    for i in 0..toks.len() {
+        if !is_ident(&toks, i, "pub") {
+            continue;
+        }
+        // `pub(crate)` etc. is not public API.
+        if is_punct(&toks, i + 1, b'(') {
+            continue;
+        }
+        if !is_ident(&toks, i + 1, "enum") {
+            continue;
+        }
+        let Some(name) = ident_at(&toks, i + 2) else {
+            continue;
+        };
+        if !name.ends_with("Error") || name == "Error" || in_test(&regions, toks[i].off) {
+            continue;
+        }
+        let has_display = pairs.iter().any(|(t, ty)| *t == "Display" && *ty == name);
+        let has_error = pairs.iter().any(|(t, ty)| *t == "Error" && *ty == name);
+        if !has_display || !has_error {
+            let missing = match (has_display, has_error) {
+                (false, false) => "Display and std::error::Error",
+                (false, true) => "Display",
+                (true, false) => "std::error::Error",
+                (true, true) => unreachable!(),
+            };
+            push(
+                toks[i].off,
+                Rule::ErrorImpls,
+                format!("public error enum {name} does not implement {missing} in this file"),
+                &mut findings,
+            );
+        }
+    }
+
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(src: &str) -> Vec<Finding> {
+        scan_file("fixture.rs", src, FilePolicy::default())
+    }
+
+    fn rules_hit(src: &str) -> Vec<(usize, Rule)> {
+        scan(src).into_iter().map(|f| (f.line, f.rule)).collect()
+    }
+
+    #[test]
+    fn l1_fires_on_thread_spawn_and_builder() {
+        assert_eq!(
+            rules_hit("fn f() {\n    std::thread::spawn(|| {});\n}"),
+            vec![(2, Rule::NoThreadSpawn)]
+        );
+        assert_eq!(
+            rules_hit("fn f() {\n    thread::Builder::new();\n}"),
+            vec![(2, Rule::NoThreadSpawn)]
+        );
+    }
+
+    #[test]
+    fn l1_exempt_for_substrate_and_tests() {
+        let src = "fn f() {\n    std::thread::spawn(|| {});\n}";
+        let f = scan_file("x.rs", src, FilePolicy { substrate: true, bin_target: false });
+        assert!(f.is_empty());
+        let test_src = "#[cfg(test)]\nmod tests {\n    fn g() { std::thread::spawn(|| {}); }\n}";
+        assert!(scan(test_src).is_empty());
+    }
+
+    #[test]
+    fn l2_fires_outside_tests_only() {
+        assert_eq!(rules_hit("fn f(v: Option<u8>) {\n    v.unwrap();\n}"), vec![(2, Rule::NoPanic)]);
+        assert_eq!(rules_hit("fn f() {\n    panic!(\"x\");\n}"), vec![(2, Rule::NoPanic)]);
+        assert_eq!(rules_hit("fn f() {\n    todo!();\n}"), vec![(2, Rule::NoPanic)]);
+        assert!(scan("#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { Some(1).unwrap(); panic!(\"x\"); }\n}").is_empty());
+    }
+
+    #[test]
+    fn l2_whole_token_matching() {
+        // unwrap_or_else / expect_kw must not match; method paths
+        // without a leading dot must not match.
+        assert!(scan("fn f(v: Option<u8>) -> u8 {\n    v.unwrap_or_else(|| 0)\n}").is_empty());
+        assert!(scan("fn f(p: &mut P) {\n    p.expect_kw(\"SET\");\n}").is_empty());
+        // The parsers' own `self.expect(..)` combinator is not
+        // Option::expect; `other.expect(..)` still fires.
+        assert!(scan("fn f(&mut self) -> Result<()> {\n    self.expect(b'(')?;\n    Ok(())\n}").is_empty());
+        assert_eq!(
+            rules_hit("fn f(v: Option<u8>) -> u8 {\n    v.expect(\"msg\")\n}"),
+            vec![(2, Rule::NoPanic)]
+        );
+    }
+
+    #[test]
+    fn l3_fires_and_bin_targets_are_exempt() {
+        let src = "fn f() {\n    println!(\"x\");\n    eprintln!(\"y\");\n}";
+        assert_eq!(rules_hit(src), vec![(2, Rule::NoPrintln), (3, Rule::NoPrintln)]);
+        let f = scan_file("x.rs", src, FilePolicy { substrate: false, bin_target: true });
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn l4_missing_impls_reported_with_specifics() {
+        let hits = rules_hit("pub enum LoneError {\n    A,\n}");
+        assert_eq!(hits, vec![(1, Rule::ErrorImpls)]);
+        let src = "pub enum HalfError { A }\nimpl std::fmt::Display for HalfError {\n    fn fmt(&self, f: &mut std::fmt::Formatter) -> std::fmt::Result { Ok(()) }\n}";
+        let f = scan(src);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].msg.contains("std::error::Error"), "{}", f[0].msg);
+        assert!(!f[0].msg.contains("Display and"), "{}", f[0].msg);
+    }
+
+    #[test]
+    fn l4_satisfied_and_non_public_skipped() {
+        let ok = "pub enum FineError { A }\nimpl std::fmt::Display for FineError {\n    fn fmt(&self, f: &mut std::fmt::Formatter) -> std::fmt::Result { Ok(()) }\n}\nimpl std::error::Error for FineError {}";
+        assert!(scan(ok).is_empty());
+        assert!(scan("pub(crate) enum InnerError { A }").is_empty());
+        assert!(scan("enum PrivateError { A }").is_empty());
+    }
+
+    #[test]
+    fn l5_fires_everywhere_except_substrate() {
+        let src = "fn f(b: &AtomicBool) {\n    b.load(Ordering::Relaxed);\n}";
+        assert_eq!(rules_hit(src), vec![(2, Rule::NoRelaxed)]);
+        let f = scan_file("x.rs", src, FilePolicy { substrate: true, bin_target: false });
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn masked_text_never_fires() {
+        let src = "fn f() {\n    let _ = \"x.unwrap() println! thread::spawn Ordering::Relaxed\";\n    // panic!(\"in comment\")\n}";
+        assert!(scan(src).is_empty());
+    }
+
+    #[test]
+    fn allow_marker_suppresses_same_and_next_line() {
+        let same = "fn f() {\n    panic!(\"x\"); // teleios-lint: allow(no-panic) — deliberate\n}";
+        assert!(scan(same).is_empty());
+        let above = "fn f() {\n    // teleios-lint: allow(no-panic) — deliberate\n    panic!(\"x\");\n}";
+        assert!(scan(above).is_empty());
+        let wrong_rule = "fn f() {\n    // teleios-lint: allow(no-println)\n    panic!(\"x\");\n}";
+        assert_eq!(rules_hit(wrong_rule), vec![(3, Rule::NoPanic)]);
+    }
+
+    #[test]
+    fn cfg_attr_not_test_is_not_a_test_region() {
+        let src = "#![cfg_attr(not(test), deny(clippy::unwrap_used))]\nfn f(v: Option<u8>) {\n    v.unwrap();\n}";
+        assert_eq!(rules_hit(src), vec![(3, Rule::NoPanic)]);
+    }
+
+    #[test]
+    fn finding_display_format() {
+        let f = scan("fn f() {\n    panic!(\"x\");\n}");
+        assert_eq!(format!("{}", f[0]), "fixture.rs:2:5: [no-panic] panic! in library code: return a typed error instead");
+    }
+}

@@ -1,0 +1,154 @@
+//! Workspace walking: enumerate member crates, derive each file's
+//! [`FilePolicy`] from where it lives, run the per-file rules, and
+//! apply the crate-root attribute rule to every member's `lib.rs`.
+
+use crate::rules::{scan_file, FilePolicy, Finding, Rule};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Crates allowed to own OS threads and relaxed atomics: the
+/// concurrency substrate itself and the model checker that spawns
+/// real threads to control modeled ones.
+const SUBSTRATE_CRATES: &[&str] = &["exec", "loom"];
+
+/// Walk upward from `start` to the directory whose `Cargo.toml`
+/// declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn rel_label(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+fn policy_for(crate_name: &str, label: &str) -> FilePolicy {
+    FilePolicy {
+        substrate: SUBSTRATE_CRATES.contains(&crate_name),
+        bin_target: label.contains("/src/bin/")
+            || label.starts_with("src/bin/")
+            || label.ends_with("src/main.rs")
+            || label.contains("/benches/")
+            || label.starts_with("benches/")
+            || label.contains("/examples/")
+            || label.starts_with("examples/"),
+    }
+}
+
+/// The crate-root attribute rule: every member's `lib.rs` must carry
+/// `#![forbid(unsafe_code)]` and deny clippy's unwrap/expect lints.
+fn check_crate_attrs(label: &str, lib_src: &str) -> Vec<Finding> {
+    let mut missing = Vec::new();
+    if !lib_src.contains("forbid(unsafe_code)") {
+        missing.push("#![forbid(unsafe_code)]");
+    }
+    if !lib_src.contains("clippy::unwrap_used") || !lib_src.contains("clippy::expect_used") {
+        missing.push("deny(clippy::unwrap_used, clippy::expect_used)");
+    }
+    missing
+        .into_iter()
+        .map(|m| Finding {
+            path: label.to_string(),
+            line: 1,
+            col: 1,
+            rule: Rule::CrateAttrs,
+            msg: format!("crate root is missing {m}"),
+        })
+        .collect()
+}
+
+/// A workspace member: its short name and directory.
+struct Member {
+    name: String,
+    dir: PathBuf,
+}
+
+fn members(root: &Path) -> io::Result<Vec<Member>> {
+    let mut out = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.is_dir() && p.join("Cargo.toml").is_file())
+            .collect();
+        dirs.sort();
+        for dir in dirs {
+            let name = dir
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            out.push(Member { name, dir });
+        }
+    }
+    // The root package (facade crate), if the workspace manifest also
+    // declares one.
+    if root.join("src").join("lib.rs").is_file() {
+        out.push(Member {
+            name: "root".to_string(),
+            dir: root.to_path_buf(),
+        });
+    }
+    Ok(out)
+}
+
+/// Scan every member crate's sources and crate roots. Returns sorted
+/// findings (empty means the workspace holds all invariants) plus the
+/// number of files scanned.
+pub fn scan_workspace(root: &Path) -> io::Result<(Vec<Finding>, usize)> {
+    let mut findings = Vec::new();
+    let mut file_count = 0usize;
+    for member in members(root)? {
+        let lib = member.dir.join("src").join("lib.rs");
+        if lib.is_file() {
+            let src = fs::read_to_string(&lib)?;
+            findings.extend(check_crate_attrs(&rel_label(root, &lib), &src));
+        }
+        let mut files = Vec::new();
+        collect_rs_files(&member.dir.join("src"), &mut files)?;
+        collect_rs_files(&member.dir.join("benches"), &mut files)?;
+        collect_rs_files(&member.dir.join("examples"), &mut files)?;
+        files.sort();
+        for file in files {
+            let label = rel_label(root, &file);
+            // The root member's walk must not descend into crates/
+            // (each crate is scanned as its own member).
+            if member.name == "root" && label.starts_with("crates/") {
+                continue;
+            }
+            let src = fs::read_to_string(&file)?;
+            file_count += 1;
+            findings.extend(scan_file(&label, &src, policy_for(&member.name, &label)));
+        }
+    }
+    findings.sort();
+    Ok((findings, file_count))
+}

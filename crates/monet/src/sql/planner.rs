@@ -12,6 +12,7 @@ use crate::sql::ast::*;
 use crate::table::Table;
 use crate::value::Value;
 use crate::Result;
+use teleios_exec::WorkerPool;
 
 /// Provides table lookup to the planner.
 pub trait TableProvider {
@@ -19,8 +20,22 @@ pub trait TableProvider {
     fn table(&self, name: &str) -> Result<Table>;
 }
 
-/// Execute a SELECT against a table provider.
+/// Execute a SELECT against a table provider on the default worker
+/// pool. See [`execute_select_with`] for an explicit pool (what
+/// `SET THREADS` routes through).
 pub fn execute_select(provider: &dyn TableProvider, select: &Select) -> Result<Chunk> {
+    execute_select_with(&WorkerPool::default(), provider, select)
+}
+
+/// Execute a SELECT against a table provider with an explicit worker
+/// pool. The pool reaches every parallel operator the plan lowers to
+/// (selection, hash join, aggregation); a one-thread pool is the exact
+/// sequential code path.
+pub fn execute_select_with(
+    pool: &WorkerPool,
+    provider: &dyn TableProvider,
+    select: &Select,
+) -> Result<Chunk> {
     // 1. Load base tables (FROM list plus explicit JOINs).
     struct Source {
         chunk: Chunk,
@@ -64,7 +79,7 @@ pub fn execute_select(provider: &dyn TableProvider, select: &Select) -> Result<C
             for (ci, c) in conjuncts.iter().enumerate() {
                 if let Some((lk, rk)) = as_equi_join_keys(c, &current, &remaining[idx].chunk) {
                     let rhs = remaining.remove(idx);
-                    current = exec::hash_join(&current, &rhs.chunk, &lk, &rk)?;
+                    current = exec::hash_join_with(pool, &current, &rhs.chunk, &lk, &rk)?;
                     conjuncts.remove(ci);
                     attached = true;
                     break 'outer;
@@ -83,7 +98,7 @@ pub fn execute_select(provider: &dyn TableProvider, select: &Select) -> Result<C
         .into_iter()
         .reduce(|a, b| Expr::binary(BinOp::And, a, b))
     {
-        current = exec::filter(&current, &pred)?;
+        current = exec::filter_with(pool, &current, &pred)?;
     }
 
     // 5. Aggregate or plain projection.
@@ -95,7 +110,7 @@ pub fn execute_select(provider: &dyn TableProvider, select: &Select) -> Result<C
         || select.having.is_some();
 
     let mut out = if has_aggregates {
-        plan_aggregate(select, &current)?
+        plan_aggregate(pool, select, &current)?
     } else {
         plan_projection(select, &current)?
     };
@@ -172,7 +187,7 @@ fn plan_projection(select: &Select, input: &Chunk) -> Result<Chunk> {
     exec::project(&sorted, &proj_exprs)
 }
 
-fn plan_aggregate(select: &Select, input: &Chunk) -> Result<Chunk> {
+fn plan_aggregate(pool: &WorkerPool, select: &Select, input: &Chunk) -> Result<Chunk> {
     let mut aggs: Vec<AggSpec> = Vec::new();
     let mut out_cols: Vec<(Expr, String)> = Vec::new(); // over the agg chunk
 
@@ -231,9 +246,9 @@ fn plan_aggregate(select: &Select, input: &Chunk) -> Result<Chunk> {
         None => None,
     };
 
-    let mut agg_chunk = exec::aggregate(input, &select.group_by, &aggs)?;
+    let mut agg_chunk = exec::aggregate_with(pool, input, &select.group_by, &aggs)?;
     if let Some(h) = having {
-        agg_chunk = exec::filter(&agg_chunk, &h)?;
+        agg_chunk = exec::filter_with(pool, &agg_chunk, &h)?;
     }
     if !select.order_by.is_empty() {
         // ORDER BY over aliases or aggregate labels: rewrite aliases to the

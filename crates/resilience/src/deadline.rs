@@ -41,17 +41,26 @@ impl Default for StageBudget {
 impl StageBudget {
     /// No deadlines: the watchdog has nothing to enforce.
     pub fn unlimited() -> StageBudget {
-        StageBudget { soft_stage: Duration::MAX, hard_scene: Duration::MAX }
+        StageBudget {
+            soft_stage: Duration::MAX,
+            hard_scene: Duration::MAX,
+        }
     }
 
     /// Explicit per-stage and per-attempt deadlines.
     pub fn new(soft_stage: Duration, hard_scene: Duration) -> StageBudget {
-        StageBudget { soft_stage, hard_scene }
+        StageBudget {
+            soft_stage,
+            hard_scene,
+        }
     }
 
     /// Only a whole-attempt deadline (stages individually unbounded).
     pub fn hard(hard_scene: Duration) -> StageBudget {
-        StageBudget { soft_stage: Duration::MAX, hard_scene }
+        StageBudget {
+            soft_stage: Duration::MAX,
+            hard_scene,
+        }
     }
 
     /// True when neither bound is set.
@@ -164,56 +173,52 @@ impl Watchdog {
     ) -> Watchdog {
         let stop = Arc::new(AtomicBool::new(false));
         let stop_flag = Arc::clone(&stop);
-        let handle = thread::Builder::new()
-            .name("teleios-deadline-watchdog".to_string())
-            .spawn(move || {
-                while !stop_flag.load(Ordering::SeqCst) {
-                    if let Some(b) = &batch {
-                        if !b.token.is_cancelled() && b.started.elapsed() > b.deadline {
-                            b.token.cancel(format!(
-                                "batch deadline {:?} overshot",
-                                b.deadline
-                            ));
-                        }
-                        if b.token.is_cancelled() {
-                            // Drain in-flight attempts too, so the
-                            // batch ends promptly rather than waiting
-                            // out each scene's own budget.
-                            for attempt in registry.snapshot() {
-                                attempt.token.cancel(format!(
-                                    "{}: batch deadline {:?} overshot",
-                                    attempt.id, b.deadline
-                                ));
-                            }
-                        }
+        let handle = teleios_exec::spawn_named("teleios-deadline-watchdog", move || {
+            while !stop_flag.load(Ordering::SeqCst) {
+                if let Some(b) = &batch {
+                    if !b.token.is_cancelled() && b.started.elapsed() > b.deadline {
+                        b.token
+                            .cancel(format!("batch deadline {:?} overshot", b.deadline));
                     }
-                    for attempt in registry.snapshot() {
-                        if attempt.token.is_cancelled() {
-                            continue;
-                        }
-                        if attempt.started.elapsed() > budget.hard_scene {
+                    if b.token.is_cancelled() {
+                        // Drain in-flight attempts too, so the
+                        // batch ends promptly rather than waiting
+                        // out each scene's own budget.
+                        for attempt in registry.snapshot() {
                             attempt.token.cancel(format!(
-                                "{}: attempt overshot hard deadline {:?} at stage {} (chain {})",
-                                attempt.id,
-                                budget.hard_scene,
-                                attempt.stage_label(),
-                                attempt.chain_id
+                                "{}: batch deadline {:?} overshot",
+                                attempt.id, b.deadline
                             ));
-                            continue;
-                        }
-                        if let Some((stage, entered)) = attempt.current_stage() {
-                            if entered.elapsed() > budget.soft_stage {
-                                attempt.token.cancel(format!(
-                                    "{}: stage {stage} overshot soft deadline {:?} (chain {})",
-                                    attempt.id, budget.soft_stage, attempt.chain_id
-                                ));
-                            }
                         }
                     }
-                    thread::sleep(WATCHDOG_POLL);
                 }
-            })
-            .ok();
+                for attempt in registry.snapshot() {
+                    if attempt.token.is_cancelled() {
+                        continue;
+                    }
+                    if attempt.started.elapsed() > budget.hard_scene {
+                        attempt.token.cancel(format!(
+                            "{}: attempt overshot hard deadline {:?} at stage {} (chain {})",
+                            attempt.id,
+                            budget.hard_scene,
+                            attempt.stage_label(),
+                            attempt.chain_id
+                        ));
+                        continue;
+                    }
+                    if let Some((stage, entered)) = attempt.current_stage() {
+                        if entered.elapsed() > budget.soft_stage {
+                            attempt.token.cancel(format!(
+                                "{}: stage {stage} overshot soft deadline {:?} (chain {})",
+                                attempt.id, budget.soft_stage, attempt.chain_id
+                            ));
+                        }
+                    }
+                }
+                thread::sleep(WATCHDOG_POLL);
+            }
+        })
+        .ok();
         // A failed spawn (resource exhaustion) degrades to no deadline
         // enforcement rather than failing the batch.
         Watchdog { stop, handle }
@@ -243,7 +248,10 @@ impl CircuitBreaker {
     /// A breaker that opens a variant's circuit after `threshold`
     /// timeouts (zero disables it).
     pub fn new(threshold: u32) -> CircuitBreaker {
-        CircuitBreaker { timeouts: Arc::new(Mutex::new(HashMap::new())), threshold }
+        CircuitBreaker {
+            timeouts: Arc::new(Mutex::new(HashMap::new())),
+            threshold,
+        }
     }
 
     /// Record an attempt-level timeout on `chain_id`; returns the
@@ -296,13 +304,18 @@ mod tests {
     fn watchdog_cancels_an_overdue_attempt() {
         let registry = AttemptRegistry::default();
         let token = CancelToken::new();
-        let attempt =
-            Arc::new(InFlightAttempt::new("s0", "threshold-318", token.clone()));
+        let attempt = Arc::new(InFlightAttempt::new("s0", "threshold-318", token.clone()));
         attempt.enter_stage(ChainStage::Classify);
         registry.register(Arc::clone(&attempt));
-        let watchdog =
-            Watchdog::spawn(registry.clone(), StageBudget::hard(Duration::from_millis(20)), None);
-        assert!(token.sleep_cancellable(Duration::from_secs(10)), "watchdog never fired");
+        let watchdog = Watchdog::spawn(
+            registry.clone(),
+            StageBudget::hard(Duration::from_millis(20)),
+            None,
+        );
+        assert!(
+            token.sleep_cancellable(Duration::from_secs(10)),
+            "watchdog never fired"
+        );
         let reason = token.reason().unwrap_or_default();
         assert!(reason.contains("hard deadline"), "{reason}");
         assert!(reason.contains("classify"), "{reason}");
@@ -336,8 +349,11 @@ mod tests {
         let token = CancelToken::new();
         let attempt = Arc::new(InFlightAttempt::new("s2", "c", token.clone()));
         registry.register(Arc::clone(&attempt));
-        let watchdog =
-            Watchdog::spawn(registry.clone(), StageBudget::hard(Duration::from_secs(3600)), None);
+        let watchdog = Watchdog::spawn(
+            registry.clone(),
+            StageBudget::hard(Duration::from_secs(3600)),
+            None,
+        );
         thread::sleep(Duration::from_millis(25));
         assert!(!token.is_cancelled());
         registry.deregister(&attempt);

@@ -261,6 +261,7 @@ impl FaultPlan {
                 }
                 Fault::WorkerPanic => {
                     if stage == ChainStage::Classify {
+                        // teleios-lint: allow(no-panic) — this IS the injected fault
                         panic!("injected worker panic on {id}");
                     }
                 }

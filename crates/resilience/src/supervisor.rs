@@ -789,6 +789,51 @@ mod tests {
     }
 
     #[test]
+    fn backoff_saturates_on_huge_multiplier() {
+        // A multiplier large enough to overflow Duration on the first
+        // growth step must saturate to Duration::MAX, not wrap or panic.
+        let uncapped = RetryPolicy {
+            max_retries: 3,
+            base_backoff: Duration::from_secs(u64::MAX / 2),
+            multiplier_percent: u32::MAX,
+            max_backoff: Duration::ZERO, // zero = no cap
+        };
+        assert_eq!(uncapped.backoff_for(2), Duration::MAX);
+        // With a cap configured, saturation still lands on the cap.
+        let capped = RetryPolicy { max_backoff: Duration::from_secs(30), ..uncapped };
+        assert_eq!(capped.backoff_for(2), Duration::from_secs(30));
+    }
+
+    #[test]
+    fn backoff_deep_retry_counts_terminate_at_max() {
+        // Very deep retry counts must terminate promptly (the growth
+        // loop breaks once saturated) and stay pinned at the ceiling.
+        let policy = RetryPolicy {
+            max_retries: u32::MAX,
+            base_backoff: Duration::from_millis(1),
+            multiplier_percent: 1_000,
+            max_backoff: Duration::ZERO,
+        };
+        assert_eq!(policy.backoff_for(500), Duration::MAX);
+        assert_eq!(policy.backoff_for(u32::MAX), Duration::MAX);
+        let capped = RetryPolicy { max_backoff: Duration::from_millis(250), ..policy };
+        assert_eq!(capped.backoff_for(u32::MAX), Duration::from_millis(250));
+    }
+
+    #[test]
+    fn backoff_zero_base_is_zero_for_all_retries() {
+        let policy = RetryPolicy {
+            max_retries: 10,
+            base_backoff: Duration::ZERO,
+            multiplier_percent: u32::MAX,
+            max_backoff: Duration::from_secs(1),
+        };
+        for retry in [0, 1, 2, 100, u32::MAX] {
+            assert_eq!(policy.backoff_for(retry), Duration::ZERO);
+        }
+    }
+
+    #[test]
     fn summary_mentions_every_bucket() {
         let supervisor = Supervisor::new(RetryPolicy::no_backoff(0));
         let report = supervisor.run_batch(&Catalog::new(), &ProcessingChain::operational(), &scenes(2));

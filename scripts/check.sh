@@ -1,18 +1,32 @@
 #!/usr/bin/env bash
-# Pre-merge gate: release build, test suite, lints, and the E14 smoke
-# run (a hung-stage regression fails this gate instead of hanging it).
+# Pre-merge gate, in three tiers:
 #
-# Usage: scripts/check.sh [--quick]
-#   --quick   build + tier-1 tests only (skips clippy and the E14 smoke)
+#   scripts/check.sh --quick   build + tier-1 tests only
+#   scripts/check.sh           default gate: the above, plus the
+#                              teleios-lint workspace invariants,
+#                              clippy, and the E14 smoke run (a
+#                              hung-stage regression fails this gate
+#                              instead of hanging it)
+#   scripts/check.sh --full    default gate, plus the loom
+#                              model-checking suite: exhaustive
+#                              interleaving of the exec/cancel races
+#                              (first-wins cancel, reason publication,
+#                              poll wakeup, bounded-queue halt/drain)
+#                              under `--features loom`, bounded by a
+#                              timeout so a scheduler regression fails
+#                              rather than wedges
+#
 # Run from anywhere inside the repo; requires only the Rust toolchain.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 quick=0
+full=0
 for arg in "$@"; do
     case "$arg" in
         --quick) quick=1 ;;
+        --full) full=1 ;;
         *) echo "unknown argument: $arg" >&2; exit 2 ;;
     esac
 done
@@ -24,9 +38,14 @@ echo "==> cargo test -q"
 cargo test -q
 
 if [ "$quick" -eq 1 ]; then
-    echo "==> quick checks passed (clippy + E14 smoke skipped)"
+    echo "==> quick checks passed (lint, clippy + E14 smoke skipped)"
     exit 0
 fi
+
+# Workspace invariants (thread discipline, no panics in library code,
+# error-type contracts, crate-root attributes): see crates/lint.
+echo "==> teleios-lint"
+cargo run --release -p teleios-lint
 
 echo "==> cargo clippy --workspace --all-targets"
 cargo clippy --workspace --all-targets
@@ -36,5 +55,12 @@ cargo clippy --workspace --all-targets
 # failure rather than a hung gate.
 echo "==> E14 smoke (timeout budgets)"
 timeout 300 cargo run --release -p teleios-bench --bin exp_timeout_budgets -- --smoke
+
+if [ "$full" -eq 1 ]; then
+    # Exhaustive schedule exploration is exponential in yield points;
+    # the models are small, but a scheduler bug could loop — bound it.
+    echo "==> loom model checking (exec/cancel)"
+    timeout 600 cargo test --release -p teleios-exec --features loom --test loom
+fi
 
 echo "==> all checks passed"
