@@ -21,13 +21,14 @@
 #[cfg(feature = "loom")]
 use teleios_loom::sync::atomic::{AtomicBool, Ordering};
 #[cfg(feature = "loom")]
-use teleios_loom::sync::{Arc, Mutex};
+use teleios_loom::sync::Arc;
 
 #[cfg(not(feature = "loom"))]
 use std::sync::atomic::{AtomicBool, Ordering};
 #[cfg(not(feature = "loom"))]
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
+use crate::ordered_lock::OrderedMutex;
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -40,10 +41,21 @@ fn yield_to_scheduler() {
     thread::yield_now();
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct Inner {
     cancelled: AtomicBool,
-    reason: Mutex<Option<String>>,
+    // Witnessed (debug builds record it in the global lock-order
+    // graph) and loom-modeled under the `loom` feature.
+    reason: OrderedMutex<Option<String>>,
+}
+
+impl Default for Inner {
+    fn default() -> Inner {
+        Inner {
+            cancelled: AtomicBool::default(),
+            reason: OrderedMutex::new("cancel.reason", None),
+        }
+    }
 }
 
 /// A shared, clonable cancellation flag with a first-wins reason.
@@ -67,11 +79,7 @@ impl CancelToken {
     pub fn cancel(&self, reason: impl Into<String>) -> bool {
         let first = !self.inner.cancelled.swap(true, Ordering::SeqCst);
         if first {
-            let mut slot = self
-                .inner
-                .reason
-                .lock()
-                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            let mut slot = self.inner.reason.lock();
             *slot = Some(reason.into());
         }
         first
@@ -88,11 +96,7 @@ impl CancelToken {
     /// true` with no reason yet; callers format a generic message in
     /// that window.
     pub fn reason(&self) -> Option<String> {
-        self.inner
-            .reason
-            .lock()
-            .unwrap_or_else(|poisoned| poisoned.into_inner())
-            .clone()
+        self.inner.reason.lock().clone()
     }
 
     /// Poll the token up to `polls` times, yielding to the scheduler

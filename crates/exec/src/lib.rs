@@ -33,6 +33,12 @@
 //!   that want finer-grained cancellation poll the same token at
 //!   their own safe points.
 //!
+//! * **Witnessed locking** — internal mutexes are
+//!   [`ordered_lock::OrderedMutex`]es: in debug builds every
+//!   acquisition feeds a process-wide lock-order graph
+//!   ([`LockWitness`]), cross-validating at runtime the acyclicity
+//!   that `teleios-lint`'s L6 rule proves statically from source.
+//!
 //! The `loom` feature swaps the [`CancelToken`]'s atomics and mutex
 //! for the `teleios-loom` modeled primitives so `tests/loom.rs` can
 //! exhaustively interleave the first-wins cancel protocol; it changes
@@ -41,10 +47,12 @@
 
 pub mod cancel;
 pub mod morsel;
+pub mod ordered_lock;
 pub mod pool;
 pub mod spawn;
 
 pub use cancel::CancelToken;
 pub use morsel::{fixed_morsels, morsels, DEFAULT_MORSEL_CELLS};
+pub use ordered_lock::{LockWitness, OrderedMutex, OrderedMutexGuard};
 pub use pool::{default_threads, PoolStats, WorkerPool};
 pub use spawn::spawn_named;

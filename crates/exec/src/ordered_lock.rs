@@ -1,0 +1,464 @@
+//! Debug-time runtime lock-order witness.
+//!
+//! The static lint (`teleios-lint`, rule L6 `lock-order`) proves the
+//! *source* acquires locks in one global order per crate; this module
+//! cross-validates the same invariant at runtime. An [`OrderedMutex`]
+//! is a named mutex that records, per thread, which other named locks
+//! are held at the moment it is acquired — building the lock-order
+//! graph from actual executions instead of from call sites. A cycle in
+//! that graph is a deadlock the scheduler merely hasn't hit yet;
+//! [`LockWitness::cycles`] reports every one with its node order, and
+//! [`LockWitness::assert_acyclic`] turns it into a test failure.
+//!
+//! Two properties keep the witness honest and cheap:
+//!
+//! * Edges are recorded **before** blocking on the underlying mutex,
+//!   so an attempted inversion shows up in the graph even in the
+//!   schedule where it actually deadlocks.
+//! * Bookkeeping always lives in plain `std::sync` primitives — even
+//!   under the `loom` feature, where only the **protected** mutex is
+//!   modeled — so the witness adds no interleavings to what
+//!   `tests/loom.rs` explores and is itself race-free by construction
+//!   (a single short-lived state lock).
+//!
+//! The process-wide witness behind [`OrderedMutex::new`] records only
+//! in debug builds (`cfg!(debug_assertions)`); release builds pay one
+//! predictable branch per acquisition. Tests (including the loom
+//! suite, which `scripts/check.sh --full` runs in `--release`) use
+//! [`LockWitness::new`], which is always enabled and isolated per
+//! instance.
+
+#[cfg(feature = "loom")]
+use teleios_loom::sync::{Mutex as RawMutex, MutexGuard as RawGuard};
+
+#[cfg(not(feature = "loom"))]
+use std::sync::{Mutex as RawMutex, MutexGuard as RawGuard};
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex as StdMutex, OnceLock};
+use std::thread::ThreadId;
+
+/// Distinguishes lock *instances* that share a name (two shards named
+/// `"shard"` must not produce a self-edge) and detects re-entry.
+static NEXT_INSTANCE: AtomicU64 = AtomicU64::new(1);
+
+#[derive(Debug, Default)]
+struct WitnessState {
+    /// Interned lock names; a node in the order graph is a name, not
+    /// an instance, matching the static lint's granularity.
+    names: Vec<String>,
+    /// Directed edges `held -> acquiring` between name ids.
+    edges: BTreeSet<(usize, usize)>,
+    /// Per-thread stack of currently held `(instance, name id)`.
+    held: HashMap<ThreadId, Vec<(u64, usize)>>,
+}
+
+impl WitnessState {
+    fn intern(&mut self, name: &str) -> usize {
+        if let Some(id) = self.names.iter().position(|n| n == name) {
+            return id;
+        }
+        self.names.push(name.to_string());
+        self.names.len() - 1
+    }
+}
+
+/// The acquisition recorder shared by a set of [`OrderedMutex`]es.
+///
+/// Query it after (or during) a run: [`Self::edges`] is the observed
+/// order graph, [`Self::cycles`] the inversions, [`Self::nothing_held`]
+/// a leak check. Cloning the `Arc` shares the recorder.
+pub struct LockWitness {
+    enabled: bool,
+    state: StdMutex<WitnessState>,
+}
+
+impl fmt::Debug for LockWitness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LockWitness")
+            .field("enabled", &self.enabled)
+            .finish_non_exhaustive()
+    }
+}
+
+impl LockWitness {
+    /// A fresh, always-recording witness — what tests pass to
+    /// [`OrderedMutex::with_witness`] so assertions hold in release
+    /// builds too and runs stay isolated from each other.
+    pub fn new() -> Arc<LockWitness> {
+        Arc::new(LockWitness {
+            enabled: true,
+            state: StdMutex::new(WitnessState::default()),
+        })
+    }
+
+    /// A witness that records nothing — the release-build behavior of
+    /// the global witness, constructible explicitly for tests.
+    pub fn disabled() -> Arc<LockWitness> {
+        Arc::new(LockWitness {
+            enabled: false,
+            state: StdMutex::new(WitnessState::default()),
+        })
+    }
+
+    /// The process-wide witness behind [`OrderedMutex::new`]:
+    /// recording in debug builds, a no-op in release builds.
+    pub fn global() -> &'static Arc<LockWitness> {
+        static GLOBAL: OnceLock<Arc<LockWitness>> = OnceLock::new();
+        GLOBAL.get_or_init(|| {
+            Arc::new(LockWitness {
+                enabled: cfg!(debug_assertions),
+                state: StdMutex::new(WitnessState::default()),
+            })
+        })
+    }
+
+    fn state(&self) -> std::sync::MutexGuard<'_, WitnessState> {
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn register(&self, name: &str) -> usize {
+        let mut st = self.state();
+        st.intern(name)
+    }
+
+    /// Record `held -> acquiring` edges for everything this thread
+    /// holds. Called *before* blocking on the protected mutex.
+    fn note_acquiring(&self, thread: ThreadId, instance: u64, name_id: usize) {
+        let mut st = self.state();
+        let held = st.held.get(&thread).cloned().unwrap_or_default();
+        for (inst, nid) in held {
+            // Same-name instances (shards) carry no order relative to
+            // each other at name granularity; skip the self-edge.
+            if inst != instance && nid != name_id {
+                st.edges.insert((nid, name_id));
+            }
+        }
+    }
+
+    fn note_acquired(&self, thread: ThreadId, instance: u64, name_id: usize) {
+        let mut st = self.state();
+        st.held.entry(thread).or_default().push((instance, name_id));
+    }
+
+    /// Guards may be dropped in any order; release removes the guard's
+    /// instance wherever it sits in the stack.
+    fn note_released(&self, thread: ThreadId, instance: u64) {
+        let mut st = self.state();
+        if let Some(stack) = st.held.get_mut(&thread) {
+            if let Some(pos) = stack.iter().rposition(|&(inst, _)| inst == instance) {
+                stack.remove(pos);
+            }
+            if stack.is_empty() {
+                st.held.remove(&thread);
+            }
+        }
+    }
+
+    /// The observed order graph as `(held, acquiring)` name pairs, in
+    /// sorted order.
+    pub fn edges(&self) -> Vec<(String, String)> {
+        let st = self.state();
+        st.edges
+            .iter()
+            .map(|&(a, b)| (st.names[a].clone(), st.names[b].clone()))
+            .collect()
+    }
+
+    /// Every distinct cycle in the observed order graph, as the list
+    /// of lock names along it (the cycle closes back on the first
+    /// name). Empty means every observed acquisition respected one
+    /// global order.
+    pub fn cycles(&self) -> Vec<Vec<String>> {
+        let st = self.state();
+        let mut adj: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for &(a, b) in &st.edges {
+            adj.entry(a).or_default().push(b);
+        }
+        let mut seen: BTreeSet<BTreeSet<usize>> = BTreeSet::new();
+        let mut out = Vec::new();
+        for &(a, b) in &st.edges {
+            let Some(back) = bfs_path(&adj, b, a) else { continue };
+            let mut nodes = vec![a];
+            nodes.extend(back);
+            nodes.pop(); // the closing repeat of `a`
+            let key: BTreeSet<usize> = nodes.iter().copied().collect();
+            if seen.insert(key) {
+                out.push(nodes.iter().map(|&n| st.names[n].clone()).collect());
+            }
+        }
+        out
+    }
+
+    /// True when no thread currently holds any witnessed lock — the
+    /// end-of-test leak check.
+    pub fn nothing_held(&self) -> bool {
+        self.state().held.is_empty()
+    }
+
+    /// Fail the current test if any inversion was observed.
+    pub fn assert_acyclic(&self) {
+        let cycles = self.cycles();
+        assert!(
+            cycles.is_empty(),
+            "lock-order inversion witnessed at runtime: {}",
+            cycles
+                .iter()
+                .map(|c| {
+                    let mut path = c.join(" -> ");
+                    path.push_str(" -> ");
+                    path.push_str(&c[0]);
+                    path
+                })
+                .collect::<Vec<_>>()
+                .join("; ")
+        );
+    }
+}
+
+/// Shortest path `from ..= to` in `adj`, if one exists.
+fn bfs_path(adj: &BTreeMap<usize, Vec<usize>>, from: usize, to: usize) -> Option<Vec<usize>> {
+    let mut prev: BTreeMap<usize, usize> = BTreeMap::new();
+    let mut queue = VecDeque::from([from]);
+    let mut visited = BTreeSet::from([from]);
+    while let Some(node) = queue.pop_front() {
+        if node == to {
+            let mut path = vec![to];
+            let mut cur = to;
+            while cur != from {
+                cur = prev[&cur];
+                path.push(cur);
+            }
+            path.reverse();
+            return Some(path);
+        }
+        for &next in adj.get(&node).into_iter().flatten() {
+            if visited.insert(next) {
+                prev.insert(next, node);
+                queue.push_back(next);
+            }
+        }
+    }
+    None
+}
+
+/// A named mutex whose acquisitions feed a [`LockWitness`].
+///
+/// Drop-in for the `Mutex<T>` shape this workspace uses: `lock()`
+/// returns the guard directly (poisoning is absorbed, matching the
+/// `unwrap_or_else(|p| p.into_inner())` idiom at every existing call
+/// site). Under the `loom` feature the protected mutex is the modeled
+/// one, so model runs exercise the exact shipped locking; the witness
+/// bookkeeping stays un-modeled by design.
+pub struct OrderedMutex<T> {
+    name: &'static str,
+    name_id: usize,
+    instance: u64,
+    witness: Arc<LockWitness>,
+    raw: RawMutex<T>,
+}
+
+impl<T: fmt::Debug> fmt::Debug for OrderedMutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("OrderedMutex")
+            .field("name", &self.name)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<T> OrderedMutex<T> {
+    /// A lock wired to the process-wide witness (recording in debug
+    /// builds only). `name` is the node in the lock-order graph; give
+    /// every distinct lock role a distinct name and reuse one name
+    /// only for interchangeable shards.
+    pub fn new(name: &'static str, value: T) -> OrderedMutex<T> {
+        OrderedMutex::with_witness(name, value, LockWitness::global())
+    }
+
+    /// A lock wired to an explicit witness — how tests isolate and
+    /// force-enable recording.
+    pub fn with_witness(
+        name: &'static str,
+        value: T,
+        witness: &Arc<LockWitness>,
+    ) -> OrderedMutex<T> {
+        let name_id = witness.register(name);
+        OrderedMutex {
+            name,
+            name_id,
+            instance: NEXT_INSTANCE.fetch_add(1, Ordering::SeqCst),
+            witness: Arc::clone(witness),
+            raw: RawMutex::new(value),
+        }
+    }
+
+    /// The lock's graph-node name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Acquire, recording the order edge first so an inversion is
+    /// witnessed even in the schedule where it deadlocks.
+    pub fn lock(&self) -> OrderedMutexGuard<'_, T> {
+        let thread = std::thread::current().id();
+        if self.witness.enabled {
+            self.witness.note_acquiring(thread, self.instance, self.name_id);
+        }
+        let guard = self.raw.lock().unwrap_or_else(|p| p.into_inner());
+        if self.witness.enabled {
+            self.witness.note_acquired(thread, self.instance, self.name_id);
+        }
+        OrderedMutexGuard { inner: guard, lock: self }
+    }
+}
+
+/// RAII guard for [`OrderedMutex::lock`]; releases the witness record
+/// on drop. Guards may be dropped in any order.
+pub struct OrderedMutexGuard<'a, T> {
+    inner: RawGuard<'a, T>,
+    lock: &'a OrderedMutex<T>,
+}
+
+impl<T> Deref for OrderedMutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T> DerefMut for OrderedMutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T> Drop for OrderedMutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.lock.witness.enabled {
+            self.lock
+                .witness
+                .note_released(std::thread::current().id(), self.lock.instance);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn consistent_order_stays_clean() {
+        let w = LockWitness::new();
+        let a = OrderedMutex::with_witness("a", 0u8, &w);
+        let b = OrderedMutex::with_witness("b", 0u8, &w);
+        for _ in 0..2 {
+            let ga = a.lock();
+            let gb = b.lock();
+            drop(gb);
+            drop(ga);
+        }
+        assert_eq!(w.edges(), vec![("a".to_string(), "b".to_string())]);
+        assert!(w.cycles().is_empty());
+        assert!(w.nothing_held());
+        w.assert_acyclic();
+    }
+
+    #[test]
+    fn inversion_is_reported_as_a_cycle() {
+        let w = LockWitness::new();
+        let a = OrderedMutex::with_witness("alpha", (), &w);
+        let b = OrderedMutex::with_witness("beta", (), &w);
+        {
+            let ga = a.lock();
+            let gb = b.lock();
+            drop(gb);
+            drop(ga);
+        }
+        {
+            let gb = b.lock();
+            let ga = a.lock();
+            drop(ga);
+            drop(gb);
+        }
+        let cycles = w.cycles();
+        assert_eq!(cycles.len(), 1, "{cycles:?}");
+        let nodes: BTreeSet<&str> = cycles[0].iter().map(|s| s.as_str()).collect();
+        assert_eq!(nodes, BTreeSet::from(["alpha", "beta"]));
+        assert!(w.nothing_held());
+        let failure = std::panic::catch_unwind(|| w.assert_acyclic());
+        assert!(failure.is_err(), "assert_acyclic must fail on an inversion");
+    }
+
+    #[test]
+    fn out_of_order_release_is_fine() {
+        let w = LockWitness::new();
+        let a = OrderedMutex::with_witness("a", (), &w);
+        let b = OrderedMutex::with_witness("b", (), &w);
+        let ga = a.lock();
+        let gb = b.lock();
+        drop(ga); // released before the later acquisition
+        drop(gb);
+        assert!(w.nothing_held());
+        assert!(w.cycles().is_empty());
+    }
+
+    #[test]
+    fn same_name_shards_produce_no_self_edge() {
+        let w = LockWitness::new();
+        let s1 = OrderedMutex::with_witness("shard", 1u8, &w);
+        let s2 = OrderedMutex::with_witness("shard", 2u8, &w);
+        let g1 = s1.lock();
+        let g2 = s2.lock();
+        drop(g2);
+        drop(g1);
+        assert!(w.edges().is_empty());
+        assert!(w.cycles().is_empty());
+    }
+
+    #[test]
+    fn transitive_cycle_across_three_locks() {
+        let w = LockWitness::new();
+        let a = OrderedMutex::with_witness("a", (), &w);
+        let b = OrderedMutex::with_witness("b", (), &w);
+        let c = OrderedMutex::with_witness("c", (), &w);
+        for (first, second) in [(&a, &b), (&b, &c), (&c, &a)] {
+            let g1 = first.lock();
+            let g2 = second.lock();
+            drop(g2);
+            drop(g1);
+        }
+        let cycles = w.cycles();
+        assert_eq!(cycles.len(), 1, "{cycles:?}");
+        assert_eq!(cycles[0].len(), 3);
+    }
+
+    #[test]
+    fn disabled_witness_records_nothing() {
+        let w = LockWitness::disabled();
+        let a = OrderedMutex::with_witness("a", 7u8, &w);
+        let b = OrderedMutex::with_witness("b", 9u8, &w);
+        let gb = b.lock();
+        let ga = a.lock();
+        assert_eq!(*ga + *gb, 16);
+        drop(ga);
+        drop(gb);
+        let gb = b.lock();
+        drop(gb);
+        assert!(w.edges().is_empty());
+        assert!(w.cycles().is_empty());
+        assert!(w.nothing_held());
+    }
+
+    #[test]
+    fn guard_gives_mutable_access() {
+        let w = LockWitness::new();
+        let a = OrderedMutex::with_witness("counter", 0u32, &w);
+        *a.lock() += 5;
+        assert_eq!(*a.lock(), 5);
+        assert!(w.nothing_held());
+    }
+}

@@ -23,9 +23,20 @@
 //!    worker-side per claim), modeled over a loom mutex queue:
 //!    enqueues always form a clean prefix, and skips always form a
 //!    clean suffix, in every interleaving.
+//! 5. **Watchdog registry register/timeout/complete** — the deadline
+//!    watchdog's in-flight registry protocol (worker registers, works,
+//!    deregisters; watchdog snapshots and cancels the snapshot),
+//!    modeled over a loom mutex list: a worker that deregistered
+//!    before the snapshot is never cancelled, a cancelled worker was
+//!    in the snapshot, and the registry always drains.
+//! 6. **Lock witness under contention** — two threads acquiring two
+//!    [`OrderedMutex`]es (modeled) in the same order while the
+//!    witness's plain-`std` bookkeeping records both: every schedule
+//!    yields the same single edge, no cycle, and no leaked hold — the
+//!    witness itself is race-free.
 #![cfg(feature = "loom")]
 
-use teleios_exec::CancelToken;
+use teleios_exec::{CancelToken, LockWitness, OrderedMutex};
 use teleios_loom::sync::{Arc, Mutex};
 use teleios_loom::thread;
 
@@ -138,6 +149,130 @@ fn bounded_queue_producer_halts_on_cancel() {
         if halted_at < 3 {
             assert!(token.is_cancelled(), "producer halted without a cancel");
         }
+    });
+}
+
+#[test]
+fn registry_register_timeout_complete_interleavings() {
+    // The watchdog-registry protocol from the resilience supervisor,
+    // over the same primitives: the worker registers its (id, token)
+    // pair, runs, then deregisters; the watchdog takes one snapshot
+    // and cancels everything in it (a deadline firing). Whatever the
+    // interleaving:
+    //   * a cancel only ever lands on an attempt the snapshot held;
+    //   * a worker that completed (deregistered) before the snapshot
+    //     is never cancelled afterwards;
+    //   * the registry drains to empty once the worker is done.
+    teleios_loom::model(|| {
+        let registry: Arc<Mutex<Vec<(usize, CancelToken)>>> = Arc::new(Mutex::new(Vec::new()));
+        let token = CancelToken::new();
+
+        let worker_registry = Arc::clone(&registry);
+        let worker_token = token.clone();
+        let worker = thread::spawn(move || {
+            worker_registry.lock().unwrap().push((7, worker_token.clone()));
+            // The "work": one poll — a safe point where a fired
+            // deadline is observed.
+            let saw_cancel = worker_token.is_cancelled();
+            worker_registry.lock().unwrap().retain(|(id, _)| *id != 7);
+            saw_cancel
+        });
+
+        let watchdog_registry = Arc::clone(&registry);
+        let watchdog = thread::spawn(move || {
+            let snapshot: Vec<(usize, CancelToken)> =
+                watchdog_registry.lock().unwrap().clone();
+            for (id, t) in &snapshot {
+                t.cancel(format!("attempt {id}: deadline overshot"));
+            }
+            snapshot.len()
+        });
+
+        let saw_cancel = worker.join().unwrap();
+        let snapshot_len = watchdog.join().unwrap();
+
+        if token.is_cancelled() {
+            // A cancel implies the snapshot caught the attempt
+            // registered — never a deregistered or foreign entry.
+            assert_eq!(snapshot_len, 1, "cancel landed without a snapshot entry");
+            let reason = token.reason().unwrap_or_default();
+            assert!(reason.contains("attempt 7"), "foreign cancel reason: {reason}");
+        } else {
+            // No cancel: the snapshot must have missed the attempt
+            // (taken before register or after deregister).
+            assert_eq!(snapshot_len, 0, "snapshot held the attempt but never cancelled");
+            assert!(!saw_cancel);
+        }
+        assert!(
+            registry.lock().unwrap().is_empty(),
+            "registry must drain once the worker deregisters"
+        );
+    });
+}
+
+#[test]
+fn lock_witness_is_race_free_under_contention() {
+    // Two threads take the same two witnessed (and loom-modeled) locks
+    // in the same global order. Across every schedule the witness —
+    // whose bookkeeping is plain std, deliberately un-modeled — must
+    // agree: exactly the one edge, no cycle, nothing left held.
+    teleios_loom::model(|| {
+        let witness = LockWitness::new();
+        let a = Arc::new(OrderedMutex::with_witness("first", 0u32, &witness));
+        let b = Arc::new(OrderedMutex::with_witness("second", 0u32, &witness));
+
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let a = Arc::clone(&a);
+                let b = Arc::clone(&b);
+                thread::spawn(move || {
+                    let mut ga = a.lock();
+                    let mut gb = b.lock();
+                    *ga += 1;
+                    *gb += 1;
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+
+        assert_eq!(
+            witness.edges(),
+            vec![("first".to_string(), "second".to_string())]
+        );
+        assert!(witness.cycles().is_empty());
+        assert!(witness.nothing_held(), "a guard leaked its witness record");
+        witness.assert_acyclic();
+        assert_eq!(*a.lock(), 2);
+        assert_eq!(*b.lock(), 2);
+    });
+}
+
+#[test]
+fn lock_witness_sees_an_inversion_the_schedule_survived() {
+    // An ABBA inversion that happens NOT to deadlock (the two orders
+    // run sequentially on one thread) must still be witnessed: the
+    // graph is built from acquisition order, not from luck.
+    teleios_loom::model(|| {
+        let witness = LockWitness::new();
+        let a = OrderedMutex::with_witness("alpha", (), &witness);
+        let b = OrderedMutex::with_witness("beta", (), &witness);
+        {
+            let ga = a.lock();
+            let gb = b.lock();
+            drop(gb);
+            drop(ga);
+        }
+        {
+            let gb = b.lock();
+            let ga = a.lock();
+            drop(ga);
+            drop(gb);
+        }
+        let cycles = witness.cycles();
+        assert_eq!(cycles.len(), 1, "inversion not witnessed: {cycles:?}");
+        assert!(witness.nothing_held());
     });
 }
 

@@ -1,7 +1,7 @@
-//! Seeded violations for the teleios-lint self-test. Each rule L1–L5
-//! must fire exactly where `FIXTURE_EXPECTED` says — and nowhere
-//! else: the decoys below prove the masking, whole-token matching,
-//! test-region, and allow-marker logic.
+//! Seeded violations for the teleios-lint self-test. Each rule L1–L8
+//! must fire exactly where `FIXTURE_EXPECTED` says — line *and*
+//! column — and nowhere else: the decoys below prove the masking,
+//! whole-token matching, test-region, alias, and allow-marker logic.
 
 pub enum FixtureError {
     Broken,
@@ -70,4 +70,95 @@ mod tests {
         assert_eq!(v.unwrap(), 1);
         println!("fine inside #[cfg(test)]");
     }
+}
+
+// ---- L1 through a renamed import: the old line-pattern core ----
+// ---- could not see that `fixture_thread` is `std::thread`    ----
+
+use std::thread as fixture_thread;
+
+pub fn l1_aliased_spawn() {
+    fixture_thread::spawn(|| {});
+}
+
+// ---- L6: two functions acquire the same locks in opposite order ----
+
+pub struct FixtureLocks {
+    alpha: std::sync::Mutex<u8>,
+    beta: std::sync::Mutex<u8>,
+}
+
+impl FixtureLocks {
+    pub fn l6_alpha_then_beta(&self) {
+        let ga = self.alpha.lock();
+        let gb = self.beta.lock();
+        drop(gb);
+        drop(ga);
+    }
+
+    pub fn l6_beta_then_alpha(&self) {
+        let gb = self.beta.lock();
+        let ga = self.alpha.lock();
+        drop(ga);
+        drop(gb);
+    }
+}
+
+// ---- L7: a pool-dispatched closure blocks without a doorway ----
+
+pub fn l7_blocking_dispatch(pool: &FixturePool) {
+    pool.try_run_bounded(2, || {
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    });
+}
+
+// ---- L8: Result<_, FixtureError> silently discarded ----
+
+pub fn fixture_fallible() -> Result<u8, FixtureError> {
+    Err(FixtureError::Broken)
+}
+
+pub fn l8_swallowed() {
+    let _ = fixture_fallible();
+}
+
+pub fn l8_ok_discard(store: &FixtureStore) {
+    store.refresh().ok();
+}
+
+impl FixtureStore {
+    fn refresh(&self) -> Result<(), FixtureError> {
+        Err(FixtureError::Broken)
+    }
+}
+
+// ---- unused-allow: a stale waiver that suppresses nothing ----
+
+pub fn unused_allow_marker() {
+    // teleios-lint: allow(no-println) — stale: nothing below prints
+    let _count = 3;
+}
+
+// ---- more decoys: still nothing below may fire ----
+
+pub fn decoy_consistent_locks(locks: &FixtureLocks) {
+    let ga = locks.alpha.lock();
+    let gb = locks.beta.lock();
+    drop(gb);
+    drop(ga);
+}
+
+pub fn decoy_cancellable_dispatch(pool: &FixturePool, token: &FixtureToken) {
+    pool.try_run_bounded(2, || {
+        token.sleep_cancellable(std::time::Duration::from_millis(1));
+    });
+}
+
+pub fn decoy_bound_ok() -> Option<u8> {
+    fixture_fallible().ok()
+}
+
+pub fn decoy_question_mark() -> Result<u8, FixtureError> {
+    let _ = fixture_fallible()?;
+    Ok(0)
 }

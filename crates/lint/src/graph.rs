@@ -1,0 +1,761 @@
+//! The workspace concurrency model: function extraction, the
+//! per-crate lock-acquisition graph behind rule L6 `lock-order`, and
+//! the dispatch-closure blocking analysis behind rule L7
+//! `cancel-safety`.
+//!
+//! Both analyses resolve calls by bare name within one crate — the
+//! workspace convention of unique, descriptive function names makes
+//! that precise enough, and staying inside the crate keeps the graph
+//! honest (cross-crate edges would need type information a lexer
+//! can't supply). Known approximations, chosen to avoid false
+//! positives:
+//!
+//! - lock identity is the receiver field/binding name (`tables` in
+//!   `self.tables.read()`), so two instances of one type share a
+//!   node; self-edges (re-acquiring the same name) are skipped since
+//!   different instances commonly share field names;
+//! - held-ness does not propagate through functions *returning*
+//!   guards (e.g. a `lock_state()` accessor) — only through calls
+//!   made while a guard is live in the caller;
+//! - `Type::assoc()` path calls are not resolved (constructors like
+//!   `new` collide across modules); `.method()` and bare calls are.
+
+use crate::lexer::{
+    enclosing_block_end, ident_at, in_test, is_ident, is_punct, stmt_end, stmt_start, Tok,
+};
+use crate::rules::{Diagnostics, FileCtx, Rule};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+
+/// One `fn` item: its name, the token index of the name, the token
+/// range of its `{...}` body (absent for trait declarations), and the
+/// index of the body-open `{` / terminating `;` (the signature end).
+pub(crate) struct FnDef {
+    pub name: String,
+    pub name_idx: usize,
+    pub body: Option<(usize, usize)>,
+    pub sig_end: usize,
+}
+
+/// Every `fn` item in a token stream, at any nesting depth.
+pub(crate) fn extract_fns(toks: &[Tok<'_>]) -> Vec<FnDef> {
+    let mut fns = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !is_ident(toks, i, "fn") {
+            i += 1;
+            continue;
+        }
+        let Some(name) = ident_at(toks, i + 1) else {
+            // `fn(u8) -> u8` pointer types have no name.
+            i += 1;
+            continue;
+        };
+        let d = toks[i].depth;
+        let mut j = i + 2;
+        let mut sig_end = toks.len();
+        let mut body = None;
+        while j < toks.len() {
+            if toks[j].depth < d {
+                break;
+            }
+            if is_punct(toks, j, b';') && toks[j].depth == d {
+                sig_end = j;
+                break;
+            }
+            if is_punct(toks, j, b'{') && toks[j].depth == d {
+                sig_end = j;
+                let mut k = j + 1;
+                let mut close = toks.len().saturating_sub(1);
+                while k < toks.len() {
+                    if is_punct(toks, k, b'}') && toks[k].depth == d {
+                        close = k;
+                        break;
+                    }
+                    k += 1;
+                }
+                body = Some((j, close));
+                break;
+            }
+            j += 1;
+        }
+        fns.push(FnDef { name: name.to_string(), name_idx: i + 1, body, sig_end });
+        i += 2;
+    }
+    fns
+}
+
+/// Index of the innermost function whose body contains token `i`.
+/// Closures belong to their enclosing `fn`; nested `fn` items own
+/// their tokens.
+pub(crate) fn fn_containing(fns: &[FnDef], i: usize) -> Option<usize> {
+    let mut best: Option<(usize, usize)> = None;
+    for (k, f) in fns.iter().enumerate() {
+        if let Some((open, close)) = f.body {
+            if open < i && i < close {
+                let len = close - open;
+                if best.map_or(true, |(bl, _)| len < bl) {
+                    best = Some((len, k));
+                }
+            }
+        }
+    }
+    best.map(|(_, k)| k)
+}
+
+/// A lock acquisition: `<name>.lock()` / `.read()` / `.write()` with
+/// empty argument lists (io's `read(&mut buf)` never matches).
+struct Acq {
+    name: String,
+    idx: usize,
+    /// Last token index at which the guard is still held: the
+    /// enclosing block end for `let`-bound guards, the statement end
+    /// for temporaries (including `let _ =`).
+    until: usize,
+}
+
+/// A resolvable call site: `name(..)` or `recv.name(..)` — but not
+/// `Type::name(..)`, see the module docs.
+struct Call {
+    name: String,
+    idx: usize,
+}
+
+fn acq_at(ctx: &FileCtx<'_>, i: usize) -> Option<Acq> {
+    let toks = ctx.toks;
+    let name = ident_at(toks, i)?;
+    if !(is_punct(toks, i + 1, b'.')
+        && matches!(ident_at(toks, i + 2), Some("lock" | "read" | "write"))
+        && is_punct(toks, i + 3, b'(')
+        && is_punct(toks, i + 4, b')'))
+    {
+        return None;
+    }
+    let s = stmt_start(toks, i);
+    let let_bound = is_ident(toks, s, "let")
+        && !(is_ident(toks, s + 1, "_") && is_punct(toks, s + 2, b'='));
+    let until = if let_bound { enclosing_block_end(toks, i) } else { stmt_end(toks, i) };
+    Some(Acq { name: name.to_string(), idx: i, until })
+}
+
+fn call_at(ctx: &FileCtx<'_>, i: usize) -> Option<Call> {
+    let toks = ctx.toks;
+    let name = ident_at(toks, i)?;
+    if !is_punct(toks, i + 1, b'(') {
+        return None;
+    }
+    if matches!(name, "lock" | "read" | "write") {
+        return None;
+    }
+    if i > 0 && is_punct(toks, i - 1, b':') {
+        return None;
+    }
+    Some(Call { name: name.to_string(), idx: i })
+}
+
+/// L6 — build the crate's lock-acquisition graph and report every
+/// distinct cycle with `file:line` for each edge.
+pub(crate) fn lock_order(
+    ctxs: &[FileCtx<'_>],
+    fns: &[Vec<FnDef>],
+    crate_files: &[usize],
+    diag: &mut Diagnostics,
+) {
+    // Acquisitions and calls, attributed to their innermost fn.
+    let mut per_fn: BTreeMap<(usize, usize), (Vec<Acq>, Vec<Call>)> = BTreeMap::new();
+    for &fi in crate_files {
+        let ctx = &ctxs[fi];
+        for i in 0..ctx.toks.len() {
+            if in_test(&ctx.regions, ctx.toks[i].off) {
+                continue;
+            }
+            let Some(owner) = fn_containing(&fns[fi], i) else { continue };
+            if let Some(a) = acq_at(ctx, i) {
+                per_fn.entry((fi, owner)).or_default().0.push(a);
+            }
+            if let Some(c) = call_at(ctx, i) {
+                per_fn.entry((fi, owner)).or_default().1.push(c);
+            }
+        }
+    }
+
+    // Same-crate name resolution.
+    let mut by_name: BTreeMap<&str, Vec<(usize, usize)>> = BTreeMap::new();
+    for &fi in crate_files {
+        for (k, f) in fns[fi].iter().enumerate() {
+            by_name.entry(f.name.as_str()).or_default().push((fi, k));
+        }
+    }
+
+    // Transitive lock set per fn: every lock name a call into this fn
+    // may acquire, with one representative site.
+    let mut memo: HashMap<(usize, usize), BTreeMap<String, (usize, usize)>> = HashMap::new();
+    for &fi in crate_files {
+        for k in 0..fns[fi].len() {
+            let mut visiting = HashSet::new();
+            locks_of((fi, k), ctxs, &per_fn, &by_name, &mut memo, &mut visiting);
+        }
+    }
+
+    // Edges: lock A held while lock B is acquired (directly, or
+    // inside a same-crate call made while A is held).
+    let mut edges: BTreeMap<(String, String), (usize, usize)> = BTreeMap::new();
+    for ((fi, _), (acqs, calls)) in &per_fn {
+        for a in acqs {
+            for b in acqs {
+                if b.idx > a.idx && b.idx <= a.until && b.name != a.name {
+                    edges
+                        .entry((a.name.clone(), b.name.clone()))
+                        .or_insert((*fi, ctxs[*fi].toks[b.idx].off));
+                }
+            }
+            for c in calls {
+                if c.idx > a.idx && c.idx <= a.until {
+                    for key in by_name.get(c.name.as_str()).into_iter().flatten() {
+                        if let Some(locks) = memo.get(key) {
+                            for (lname, &(lfi, loff)) in locks {
+                                if *lname != a.name {
+                                    edges
+                                        .entry((a.name.clone(), lname.clone()))
+                                        .or_insert((lfi, loff));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Cycle detection and reporting, one finding per node set.
+    let adj: BTreeMap<&str, BTreeSet<&str>> = {
+        let mut m: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+        for (a, b) in edges.keys() {
+            m.entry(a.as_str()).or_default().insert(b.as_str());
+        }
+        m
+    };
+    let mut reported: BTreeSet<BTreeSet<String>> = BTreeSet::new();
+    for (a, b) in edges.keys() {
+        let Some(path) = bfs_path(&adj, b, a) else { continue };
+        let mut seq: Vec<&str> = vec![a.as_str()];
+        seq.extend(path.iter().copied());
+        let nodes: BTreeSet<String> = seq.iter().map(|s| s.to_string()).collect();
+        if !reported.insert(nodes) {
+            continue;
+        }
+        let desc = seq
+            .windows(2)
+            .map(|w| match edges.get(&(w[0].to_string(), w[1].to_string())) {
+                Some(&(efi, eoff)) => {
+                    let (line, _) = ctxs[efi].idx.line_col(eoff);
+                    format!("{} -> {} ({}:{})", w[0], w[1], ctxs[efi].label, line)
+                }
+                None => format!("{} -> {}", w[0], w[1]),
+            })
+            .collect::<Vec<_>>()
+            .join(", ");
+        let &(afi, aoff) = &edges[&(a.clone(), b.clone())];
+        let msg = format!("lock-order cycle: {desc} — acquire these locks in one global order");
+        diag.emit(&ctxs[afi], afi, aoff, Rule::LockOrder, msg);
+    }
+}
+
+/// Transitive closure of the lock names `key`'s function may acquire,
+/// each with a representative `(file, byte offset)` site.
+fn locks_of(
+    key: (usize, usize),
+    ctxs: &[FileCtx<'_>],
+    per_fn: &BTreeMap<(usize, usize), (Vec<Acq>, Vec<Call>)>,
+    by_name: &BTreeMap<&str, Vec<(usize, usize)>>,
+    memo: &mut HashMap<(usize, usize), BTreeMap<String, (usize, usize)>>,
+    visiting: &mut HashSet<(usize, usize)>,
+) -> BTreeMap<String, (usize, usize)> {
+    if let Some(m) = memo.get(&key) {
+        return m.clone();
+    }
+    if !visiting.insert(key) {
+        return BTreeMap::new();
+    }
+    let mut out = BTreeMap::new();
+    if let Some((acqs, calls)) = per_fn.get(&key) {
+        for a in acqs {
+            out.entry(a.name.clone())
+                .or_insert((key.0, ctxs[key.0].toks[a.idx].off));
+        }
+        for c in calls {
+            for callee in by_name.get(c.name.as_str()).into_iter().flatten() {
+                for (n, site) in locks_of(*callee, ctxs, per_fn, by_name, memo, visiting) {
+                    out.entry(n).or_insert(site);
+                }
+            }
+        }
+    }
+    visiting.remove(&key);
+    memo.insert(key, out.clone());
+    out
+}
+
+fn bfs_path<'a>(
+    adj: &BTreeMap<&'a str, BTreeSet<&'a str>>,
+    from: &'a str,
+    to: &str,
+) -> Option<Vec<&'a str>> {
+    let mut prev: BTreeMap<&str, &str> = BTreeMap::new();
+    let mut seen: BTreeSet<&str> = BTreeSet::new();
+    let mut queue: VecDeque<&str> = VecDeque::new();
+    seen.insert(from);
+    queue.push_back(from);
+    while let Some(n) = queue.pop_front() {
+        if n == to {
+            let mut path = vec![n];
+            let mut cur = n;
+            while let Some(&p) = prev.get(cur) {
+                path.push(p);
+                cur = p;
+            }
+            path.reverse();
+            return Some(path);
+        }
+        for &m in adj.get(n).into_iter().flatten() {
+            if seen.insert(m) {
+                prev.insert(m, n);
+                queue.push_back(m);
+            }
+        }
+    }
+    None
+}
+
+/// One blocking call reachable from a dispatch closure.
+#[derive(Clone)]
+struct Block {
+    fi: usize,
+    off: usize,
+    desc: &'static str,
+    chain: Vec<String>,
+}
+
+fn direct_block_at(ctx: &FileCtx<'_>, i: usize) -> Option<(usize, &'static str)> {
+    let toks = ctx.toks;
+    if let Some(seg) = ident_at(toks, i) {
+        let path_next = is_punct(toks, i + 1, b':') && is_punct(toks, i + 2, b':');
+        if path_next
+            && is_ident(toks, i + 3, "sleep")
+            && (seg == "thread" || ctx.aliases.resolves_to(seg, &["std", "thread"]))
+        {
+            return Some((toks[i].off, "std::thread::sleep"));
+        }
+        if !path_next
+            && is_punct(toks, i + 1, b'(')
+            && ctx.aliases.resolves_to(seg, &["std", "thread", "sleep"])
+        {
+            return Some((toks[i].off, "std::thread::sleep"));
+        }
+    }
+    if is_punct(toks, i, b'.')
+        && is_ident(toks, i + 1, "recv")
+        && is_punct(toks, i + 2, b'(')
+        && is_punct(toks, i + 3, b')')
+    {
+        return Some((toks[i + 1].off, "channel recv()"));
+    }
+    if is_punct(toks, i, b'.') && is_ident(toks, i + 1, "recv_timeout") && is_punct(toks, i + 2, b'(') {
+        return Some((toks[i + 1].off, "channel recv_timeout()"));
+    }
+    None
+}
+
+/// L7 — closures handed to pool dispatch must not reach raw blocking
+/// calls; the cancellable doorways (`sleep_cancellable`,
+/// `poll_cancellable`) are the sanctioned ways to wait.
+pub(crate) fn cancel_safety(
+    ctxs: &[FileCtx<'_>],
+    fns: &[Vec<FnDef>],
+    crate_files: &[usize],
+    diag: &mut Diagnostics,
+) {
+    // The substrate owns its threads and blocks on purpose.
+    if crate_files.iter().any(|&fi| ctxs[fi].policy.substrate) {
+        return;
+    }
+    let mut by_name: BTreeMap<&str, Vec<(usize, usize)>> = BTreeMap::new();
+    for &fi in crate_files {
+        for (k, f) in fns[fi].iter().enumerate() {
+            by_name.entry(f.name.as_str()).or_default().push((fi, k));
+        }
+    }
+    let mut memo: HashMap<(usize, usize), Option<Block>> = HashMap::new();
+    let mut emitted: BTreeSet<(usize, usize)> = BTreeSet::new();
+
+    // Functions containing at least one dispatch site. Task closures
+    // are routinely built into a Vec before the dispatch call, so the
+    // whole dispatching function is the scope that must stay
+    // non-blocking — not just the call's argument list.
+    let mut dispatchers: BTreeMap<(usize, usize), String> = BTreeMap::new();
+    for &fi in crate_files {
+        let ctx = &ctxs[fi];
+        for i in 0..ctx.toks.len() {
+            if in_test(&ctx.regions, ctx.toks[i].off) {
+                continue;
+            }
+            if let Some((owner, name)) = dispatch_at(ctx, fns, fi, i) {
+                dispatchers.entry((fi, owner)).or_insert(name);
+            }
+        }
+    }
+
+    for (&(fi, owner), entry_name) in &dispatchers {
+        let ctx = &ctxs[fi];
+        let Some((open, close)) = fns[fi][owner].body else { continue };
+        for k in open + 1..close {
+            if in_test(&ctx.regions, ctx.toks[k].off)
+                || fn_containing(&fns[fi], k) != Some(owner)
+            {
+                continue;
+            }
+            if let Some((off, desc)) = direct_block_at(ctx, k) {
+                report(ctx, fi, off, desc, entry_name, &[], &mut emitted, diag);
+            } else if let Some(c) = call_at(ctx, k) {
+                for callee in by_name.get(c.name.as_str()).into_iter().flatten() {
+                    let mut visiting = HashSet::new();
+                    if let Some(b) =
+                        blocks_in(*callee, ctxs, fns, &by_name, &mut memo, &mut visiting)
+                    {
+                        report(
+                            &ctxs[b.fi], b.fi, b.off, b.desc, entry_name, &b.chain,
+                            &mut emitted, diag,
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn report(
+    ctx: &FileCtx<'_>,
+    fi: usize,
+    off: usize,
+    desc: &str,
+    entry: &str,
+    chain: &[String],
+    emitted: &mut BTreeSet<(usize, usize)>,
+    diag: &mut Diagnostics,
+) {
+    if !emitted.insert((fi, off)) {
+        return;
+    }
+    let via = if chain.is_empty() {
+        String::new()
+    } else {
+        format!(" via `{}`", chain.join("` -> `"))
+    };
+    diag.emit(ctx, fi, off, Rule::CancelSafety, format!(
+        "{desc} blocks a pool-dispatched task (entered from `{entry}`{via}): wait through CancelToken::sleep_cancellable / poll_cancellable so deadlines can interrupt it"
+    ));
+}
+
+/// Is token `i` the `.` of a pool-dispatch call? Returns the index of
+/// the containing function and its name.
+fn dispatch_at(
+    ctx: &FileCtx<'_>,
+    fns: &[Vec<FnDef>],
+    fi: usize,
+    i: usize,
+) -> Option<(usize, String)> {
+    let toks = ctx.toks;
+    if !is_punct(toks, i, b'.') {
+        return None;
+    }
+    let m = ident_at(toks, i + 1)?;
+    if !is_punct(toks, i + 2, b'(') {
+        return None;
+    }
+    let is_dispatch = match m {
+        "try_run_bounded" | "try_run_bounded_cancellable" => true,
+        // `.run(..)` is a dispatch only on a pool-ish receiver —
+        // `chain.run(..)` and friends are ordinary calls.
+        "run" => receiver_name(toks, i).is_some_and(|r| r.to_lowercase().contains("pool")),
+        _ => false,
+    };
+    if !is_dispatch {
+        return None;
+    }
+    let owner = fn_containing(&fns[fi], i)?;
+    Some((owner, fns[fi][owner].name.clone()))
+}
+
+/// The name the receiver expression of `.method()` ends with: the
+/// ident just before the `.`, or the call name for `f(..).method()`.
+fn receiver_name<'a>(toks: &[Tok<'a>], dot: usize) -> Option<&'a str> {
+    if dot == 0 {
+        return None;
+    }
+    if let Some(r) = ident_at(toks, dot - 1) {
+        return Some(r);
+    }
+    if is_punct(toks, dot - 1, b')') {
+        let mut depth = 0i32;
+        let mut k = dot - 1;
+        loop {
+            if is_punct(toks, k, b')') {
+                depth += 1;
+            } else if is_punct(toks, k, b'(') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            if k == 0 {
+                return None;
+            }
+            k -= 1;
+        }
+        return ident_at(toks, k.checked_sub(1)?);
+    }
+    None
+}
+
+/// First blocking call reachable from `key`'s function through
+/// same-crate calls, if any.
+fn blocks_in(
+    key: (usize, usize),
+    ctxs: &[FileCtx<'_>],
+    fns: &[Vec<FnDef>],
+    by_name: &BTreeMap<&str, Vec<(usize, usize)>>,
+    memo: &mut HashMap<(usize, usize), Option<Block>>,
+    visiting: &mut HashSet<(usize, usize)>,
+) -> Option<Block> {
+    if let Some(m) = memo.get(&key) {
+        return m.clone();
+    }
+    if !visiting.insert(key) {
+        return None;
+    }
+    let (fi, k) = key;
+    let ctx = &ctxs[fi];
+    let f = &fns[fi][k];
+    let mut result: Option<Block> = None;
+    if let Some((open, close)) = f.body {
+        for i in open + 1..close {
+            if in_test(&ctx.regions, ctx.toks[i].off) || fn_containing(&fns[fi], i) != Some(k) {
+                continue;
+            }
+            if let Some((off, desc)) = direct_block_at(ctx, i) {
+                result = Some(Block { fi, off, desc, chain: vec![f.name.clone()] });
+                break;
+            }
+        }
+        if result.is_none() {
+            'calls: for i in open + 1..close {
+                if in_test(&ctx.regions, ctx.toks[i].off) || fn_containing(&fns[fi], i) != Some(k) {
+                    continue;
+                }
+                let Some(c) = call_at(ctx, i) else { continue };
+                if c.name == f.name {
+                    continue;
+                }
+                for callee in by_name.get(c.name.as_str()).into_iter().flatten() {
+                    if let Some(mut b) = blocks_in(*callee, ctxs, fns, by_name, memo, visiting) {
+                        b.chain.insert(0, f.name.clone());
+                        result = Some(b);
+                        break 'calls;
+                    }
+                }
+            }
+        }
+    }
+    visiting.remove(&key);
+    memo.insert(key, result.clone());
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::{scan_file, FilePolicy, Finding, Rule};
+
+    fn scan(src: &str) -> Vec<Finding> {
+        scan_file("fixture.rs", src, FilePolicy::default())
+    }
+
+    #[test]
+    fn extract_fns_names_and_bodies() {
+        let masked = crate::mask::mask_code("fn a() { b(); }\nimpl S {\n    fn m(&self) -> u8 { 0 }\n}\ntrait T { fn decl(&self); }");
+        let toks = crate::lexer::lex(&masked);
+        let fns = extract_fns(&toks);
+        let names: Vec<&str> = fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["a", "m", "decl"]);
+        assert!(fns[0].body.is_some());
+        assert!(fns[1].body.is_some());
+        assert!(fns[2].body.is_none());
+    }
+
+    #[test]
+    fn lock_order_cycle_fires_with_both_edges() {
+        let src = "\
+struct S { a: std::sync::Mutex<u8>, b: std::sync::Mutex<u8> }
+impl S {
+    fn ab(&self) {
+        let ga = self.a.lock();
+        let gb = self.b.lock();
+        drop(gb);
+        drop(ga);
+    }
+    fn ba(&self) {
+        let gb = self.b.lock();
+        let ga = self.a.lock();
+        drop(ga);
+        drop(gb);
+    }
+}";
+        let f = scan(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, Rule::LockOrder);
+        assert!(f[0].msg.contains("a -> b"), "{}", f[0].msg);
+        assert!(f[0].msg.contains("b -> a"), "{}", f[0].msg);
+        assert!(f[0].msg.contains("fixture.rs:"), "{}", f[0].msg);
+    }
+
+    #[test]
+    fn lock_order_sees_through_same_crate_calls() {
+        let src = "\
+struct S { a: std::sync::Mutex<u8>, b: std::sync::Mutex<u8> }
+impl S {
+    fn outer(&self) {
+        let ga = self.a.lock();
+        self.helper();
+        drop(ga);
+    }
+    fn helper(&self) {
+        let gb = self.b.lock();
+        drop(gb);
+    }
+    fn inverse(&self) {
+        let gb = self.b.lock();
+        let ga = self.a.lock();
+        drop(ga);
+        drop(gb);
+    }
+}";
+        let f = scan(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, Rule::LockOrder);
+    }
+
+    #[test]
+    fn consistent_order_and_sequential_locks_are_clean() {
+        let consistent = "\
+struct S { a: std::sync::Mutex<u8>, b: std::sync::Mutex<u8> }
+impl S {
+    fn one(&self) { let ga = self.a.lock(); let gb = self.b.lock(); drop(gb); drop(ga); }
+    fn two(&self) { let ga = self.a.lock(); let gb = self.b.lock(); drop(gb); drop(ga); }
+}";
+        assert!(scan(consistent).is_empty());
+        // Statement-temporary guards don't overlap.
+        let sequential = "\
+struct S { a: std::sync::Mutex<u8>, b: std::sync::Mutex<u8> }
+impl S {
+    fn one(&self) { *self.a.lock().unwrap_or_else(|e| e.into_inner()) += 1; *self.b.lock().unwrap_or_else(|e| e.into_inner()) += 1; }
+    fn two(&self) { *self.b.lock().unwrap_or_else(|e| e.into_inner()) += 1; *self.a.lock().unwrap_or_else(|e| e.into_inner()) += 1; }
+}";
+        assert!(scan(sequential).is_empty());
+    }
+
+    #[test]
+    fn cancel_safety_fires_on_sleep_in_dispatch_closure() {
+        let src = "\
+fn dispatch(pool: &P) {
+    pool.try_run_bounded(4, || {
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    });
+}";
+        let f = scan(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, Rule::CancelSafety);
+        assert!(f[0].msg.contains("dispatch"), "{}", f[0].msg);
+    }
+
+    #[test]
+    fn cancel_safety_sees_through_same_crate_calls() {
+        let src = "\
+fn backoff() {
+    std::thread::sleep(std::time::Duration::from_millis(5));
+}
+fn dispatch(pool: &P) {
+    pool.try_run_bounded_cancellable(4, |_t| {
+        backoff();
+    });
+}";
+        let f = scan(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, Rule::CancelSafety);
+        assert!(f[0].msg.contains("via `backoff`"), "{}", f[0].msg);
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn cancel_safety_accepts_the_doorways_and_plain_run() {
+        let ok = "\
+fn dispatch(pool: &P, cancel: &C) {
+    pool.try_run_bounded_cancellable(4, |t| {
+        t.sleep_cancellable(std::time::Duration::from_millis(5));
+        t.poll_cancellable(|| done());
+    });
+}";
+        assert!(scan(ok).is_empty());
+        // `.run(` on a non-pool receiver is not a dispatch.
+        let chain = "\
+fn go(chain: &Chain) {
+    chain.run(|| {
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    });
+}";
+        assert!(scan(chain).is_empty());
+        // ... but on a pool it is.
+        let pool_run = "\
+fn go(worker_pool: &P) {
+    worker_pool.run(|| {
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    });
+}";
+        assert_eq!(scan(pool_run).len(), 1);
+    }
+
+    #[test]
+    fn cancel_safety_covers_tasks_built_before_the_dispatch_call() {
+        // The closure Vec is constructed first and the *variable* is
+        // passed to the pool — the blocking call never appears inside
+        // the dispatch call's argument list, only in the same fn body.
+        let src = "\
+fn attempt(id: u64) -> u64 {
+    std::thread::sleep(std::time::Duration::from_millis(5));
+    id
+}
+fn run_batch(pool: &P, ids: Vec<u64>) {
+    let tasks: Vec<_> = ids.into_iter().map(|id| move || attempt(id)).collect();
+    pool.try_run_bounded_cancellable(8, tasks);
+}";
+        let f = scan(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, Rule::CancelSafety);
+        assert_eq!(f[0].line, 2);
+        assert!(f[0].msg.contains("run_batch"), "{}", f[0].msg);
+        assert!(f[0].msg.contains("via `attempt`"), "{}", f[0].msg);
+    }
+
+    #[test]
+    fn cancel_safety_flags_recv_in_closure() {
+        let src = "\
+fn drain(pool: &P, rx: &R) {
+    pool.try_run_bounded(2, move || {
+        let _msg = rx.recv();
+    });
+}";
+        let f = scan(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, Rule::CancelSafety);
+        assert!(f[0].msg.contains("recv"), "{}", f[0].msg);
+    }
+}

@@ -1,0 +1,578 @@
+//! Token stream over masked source: the shared substrate for every
+//! rule. [`crate::mask`] first blanks comments and string/char
+//! literals (length-preserving, so byte offsets survive); this module
+//! then produces idents and punctuation with byte offsets and brace
+//! nesting depth, locates `#[cfg(test)]` / `#[test]` regions, parses
+//! `// teleios-lint: allow(<rule>)` markers, and resolves `use`
+//! aliases (`use std::thread as t;`) so the rules see through renamed
+//! imports — the false-negative class the original line-pattern core
+//! could not.
+
+use crate::rules::Rule;
+use std::collections::HashMap;
+
+/// Byte-offset → 1-based line:col mapping.
+pub struct LineIndex {
+    starts: Vec<usize>,
+}
+
+impl LineIndex {
+    pub fn new(src: &str) -> LineIndex {
+        let mut starts = vec![0usize];
+        for (i, b) in src.bytes().enumerate() {
+            if b == b'\n' {
+                starts.push(i + 1);
+            }
+        }
+        LineIndex { starts }
+    }
+
+    /// Byte offset of the start of 1-based `line`.
+    pub fn line_start(&self, line: usize) -> usize {
+        self.starts.get(line.saturating_sub(1)).copied().unwrap_or(0)
+    }
+
+    pub fn line_col(&self, off: usize) -> (usize, usize) {
+        let idx = match self.starts.binary_search(&off) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        (idx + 1, off - self.starts[idx] + 1)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind<'a> {
+    Ident(&'a str),
+    Punct(u8),
+}
+
+/// One token: kind, byte offset into the (masked) source, and the
+/// number of unclosed `{` at that point. An opening `{` carries the
+/// depth *outside* it and its matching `}` carries that same depth, so
+/// "the close of the block containing token `i`" is the first `}`
+/// after `i` whose depth is `toks[i].depth - 1`.
+#[derive(Debug, Clone, Copy)]
+pub struct Tok<'a> {
+    pub kind: TokKind<'a>,
+    pub off: usize,
+    pub depth: usize,
+}
+
+/// Tokenize masked source. Numbers, identifiers, and keywords all
+/// come out as `Ident` — the rules only ever compare against known
+/// names, so the conflation is harmless and keeps the lexer tiny.
+pub fn lex(masked: &str) -> Vec<Tok<'_>> {
+    let b = masked.as_bytes();
+    let n = b.len();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut depth = 0usize;
+    while i < n {
+        let c = b[i];
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        if c.is_ascii_alphanumeric() || c == b'_' {
+            let start = i;
+            while i < n && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                i += 1;
+            }
+            toks.push(Tok {
+                kind: TokKind::Ident(&masked[start..i]),
+                off: start,
+                depth,
+            });
+            continue;
+        }
+        if c.is_ascii() {
+            if c == b'}' {
+                depth = depth.saturating_sub(1);
+            }
+            toks.push(Tok {
+                kind: TokKind::Punct(c),
+                off: i,
+                depth,
+            });
+            if c == b'{' {
+                depth += 1;
+            }
+        }
+        i += 1;
+    }
+    toks
+}
+
+pub fn ident_at<'a>(toks: &[Tok<'a>], i: usize) -> Option<&'a str> {
+    match toks.get(i)?.kind {
+        TokKind::Ident(s) => Some(s),
+        TokKind::Punct(_) => None,
+    }
+}
+
+pub fn is_ident(toks: &[Tok<'_>], i: usize, s: &str) -> bool {
+    ident_at(toks, i) == Some(s)
+}
+
+pub fn is_punct(toks: &[Tok<'_>], i: usize, c: u8) -> bool {
+    matches!(toks.get(i), Some(Tok { kind: TokKind::Punct(p), .. }) if *p == c)
+}
+
+/// Skip an attribute starting at index `i` (which must be `#`);
+/// returns the index just past the closing `]`.
+pub fn skip_attr(toks: &[Tok<'_>], i: usize) -> usize {
+    let mut k = i + 1;
+    let mut depth = 0usize;
+    while k < toks.len() {
+        if is_punct(toks, k, b'[') {
+            depth += 1;
+        } else if is_punct(toks, k, b']') {
+            depth -= 1;
+            if depth == 0 {
+                return k + 1;
+            }
+        }
+        k += 1;
+    }
+    toks.len()
+}
+
+/// Byte ranges covered by `#[cfg(test)]` / `#[test]` items. Only the
+/// exact forms are recognized — the workspace uses no other spelling,
+/// and `#[cfg_attr(not(test), ...)]` must *not* create a region.
+pub fn test_regions(toks: &[Tok<'_>]) -> Vec<(usize, usize)> {
+    let mut regions = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !(is_punct(toks, i, b'#') && is_punct(toks, i + 1, b'[')) {
+            i += 1;
+            continue;
+        }
+        let is_test_attr = (is_ident(toks, i + 2, "cfg")
+            && is_punct(toks, i + 3, b'(')
+            && is_ident(toks, i + 4, "test")
+            && is_punct(toks, i + 5, b')')
+            && is_punct(toks, i + 6, b']'))
+            || (is_ident(toks, i + 2, "test") && is_punct(toks, i + 3, b']'));
+        if !is_test_attr {
+            i = skip_attr(toks, i);
+            continue;
+        }
+        let start_off = toks[i].off;
+        // Skip this attribute plus any stacked ones (`#[cfg(test)]
+        // #[derive(..)] struct S;`).
+        let mut j = skip_attr(toks, i);
+        while is_punct(toks, j, b'#') && is_punct(toks, j + 1, b'[') {
+            j = skip_attr(toks, j);
+        }
+        // The item extends to its matched `{...}` block, or to a `;`
+        // for block-less items.
+        let mut end_off = toks.last().map(|t| t.off).unwrap_or(start_off);
+        let mut k = j;
+        while k < toks.len() {
+            if is_punct(toks, k, b';') {
+                end_off = toks[k].off;
+                break;
+            }
+            if is_punct(toks, k, b'{') {
+                let mut depth = 0usize;
+                while k < toks.len() {
+                    if is_punct(toks, k, b'{') {
+                        depth += 1;
+                    } else if is_punct(toks, k, b'}') {
+                        depth -= 1;
+                        if depth == 0 {
+                            end_off = toks[k].off;
+                            break;
+                        }
+                    }
+                    k += 1;
+                }
+                break;
+            }
+            k += 1;
+        }
+        regions.push((start_off, end_off));
+        i = j;
+    }
+    regions
+}
+
+pub fn in_test(regions: &[(usize, usize)], off: usize) -> bool {
+    regions.iter().any(|(s, e)| *s <= off && off <= *e)
+}
+
+/// One `// teleios-lint: allow(<name>)` marker. A marker suppresses
+/// findings of its rule on its own line and the next one (so it can
+/// sit on a comment line above a long statement). `rule` is `None`
+/// when the name matches no known rule — those are reported as
+/// `unused-allow` so a typo can't silently waive nothing.
+#[derive(Debug, Clone)]
+pub struct AllowMarker {
+    pub line: usize,
+    pub col: usize,
+    pub rule: Option<Rule>,
+    pub name: String,
+}
+
+/// Parse allow markers. Only the literal form `// teleios-lint:
+/// allow(<name>)` inside an actual `//` comment counts: `masked` (the
+/// same-length blanked copy) proves the text sits in a comment or
+/// string, doc-comment lines (`///`, `//!`) are prose, and an odd
+/// number of `"` before the marker means it lives inside a string
+/// literal (e.g. a test snippet), not a comment.
+pub fn allow_markers(raw: &str, masked: &str) -> Vec<AllowMarker> {
+    const PAT: &str = "// teleios-lint: allow(";
+    let mut markers = Vec::new();
+    for ((i, line), masked_line) in raw.lines().enumerate().zip(masked.lines()) {
+        let Some(p) = line.find(PAT) else {
+            continue;
+        };
+        let trimmed = line.trim_start();
+        if trimmed.starts_with("//!") || trimmed.starts_with("///") {
+            continue;
+        }
+        // Inside a comment or string, masking has blanked the text; if
+        // it survives in the masked copy it is live code (impossible
+        // for this pattern, but cheap to assert).
+        let probe = p + 3;
+        if masked_line.as_bytes().get(probe).copied() == Some(b't') {
+            continue;
+        }
+        if line[..p].bytes().filter(|b| *b == b'"').count() % 2 == 1 {
+            continue;
+        }
+        let after = &line[p + PAT.len()..];
+        let Some(q) = after.find(')') else { continue };
+        let name = &after[..q];
+        markers.push(AllowMarker {
+            line: i + 1,
+            col: p + 1,
+            rule: Rule::from_name(name),
+            name: name.to_string(),
+        });
+    }
+    markers
+}
+
+/// `use` declarations of a file, resolved to flat paths: maps each
+/// locally visible name (the final segment, or the `as` alias) to the
+/// full path segments it stands for. Handles grouped imports
+/// (`use a::{b, c as d}`) and `self` in groups; glob imports are
+/// ignored (nothing bindable to a name).
+#[derive(Debug, Default)]
+pub struct UseAliases {
+    map: HashMap<String, Vec<String>>,
+    /// Token-index ranges (inclusive) of the `use` statements
+    /// themselves, so usage rules don't fire on the import line.
+    ranges: Vec<(usize, usize)>,
+}
+
+impl UseAliases {
+    /// The full path the local name `name` stands for, if imported.
+    pub fn resolve(&self, name: &str) -> Option<&[String]> {
+        self.map.get(name).map(|v| v.as_slice())
+    }
+
+    /// Does `name` resolve to exactly `path` (e.g. `["std", "thread",
+    /// "spawn"]`)?
+    pub fn resolves_to(&self, name: &str, path: &[&str]) -> bool {
+        self.resolve(name).is_some_and(|p| p == path)
+    }
+
+    /// Is token index `i` inside a `use` statement?
+    pub fn in_use_stmt(&self, i: usize) -> bool {
+        self.ranges.iter().any(|(s, e)| *s <= i && i <= *e)
+    }
+}
+
+pub fn use_aliases(toks: &[Tok<'_>]) -> UseAliases {
+    let mut out = UseAliases::default();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !is_ident(toks, i, "use") {
+            i += 1;
+            continue;
+        }
+        // `use` is only a declaration at item position: preceded by
+        // nothing, `;`, `{`, `}`, `]` (attribute), or `pub`/`(crate)`.
+        let decl_pos = i == 0
+            || is_punct(toks, i - 1, b';')
+            || is_punct(toks, i - 1, b'{')
+            || is_punct(toks, i - 1, b'}')
+            || is_punct(toks, i - 1, b']')
+            || is_ident(toks, i - 1, "pub")
+            || is_punct(toks, i - 1, b')');
+        if !decl_pos {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        let mut j = i + 1;
+        let mut prefix: Vec<String> = Vec::new();
+        parse_use_tree(toks, &mut j, &mut prefix, &mut out.map);
+        // Consume through the terminating `;` (parse errors included,
+        // so a malformed use can't cascade).
+        while j < toks.len() && !is_punct(toks, j, b';') {
+            j += 1;
+        }
+        out.ranges.push((start, j.min(toks.len().saturating_sub(1))));
+        i = j + 1;
+    }
+    out
+}
+
+fn parse_use_tree(
+    toks: &[Tok<'_>],
+    j: &mut usize,
+    prefix: &mut Vec<String>,
+    map: &mut HashMap<String, Vec<String>>,
+) {
+    loop {
+        if is_punct(toks, *j, b'{') {
+            *j += 1;
+            loop {
+                let depth_before = prefix.len();
+                parse_use_tree(toks, j, prefix, map);
+                prefix.truncate(depth_before);
+                if is_punct(toks, *j, b',') {
+                    *j += 1;
+                    continue;
+                }
+                break;
+            }
+            if is_punct(toks, *j, b'}') {
+                *j += 1;
+            }
+            return;
+        }
+        if is_punct(toks, *j, b'*') {
+            *j += 1;
+            return;
+        }
+        let Some(seg) = ident_at(toks, *j) else { return };
+        *j += 1;
+        if seg == "self" && !prefix.is_empty() {
+            // `use a::b::{self, ...}` binds `b` itself.
+            if let Some(last) = prefix.last().cloned() {
+                map.insert(last, prefix.clone());
+            }
+            return;
+        }
+        prefix.push(seg.to_string());
+        if is_punct(toks, *j, b':') && is_punct(toks, *j + 1, b':') {
+            *j += 2;
+            continue;
+        }
+        if is_ident(toks, *j, "as") {
+            if let Some(alias) = ident_at(toks, *j + 1) {
+                map.insert(alias.to_string(), prefix.clone());
+            }
+            *j += 2;
+            return;
+        }
+        // Plain terminal segment: binds its own name.
+        map.insert(seg.to_string(), prefix.clone());
+        return;
+    }
+}
+
+/// Token index of the first token of the statement containing `i`:
+/// the token after the nearest preceding `;`, `{`, or `}`.
+pub fn stmt_start(toks: &[Tok<'_>], i: usize) -> usize {
+    let mut j = i;
+    while j > 0 {
+        let prev = j - 1;
+        if is_punct(toks, prev, b';') || is_punct(toks, prev, b'{') || is_punct(toks, prev, b'}') {
+            return j;
+        }
+        j -= 1;
+    }
+    0
+}
+
+/// Token index of the `}` closing the innermost block containing `i`
+/// (or `toks.len() - 1` if unbalanced).
+pub fn enclosing_block_end(toks: &[Tok<'_>], i: usize) -> usize {
+    let d = toks[i].depth;
+    if d == 0 {
+        return toks.len().saturating_sub(1);
+    }
+    let mut j = i + 1;
+    while j < toks.len() {
+        if is_punct(toks, j, b'}') && toks[j].depth == d - 1 {
+            return j;
+        }
+        j += 1;
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// Token index of the `;` ending the statement containing `i` at the
+/// same brace depth (falls back to the enclosing block end).
+pub fn stmt_end(toks: &[Tok<'_>], i: usize) -> usize {
+    let d = toks[i].depth;
+    let mut j = i + 1;
+    while j < toks.len() {
+        if is_punct(toks, j, b';') && toks[j].depth == d {
+            return j;
+        }
+        if is_punct(toks, j, b'}') && toks[j].depth < d {
+            return j;
+        }
+        j += 1;
+    }
+    toks.len().saturating_sub(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mask::mask_code;
+
+    fn lexed(src: &str) -> Vec<String> {
+        lex(&mask_code(src))
+            .into_iter()
+            .map(|t| match t.kind {
+                TokKind::Ident(s) => s.to_string(),
+                TokKind::Punct(p) => (p as char).to_string(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_puncts_with_offsets() {
+        let toks = lex("a.b()");
+        assert_eq!(toks.len(), 5);
+        assert_eq!(toks[0].off, 0);
+        assert_eq!(toks[2].off, 2);
+        assert!(matches!(toks[1].kind, TokKind::Punct(b'.')));
+    }
+
+    #[test]
+    fn depth_tracks_braces() {
+        let toks = lex("fn f() { let x = { 1 }; }");
+        // `fn` at depth 0, `x` at depth 1, `1` at depth 2.
+        assert_eq!(toks[0].depth, 0);
+        let x = toks.iter().find(|t| t.kind == TokKind::Ident("x")).unwrap();
+        assert_eq!(x.depth, 1);
+        let one = toks.iter().find(|t| t.kind == TokKind::Ident("1")).unwrap();
+        assert_eq!(one.depth, 2);
+        // Opening and closing braces of a block carry the same depth.
+        let opens: Vec<usize> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Punct(b'{'))
+            .map(|t| t.depth)
+            .collect();
+        let closes: Vec<usize> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Punct(b'}'))
+            .map(|t| t.depth)
+            .collect();
+        assert_eq!(opens, vec![0, 1]);
+        assert_eq!(closes, vec![1, 0]);
+    }
+
+    #[test]
+    fn masked_strings_do_not_tokenize() {
+        assert!(!lexed("let s = \"panic!\";").contains(&"panic".to_string()));
+    }
+
+    #[test]
+    fn use_alias_simple_and_renamed() {
+        let src = "use std::thread as t;\nuse std::thread::spawn;\n";
+        let masked = mask_code(src);
+        let toks = lex(&masked);
+        let aliases = use_aliases(&toks);
+        assert!(aliases.resolves_to("t", &["std", "thread"]));
+        assert!(aliases.resolves_to("spawn", &["std", "thread", "spawn"]));
+        assert_eq!(aliases.resolve("nope"), None);
+    }
+
+    #[test]
+    fn use_alias_groups_and_self() {
+        let src = "use std::sync::{Arc, Mutex as M, atomic::{AtomicBool, Ordering}};\nuse std::sync::mpsc::{self, Receiver};\n";
+        let aliases = use_aliases(&lex(&mask_code(src)));
+        assert!(aliases.resolves_to("Arc", &["std", "sync", "Arc"]));
+        assert!(aliases.resolves_to("M", &["std", "sync", "Mutex"]));
+        assert!(aliases.resolves_to("Ordering", &["std", "sync", "atomic", "Ordering"]));
+        assert!(aliases.resolves_to("mpsc", &["std", "sync", "mpsc"]));
+        assert!(aliases.resolves_to("Receiver", &["std", "sync", "mpsc", "Receiver"]));
+    }
+
+    #[test]
+    fn use_ranges_cover_the_declaration() {
+        let src = "use std::thread as t;\nfn f() { t::spawn(|| {}); }";
+        let masked = mask_code(src);
+        let toks = lex(&masked);
+        let aliases = use_aliases(&toks);
+        // The `thread` token inside the use statement is in-range; the
+        // `t` usage in the body is not.
+        let use_thread = toks
+            .iter()
+            .position(|t| t.kind == TokKind::Ident("thread"))
+            .unwrap();
+        assert!(aliases.in_use_stmt(use_thread));
+        let body_t = toks
+            .iter()
+            .enumerate()
+            .rev()
+            .find(|(_, t)| t.kind == TokKind::Ident("t"))
+            .map(|(i, _)| i)
+            .unwrap();
+        assert!(!aliases.in_use_stmt(body_t));
+    }
+
+    #[test]
+    fn expression_use_is_not_a_declaration() {
+        // A variable named `use` can't exist, but `use` appearing in a
+        // non-item position (masked doc text aside) must not parse.
+        let src = "fn f(x: u8) -> u8 { x }";
+        let aliases = use_aliases(&lex(&mask_code(src)));
+        assert_eq!(aliases.resolve("x"), None);
+    }
+
+    #[test]
+    fn stmt_and_block_helpers() {
+        let src = "fn f() { let a = g(); h(); }";
+        let masked = mask_code(src);
+        let toks = lex(&masked);
+        let g = toks.iter().position(|t| t.kind == TokKind::Ident("g")).unwrap();
+        let start = stmt_start(&toks, g);
+        assert_eq!(ident_at(&toks, start), Some("let"));
+        let end = stmt_end(&toks, g);
+        assert!(is_punct(&toks, end, b';'));
+        let close = enclosing_block_end(&toks, g);
+        assert!(is_punct(&toks, close, b'}'));
+        assert_eq!(close, toks.len() - 1);
+    }
+
+    #[test]
+    fn allow_markers_parse_known_and_unknown() {
+        let src = "fn f() {\n    panic!(\"x\"); // teleios-lint: allow(no-panic) — deliberate\n    // teleios-lint: allow(bogus-rule)\n}\n";
+        let markers = allow_markers(src, &mask_code(src));
+        assert_eq!(markers.len(), 2);
+        assert_eq!(markers[0].line, 2);
+        assert_eq!(markers[0].rule, Some(Rule::NoPanic));
+        assert_eq!(markers[1].line, 3);
+        assert_eq!(markers[1].rule, None);
+        assert_eq!(markers[1].name, "bogus-rule");
+    }
+
+    #[test]
+    fn allow_markers_skip_doc_comments_and_strings() {
+        let doc = "//! usable as `// teleios-lint: allow(no-panic)` markers\nfn f() {}\n";
+        assert!(allow_markers(doc, &mask_code(doc)).is_empty());
+        let in_string = "fn f() -> &'static str {\n    \"x // teleios-lint: allow(no-panic) y\"\n}\n";
+        assert!(allow_markers(in_string, &mask_code(in_string)).is_empty());
+    }
+
+    #[test]
+    fn line_index_maps_offsets() {
+        let idx = LineIndex::new("ab\ncd\n");
+        assert_eq!(idx.line_col(0), (1, 1));
+        assert_eq!(idx.line_col(3), (2, 1));
+        assert_eq!(idx.line_col(4), (2, 2));
+    }
+}

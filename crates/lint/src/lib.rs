@@ -5,81 +5,112 @@
 //! The TELEIOS crates rely on a handful of architectural invariants
 //! that ordinary compilation cannot enforce: all parallelism flows
 //! through `teleios-exec`, library code never panics or prints, every
-//! public error enum is a real `std::error::Error`, and atomics stay
+//! public error enum is a real `std::error::Error`, atomics stay
 //! sequentially consistent outside the substrate (so the
-//! `teleios-loom` model checker's SeqCst model stays faithful). This
-//! crate turns those conventions into a mechanical gate: a pure-std
-//! scanner that masks comments/strings, tokenizes what remains,
-//! tracks `#[cfg(test)]` regions, and reports violations as
-//! `path:line:col` diagnostics.
+//! `teleios-loom` model checker's SeqCst model stays faithful), locks
+//! are acquired in one global order, and pool-dispatched work stays
+//! cancellable. This crate turns those conventions into a mechanical
+//! gate: a pure-std scanner that masks comments/strings, lexes what
+//! remains into a token stream ([`lexer`]), resolves `use` aliases,
+//! builds a per-crate lock/call graph ([`graph`]), and reports
+//! violations as `path:line:col` diagnostics.
 //!
 //! Rules (stable names usable in `// teleios-lint: allow(<name>)`):
 //!
-//! | rule              | invariant                                             |
-//! |-------------------|-------------------------------------------------------|
-//! | `no-thread-spawn` | L1: no `std::thread::{spawn, Builder}` outside the substrate crates |
-//! | `no-panic`        | L2: no `unwrap`/`expect`/`panic!`/`todo!`/`unimplemented!` in library code |
-//! | `no-println`      | L3: no `println!`/`eprintln!` in library code          |
-//! | `error-impls`     | L4: public `*Error` enums implement `Display` + `Error` |
-//! | `no-relaxed`      | L5: no `Ordering::Relaxed` outside `crates/exec`       |
-//! | `crate-attrs`     | crate roots carry `forbid(unsafe_code)` + clippy denies |
+//! | rule               | invariant                                             |
+//! |--------------------|-------------------------------------------------------|
+//! | `no-thread-spawn`  | L1: no `std::thread::{spawn, Builder}` outside the substrate crates — aliases included |
+//! | `no-panic`         | L2: no `unwrap`/`expect`/`panic!`/`todo!`/`unimplemented!` in library code |
+//! | `no-println`       | L3: no `println!`/`eprintln!` in library code          |
+//! | `error-impls`      | L4: public `*Error` enums implement `Display` + `Error` |
+//! | `no-relaxed`       | L5: no `Ordering::Relaxed` outside `crates/exec` — aliases included |
+//! | `crate-attrs`      | crate roots carry `forbid(unsafe_code)` + clippy denies |
+//! | `lock-order`       | L6: the per-crate lock-acquisition graph is acyclic    |
+//! | `cancel-safety`    | L7: pool-dispatched closures block only through `sleep_cancellable` / `poll_cancellable` |
+//! | `swallowed-result` | L8: no `let _ =` / `.ok()` discarding a workspace `*Error` Result |
+//! | `unused-allow`     | warning: an allow marker that suppresses nothing       |
 //!
 //! Exemptions are structural, not ad-hoc: `crates/exec` and
-//! `crates/loom` may own threads and relaxed atomics (L1/L5); binary,
-//! bench, and example targets may print and fail fast (L2/L3) since a
-//! driver aborting on a setup error is correct behavior; `#[cfg(test)]`
-//! code may do all of the above. Deliberate single-site exceptions in
-//! library code take a `// teleios-lint: allow(<rule>)` marker on the
-//! same line or the line above.
+//! `crates/loom` may own threads, relaxed atomics, and raw blocking
+//! waits (L1/L5/L7); binary, bench, and example targets may print and
+//! fail fast (L2/L3) since a driver aborting on a setup error is
+//! correct behavior; `#[cfg(test)]` code may do all of the above.
+//! Deliberate single-site exceptions in library code take a
+//! `// teleios-lint: allow(<rule>)` marker on the same line or the
+//! line above — and a marker that stops matching anything is itself
+//! reported (`unused-allow`), so stale waivers can't accumulate.
 
+pub mod graph;
+pub mod lexer;
 pub mod mask;
 pub mod rules;
 pub mod workspace;
 
-pub use rules::{scan_file, FilePolicy, Finding, Rule};
+pub use rules::{analyze, scan_file, FilePolicy, Finding, Rule, SourceFile};
 pub use workspace::{find_workspace_root, scan_workspace};
 
 /// The seeded-violation fixture used by the self-test.
 pub const FIXTURE: &str = include_str!("../fixtures/violations.rs");
 
 /// Exactly the findings the fixture must produce, in sorted order:
-/// one (or more) per rule L1–L5, nothing from the decoys.
-pub const FIXTURE_EXPECTED: &[(usize, Rule)] = &[
-    (6, Rule::ErrorImpls),
-    (11, Rule::NoThreadSpawn),
-    (15, Rule::NoPanic),
-    (19, Rule::NoPanic),
-    (23, Rule::NoPrintln),
-    (27, Rule::NoRelaxed),
+/// `(line, col, rule)` — one (or more) per rule, nothing from the
+/// decoys. Positions are exact so a drifting fixture can't mask a
+/// rule that stopped firing or started firing in the wrong place.
+pub const FIXTURE_EXPECTED: &[(usize, usize, Rule)] = &[
+    (1, 1, Rule::CrateAttrs),
+    (1, 1, Rule::CrateAttrs),
+    (6, 1, Rule::ErrorImpls),
+    (11, 10, Rule::NoThreadSpawn),
+    (15, 7, Rule::NoPanic),
+    (19, 5, Rule::NoPanic),
+    (23, 5, Rule::NoPrintln),
+    (27, 34, Rule::NoRelaxed),
+    (81, 5, Rule::NoThreadSpawn),
+    (94, 23, Rule::LockOrder),
+    (111, 14, Rule::CancelSafety),
+    (122, 13, Rule::SwallowedResult),
+    (126, 21, Rule::SwallowedResult),
+    (138, 5, Rule::UnusedAllow),
 ];
 
-/// Run the scanner over the embedded fixture and check the findings
-/// against [`FIXTURE_EXPECTED`] exactly. Returns human-readable
-/// report lines; `Err` lines describe the first mismatch.
+/// Run the full analysis over the embedded fixture (as its own crate
+/// root, so `crate-attrs` participates) and check the findings
+/// against [`FIXTURE_EXPECTED`] exactly — line, column, and rule.
+/// Returns human-readable report lines; `Err` lines describe every
+/// mismatch.
 pub fn run_self_test() -> Result<Vec<String>, Vec<String>> {
-    let mut findings = scan_file("fixtures/violations.rs", FIXTURE, FilePolicy::default());
-    findings.sort();
-    let got: Vec<(usize, Rule)> = findings.iter().map(|f| (f.line, f.rule)).collect();
-    let expected: Vec<(usize, Rule)> = FIXTURE_EXPECTED.to_vec();
+    let findings = analyze(&[SourceFile {
+        label: "fixtures/violations.rs".to_string(),
+        raw: FIXTURE.to_string(),
+        crate_name: "fixture".to_string(),
+        is_crate_root: true,
+        policy: FilePolicy::default(),
+    }]);
+    let got: Vec<(usize, usize, Rule)> =
+        findings.iter().map(|f| (f.line, f.col, f.rule)).collect();
+    let expected: Vec<(usize, usize, Rule)> = FIXTURE_EXPECTED.to_vec();
     if got == expected {
         let mut lines: Vec<String> = findings
             .iter()
             .map(|f| format!("  fires as expected: {f}"))
             .collect();
         lines.push(format!(
-            "self-test OK: {} seeded violations caught, 0 false positives from decoys",
+            "self-test OK: {} seeded violations caught at exact line:col, 0 false positives from decoys",
             findings.len()
         ));
         Ok(lines)
     } else {
         let mut lines = vec!["self-test FAILED".to_string()];
-        for (line, rule) in &expected {
-            if !got.contains(&(*line, *rule)) {
-                lines.push(format!("  missing: fixture line {line} rule {}", rule.name()));
+        for (line, col, rule) in &expected {
+            if !got.contains(&(*line, *col, *rule)) {
+                lines.push(format!(
+                    "  missing: fixture {line}:{col} rule {}",
+                    rule.name()
+                ));
             }
         }
         for f in &findings {
-            if !expected.contains(&(f.line, f.rule)) {
+            if !expected.contains(&(f.line, f.col, f.rule)) {
                 lines.push(format!("  unexpected: {f}"));
             }
         }
@@ -98,15 +129,20 @@ mod tests {
     }
 
     #[test]
-    fn fixture_covers_every_rule_l1_to_l5() {
+    fn fixture_covers_every_rule() {
         let rules: std::collections::HashSet<Rule> =
-            FIXTURE_EXPECTED.iter().map(|(_, r)| *r).collect();
+            FIXTURE_EXPECTED.iter().map(|(_, _, r)| *r).collect();
         for rule in [
             Rule::NoThreadSpawn,
             Rule::NoPanic,
             Rule::NoPrintln,
             Rule::ErrorImpls,
             Rule::NoRelaxed,
+            Rule::CrateAttrs,
+            Rule::LockOrder,
+            Rule::CancelSafety,
+            Rule::SwallowedResult,
+            Rule::UnusedAllow,
         ] {
             assert!(rules.contains(&rule), "fixture misses {}", rule.name());
         }
@@ -118,8 +154,8 @@ mod tests {
         for f in findings {
             let rendered = format!("{f}");
             assert!(
-                rendered.starts_with(&format!("fixtures/violations.rs:{}:", f.line)),
-                "diagnostic must lead with file:line — got {rendered}"
+                rendered.starts_with(&format!("fixtures/violations.rs:{}:{}:", f.line, f.col)),
+                "diagnostic must lead with file:line:col — got {rendered}"
             );
             assert!(f.col >= 1);
         }
@@ -134,9 +170,31 @@ mod tests {
             Rule::ErrorImpls,
             Rule::NoRelaxed,
             Rule::CrateAttrs,
+            Rule::LockOrder,
+            Rule::CancelSafety,
+            Rule::SwallowedResult,
+            Rule::UnusedAllow,
         ] {
             assert_eq!(Rule::from_name(rule.name()), Some(rule));
         }
         assert_eq!(Rule::from_name("no-such-rule"), None);
+    }
+
+    #[test]
+    fn only_unused_allow_is_a_warning() {
+        assert!(Rule::UnusedAllow.is_warning());
+        for rule in [
+            Rule::NoThreadSpawn,
+            Rule::NoPanic,
+            Rule::NoPrintln,
+            Rule::ErrorImpls,
+            Rule::NoRelaxed,
+            Rule::CrateAttrs,
+            Rule::LockOrder,
+            Rule::CancelSafety,
+            Rule::SwallowedResult,
+        ] {
+            assert!(!rule.is_warning(), "{} must be an error", rule.name());
+        }
     }
 }

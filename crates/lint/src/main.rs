@@ -1,22 +1,96 @@
 #![forbid(unsafe_code)]
-//! Driver: `teleios-lint [--root <path>] [--self-test]`.
+//! Driver: `teleios-lint [--root <path>] [--self-test] [--strict]
+//! [--format human|json|github]`.
 //!
 //! Default mode scans every workspace member and exits non-zero on
-//! any violated invariant; `--self-test` runs the scanner over the
-//! seeded fixture and verifies each rule L1–L5 fires with a
-//! file:line diagnostic (and that the decoys stay silent).
+//! any violated invariant (warnings — `unused-allow` — fail only
+//! under `--strict`); `--self-test` runs the analyzer over the seeded
+//! fixture and verifies each rule fires at its exact `line:col` (and
+//! that the decoys stay silent). `--format github` emits workflow
+//! annotation commands so CI surfaces findings inline; `--format
+//! json` emits a machine-readable array.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use teleios_lint::Finding;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Format {
+    Human,
+    Json,
+    Github,
+}
 
 fn usage() -> ExitCode {
-    eprintln!("usage: teleios-lint [--root <workspace-dir>] [--self-test]");
+    eprintln!(
+        "usage: teleios-lint [--root <workspace-dir>] [--self-test] [--strict] [--format human|json|github]"
+    );
     ExitCode::from(2)
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn render(findings: &[Finding], format: Format) {
+    match format {
+        Format::Human => {
+            for f in findings {
+                eprintln!("{f}");
+            }
+        }
+        Format::Json => {
+            let rows: Vec<String> = findings
+                .iter()
+                .map(|f| {
+                    format!(
+                        "  {{\"path\":\"{}\",\"line\":{},\"col\":{},\"rule\":\"{}\",\"severity\":\"{}\",\"message\":\"{}\"}}",
+                        json_escape(&f.path),
+                        f.line,
+                        f.col,
+                        f.rule.name(),
+                        f.severity(),
+                        json_escape(&f.msg)
+                    )
+                })
+                .collect();
+            println!("[\n{}\n]", rows.join(",\n"));
+        }
+        Format::Github => {
+            // GitHub workflow annotation commands: rendered inline on
+            // the PR diff when printed from a CI step.
+            for f in findings {
+                println!(
+                    "::{} file={},line={},col={},title=teleios-lint {}::{}",
+                    f.severity(),
+                    f.path,
+                    f.line,
+                    f.col,
+                    f.rule.name(),
+                    f.msg
+                );
+            }
+        }
+    }
 }
 
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut self_test = false;
+    let mut strict = false;
+    let mut format = Format::Human;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -25,11 +99,20 @@ fn main() -> ExitCode {
                 None => return usage(),
             },
             "--self-test" => self_test = true,
+            "--strict" => strict = true,
+            "--format" => match args.next().as_deref() {
+                Some("human") => format = Format::Human,
+                Some("json") => format = Format::Json,
+                Some("github") => format = Format::Github,
+                _ => return usage(),
+            },
             "--help" | "-h" => {
                 println!("teleios-lint: TELEIOS workspace invariant checker");
                 println!();
-                println!("  --root <dir>   workspace root (default: walk up from cwd)");
-                println!("  --self-test    verify rules L1-L5 fire on the seeded fixture");
+                println!("  --root <dir>     workspace root (default: walk up from cwd)");
+                println!("  --self-test      verify rules L1-L8 + crate-attrs fire on the seeded fixture");
+                println!("  --strict         treat warnings (unused-allow) as errors");
+                println!("  --format <fmt>   human (default) | json | github annotations");
                 return ExitCode::SUCCESS;
             }
             _ => return usage(),
@@ -74,16 +157,30 @@ fn main() -> ExitCode {
             eprintln!("teleios-lint: no .rs files under {} (wrong --root?)", root.display());
             ExitCode::FAILURE
         }
-        Ok((findings, file_count)) if findings.is_empty() => {
-            println!("teleios-lint: workspace clean ({file_count} files, 6 rules)");
-            ExitCode::SUCCESS
-        }
         Ok((findings, file_count)) => {
-            for f in &findings {
-                eprintln!("{f}");
+            let errors = findings.iter().filter(|f| !f.rule.is_warning()).count();
+            let warnings = findings.len() - errors;
+            let failed = errors > 0 || (strict && warnings > 0);
+            if findings.is_empty() {
+                if format == Format::Json {
+                    println!("[]");
+                } else {
+                    println!("teleios-lint: workspace clean ({file_count} files, 9 rules)");
+                }
+                return ExitCode::SUCCESS;
             }
-            eprintln!("teleios-lint: {} finding(s) across {file_count} files", findings.len());
-            ExitCode::FAILURE
+            render(&findings, format);
+            if format != Format::Json {
+                eprintln!(
+                    "teleios-lint: {errors} error(s), {warnings} warning(s) across {file_count} files{}",
+                    if failed { "" } else { " — warnings don't fail the gate (use --strict)" }
+                );
+            }
+            if failed {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
         }
         Err(e) => {
             eprintln!("teleios-lint: io error: {e}");

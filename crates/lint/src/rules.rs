@@ -1,8 +1,26 @@
-//! The rule engine: tokenize masked source, locate `#[cfg(test)]` /
-//! `#[test]` regions, and run the architectural rules L1–L5 over a
-//! single file. Workspace-level policy (which crates/targets are
-//! exempt from which rules) arrives via [`FilePolicy`].
+//! The rule engine. [`analyze`] takes every source file of a
+//! workspace (or a single file, via [`scan_file`]) and runs:
+//!
+//! - per-token rules L1/L2/L3/L5 over the [`crate::lexer`] stream,
+//!   alias-aware via each file's `use` map;
+//! - per-file structural rule L4 (`*Error` enums must impl
+//!   `Display` + `Error`);
+//! - the crate-root attribute rule on `lib.rs` files;
+//! - L8 `swallowed-result` against a workspace-wide index of
+//!   functions returning `Result<_, *Error>`;
+//! - per-crate concurrency rules L6 `lock-order` and L7
+//!   `cancel-safety` (see [`crate::graph`]);
+//! - unused-suppression detection: an allow marker that suppressed
+//!   nothing becomes an `unused-allow` warning.
+//!
+//! Workspace-level policy (which crates/targets are exempt from which
+//! rules) arrives via [`FilePolicy`].
 
+use crate::graph;
+use crate::lexer::{
+    self, ident_at, in_test, is_ident, is_punct, lex, stmt_end, stmt_start, AllowMarker,
+    LineIndex, Tok, TokKind,
+};
 use crate::mask::mask_code;
 use std::collections::{HashMap, HashSet};
 use std::fmt;
@@ -13,7 +31,8 @@ use std::fmt;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Rule {
     /// L1: no `std::thread::spawn` / `thread::Builder` outside the
-    /// concurrency substrate (`teleios-exec`, `teleios-loom`).
+    /// concurrency substrate (`teleios-exec`, `teleios-loom`) — not
+    /// even through a renamed import.
     NoThreadSpawn,
     /// L2: no `unwrap`/`expect`/`panic!`/`todo!`/`unimplemented!` in
     /// library code outside `#[cfg(test)]`.
@@ -28,6 +47,20 @@ pub enum Rule {
     /// Crate-root check: every workspace member carries
     /// `forbid(unsafe_code)` plus the clippy unwrap/expect denies.
     CrateAttrs,
+    /// L6: the per-crate lock-acquisition graph (who holds what while
+    /// taking what, resolved through same-crate calls) must be
+    /// acyclic.
+    LockOrder,
+    /// L7: closures handed to `WorkerPool` dispatch must not block
+    /// outside the sanctioned cancellable doorways
+    /// (`sleep_cancellable` / `poll_cancellable`).
+    CancelSafety,
+    /// L8: `let _ =` / statement-level `.ok()` must not discard a
+    /// `Result` whose error type is a workspace `*Error` enum.
+    SwallowedResult,
+    /// An allow marker that suppressed nothing (warning; error under
+    /// `--strict`).
+    UnusedAllow,
 }
 
 impl Rule {
@@ -39,6 +72,10 @@ impl Rule {
             Rule::ErrorImpls => "error-impls",
             Rule::NoRelaxed => "no-relaxed",
             Rule::CrateAttrs => "crate-attrs",
+            Rule::LockOrder => "lock-order",
+            Rule::CancelSafety => "cancel-safety",
+            Rule::SwallowedResult => "swallowed-result",
+            Rule::UnusedAllow => "unused-allow",
         }
     }
 
@@ -50,8 +87,17 @@ impl Rule {
             "error-impls" => Some(Rule::ErrorImpls),
             "no-relaxed" => Some(Rule::NoRelaxed),
             "crate-attrs" => Some(Rule::CrateAttrs),
+            "lock-order" => Some(Rule::LockOrder),
+            "cancel-safety" => Some(Rule::CancelSafety),
+            "swallowed-result" => Some(Rule::SwallowedResult),
+            "unused-allow" => Some(Rule::UnusedAllow),
             _ => None,
         }
+    }
+
+    /// Warnings don't fail the gate unless `--strict` is set.
+    pub fn is_warning(self) -> bool {
+        matches!(self, Rule::UnusedAllow)
     }
 }
 
@@ -63,6 +109,16 @@ pub struct Finding {
     pub col: usize,
     pub rule: Rule,
     pub msg: String,
+}
+
+impl Finding {
+    pub fn severity(&self) -> &'static str {
+        if self.rule.is_warning() {
+            "warning"
+        } else {
+            "error"
+        }
+    }
 }
 
 impl fmt::Display for Finding {
@@ -83,199 +139,286 @@ impl fmt::Display for Finding {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct FilePolicy {
     /// `crates/exec` and `crates/loom`: the substrate that is allowed
-    /// to own OS threads and relaxed atomics.
+    /// to own OS threads, relaxed atomics, and raw blocking calls.
     pub substrate: bool,
     /// Binary / bench / example targets: drivers fail fast by design
-    /// (L2 exempt) and print their tables (L3 exempt). L1/L4/L5 still
-    /// apply.
+    /// (L2 exempt) and print their tables (L3 exempt). The other
+    /// rules still apply.
     pub bin_target: bool,
 }
 
-/// Byte-offset → 1-based line:col mapping.
-pub struct LineIndex {
-    starts: Vec<usize>,
+/// One source file handed to [`analyze`]: contents plus the workspace
+/// coordinates the rules need (crate membership for the concurrency
+/// model, crate-root status for the attribute rule).
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    pub label: String,
+    pub raw: String,
+    pub crate_name: String,
+    pub is_crate_root: bool,
+    pub policy: FilePolicy,
 }
 
-impl LineIndex {
-    pub fn new(src: &str) -> LineIndex {
-        let mut starts = vec![0usize];
-        for (i, b) in src.bytes().enumerate() {
-            if b == b'\n' {
-                starts.push(i + 1);
+/// Everything the rules need about one file, borrowed from the
+/// masked/lexed arenas in [`analyze`].
+pub(crate) struct FileCtx<'a> {
+    pub label: &'a str,
+    pub raw: &'a str,
+    pub toks: &'a [Tok<'a>],
+    pub idx: LineIndex,
+    pub regions: Vec<(usize, usize)>,
+    pub aliases: lexer::UseAliases,
+    pub policy: FilePolicy,
+    pub crate_name: &'a str,
+    pub is_crate_root: bool,
+}
+
+/// Finding collector: applies allow markers, records which markers
+/// actually suppressed something, and turns the leftovers into
+/// `unused-allow` warnings at the end.
+pub(crate) struct Diagnostics {
+    findings: Vec<Finding>,
+    allows: Vec<Vec<AllowMarker>>,
+    used: Vec<HashSet<usize>>,
+}
+
+impl Diagnostics {
+    fn new(allows: Vec<Vec<AllowMarker>>) -> Diagnostics {
+        let used = allows.iter().map(|_| HashSet::new()).collect();
+        Diagnostics { findings: Vec::new(), allows, used }
+    }
+
+    pub(crate) fn emit(
+        &mut self,
+        ctx: &FileCtx<'_>,
+        fi: usize,
+        off: usize,
+        rule: Rule,
+        msg: String,
+    ) {
+        let (line, col) = ctx.idx.line_col(off);
+        if let Some(mi) = self.allows[fi]
+            .iter()
+            .position(|m| m.rule == Some(rule) && (m.line == line || m.line + 1 == line))
+        {
+            self.used[fi].insert(mi);
+            return;
+        }
+        self.findings.push(Finding { path: ctx.label.to_string(), line, col, rule, msg });
+    }
+
+    fn finish(mut self, ctxs: &[FileCtx<'_>]) -> Vec<Finding> {
+        for (fi, ctx) in ctxs.iter().enumerate() {
+            for (mi, m) in self.allows[fi].iter().enumerate() {
+                if self.used[fi].contains(&mi) {
+                    continue;
+                }
+                // Markers inside test regions are inert (tests are
+                // exempt from every rule), not stale.
+                if in_test(&ctx.regions, ctx.idx.line_start(m.line)) {
+                    continue;
+                }
+                let msg = match m.rule {
+                    Some(_) => format!(
+                        "allow({}) suppresses nothing on this or the next line — remove the stale marker",
+                        m.name
+                    ),
+                    None => format!("allow({}) does not name a known rule", m.name),
+                };
+                self.findings.push(Finding {
+                    path: ctx.label.to_string(),
+                    line: m.line,
+                    col: m.col,
+                    rule: Rule::UnusedAllow,
+                    msg,
+                });
             }
         }
-        LineIndex { starts }
-    }
-
-    pub fn line_col(&self, off: usize) -> (usize, usize) {
-        let idx = match self.starts.binary_search(&off) {
-            Ok(i) => i,
-            Err(i) => i - 1,
-        };
-        (idx + 1, off - self.starts[idx] + 1)
+        self.findings.sort();
+        self.findings
     }
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum TokKind<'a> {
-    Ident(&'a str),
-    Punct(u8),
+/// Run every rule over a set of source files (a whole workspace, or a
+/// single file via [`scan_file`]). Files sharing a `crate_name` form
+/// one crate for the L6/L7/L8 cross-file analyses.
+pub fn analyze(files: &[SourceFile]) -> Vec<Finding> {
+    let maskeds: Vec<String> = files.iter().map(|f| mask_code(&f.raw)).collect();
+    let lexed: Vec<Vec<Tok<'_>>> = maskeds.iter().map(|m| lex(m)).collect();
+    let ctxs: Vec<FileCtx<'_>> = files
+        .iter()
+        .enumerate()
+        .map(|(i, f)| FileCtx {
+            label: &f.label,
+            raw: &f.raw,
+            toks: &lexed[i],
+            idx: LineIndex::new(&f.raw),
+            regions: lexer::test_regions(&lexed[i]),
+            aliases: lexer::use_aliases(&lexed[i]),
+            policy: f.policy,
+            crate_name: &f.crate_name,
+            is_crate_root: f.is_crate_root,
+        })
+        .collect();
+    let markers: Vec<Vec<AllowMarker>> = files
+        .iter()
+        .zip(&maskeds)
+        .map(|(f, m)| lexer::allow_markers(&f.raw, m))
+        .collect();
+    let mut diag = Diagnostics::new(markers);
+
+    for (fi, ctx) in ctxs.iter().enumerate() {
+        token_rules(ctx, fi, &mut diag);
+        error_impls(ctx, fi, &mut diag);
+        if ctx.is_crate_root {
+            crate_attrs(ctx, fi, &mut diag);
+        }
+    }
+
+    let fns: Vec<Vec<graph::FnDef>> = ctxs.iter().map(|c| graph::extract_fns(c.toks)).collect();
+    let ret_index = fn_return_index(&ctxs, &fns);
+    for (fi, ctx) in ctxs.iter().enumerate() {
+        swallowed_results(ctx, fi, &ret_index, &mut diag);
+    }
+
+    let mut crate_order: Vec<&str> = Vec::new();
+    let mut by_crate: HashMap<&str, Vec<usize>> = HashMap::new();
+    for (fi, ctx) in ctxs.iter().enumerate() {
+        if !by_crate.contains_key(ctx.crate_name) {
+            crate_order.push(ctx.crate_name);
+        }
+        by_crate.entry(ctx.crate_name).or_default().push(fi);
+    }
+    for name in crate_order {
+        let crate_files = &by_crate[name];
+        graph::lock_order(&ctxs, &fns, crate_files, &mut diag);
+        graph::cancel_safety(&ctxs, &fns, crate_files, &mut diag);
+    }
+
+    diag.finish(&ctxs)
 }
 
-#[derive(Debug, Clone, Copy)]
-struct Tok<'a> {
-    kind: TokKind<'a>,
-    off: usize,
+/// Run every rule over one file. `path` labels findings; the file is
+/// its own single-file crate for the cross-file rules.
+pub fn scan_file(path: &str, raw: &str, policy: FilePolicy) -> Vec<Finding> {
+    analyze(&[SourceFile {
+        label: path.to_string(),
+        raw: raw.to_string(),
+        crate_name: "file".to_string(),
+        is_crate_root: false,
+        policy,
+    }])
 }
 
-fn tokenize(masked: &str) -> Vec<Tok<'_>> {
-    let b = masked.as_bytes();
-    let n = b.len();
-    let mut toks = Vec::new();
-    let mut i = 0usize;
-    while i < n {
-        let c = b[i];
-        if c.is_ascii_whitespace() {
-            i += 1;
+/// L1/L2/L3/L5: the per-token rules.
+fn token_rules(ctx: &FileCtx<'_>, fi: usize, diag: &mut Diagnostics) {
+    let toks = ctx.toks;
+    for i in 0..toks.len() {
+        let off = toks[i].off;
+        // Import lines declare, they don't use; violations fire at
+        // usage sites.
+        if ctx.aliases.in_use_stmt(i) {
             continue;
         }
-        if c.is_ascii_alphanumeric() || c == b'_' {
-            let start = i;
-            while i < n && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
-                i += 1;
-            }
-            toks.push(Tok {
-                kind: TokKind::Ident(&masked[start..i]),
-                off: start,
-            });
-            continue;
-        }
-        if c.is_ascii() {
-            toks.push(Tok {
-                kind: TokKind::Punct(c),
-                off: i,
-            });
-        }
-        i += 1;
-    }
-    toks
-}
+        let tested = in_test(&ctx.regions, off);
+        let seg = ident_at(toks, i);
+        let path_next = is_punct(toks, i + 1, b':') && is_punct(toks, i + 2, b':');
+        let path_prev = i >= 2 && is_punct(toks, i - 1, b':') && is_punct(toks, i - 2, b':');
 
-fn ident_at<'a>(toks: &[Tok<'a>], i: usize) -> Option<&'a str> {
-    match toks.get(i)?.kind {
-        TokKind::Ident(s) => Some(s),
-        TokKind::Punct(_) => None,
-    }
-}
-
-fn is_ident(toks: &[Tok<'_>], i: usize, s: &str) -> bool {
-    ident_at(toks, i) == Some(s)
-}
-
-fn is_punct(toks: &[Tok<'_>], i: usize, c: u8) -> bool {
-    matches!(toks.get(i), Some(Tok { kind: TokKind::Punct(p), .. }) if *p == c)
-}
-
-/// Skip an attribute starting at index `i` (which must be `#`);
-/// returns the index just past the closing `]`.
-fn skip_attr(toks: &[Tok<'_>], i: usize) -> usize {
-    let mut k = i + 1;
-    let mut depth = 0usize;
-    while k < toks.len() {
-        if is_punct(toks, k, b'[') {
-            depth += 1;
-        } else if is_punct(toks, k, b']') {
-            depth -= 1;
-            if depth == 0 {
-                return k + 1;
-            }
-        }
-        k += 1;
-    }
-    toks.len()
-}
-
-/// Byte ranges covered by `#[cfg(test)]` / `#[test]` items. Only the
-/// exact forms are recognized — the workspace uses no other spelling,
-/// and `#[cfg_attr(not(test), ...)]` must *not* create a region.
-fn test_regions(toks: &[Tok<'_>]) -> Vec<(usize, usize)> {
-    let mut regions = Vec::new();
-    let mut i = 0usize;
-    while i < toks.len() {
-        if !(is_punct(toks, i, b'#') && is_punct(toks, i + 1, b'[')) {
-            i += 1;
-            continue;
-        }
-        let is_test_attr = (is_ident(toks, i + 2, "cfg")
-            && is_punct(toks, i + 3, b'(')
-            && is_ident(toks, i + 4, "test")
-            && is_punct(toks, i + 5, b')')
-            && is_punct(toks, i + 6, b']'))
-            || (is_ident(toks, i + 2, "test") && is_punct(toks, i + 3, b']'));
-        if !is_test_attr {
-            i = skip_attr(toks, i);
-            continue;
-        }
-        let start_off = toks[i].off;
-        // Skip this attribute plus any stacked ones (`#[cfg(test)]
-        // #[derive(..)] struct S;`).
-        let mut j = skip_attr(toks, i);
-        while is_punct(toks, j, b'#') && is_punct(toks, j + 1, b'[') {
-            j = skip_attr(toks, j);
-        }
-        // The item extends to its matched `{...}` block, or to a `;`
-        // for block-less items.
-        let mut end_off = toks.last().map(|t| t.off).unwrap_or(start_off);
-        let mut k = j;
-        while k < toks.len() {
-            if is_punct(toks, k, b';') {
-                end_off = toks[k].off;
-                break;
-            }
-            if is_punct(toks, k, b'{') {
-                let mut depth = 0usize;
-                while k < toks.len() {
-                    if is_punct(toks, k, b'{') {
-                        depth += 1;
-                    } else if is_punct(toks, k, b'}') {
-                        depth -= 1;
-                        if depth == 0 {
-                            end_off = toks[k].off;
-                            break;
+        // L1 — thread::spawn / thread::Builder, aliases included.
+        if !ctx.policy.substrate && !tested {
+            if let Some(seg) = seg {
+                if path_next {
+                    if let Some(what @ ("spawn" | "Builder")) = ident_at(toks, i + 3) {
+                        if seg == "thread" {
+                            diag.emit(ctx, fi, off, Rule::NoThreadSpawn, format!(
+                                "std::thread::{what}: OS threads belong to teleios-exec (WorkerPool / spawn_named)"
+                            ));
+                        } else if ctx.aliases.resolves_to(seg, &["std", "thread"]) {
+                            diag.emit(ctx, fi, off, Rule::NoThreadSpawn, format!(
+                                "std::thread::{what} via alias `{seg}`: OS threads belong to teleios-exec (WorkerPool / spawn_named)"
+                            ));
                         }
                     }
-                    k += 1;
                 }
-                break;
+                if !path_prev
+                    && ctx.aliases.resolves_to(seg, &["std", "thread", "spawn"])
+                    && is_punct(toks, i + 1, b'(')
+                {
+                    diag.emit(ctx, fi, off, Rule::NoThreadSpawn, format!(
+                        "std::thread::spawn via alias `{seg}`: OS threads belong to teleios-exec (WorkerPool / spawn_named)"
+                    ));
+                }
+                if !path_prev && ctx.aliases.resolves_to(seg, &["std", "thread", "Builder"]) {
+                    diag.emit(ctx, fi, off, Rule::NoThreadSpawn, format!(
+                        "std::thread::Builder via `use` as `{seg}`: OS threads belong to teleios-exec (WorkerPool / spawn_named)"
+                    ));
+                }
             }
-            k += 1;
         }
-        regions.push((start_off, end_off));
-        i = j;
-    }
-    regions
-}
 
-fn in_test(regions: &[(usize, usize)], off: usize) -> bool {
-    regions.iter().any(|(s, e)| *s <= off && off <= *e)
-}
+        // L2 — unwrap/expect/panic!/todo!/unimplemented!
+        if !ctx.policy.bin_target && !tested {
+            if let Some(name @ ("unwrap" | "expect")) = seg {
+                // `self.expect(..)` is a parser combinator method in
+                // the WKT/SQL/SPARQL parsers, not Option/Result::expect
+                // (`self` is never an Option in this workspace).
+                let own_method = name == "expect" && i >= 2 && is_ident(toks, i - 2, "self");
+                if !own_method && i > 0 && is_punct(toks, i - 1, b'.') && is_punct(toks, i + 1, b'(') {
+                    diag.emit(ctx, fi, off, Rule::NoPanic, format!(
+                        ".{name}() in library code: return a typed error instead"
+                    ));
+                }
+            }
+            if let Some(name @ ("panic" | "todo" | "unimplemented")) = seg {
+                if is_punct(toks, i + 1, b'!') {
+                    diag.emit(ctx, fi, off, Rule::NoPanic, format!(
+                        "{name}! in library code: return a typed error instead"
+                    ));
+                }
+            }
+        }
 
-/// `// teleios-lint: allow(<rule>)` markers by line. A marker
-/// suppresses findings of that rule on its own line and the next one
-/// (so a marker can sit on a comment line above a long statement).
-fn allow_markers(raw: &str) -> HashMap<usize, HashSet<Rule>> {
-    let mut map: HashMap<usize, HashSet<Rule>> = HashMap::new();
-    for (i, line) in raw.lines().enumerate() {
-        let Some(p) = line.find("teleios-lint: allow(") else {
-            continue;
-        };
-        let after = &line[p + "teleios-lint: allow(".len()..];
-        let Some(q) = after.find(')') else { continue };
-        if let Some(rule) = Rule::from_name(&after[..q]) {
-            map.entry(i + 1).or_default().insert(rule);
+        // L3 — println!/eprintln!
+        if !ctx.policy.bin_target && !tested {
+            if let Some(name @ ("println" | "eprintln")) = seg {
+                if is_punct(toks, i + 1, b'!') {
+                    diag.emit(ctx, fi, off, Rule::NoPrintln, format!(
+                        "{name}! in library code: route output through the caller or a report type"
+                    ));
+                }
+            }
+        }
+
+        // L5 — Ordering::Relaxed, aliases included. Applies inside
+        // tests too: the loom model is SeqCst-only everywhere.
+        if !ctx.policy.substrate {
+            if let Some(seg) = seg {
+                if seg == "Ordering" && path_next && is_ident(toks, i + 3, "Relaxed") {
+                    diag.emit(ctx, fi, off, Rule::NoRelaxed,
+                        "Ordering::Relaxed outside crates/exec: the loom model assumes SeqCst".to_string());
+                } else if seg != "Ordering"
+                    && path_next
+                    && is_ident(toks, i + 3, "Relaxed")
+                    && ctx.aliases.resolve(seg).is_some_and(|p| p.last().map(String::as_str) == Some("Ordering"))
+                {
+                    diag.emit(ctx, fi, off, Rule::NoRelaxed, format!(
+                        "Ordering::Relaxed via alias `{seg}`: the loom model assumes SeqCst"
+                    ));
+                } else if !path_prev
+                    && !path_next
+                    && ctx.aliases.resolve(seg).is_some_and(|p| {
+                        p.last().map(String::as_str) == Some("Relaxed")
+                            && p.iter().any(|s| s == "Ordering")
+                    })
+                {
+                    diag.emit(ctx, fi, off, Rule::NoRelaxed, format!(
+                        "Ordering::Relaxed via `use` of `{seg}`: the loom model assumes SeqCst"
+                    ));
+                }
+            }
         }
     }
-    map
 }
 
 /// Trait impls in the file, as `(last trait path segment, type name)`
@@ -314,121 +457,25 @@ fn impl_pairs<'a>(toks: &[Tok<'a>]) -> Vec<(&'a str, &'a str)> {
     pairs
 }
 
-/// Run rules L1–L5 over one file. `path` is only used to label
-/// findings.
-pub fn scan_file(path: &str, raw: &str, policy: FilePolicy) -> Vec<Finding> {
-    let masked = mask_code(raw);
-    let toks = tokenize(&masked);
-    let idx = LineIndex::new(raw);
-    let regions = test_regions(&toks);
-    let allows = allow_markers(raw);
-    let mut findings: Vec<Finding> = Vec::new();
-    let push = |off: usize, rule: Rule, msg: String, findings: &mut Vec<Finding>| {
-        let (line, col) = idx.line_col(off);
-        let allowed = allows.get(&line).is_some_and(|s| s.contains(&rule))
-            || (line > 1 && allows.get(&(line - 1)).is_some_and(|s| s.contains(&rule)));
-        if !allowed {
-            findings.push(Finding {
-                path: path.to_string(),
-                line,
-                col,
-                rule,
-                msg,
-            });
-        }
-    };
-
+/// L4 — public `*Error` enums must impl Display + Error in this file.
+fn error_impls(ctx: &FileCtx<'_>, fi: usize, diag: &mut Diagnostics) {
+    let toks = ctx.toks;
+    let pairs = impl_pairs(toks);
     for i in 0..toks.len() {
-        let off = toks[i].off;
-        // L1 — thread::spawn / thread::Builder
-        if !policy.substrate
-            && is_ident(&toks, i, "thread")
-            && is_punct(&toks, i + 1, b':')
-            && is_punct(&toks, i + 2, b':')
-            && !in_test(&regions, off)
-        {
-            if let Some(what @ ("spawn" | "Builder")) = ident_at(&toks, i + 3) {
-                push(
-                    off,
-                    Rule::NoThreadSpawn,
-                    format!("std::thread::{what}: OS threads belong to teleios-exec (WorkerPool / spawn_named)"),
-                    &mut findings,
-                );
-            }
-        }
-        // L2 — unwrap/expect/panic!/todo!/unimplemented!
-        if !policy.bin_target && !in_test(&regions, off) {
-            if let Some(name @ ("unwrap" | "expect")) = ident_at(&toks, i) {
-                // `self.expect(..)` is a parser combinator method in
-                // the WKT/SQL/SPARQL parsers, not Option/Result::expect
-                // (`self` is never an Option in this workspace).
-                let own_method = name == "expect" && i >= 2 && is_ident(&toks, i - 2, "self");
-                if !own_method && i > 0 && is_punct(&toks, i - 1, b'.') && is_punct(&toks, i + 1, b'(') {
-                    push(
-                        off,
-                        Rule::NoPanic,
-                        format!(".{name}() in library code: return a typed error instead"),
-                        &mut findings,
-                    );
-                }
-            }
-            if let Some(name @ ("panic" | "todo" | "unimplemented")) = ident_at(&toks, i) {
-                if is_punct(&toks, i + 1, b'!') {
-                    push(
-                        off,
-                        Rule::NoPanic,
-                        format!("{name}! in library code: return a typed error instead"),
-                        &mut findings,
-                    );
-                }
-            }
-        }
-        // L3 — println!/eprintln!
-        if !policy.bin_target && !in_test(&regions, off) {
-            if let Some(name @ ("println" | "eprintln")) = ident_at(&toks, i) {
-                if is_punct(&toks, i + 1, b'!') {
-                    push(
-                        off,
-                        Rule::NoPrintln,
-                        format!("{name}! in library code: route output through the caller or a report type"),
-                        &mut findings,
-                    );
-                }
-            }
-        }
-        // L5 — Ordering::Relaxed
-        if !policy.substrate
-            && is_ident(&toks, i, "Ordering")
-            && is_punct(&toks, i + 1, b':')
-            && is_punct(&toks, i + 2, b':')
-            && is_ident(&toks, i + 3, "Relaxed")
-        {
-            push(
-                off,
-                Rule::NoRelaxed,
-                "Ordering::Relaxed outside crates/exec: the loom model assumes SeqCst".to_string(),
-                &mut findings,
-            );
-        }
-    }
-
-    // L4 — public *Error enums must impl Display + Error.
-    let pairs = impl_pairs(&toks);
-    for i in 0..toks.len() {
-        if !is_ident(&toks, i, "pub") {
+        if !is_ident(toks, i, "pub") {
             continue;
         }
         // `pub(crate)` etc. is not public API.
-        if is_punct(&toks, i + 1, b'(') {
+        if is_punct(toks, i + 1, b'(') {
             continue;
         }
-        if !is_ident(&toks, i + 1, "enum") {
+        if !is_ident(toks, i + 1, "enum") {
             continue;
         }
-        let Some(name) = ident_at(&toks, i + 2) else {
+        let Some(name) = ident_at(toks, i + 2) else {
             continue;
         };
-        if !name.ends_with("Error") || name == "Error" || in_test(&regions, toks[i].off) {
+        if !name.ends_with("Error") || name == "Error" || in_test(&ctx.regions, toks[i].off) {
             continue;
         }
         let has_display = pairs.iter().any(|(t, ty)| *t == "Display" && *ty == name);
@@ -440,16 +487,281 @@ pub fn scan_file(path: &str, raw: &str, policy: FilePolicy) -> Vec<Finding> {
                 (true, false) => "std::error::Error",
                 (true, true) => unreachable!(),
             };
-            push(
-                toks[i].off,
-                Rule::ErrorImpls,
-                format!("public error enum {name} does not implement {missing} in this file"),
-                &mut findings,
-            );
+            diag.emit(ctx, fi, toks[i].off, Rule::ErrorImpls, format!(
+                "public error enum {name} does not implement {missing} in this file"
+            ));
         }
     }
+}
 
-    findings
+/// The crate-root attribute rule: every member's `lib.rs` must carry
+/// `#![forbid(unsafe_code)]` and deny clippy's unwrap/expect lints.
+fn crate_attrs(ctx: &FileCtx<'_>, fi: usize, diag: &mut Diagnostics) {
+    if !ctx.raw.contains("forbid(unsafe_code)") {
+        diag.emit(ctx, fi, 0, Rule::CrateAttrs,
+            "crate root is missing #![forbid(unsafe_code)]".to_string());
+    }
+    if !ctx.raw.contains("clippy::unwrap_used") || !ctx.raw.contains("clippy::expect_used") {
+        diag.emit(ctx, fi, 0, Rule::CrateAttrs,
+            "crate root is missing deny(clippy::unwrap_used, clippy::expect_used)".to_string());
+    }
+}
+
+/// Workspace-wide index for L8: function name → the `*Error` enum its
+/// `Result` return carries. Resolves the per-crate `pub type Result<T>
+/// = std::result::Result<T, XxxError>` aliases and the qualified
+/// `teleios_<crate>::Result` form.
+fn fn_return_index(
+    ctxs: &[FileCtx<'_>],
+    fns: &[Vec<graph::FnDef>],
+) -> HashMap<String, String> {
+    // Every `enum *Error` declared anywhere in the analyzed set.
+    let mut enums: HashSet<&str> = HashSet::new();
+    for ctx in ctxs {
+        for i in 0..ctx.toks.len() {
+            if is_ident(ctx.toks, i, "enum") {
+                if let Some(name) = ident_at(ctx.toks, i + 1) {
+                    if name.ends_with("Error") && name != "Error" {
+                        enums.insert(name);
+                    }
+                }
+            }
+        }
+    }
+    // Per-crate `type X<T> = ... SomeError ...;` aliases.
+    let mut aliases: HashMap<String, HashMap<String, String>> = HashMap::new();
+    for ctx in ctxs {
+        let toks = ctx.toks;
+        for i in 0..toks.len() {
+            if !is_ident(toks, i, "type") {
+                continue;
+            }
+            let Some(name) = ident_at(toks, i + 1) else { continue };
+            let end = stmt_end(toks, i);
+            let mut err: Option<&str> = None;
+            for k in i + 2..end {
+                if let Some(id) = ident_at(toks, k) {
+                    if id.ends_with("Error") && enums.contains(id) {
+                        err = Some(id);
+                    }
+                }
+            }
+            if let Some(e) = err {
+                aliases
+                    .entry(ctx.crate_name.to_string())
+                    .or_default()
+                    .insert(name.to_string(), e.to_string());
+            }
+        }
+    }
+    // Function returns.
+    let mut index = HashMap::new();
+    for (fi, ctx) in ctxs.iter().enumerate() {
+        for f in &fns[fi] {
+            if let Some(err) = return_error(ctx, f, &enums, &aliases) {
+                index.insert(f.name.clone(), err);
+            }
+        }
+    }
+    index
+}
+
+/// The `*Error` type of a function's `Result` return, if any.
+fn return_error(
+    ctx: &FileCtx<'_>,
+    f: &graph::FnDef,
+    enums: &HashSet<&str>,
+    aliases: &HashMap<String, HashMap<String, String>>,
+) -> Option<String> {
+    let toks = ctx.toks;
+    let stop = f.sig_end;
+    // Locate the return arrow at paren/angle depth zero (skipping
+    // `Fn(..) -> ..` bounds inside the parameter list or generics).
+    let mut paren = 0i32;
+    let mut angle = 0i32;
+    let mut arrow = None;
+    let mut j = f.name_idx + 1;
+    while j < stop {
+        match toks[j].kind {
+            TokKind::Punct(b'(') => paren += 1,
+            TokKind::Punct(b')') => paren -= 1,
+            TokKind::Punct(b'<') => angle += 1,
+            TokKind::Punct(b'>') => {
+                if j > 0 && is_punct(toks, j - 1, b'-') {
+                    if paren == 0 && angle == 0 {
+                        arrow = Some(j);
+                        break;
+                    }
+                } else {
+                    angle -= 1;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    let arrow = arrow?;
+    let mut region_end = stop;
+    for k in arrow + 1..stop {
+        if is_ident(toks, k, "where") {
+            region_end = k;
+            break;
+        }
+    }
+    let mut err: Option<String> = None;
+    let mut bare_result = false;
+    let mut qualified_crate: Option<String> = None;
+    for k in arrow + 1..region_end {
+        if let Some(id) = ident_at(toks, k) {
+            if id.ends_with("Error") && enums.contains(id) {
+                err = Some(id.to_string());
+            }
+            if id == "Result" {
+                let path_prev = k >= 2 && is_punct(toks, k - 1, b':') && is_punct(toks, k - 2, b':');
+                if !path_prev {
+                    bare_result = true;
+                } else if let Some(seg) = ident_at(toks, k.checked_sub(3)?) {
+                    if let Some(c) = seg.strip_prefix("teleios_") {
+                        qualified_crate = Some(c.to_string());
+                    }
+                }
+            }
+        }
+    }
+    if err.is_some() {
+        return err;
+    }
+    if bare_result {
+        if let Some(e) = aliases.get(ctx.crate_name).and_then(|m| m.get("Result")) {
+            return Some(e.clone());
+        }
+    }
+    if let Some(c) = qualified_crate {
+        if let Some(e) = aliases.get(&c).and_then(|m| m.get("Result")) {
+            return Some(e.clone());
+        }
+    }
+    None
+}
+
+/// L8 — `let _ = f(..);` and statement-level `expr.f(..).ok();` where
+/// `f` returns `Result<_, *Error>`, outside tests. A top-level `?`
+/// propagates the error, so it exempts the statement.
+fn swallowed_results(
+    ctx: &FileCtx<'_>,
+    fi: usize,
+    index: &HashMap<String, String>,
+    diag: &mut Diagnostics,
+) {
+    let toks = ctx.toks;
+    for i in 0..toks.len() {
+        let off = toks[i].off;
+        if in_test(&ctx.regions, off) {
+            continue;
+        }
+        if is_ident(toks, i, "let") && is_ident(toks, i + 1, "_") && is_punct(toks, i + 2, b'=') {
+            let end = stmt_end(toks, i);
+            if let Some((ci, callee)) = top_level_call(toks, i + 3, end) {
+                if let Some(err) = index.get(callee) {
+                    diag.emit(ctx, fi, toks[ci].off, Rule::SwallowedResult, format!(
+                        "`let _ =` discards Result<_, {err}> from `{callee}`: handle it, propagate with `?`, or justify with an allow marker"
+                    ));
+                }
+            }
+        }
+        if is_punct(toks, i, b'.')
+            && is_ident(toks, i + 1, "ok")
+            && is_punct(toks, i + 2, b'(')
+            && is_punct(toks, i + 3, b')')
+            && is_punct(toks, i + 4, b';')
+        {
+            let start = stmt_start(toks, i);
+            if is_ident(toks, start, "let") || is_ident(toks, start, "return") {
+                continue;
+            }
+            if has_top_level_assign(toks, start, i) {
+                continue;
+            }
+            if let Some(callee) = call_before(toks, i) {
+                if let Some(err) = index.get(callee) {
+                    diag.emit(ctx, fi, toks[i + 1].off, Rule::SwallowedResult, format!(
+                        ".ok() discards Result<_, {err}> from `{callee}` without reading it: handle the error or justify with an allow marker"
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// The last call made at the top level of an expression (the one
+/// whose result the statement yields), or `None` if a top-level `?`
+/// already propagates errors.
+fn top_level_call<'a>(toks: &[Tok<'a>], s: usize, end: usize) -> Option<(usize, &'a str)> {
+    let mut depth = 0i32;
+    let mut last = None;
+    for k in s..end.min(toks.len()) {
+        match toks[k].kind {
+            TokKind::Punct(b'(') | TokKind::Punct(b'[') => depth += 1,
+            TokKind::Punct(b')') | TokKind::Punct(b']') => depth -= 1,
+            TokKind::Punct(b'?') if depth == 0 => return None,
+            TokKind::Ident(id) if depth == 0 && is_punct(toks, k + 1, b'(') => {
+                last = Some((k, id));
+            }
+            _ => {}
+        }
+    }
+    last
+}
+
+/// Is there a bare `=` (assignment, not `==`/`=>`/`<=` etc.) at paren
+/// depth zero in `[s, i)`?
+fn has_top_level_assign(toks: &[Tok<'_>], s: usize, i: usize) -> bool {
+    let mut depth = 0i32;
+    for k in s..i {
+        match toks[k].kind {
+            TokKind::Punct(b'(') | TokKind::Punct(b'[') => depth += 1,
+            TokKind::Punct(b')') | TokKind::Punct(b']') => depth -= 1,
+            TokKind::Punct(b'=') if depth == 0 => {
+                let eq_like = is_punct(toks, k + 1, b'=')
+                    || is_punct(toks, k + 1, b'>')
+                    || (k > 0
+                        && (is_punct(toks, k - 1, b'=')
+                            || is_punct(toks, k - 1, b'!')
+                            || is_punct(toks, k - 1, b'<')
+                            || is_punct(toks, k - 1, b'>')));
+                if !eq_like {
+                    return true;
+                }
+            }
+            _ => {}
+        }
+    }
+    false
+}
+
+/// For `recv.f(args).ok()`: the name of the call whose parens close
+/// just before the `.` at `i`.
+fn call_before<'a>(toks: &[Tok<'a>], i: usize) -> Option<&'a str> {
+    if i == 0 || !is_punct(toks, i - 1, b')') {
+        return None;
+    }
+    let mut depth = 0i32;
+    let mut k = i - 1;
+    loop {
+        if is_punct(toks, k, b')') {
+            depth += 1;
+        } else if is_punct(toks, k, b'(') {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        }
+        if k == 0 {
+            return None;
+        }
+        k -= 1;
+    }
+    ident_at(toks, k.checked_sub(1)?)
 }
 
 #[cfg(test)]
@@ -474,6 +786,28 @@ mod tests {
             rules_hit("fn f() {\n    thread::Builder::new();\n}"),
             vec![(2, Rule::NoThreadSpawn)]
         );
+    }
+
+    #[test]
+    fn l1_sees_through_aliased_imports() {
+        assert_eq!(
+            rules_hit("use std::thread as t;\nfn f() {\n    t::spawn(|| {});\n}"),
+            vec![(3, Rule::NoThreadSpawn)]
+        );
+        assert_eq!(
+            rules_hit("use std::thread::spawn;\nfn f() {\n    spawn(|| {});\n}"),
+            vec![(3, Rule::NoThreadSpawn)]
+        );
+        assert_eq!(
+            rules_hit("use std::thread::spawn as go;\nfn f() {\n    go(|| {});\n}"),
+            vec![(3, Rule::NoThreadSpawn)]
+        );
+        assert_eq!(
+            rules_hit("use std::thread::Builder as B;\nfn f() {\n    B::new();\n}"),
+            vec![(3, Rule::NoThreadSpawn)]
+        );
+        // An unrelated alias named like the std items must not fire.
+        assert!(scan("use crate::jobs::spawn;\nfn f() {\n    spawn(|| {});\n}").is_empty());
     }
 
     #[test]
@@ -544,6 +878,61 @@ mod tests {
     }
 
     #[test]
+    fn l5_sees_through_aliased_imports() {
+        assert_eq!(
+            rules_hit("use std::sync::atomic::Ordering as O;\nfn f(b: &AtomicBool) {\n    b.load(O::Relaxed);\n}"),
+            vec![(3, Rule::NoRelaxed)]
+        );
+        assert_eq!(
+            rules_hit("use std::sync::atomic::Ordering::Relaxed;\nfn f(b: &AtomicBool) {\n    b.load(Relaxed);\n}"),
+            vec![(3, Rule::NoRelaxed)]
+        );
+        // A `Relaxed` not imported from an Ordering is not ours.
+        assert!(scan("use crate::policy::Relaxed;\nfn f() {\n    let _p = Relaxed;\n}").is_empty());
+    }
+
+    #[test]
+    fn l8_swallowed_workspace_result() {
+        let src = "enum DbError { X }\nfn load() -> Result<u8, DbError> { Err(DbError::X) }\nfn f() {\n    let _ = load();\n}";
+        assert_eq!(rules_hit(src), vec![(4, Rule::SwallowedResult)]);
+        let ok_stmt = "enum DbError { X }\nfn load() -> Result<u8, DbError> { Err(DbError::X) }\nfn f(x: &S) {\n    x.load().ok();\n}";
+        assert_eq!(rules_hit(ok_stmt), vec![(4, Rule::SwallowedResult)]);
+    }
+
+    #[test]
+    fn l8_resolves_crate_result_alias() {
+        let src = "enum DbError { X }\ntype Result<T> = std::result::Result<T, DbError>;\nfn load() -> Result<u8> { Err(DbError::X) }\nfn f() {\n    let _ = load();\n}";
+        assert_eq!(rules_hit(src), vec![(5, Rule::SwallowedResult)]);
+    }
+
+    #[test]
+    fn l8_exemptions() {
+        // `?` propagates; binding keeps the value; non-workspace error
+        // types and tests are out of scope.
+        let qmark = "enum DbError { X }\nfn load() -> Result<u8, DbError> { Err(DbError::X) }\nfn g() -> Result<u8, DbError> {\n    let _ = load()?;\n    Ok(0)\n}";
+        assert!(scan(qmark).is_empty());
+        let bound = "enum DbError { X }\nfn load() -> Result<u8, DbError> { Err(DbError::X) }\nfn f() {\n    let v = load().ok();\n    drop(v);\n}";
+        assert!(scan(bound).is_empty());
+        let io = "fn probe() -> Result<u8, std::io::Error> { Ok(0) }\nfn f() {\n    let _ = probe();\n}";
+        assert!(scan(io).is_empty());
+        let test = "enum DbError { X }\nfn load() -> Result<u8, DbError> { Err(DbError::X) }\n#[cfg(test)]\nmod tests {\n    fn t() { let _ = super::load(); }\n}";
+        assert!(scan(test).is_empty());
+    }
+
+    #[test]
+    fn unused_allow_marker_warns() {
+        let stale = "fn f() {\n    // teleios-lint: allow(no-panic) — nothing here panics\n    let x = 1;\n    drop(x);\n}";
+        let f = scan(stale);
+        assert_eq!(f.len(), 1);
+        assert_eq!((f[0].line, f[0].rule), (2, Rule::UnusedAllow));
+        assert_eq!(f[0].severity(), "warning");
+        let unknown = "fn f() {\n    // teleios-lint: allow(no-such-rule)\n}";
+        let f = scan(unknown);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].msg.contains("unknown rule") || f[0].msg.contains("does not name"), "{}", f[0].msg);
+    }
+
+    #[test]
     fn masked_text_never_fires() {
         let src = "fn f() {\n    let _ = \"x.unwrap() println! thread::spawn Ordering::Relaxed\";\n    // panic!(\"in comment\")\n}";
         assert!(scan(src).is_empty());
@@ -555,8 +944,13 @@ mod tests {
         assert!(scan(same).is_empty());
         let above = "fn f() {\n    // teleios-lint: allow(no-panic) — deliberate\n    panic!(\"x\");\n}";
         assert!(scan(above).is_empty());
+        // A marker for the wrong rule suppresses nothing — the real
+        // finding stands and the marker itself is flagged as stale.
         let wrong_rule = "fn f() {\n    // teleios-lint: allow(no-println)\n    panic!(\"x\");\n}";
-        assert_eq!(rules_hit(wrong_rule), vec![(3, Rule::NoPanic)]);
+        assert_eq!(
+            rules_hit(wrong_rule),
+            vec![(2, Rule::UnusedAllow), (3, Rule::NoPanic)]
+        );
     }
 
     #[test]
@@ -569,5 +963,21 @@ mod tests {
     fn finding_display_format() {
         let f = scan("fn f() {\n    panic!(\"x\");\n}");
         assert_eq!(format!("{}", f[0]), "fixture.rs:2:5: [no-panic] panic! in library code: return a typed error instead");
+    }
+
+    #[test]
+    fn crate_attrs_fire_on_roots_only() {
+        let bare = SourceFile {
+            label: "crates/x/src/lib.rs".to_string(),
+            raw: "pub fn f() {}\n".to_string(),
+            crate_name: "x".to_string(),
+            is_crate_root: true,
+            policy: FilePolicy::default(),
+        };
+        let f = analyze(&[bare.clone()]);
+        assert_eq!(f.len(), 2);
+        assert!(f.iter().all(|f| f.rule == Rule::CrateAttrs && f.line == 1 && f.col == 1));
+        let not_root = SourceFile { is_crate_root: false, ..bare };
+        assert!(analyze(&[not_root]).is_empty());
     }
 }

@@ -1,8 +1,9 @@
 //! Workspace walking: enumerate member crates, derive each file's
-//! [`FilePolicy`] from where it lives, run the per-file rules, and
-//! apply the crate-root attribute rule to every member's `lib.rs`.
+//! [`FilePolicy`] from where it lives, and hand the full file set to
+//! [`analyze`] so the cross-file rules (lock-order, cancel-safety,
+//! swallowed-result) see whole crates at once.
 
-use crate::rules::{scan_file, FilePolicy, Finding, Rule};
+use crate::rules::{analyze, FilePolicy, Finding, SourceFile};
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -64,28 +65,6 @@ fn policy_for(crate_name: &str, label: &str) -> FilePolicy {
     }
 }
 
-/// The crate-root attribute rule: every member's `lib.rs` must carry
-/// `#![forbid(unsafe_code)]` and deny clippy's unwrap/expect lints.
-fn check_crate_attrs(label: &str, lib_src: &str) -> Vec<Finding> {
-    let mut missing = Vec::new();
-    if !lib_src.contains("forbid(unsafe_code)") {
-        missing.push("#![forbid(unsafe_code)]");
-    }
-    if !lib_src.contains("clippy::unwrap_used") || !lib_src.contains("clippy::expect_used") {
-        missing.push("deny(clippy::unwrap_used, clippy::expect_used)");
-    }
-    missing
-        .into_iter()
-        .map(|m| Finding {
-            path: label.to_string(),
-            line: 1,
-            col: 1,
-            rule: Rule::CrateAttrs,
-            msg: format!("crate root is missing {m}"),
-        })
-        .collect()
-}
-
 /// A workspace member: its short name and directory.
 struct Member {
     name: String,
@@ -120,18 +99,13 @@ fn members(root: &Path) -> io::Result<Vec<Member>> {
     Ok(out)
 }
 
-/// Scan every member crate's sources and crate roots. Returns sorted
-/// findings (empty means the workspace holds all invariants) plus the
-/// number of files scanned.
+/// Load every member crate's sources and run the full rule set over
+/// them. Returns sorted findings (empty means the workspace holds all
+/// invariants) plus the number of files scanned.
 pub fn scan_workspace(root: &Path) -> io::Result<(Vec<Finding>, usize)> {
-    let mut findings = Vec::new();
-    let mut file_count = 0usize;
+    let mut sources: Vec<SourceFile> = Vec::new();
     for member in members(root)? {
-        let lib = member.dir.join("src").join("lib.rs");
-        if lib.is_file() {
-            let src = fs::read_to_string(&lib)?;
-            findings.extend(check_crate_attrs(&rel_label(root, &lib), &src));
-        }
+        let crate_root = member.dir.join("src").join("lib.rs");
         let mut files = Vec::new();
         collect_rs_files(&member.dir.join("src"), &mut files)?;
         collect_rs_files(&member.dir.join("benches"), &mut files)?;
@@ -144,11 +118,16 @@ pub fn scan_workspace(root: &Path) -> io::Result<(Vec<Finding>, usize)> {
             if member.name == "root" && label.starts_with("crates/") {
                 continue;
             }
-            let src = fs::read_to_string(&file)?;
-            file_count += 1;
-            findings.extend(scan_file(&label, &src, policy_for(&member.name, &label)));
+            let raw = fs::read_to_string(&file)?;
+            sources.push(SourceFile {
+                policy: policy_for(&member.name, &label),
+                is_crate_root: file == crate_root,
+                crate_name: member.name.clone(),
+                label,
+                raw,
+            });
         }
     }
-    findings.sort();
-    Ok((findings, file_count))
+    let file_count = sources.len();
+    Ok((analyze(&sources), file_count))
 }

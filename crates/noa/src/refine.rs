@@ -206,6 +206,7 @@ pub fn features_to_mask(
                 if env.contains_coord(center) && polygon_covers_coord(poly, center) {
                     // r/c are bounded by the rows/cols the array was
                     // built with; a failed set is unreachable.
+                    // teleios-lint: allow(swallowed-result)
                     let _ = out.set(&[r, c], 1.0);
                 }
             }

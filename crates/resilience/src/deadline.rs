@@ -10,10 +10,10 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
-use teleios_exec::CancelToken;
+use teleios_exec::{CancelToken, OrderedMutex};
 use teleios_noa::chain::ChainStage;
 
 /// Per-attempt deadline budgets for supervised chain execution.
@@ -81,7 +81,7 @@ pub(crate) struct InFlightAttempt {
     /// When the attempt started.
     pub started: Instant,
     /// The stage currently executing and when it was entered.
-    stage: Mutex<Option<(ChainStage, Instant)>>,
+    stage: OrderedMutex<Option<(ChainStage, Instant)>>,
 }
 
 impl InFlightAttempt {
@@ -91,20 +91,20 @@ impl InFlightAttempt {
             chain_id: chain_id.to_string(),
             token,
             started: Instant::now(),
-            stage: Mutex::new(None),
+            stage: OrderedMutex::new("deadline.attempt.stage", None),
         }
     }
 
     /// Record that `stage` just started (called from the instrumented
     /// stage hook).
     pub fn enter_stage(&self, stage: ChainStage) {
-        let mut slot = self.stage.lock().unwrap_or_else(|p| p.into_inner());
+        let mut slot = self.stage.lock();
         *slot = Some((stage, Instant::now()));
     }
 
     /// The stage currently executing, if any.
     pub fn current_stage(&self) -> Option<(ChainStage, Instant)> {
-        *self.stage.lock().unwrap_or_else(|p| p.into_inner())
+        *self.stage.lock()
     }
 
     /// Label of the stage running now — the stage a cancellation lands
@@ -118,25 +118,36 @@ impl InFlightAttempt {
 }
 
 /// Registry of in-flight attempts shared between scene workers and the
-/// watchdog. Clones share the same registry.
-#[derive(Debug, Clone, Default)]
+/// watchdog. Clones share the same registry. Its lock is witnessed
+/// ([`OrderedMutex`]), so a debug-build run that ever held the
+/// registry while taking an attempt's stage lock (or vice versa, in
+/// conflicting orders) would surface in the lock-order graph.
+#[derive(Debug, Clone)]
 pub(crate) struct AttemptRegistry {
-    inner: Arc<Mutex<Vec<Arc<InFlightAttempt>>>>,
+    inner: Arc<OrderedMutex<Vec<Arc<InFlightAttempt>>>>,
+}
+
+impl Default for AttemptRegistry {
+    fn default() -> AttemptRegistry {
+        AttemptRegistry {
+            inner: Arc::new(OrderedMutex::new("deadline.registry", Vec::new())),
+        }
+    }
 }
 
 impl AttemptRegistry {
     pub fn register(&self, attempt: Arc<InFlightAttempt>) {
-        let mut list = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        let mut list = self.inner.lock();
         list.push(attempt);
     }
 
     pub fn deregister(&self, attempt: &Arc<InFlightAttempt>) {
-        let mut list = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        let mut list = self.inner.lock();
         list.retain(|a| !Arc::ptr_eq(a, attempt));
     }
 
     fn snapshot(&self) -> Vec<Arc<InFlightAttempt>> {
-        self.inner.lock().unwrap_or_else(|p| p.into_inner()).clone()
+        self.inner.lock().clone()
     }
 }
 
@@ -238,10 +249,16 @@ impl Watchdog {
 /// that variant — jumping straight to the next degraded rung — for
 /// the remainder of the batch. A threshold of zero disables the
 /// breaker. Clones share state (one breaker per batch).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct CircuitBreaker {
-    timeouts: Arc<Mutex<HashMap<String, u32>>>,
+    timeouts: Arc<OrderedMutex<HashMap<String, u32>>>,
     threshold: u32,
+}
+
+impl Default for CircuitBreaker {
+    fn default() -> CircuitBreaker {
+        CircuitBreaker::new(0)
+    }
 }
 
 impl CircuitBreaker {
@@ -249,7 +266,7 @@ impl CircuitBreaker {
     /// timeouts (zero disables it).
     pub fn new(threshold: u32) -> CircuitBreaker {
         CircuitBreaker {
-            timeouts: Arc::new(Mutex::new(HashMap::new())),
+            timeouts: Arc::new(OrderedMutex::new("deadline.breaker", HashMap::new())),
             threshold,
         }
     }
@@ -257,7 +274,7 @@ impl CircuitBreaker {
     /// Record an attempt-level timeout on `chain_id`; returns the
     /// variant's running timeout count.
     pub fn record_timeout(&self, chain_id: &str) -> u32 {
-        let mut map = self.timeouts.lock().unwrap_or_else(|p| p.into_inner());
+        let mut map = self.timeouts.lock();
         let n = map.entry(chain_id.to_string()).or_insert(0);
         *n += 1;
         *n
@@ -268,7 +285,7 @@ impl CircuitBreaker {
         if self.threshold == 0 {
             return false;
         }
-        let map = self.timeouts.lock().unwrap_or_else(|p| p.into_inner());
+        let map = self.timeouts.lock();
         map.get(chain_id).copied().unwrap_or(0) >= self.threshold
     }
 
@@ -277,7 +294,7 @@ impl CircuitBreaker {
         if self.threshold == 0 {
             return Vec::new();
         }
-        let map = self.timeouts.lock().unwrap_or_else(|p| p.into_inner());
+        let map = self.timeouts.lock();
         let mut open: Vec<String> = map
             .iter()
             .filter(|(_, &n)| n >= self.threshold)

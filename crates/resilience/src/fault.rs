@@ -31,8 +31,9 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::{BTreeMap, HashMap};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::Duration;
+use teleios_exec::OrderedMutex;
 use teleios_monet::DbError;
 use teleios_noa::chain::{ChainStage, ProcessingChain, StageHook};
 use teleios_noa::HotspotClassifier;
@@ -239,7 +240,8 @@ impl FaultPlan {
     /// count attempts across supervisor retries.
     pub fn chain_hook(&self) -> StageHook {
         let faults = self.faults.clone();
-        let attempts: Arc<Mutex<HashMap<String, u32>>> = Arc::new(Mutex::new(HashMap::new()));
+        let attempts: Arc<OrderedMutex<HashMap<String, u32>>> =
+            Arc::new(OrderedMutex::new("fault.attempts", HashMap::new()));
         Arc::new(move |id: &str, stage: ChainStage, chain: &ProcessingChain| {
             let Some(fault) = faults.get(id) else {
                 return Ok(());
@@ -267,7 +269,7 @@ impl FaultPlan {
                 }
                 Fault::Transient { failures } => {
                     if stage == ChainStage::Ingest {
-                        let mut seen = attempts.lock().unwrap_or_else(|p| p.into_inner());
+                        let mut seen = attempts.lock();
                         let n = seen.entry(id.to_string()).or_insert(0);
                         *n += 1;
                         if *n <= *failures {

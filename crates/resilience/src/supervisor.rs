@@ -16,7 +16,6 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
-use std::thread;
 use std::time::{Duration, Instant};
 use teleios_exec::{default_threads, CancelToken, PoolStats, WorkerPool};
 use teleios_ingest::raster::GeoRaster;
@@ -396,6 +395,9 @@ impl Supervisor {
     /// timeout circuit is open, as long as a further rung exists (the
     /// last rung is always attempted, so the breaker can never strand
     /// a healthy scene). Never panics, never aborts.
+    /// `cancel` interrupts retry backoff: a batch-deadline (or caller)
+    /// cancellation cuts the pause short and the scene stops retrying,
+    /// so a worker never sits in a plain sleep that outlives the batch.
     fn run_scene_supervised(
         &self,
         catalog: &Catalog,
@@ -404,6 +406,7 @@ impl Supervisor {
         raster: &GeoRaster,
         registry: &AttemptRegistry,
         breaker: &CircuitBreaker,
+        cancel: &CancelToken,
     ) -> SceneReport {
         let primary_id = chain.id();
         let mut rungs: Vec<(String, ProcessingChain)> =
@@ -469,8 +472,25 @@ impl Supervisor {
                         }
                         if try_n + 1 < tries {
                             let pause = self.retry.backoff_for(try_n + 1);
-                            if !pause.is_zero() {
-                                thread::sleep(pause);
+                            if !pause.is_zero() && cancel.sleep_cancellable(pause) {
+                                // Cut short: give the scene up now
+                                // instead of burning more attempts the
+                                // batch no longer wants.
+                                return SceneReport {
+                                    product_id: product_id.to_string(),
+                                    outcome: SceneOutcome::Failed {
+                                        reason: format!(
+                                            "cancelled during retry backoff: {}",
+                                            cancel
+                                                .reason()
+                                                .unwrap_or_else(|| "batch cancelled".to_string())
+                                        ),
+                                    },
+                                    output: None,
+                                    chain_id: primary_id.clone(),
+                                    attempts,
+                                    timed_out_stages,
+                                };
                             }
                         }
                     }
@@ -502,13 +522,15 @@ impl Supervisor {
     ) -> SceneReport {
         let registry = AttemptRegistry::default();
         let breaker = CircuitBreaker::new(self.breaker_threshold);
+        let cancel = CancelToken::new();
         let watchdog = if self.budget.is_unlimited() {
             None
         } else {
             Some(Watchdog::spawn(registry.clone(), self.budget, None))
         };
-        let report = self
-            .run_scene_supervised(catalog, chain, product_id, raster, &registry, &breaker);
+        let report = self.run_scene_supervised(
+            catalog, chain, product_id, raster, &registry, &breaker, &cancel,
+        );
         if let Some(watchdog) = watchdog {
             watchdog.stop();
         }
@@ -556,9 +578,10 @@ impl Supervisor {
                 let catalog = catalog.clone();
                 let registry = registry.clone();
                 let breaker = breaker.clone();
+                let cancel = batch_token.clone();
                 move || {
                     supervisor.run_scene_supervised(
-                        &catalog, &chain, id, raster, &registry, &breaker,
+                        &catalog, &chain, id, raster, &registry, &breaker, &cancel,
                     )
                 }
             })
@@ -686,6 +709,44 @@ mod tests {
         assert_eq!(report.report_for("sup1").unwrap().attempts, 3);
         assert_eq!(report.ok_count(), 2);
         assert_eq!(report.failed_count(), 0);
+    }
+
+    #[test]
+    fn cancellation_interrupts_retry_backoff() {
+        // A pre-cancelled token must cut the (enormous) backoff short
+        // immediately: the scene reports Failed instead of pinning a
+        // worker in a plain sleep the batch deadline can't reach.
+        let mut plan = FaultPlan::new();
+        plan.inject("sup0", Fault::Transient { failures: 5 });
+        let chain = ProcessingChain::operational().with_stage_hook(plan.chain_hook());
+        let supervisor = Supervisor::new(RetryPolicy {
+            max_retries: 3,
+            base_backoff: Duration::from_secs(3600),
+            multiplier_percent: 100,
+            max_backoff: Duration::ZERO,
+        });
+        let cancel = CancelToken::new();
+        cancel.cancel("batch deadline exceeded");
+        let batch = scenes(1);
+        let t0 = Instant::now();
+        let report = supervisor.run_scene_supervised(
+            &Catalog::new(),
+            &chain,
+            "sup0",
+            &batch[0].1,
+            &AttemptRegistry::default(),
+            &CircuitBreaker::new(3),
+            &cancel,
+        );
+        assert!(t0.elapsed() < Duration::from_secs(60), "backoff was not interrupted");
+        assert_eq!(report.attempts, 1);
+        assert!(
+            matches!(&report.outcome, SceneOutcome::Failed { reason }
+                if reason.contains("cancelled during retry backoff")
+                    && reason.contains("batch deadline exceeded")),
+            "{:?}",
+            report.outcome
+        );
     }
 
     #[test]

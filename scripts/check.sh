@@ -11,10 +11,11 @@
 #                              model-checking suite: exhaustive
 #                              interleaving of the exec/cancel races
 #                              (first-wins cancel, reason publication,
-#                              poll wakeup, bounded-queue halt/drain)
-#                              under `--features loom`, bounded by a
-#                              timeout so a scheduler regression fails
-#                              rather than wedges
+#                              poll wakeup, bounded-queue halt/drain,
+#                              watchdog-registry protocol, lock-order
+#                              witness) under `--features loom`,
+#                              bounded by a timeout so a scheduler
+#                              regression fails rather than wedges
 #
 # Run from anywhere inside the repo; requires only the Rust toolchain.
 set -euo pipefail
@@ -43,9 +44,15 @@ if [ "$quick" -eq 1 ]; then
 fi
 
 # Workspace invariants (thread discipline, no panics in library code,
-# error-type contracts, crate-root attributes): see crates/lint.
+# error-type contracts, crate-root attributes, lock-order acyclicity,
+# cancel-safe pool dispatch, no swallowed workspace Results): see
+# crates/lint. The self-test proves each rule still fires at exact
+# positions before the workspace scan is trusted; GitHub annotation
+# output lands findings inline on PR diffs when CI runs this gate.
+echo "==> teleios-lint --self-test"
+cargo run --release -p teleios-lint -- --self-test
 echo "==> teleios-lint"
-cargo run --release -p teleios-lint
+cargo run --release -p teleios-lint -- --format github
 
 echo "==> cargo clippy --workspace --all-targets"
 cargo clippy --workspace --all-targets
