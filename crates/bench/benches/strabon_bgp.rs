@@ -14,7 +14,7 @@ fn bench_bgp(c: &mut Criterion) {
         let mut naive = build_archive(
             n,
             0,
-            StrabonConfig { rdfs_inference: false, optimize_bgp: false, use_spatial_index: true },
+            StrabonConfig { rdfs_inference: false, optimize_bgp: false, use_spatial_index: true, ..StrabonConfig::default() },
         );
         optimized.query(&query).expect("warm");
         naive.query(&query).expect("warm");

@@ -13,7 +13,7 @@ fn bench_spatial_query(c: &mut Criterion) {
         let mut scan = build_archive(
             n,
             8,
-            StrabonConfig { rdfs_inference: false, optimize_bgp: true, use_spatial_index: false },
+            StrabonConfig { rdfs_inference: false, optimize_bgp: true, use_spatial_index: false, ..StrabonConfig::default() },
         );
         // Warm both engines (builds the sidecar once).
         indexed.query(&query).expect("warm");

@@ -21,7 +21,7 @@ fn main() {
         let mut naive = build_archive(
             n,
             0,
-            StrabonConfig { rdfs_inference: false, optimize_bgp: false, use_spatial_index: true },
+            StrabonConfig { rdfs_inference: false, optimize_bgp: false, use_spatial_index: true, ..StrabonConfig::default() },
         );
         let rows = optimized.query(&query).expect("warm").len();
         assert_eq!(rows, naive.query(&query).expect("warm").len(), "results must agree");

@@ -21,7 +21,7 @@ fn main() {
         let mut scan = build_archive(
             n,
             8,
-            StrabonConfig { rdfs_inference: false, optimize_bgp: true, use_spatial_index: false },
+            StrabonConfig { rdfs_inference: false, optimize_bgp: true, use_spatial_index: false, ..StrabonConfig::default() },
         );
         let rows = indexed.query(&query).expect("warm").len();
         assert_eq!(rows, scan.query(&query).expect("warm").len(), "results must agree");

@@ -283,7 +283,7 @@ mod tests {
         let mut slow = build_archive(
             100,
             0,
-            StrabonConfig { rdfs_inference: false, optimize_bgp: false, use_spatial_index: false },
+            StrabonConfig { rdfs_inference: false, optimize_bgp: false, use_spatial_index: false, ..StrabonConfig::default() },
         );
         assert_eq!(fast.query(&q).unwrap().len(), slow.query(&q).unwrap().len());
     }

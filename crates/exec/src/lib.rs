@@ -39,20 +39,31 @@
 //!   ([`LockWitness`]), cross-validating at runtime the acyclicity
 //!   that `teleios-lint`'s L6 rule proves statically from source.
 //!
-//! The `loom` feature swaps the [`CancelToken`]'s atomics and mutex
-//! for the `teleios-loom` modeled primitives so `tests/loom.rs` can
-//! exhaustively interleave the first-wins cancel protocol; it changes
-//! no public API and is never enabled in normal builds
-//! (`scripts/check.sh --full` runs it).
+//! * **Two dispatch policies, one contract** — [`WorkerPool::run`]
+//!   partitions statically (a shared channel in submission order);
+//!   [`WorkerPool::run_stealing`] preloads per-worker [`StealDeque`]s
+//!   and lets idle workers steal, winning on skewed morsel costs. Both
+//!   return results by task index, so every determinism rule above
+//!   applies to either policy and operators can switch via
+//!   [`pool::Dispatch`] without touching their merge discipline.
+//!
+//! The `loom` feature swaps the [`CancelToken`]'s and [`StealDeque`]'s
+//! atomics and mutexes for the `teleios-loom` modeled primitives so
+//! `tests/loom.rs` can exhaustively interleave the first-wins cancel
+//! protocol and the deque's owner/thief races; it changes no public
+//! API and is never enabled in normal builds (`scripts/check.sh
+//! --full` runs it).
 
 pub mod cancel;
 pub mod morsel;
 pub mod ordered_lock;
 pub mod pool;
 pub mod spawn;
+pub mod steal;
 
 pub use cancel::CancelToken;
 pub use morsel::{fixed_morsels, morsels, DEFAULT_MORSEL_CELLS};
 pub use ordered_lock::{LockWitness, OrderedMutex, OrderedMutexGuard};
-pub use pool::{default_threads, PoolStats, WorkerPool};
+pub use pool::{default_threads, Dispatch, PoolStats, WorkerPool};
 pub use spawn::spawn_named;
+pub use steal::{Steal, StealDeque};

@@ -8,10 +8,13 @@
 use std::num::NonZeroUsize;
 use std::ops::Range;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::thread;
 
 use crate::cancel::CancelToken;
 use crate::morsel::morsels;
+use crate::ordered_lock::OrderedMutex;
+use crate::steal::{Steal, StealDeque};
 
 /// Worker count from the environment: `TELEIOS_THREADS` when set to a
 /// positive integer, otherwise [`std::thread::available_parallelism`].
@@ -30,18 +33,57 @@ fn available() -> usize {
     thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
 }
 
-/// Observability for a bounded-queue run: how many workers served the
-/// queue, the queue's capacity, and the peak number of tasks waiting
-/// in the queue (sampled by the producer after each enqueue — the
-/// bounded channel guarantees it never exceeds `queue_capacity`).
+/// Observability for a pool run: how many workers served it, the
+/// bounded queue's capacity and peak depth (static dispatch), and the
+/// steal/execute/idle counters (stealing dispatch).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PoolStats {
     /// Worker threads that served the run (1 = inline on the caller).
     pub workers: usize,
-    /// Capacity of the bounded task queue.
+    /// Capacity of the bounded task queue (0 = unbounded or stealing).
     pub queue_capacity: usize,
-    /// Peak queued-but-not-yet-claimed task count observed.
+    /// Peak queued-but-not-yet-claimed task count observed (sampled by
+    /// the producer after each enqueue — the bounded channel guarantees
+    /// it never exceeds `queue_capacity`). Always 0 under stealing
+    /// dispatch, which has no central queue.
     pub max_queue_depth: usize,
+    /// Tasks that actually executed (cancellation-skipped tasks are
+    /// not counted).
+    pub tasks_executed: usize,
+    /// Executed tasks whose index was stolen from another worker's
+    /// deque rather than popped from the claimant's own. Always 0
+    /// under static dispatch.
+    pub tasks_stolen: usize,
+    /// Idle probe rounds: a worker found every deque empty or
+    /// CAS-contended and yielded before re-probing. Always 0 under
+    /// static dispatch.
+    pub idle_polls: usize,
+}
+
+impl PoolStats {
+    /// Fraction of executed tasks that were stolen — the load-balance
+    /// signal E13b prints per kernel. 0.0 when nothing executed.
+    pub fn steal_ratio(&self) -> f64 {
+        if self.tasks_executed == 0 {
+            0.0
+        } else {
+            self.tasks_stolen as f64 / self.tasks_executed as f64
+        }
+    }
+}
+
+/// How a pool entry point distributes tasks over workers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Dispatch {
+    /// Tasks flow through a shared channel in submission order; each
+    /// worker takes the next one. Fair for uniform costs, but a slow
+    /// task at the tail leaves the other workers idle behind it.
+    Static,
+    /// Tasks are preloaded into per-worker deques; idle workers steal
+    /// from the busiest end of their neighbors' ranges. Wins on skewed
+    /// morsel costs (the default for the strabon probe loops).
+    #[default]
+    Stealing,
 }
 
 /// A morsel-driven worker pool. `Copy` and stateless between calls:
@@ -124,12 +166,16 @@ impl WorkerPool {
     {
         let queue_capacity = queue_capacity.max(1);
         if self.threads <= 1 {
-            let results = tasks
+            let results: Vec<thread::Result<T>> = tasks
                 .into_iter()
                 .map(|f| catch_unwind(AssertUnwindSafe(f)))
                 .collect();
-            let stats =
-                PoolStats { workers: 1, queue_capacity, max_queue_depth: 0 };
+            let stats = PoolStats {
+                workers: 1,
+                queue_capacity,
+                tasks_executed: results.len(),
+                ..PoolStats::default()
+            };
             return (results, stats);
         }
         let (slots, stats) = self.dispatch(tasks, Some(queue_capacity), None);
@@ -165,7 +211,7 @@ impl WorkerPool {
     {
         let queue_capacity = queue_capacity.max(1);
         if self.threads <= 1 {
-            let results = tasks
+            let results: Vec<Option<thread::Result<T>>> = tasks
                 .into_iter()
                 .map(|f| {
                     if cancel.is_cancelled() {
@@ -175,11 +221,138 @@ impl WorkerPool {
                     }
                 })
                 .collect();
-            let stats =
-                PoolStats { workers: 1, queue_capacity, max_queue_depth: 0 };
+            let stats = PoolStats {
+                workers: 1,
+                queue_capacity,
+                tasks_executed: results.iter().filter(|s| s.is_some()).count(),
+                ..PoolStats::default()
+            };
             return (results, stats);
         }
         self.dispatch(tasks, Some(queue_capacity), Some(cancel))
+    }
+
+    /// Run `tasks` under the given [`Dispatch`] policy and return their
+    /// results in task order. [`Dispatch::Static`] is [`Self::run`];
+    /// [`Dispatch::Stealing`] is [`Self::run_stealing`]. Both keep the
+    /// ordered-output contract, so callers can switch policy without
+    /// touching their merge discipline.
+    pub fn run_with<T, F>(&self, dispatch: Dispatch, tasks: Vec<F>) -> Vec<T>
+    where
+        T: Send,
+        F: FnOnce() -> T + Send,
+    {
+        match dispatch {
+            Dispatch::Static => self.run(tasks),
+            Dispatch::Stealing => self.run_stealing(tasks),
+        }
+    }
+
+    /// Run `tasks` on the work-stealing scheduler and return their
+    /// results in task order.
+    ///
+    /// Same contract as [`Self::run`] — results land by task index, a
+    /// panicking task's payload is re-raised choosing the earliest
+    /// failing task, and one thread (or fewer than two tasks) runs
+    /// inline on the caller — but workers claim tasks dynamically:
+    /// each worker owns a preloaded deque of a contiguous index range
+    /// and, once it drains its own, steals from its neighbors. Only
+    /// the *claim order* is dynamic; the output order is not, so the
+    /// `parallel ≡ sequential` property carries over unchanged.
+    pub fn run_stealing<T, F>(&self, tasks: Vec<F>) -> Vec<T>
+    where
+        T: Send,
+        F: FnOnce() -> T + Send,
+    {
+        if self.threads <= 1 || tasks.len() <= 1 {
+            return tasks.into_iter().map(|f| f()).collect();
+        }
+        let (slots, _) = self.dispatch_stealing(tasks, None);
+        let mut out = Vec::with_capacity(slots.len());
+        for slot in slots {
+            match slot {
+                // No cancel token was passed, so every task ran.
+                None => unreachable!("uncancellable stealing run skipped a task"),
+                Some(Ok(v)) => out.push(v),
+                Some(Err(payload)) => resume_unwind(payload),
+            }
+        }
+        out
+    }
+
+    /// Like [`Self::run_stealing`], but returns per-task results
+    /// (`Err` carries a panic payload) in task order plus the run's
+    /// [`PoolStats`] — including the steal/execute/idle counters that
+    /// E13b turns into a steal-ratio column.
+    pub fn try_run_stealing<T, F>(
+        &self,
+        tasks: Vec<F>,
+    ) -> (Vec<thread::Result<T>>, PoolStats)
+    where
+        T: Send,
+        F: FnOnce() -> T + Send,
+    {
+        if self.threads <= 1 || tasks.len() <= 1 {
+            let results: Vec<thread::Result<T>> = tasks
+                .into_iter()
+                .map(|f| catch_unwind(AssertUnwindSafe(f)))
+                .collect();
+            let stats = PoolStats {
+                workers: 1,
+                tasks_executed: results.len(),
+                ..PoolStats::default()
+            };
+            return (results, stats);
+        }
+        let (slots, stats) = self.dispatch_stealing(tasks, None);
+        let results = slots
+            .into_iter()
+            .map(|slot| match slot {
+                Some(outcome) => outcome,
+                // No cancel token was passed, so every task ran.
+                None => unreachable!("uncancellable stealing run skipped a task"),
+            })
+            .collect();
+        (results, stats)
+    }
+
+    /// Like [`Self::try_run_stealing`], but checks `cancel` at every
+    /// claim: once the token fires, workers keep draining the deques
+    /// (claiming is cheap) and skip execution, so skipped tasks come
+    /// back as `None` in their submission-order slot — the same
+    /// drain-don't-finish semantics as
+    /// [`Self::try_run_bounded_cancellable`]. The idle loop a worker
+    /// enters when every deque is contended polls the token via
+    /// [`CancelToken::poll_cancellable`], never a bare sleep, so a
+    /// fired deadline interrupts the spin immediately.
+    pub fn try_run_stealing_cancellable<T, F>(
+        &self,
+        tasks: Vec<F>,
+        cancel: &CancelToken,
+    ) -> (Vec<Option<thread::Result<T>>>, PoolStats)
+    where
+        T: Send,
+        F: FnOnce() -> T + Send,
+    {
+        if self.threads <= 1 || tasks.len() <= 1 {
+            let results: Vec<Option<thread::Result<T>>> = tasks
+                .into_iter()
+                .map(|f| {
+                    if cancel.is_cancelled() {
+                        None
+                    } else {
+                        Some(catch_unwind(AssertUnwindSafe(f)))
+                    }
+                })
+                .collect();
+            let stats = PoolStats {
+                workers: 1,
+                tasks_executed: results.iter().filter(|s| s.is_some()).count(),
+                ..PoolStats::default()
+            };
+            return (results, stats);
+        }
+        self.dispatch_stealing(tasks, Some(cancel))
     }
 
     /// Shared parallel executor. `bound` selects a bounded task queue
@@ -207,11 +380,14 @@ impl WorkerPool {
             crossbeam::channel::unbounded::<(usize, Option<thread::Result<T>>)>();
 
         let mut max_queue_depth = 0usize;
+        let executed = AtomicUsize::new(0);
         let scope_result = crossbeam::thread::scope(|scope| {
             for _ in 0..workers {
                 let task_rx = task_rx.clone();
                 let res_tx = res_tx.clone();
+                let executed = &executed;
                 scope.spawn(move |_| {
+                    let mut ran = 0usize;
                     for (i, task) in task_rx.iter() {
                         // Check between morsels: a claimed-but-not-yet
                         // started task is skipped once the token fires,
@@ -219,12 +395,16 @@ impl WorkerPool {
                         // queued kernel to completion.
                         let outcome = match cancel {
                             Some(token) if token.is_cancelled() => None,
-                            _ => Some(catch_unwind(AssertUnwindSafe(task))),
+                            _ => {
+                                ran += 1;
+                                Some(catch_unwind(AssertUnwindSafe(task)))
+                            }
                         };
                         if res_tx.send((i, outcome)).is_err() {
                             break;
                         }
                     }
+                    executed.fetch_add(ran, Ordering::SeqCst);
                 });
             }
             drop(res_tx);
@@ -256,11 +436,165 @@ impl WorkerPool {
             workers,
             queue_capacity: bound.unwrap_or(0),
             max_queue_depth,
+            tasks_executed: executed.load(Ordering::SeqCst),
+            ..PoolStats::default()
         };
         match scope_result {
             Ok(slots) => (slots, stats),
             // Workers only run caught code; a scope-level panic would
             // mean the channel plumbing itself failed.
+            Err(payload) => resume_unwind(payload),
+        }
+    }
+
+    /// Work-stealing parallel executor. Every task closure is parked
+    /// in a mutex slot; per-worker [`StealDeque`]s are preloaded with
+    /// contiguous morsels of task *indices* (pushed in reverse, so
+    /// each owner pops its range in ascending submission order while
+    /// thieves take the far end). A worker drains its own deque, then
+    /// steals round-robin from its neighbors; since nothing is pushed
+    /// after the preload, a full probe round of `Empty` results is
+    /// stable and the worker can exit. `Retry` (a lost CAS) means work
+    /// may remain: the worker yields — through
+    /// [`CancelToken::poll_cancellable`] when a token is present, so
+    /// the spin stays cancellable — and probes again.
+    ///
+    /// Results come back indexed in submission order; a `None` slot
+    /// means the task was claimed after `cancel` fired and was skipped
+    /// (only possible when `cancel` is `Some`).
+    fn dispatch_stealing<T, F>(
+        &self,
+        tasks: Vec<F>,
+        cancel: Option<&CancelToken>,
+    ) -> (Vec<Option<thread::Result<T>>>, PoolStats)
+    where
+        T: Send,
+        F: FnOnce() -> T + Send,
+    {
+        let n = tasks.len();
+        let workers = self.threads.min(n.max(1));
+        // The deques hand out each index exactly once; taking the
+        // closure out of its slot is a second, independent
+        // exactly-once guarantee (a misbehaving claim would find the
+        // slot already empty rather than run a task twice).
+        let task_slots: Vec<OrderedMutex<Option<F>>> = tasks
+            .into_iter()
+            .map(|f| OrderedMutex::new("pool.steal_task", Some(f)))
+            .collect();
+        let deques: Vec<StealDeque> = morsels(n, workers)
+            .into_iter()
+            .map(|r| {
+                let d = StealDeque::new(r.len());
+                for i in r.rev() {
+                    d.push(i);
+                }
+                d
+            })
+            .collect();
+        let (res_tx, res_rx) =
+            crossbeam::channel::unbounded::<(usize, Option<thread::Result<T>>)>();
+
+        let executed = AtomicUsize::new(0);
+        let stolen = AtomicUsize::new(0);
+        let idle = AtomicUsize::new(0);
+        let scope_result = crossbeam::thread::scope(|scope| {
+            for w in 0..workers {
+                let res_tx = res_tx.clone();
+                let deques = &deques;
+                let task_slots = &task_slots;
+                let executed = &executed;
+                let stolen = &stolen;
+                let idle = &idle;
+                scope.spawn(move |_| {
+                    let mut my_executed = 0usize;
+                    let mut my_stolen = 0usize;
+                    let mut my_idle = 0usize;
+                    loop {
+                        // Claim: own deque first, then round-robin
+                        // steals starting at the next neighbor.
+                        let mut claim = deques[w].pop().map(|i| (i, false));
+                        if claim.is_none() {
+                            let mut contended = false;
+                            for k in 1..workers {
+                                match deques[(w + k) % workers].steal() {
+                                    Steal::Task(i) => {
+                                        claim = Some((i, true));
+                                        break;
+                                    }
+                                    Steal::Retry => contended = true,
+                                    Steal::Empty => {}
+                                }
+                            }
+                            if claim.is_none() {
+                                if !contended {
+                                    // Every deque observed Empty and no
+                                    // pushes can happen: all work is
+                                    // claimed, so this worker is done.
+                                    break;
+                                }
+                                // Lost a CAS race somewhere — work may
+                                // remain. Yield cancellably and probe
+                                // again.
+                                my_idle += 1;
+                                match cancel {
+                                    Some(token) => {
+                                        token.poll_cancellable(1);
+                                    }
+                                    None => thread::yield_now(),
+                                }
+                                continue;
+                            }
+                        }
+                        let Some((i, was_stolen)) = claim else { break };
+                        let Some(task) = task_slots[i].lock().take() else {
+                            // Unreachable: the deque protocol hands out
+                            // each index once. Skipping is still safe.
+                            continue;
+                        };
+                        let outcome = match cancel {
+                            Some(token) if token.is_cancelled() => None,
+                            _ => {
+                                my_executed += 1;
+                                if was_stolen {
+                                    my_stolen += 1;
+                                }
+                                Some(catch_unwind(AssertUnwindSafe(task)))
+                            }
+                        };
+                        if res_tx.send((i, outcome)).is_err() {
+                            break;
+                        }
+                    }
+                    executed.fetch_add(my_executed, Ordering::SeqCst);
+                    stolen.fetch_add(my_stolen, Ordering::SeqCst);
+                    idle.fetch_add(my_idle, Ordering::SeqCst);
+                });
+            }
+            drop(res_tx);
+            // Each of the `n` indices is claimed by exactly one worker
+            // and produces exactly one result message, so the receive
+            // loop ends when the last worker hangs up.
+            let mut slots: Vec<Option<thread::Result<T>>> =
+                (0..n).map(|_| None).collect();
+            for (i, outcome) in res_rx.iter() {
+                if i < slots.len() {
+                    slots[i] = outcome;
+                }
+            }
+            slots
+        });
+
+        let stats = PoolStats {
+            workers,
+            tasks_executed: executed.load(Ordering::SeqCst),
+            tasks_stolen: stolen.load(Ordering::SeqCst),
+            idle_polls: idle.load(Ordering::SeqCst),
+            ..PoolStats::default()
+        };
+        match scope_result {
+            Ok(slots) => (slots, stats),
+            // Workers only run caught code; a scope-level panic would
+            // mean the deque or channel plumbing itself failed.
             Err(payload) => resume_unwind(payload),
         }
     }
@@ -302,7 +636,7 @@ mod tests {
     #[test]
     fn run_reraises_earliest_panic() {
         let pool = WorkerPool::with_threads(4);
-        let tasks: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..8)
+        let tasks: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..8usize)
             .map(|i| {
                 Box::new(move || {
                     if i == 3 {
@@ -423,7 +757,7 @@ mod tests {
         let token = CancelToken::new();
         let ran = AtomicUsize::new(0);
         let fire = token.clone();
-        let tasks: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..64)
+        let tasks: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..64usize)
             .map(|i| {
                 let ran = &ran;
                 let fire = fire.clone();
@@ -445,6 +779,121 @@ mod tests {
         assert!(slots.iter().filter(|s| s.is_some()).count() == executed);
         // Slot 3 definitely completed (it fired the token after running).
         assert!(slots[3].is_some());
+    }
+
+    #[test]
+    fn stealing_results_come_back_in_task_order() {
+        for threads in 1..=8 {
+            let pool = WorkerPool::with_threads(threads);
+            // Skewed costs: early tasks spin longest, so a static split
+            // would leave worker 0 the straggler.
+            let tasks: Vec<_> = (0..50usize)
+                .map(|i| {
+                    move || {
+                        let mut acc = 0u64;
+                        for k in 0..((50 - i) * 200) as u64 {
+                            acc = acc.wrapping_add(k);
+                        }
+                        (i, acc)
+                    }
+                })
+                .collect();
+            let got: Vec<usize> = pool.run_stealing(tasks).into_iter().map(|(i, _)| i).collect();
+            assert_eq!(got, (0..50).collect::<Vec<usize>>(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn stealing_stats_count_every_task_exactly_once() {
+        let pool = WorkerPool::with_threads(4);
+        let tasks: Vec<_> = (0..128).map(|i| move || i).collect();
+        let (results, stats) = pool.try_run_stealing(tasks);
+        assert_eq!(stats.workers, 4);
+        assert_eq!(stats.tasks_executed, 128);
+        assert!(stats.tasks_stolen <= stats.tasks_executed);
+        assert_eq!(stats.queue_capacity, 0, "stealing has no central queue");
+        assert!((0.0..=1.0).contains(&stats.steal_ratio()));
+        let got: Vec<i32> = results.into_iter().map(|r| r.unwrap()).collect();
+        assert_eq!(got, (0..128).collect::<Vec<i32>>());
+    }
+
+    #[test]
+    fn run_stealing_reraises_earliest_panic() {
+        let pool = WorkerPool::with_threads(4);
+        let tasks: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..8usize)
+            .map(|i| {
+                Box::new(move || {
+                    if i == 2 {
+                        panic!("steal boom at 2");
+                    }
+                    if i == 5 {
+                        panic!("steal boom at 5");
+                    }
+                    i
+                }) as Box<dyn FnOnce() -> usize + Send>
+            })
+            .collect();
+        let err = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run_stealing(tasks.into_iter().map(|f| move || f()).collect::<Vec<_>>())
+        }))
+        .expect_err("stealing pool must re-raise the task panic");
+        let msg = err
+            .downcast_ref::<&str>()
+            .copied()
+            .map(str::to_string)
+            .or_else(|| err.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert_eq!(msg, "steal boom at 2");
+    }
+
+    #[test]
+    fn stealing_pre_cancelled_token_skips_every_task() {
+        for threads in [1usize, 4] {
+            let pool = WorkerPool::with_threads(threads);
+            let token = CancelToken::new();
+            token.cancel("batch deadline");
+            let ran = AtomicUsize::new(0);
+            let tasks: Vec<_> = (0..32)
+                .map(|i| {
+                    let ran = &ran;
+                    move || {
+                        ran.fetch_add(1, Ordering::SeqCst);
+                        i
+                    }
+                })
+                .collect();
+            let (slots, stats) = pool.try_run_stealing_cancellable(tasks, &token);
+            assert_eq!(slots.len(), 32, "threads={threads}");
+            assert!(slots.iter().all(Option::is_none), "threads={threads}");
+            assert_eq!(ran.load(Ordering::SeqCst), 0, "threads={threads}");
+            assert_eq!(stats.tasks_executed, 0, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn stealing_cancellable_run_completes_when_token_never_fires() {
+        for threads in [1usize, 4] {
+            let pool = WorkerPool::with_threads(threads);
+            let token = CancelToken::new();
+            let tasks: Vec<_> = (0..20).map(|i| move || i * 2).collect();
+            let (slots, stats) = pool.try_run_stealing_cancellable(tasks, &token);
+            let got: Vec<i32> = slots
+                .into_iter()
+                .map(|s| s.expect("no task skipped").expect("no panic"))
+                .collect();
+            assert_eq!(got, (0..20).map(|i| i * 2).collect::<Vec<i32>>(), "threads={threads}");
+            assert_eq!(stats.tasks_executed, 20, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn run_with_matches_both_policies() {
+        let pool = WorkerPool::with_threads(4);
+        for dispatch in [Dispatch::Static, Dispatch::Stealing] {
+            let tasks: Vec<_> = (0..64).map(|i| move || i + 1).collect();
+            let got = pool.run_with(dispatch, tasks);
+            assert_eq!(got, (1..=64).collect::<Vec<i32>>(), "{dispatch:?}");
+        }
     }
 
     #[test]

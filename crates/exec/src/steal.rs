@@ -1,0 +1,264 @@
+//! Work-stealing deque: a Chase-Lev-style per-worker queue of task
+//! indices.
+//!
+//! Each worker owns one deque, preloaded with a contiguous range of
+//! task indices before any worker starts. The owner pops from the
+//! *bottom* (LIFO — it walks its own range in submission order because
+//! the range is pushed in reverse); idle workers steal from the *top*
+//! (FIFO — they take the far end of the victim's range, minimizing
+//! contention with the owner). The two ends only meet on the last
+//! element, where a compare-and-swap on `top` arbitrates: exactly one
+//! of the racing owner/thief wins the index.
+//!
+//! Two properties make this deque radically simpler than a general
+//! Chase-Lev implementation, and allow it to be written in safe code:
+//!
+//! * **No growth, no wraparound.** The buffer is sized to the task
+//!   count up front and every slot is written once, before workers
+//!   spawn. `top`/`bottom` are plain array indices, not modular
+//!   sequence numbers.
+//! * **Indices, not payloads.** The deque hands out `usize` task
+//!   indices; the closures themselves live in per-task mutex slots
+//!   that the claimant takes from. Even if the index protocol were
+//!   wrong, a task could never run twice — the second claimant would
+//!   find its slot empty.
+//!
+//! Every atomic access is `SeqCst`, matching the `teleios-loom` shim
+//! (which models *all* orderings as `SeqCst`): under
+//! `--features loom` the imports below swap to the modeled atomics and
+//! the owner/thief races become exhaustively checkable interleavings.
+//! The sequential-consistency requirement is real, not an artifact of
+//! the model: under relaxed orderings a thief could read a stale
+//! `bottom` and steal an element the owner already popped. Keeping the
+//! implementation at `SeqCst` keeps the code and its model identical.
+
+#[cfg(feature = "loom")]
+use teleios_loom::sync::atomic::{AtomicUsize, Ordering};
+
+#[cfg(not(feature = "loom"))]
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Outcome of a steal attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal {
+    /// The deque was observed empty. Once every producer has stopped
+    /// pushing (always true in the pool, which preloads), `Empty` is
+    /// stable: the deque will never hold work again.
+    Empty,
+    /// The CAS on `top` lost to a concurrent owner-pop or rival thief.
+    /// The deque may still hold work — probe again.
+    Retry,
+    /// A task index was stolen.
+    Task(usize),
+}
+
+/// A fixed-capacity work-stealing deque of task indices.
+///
+/// The owner preloads with [`StealDeque::push`] (single-threaded,
+/// before sharing), then drains with [`StealDeque::pop`] while any
+/// number of thieves call [`StealDeque::steal`] concurrently. Each
+/// pushed index is returned exactly once across all pops and steals.
+#[derive(Debug)]
+pub struct StealDeque {
+    /// Task indices; slot `i` is written once by `push` and only read
+    /// afterwards, so a racing reader always sees a fully published
+    /// value (the CAS on `top` decides who may *use* it).
+    buf: Vec<AtomicUsize>,
+    /// Index of the oldest live element: thieves advance it by CAS.
+    top: AtomicUsize,
+    /// One past the youngest live element: only the owner moves it.
+    bottom: AtomicUsize,
+}
+
+impl StealDeque {
+    /// An empty deque able to hold `capacity` indices.
+    pub fn new(capacity: usize) -> StealDeque {
+        StealDeque {
+            buf: (0..capacity).map(|_| AtomicUsize::new(0)).collect(),
+            top: AtomicUsize::new(0),
+            bottom: AtomicUsize::new(0),
+        }
+    }
+
+    /// Owner-side push at the bottom. Must only be called before the
+    /// deque is shared with thieves (the pool preloads every deque
+    /// before spawning workers). Pushes beyond capacity are ignored —
+    /// the pool sizes each deque to its exact preload count.
+    pub fn push(&self, index: usize) {
+        let b = self.bottom.load(Ordering::SeqCst);
+        if b >= self.buf.len() {
+            return;
+        }
+        self.buf[b].store(index, Ordering::SeqCst);
+        self.bottom.store(b + 1, Ordering::SeqCst);
+    }
+
+    /// Owner-side pop from the bottom. Returns `None` when the deque
+    /// is empty (or the lone remaining element was lost to a thief).
+    pub fn pop(&self) -> Option<usize> {
+        let b = self.bottom.load(Ordering::SeqCst);
+        if b == 0 {
+            // The owner has consumed its whole range; `bottom` never
+            // grows again (no pushes after sharing), so the deque is
+            // permanently empty for the owner.
+            return None;
+        }
+        let nb = b - 1;
+        // Publish the claim *before* reading `top`: a thief that
+        // observes the old `bottom` afterwards would race us on the
+        // CAS below, never take the element silently.
+        self.bottom.store(nb, Ordering::SeqCst);
+        let t = self.top.load(Ordering::SeqCst);
+        if t > nb {
+            // Thieves emptied the deque under us; restore `bottom`.
+            self.bottom.store(b, Ordering::SeqCst);
+            return None;
+        }
+        let v = self.buf[nb].load(Ordering::SeqCst);
+        if t == nb {
+            // Last element: race any thief for it via the CAS on
+            // `top`. Win or lose, the deque ends empty with
+            // `top == bottom`.
+            let won = self
+                .top
+                .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok();
+            self.bottom.store(b, Ordering::SeqCst);
+            return won.then_some(v);
+        }
+        Some(v)
+    }
+
+    /// Thief-side steal from the top. [`Steal::Retry`] means the CAS
+    /// lost a race and the caller should probe again; [`Steal::Empty`]
+    /// means the deque held nothing at the time of the probe.
+    pub fn steal(&self) -> Steal {
+        let t = self.top.load(Ordering::SeqCst);
+        let b = self.bottom.load(Ordering::SeqCst);
+        if t >= b {
+            return Steal::Empty;
+        }
+        let v = self.buf[t].load(Ordering::SeqCst);
+        if self
+            .top
+            .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+        {
+            Steal::Task(v)
+        } else {
+            Steal::Retry
+        }
+    }
+
+    /// True when the deque currently holds no elements. Racy by
+    /// nature — only meaningful to the owner or after quiescence.
+    pub fn is_empty(&self) -> bool {
+        let t = self.top.load(Ordering::SeqCst);
+        let b = self.bottom.load(Ordering::SeqCst);
+        t >= b
+    }
+}
+
+#[cfg(all(test, not(feature = "loom")))]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::{AtomicUsize as StdAtomicUsize, Ordering as StdOrdering};
+
+    #[test]
+    fn owner_pops_in_reverse_push_order() {
+        let d = StealDeque::new(4);
+        for i in 0..4 {
+            d.push(i);
+        }
+        assert_eq!(d.pop(), Some(3));
+        assert_eq!(d.pop(), Some(2));
+        assert_eq!(d.pop(), Some(1));
+        assert_eq!(d.pop(), Some(0));
+        assert_eq!(d.pop(), None);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn thief_steals_oldest_first() {
+        let d = StealDeque::new(3);
+        for i in 10..13 {
+            d.push(i);
+        }
+        assert_eq!(d.steal(), Steal::Task(10));
+        assert_eq!(d.steal(), Steal::Task(11));
+        assert_eq!(d.steal(), Steal::Task(12));
+        assert_eq!(d.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn pop_and_steal_partition_the_elements() {
+        let d = StealDeque::new(6);
+        for i in 0..6 {
+            d.push(i);
+        }
+        let mut seen = HashSet::new();
+        assert!(seen.insert(d.pop().unwrap())); // 5
+        match d.steal() {
+            Steal::Task(v) => assert!(seen.insert(v)), // 0
+            other => panic!("expected a task, got {other:?}"),
+        }
+        while let Some(v) = d.pop() {
+            assert!(seen.insert(v), "duplicate pop of {v}");
+        }
+        assert_eq!(seen, (0..6).collect::<HashSet<usize>>());
+        assert_eq!(d.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn empty_deque_reports_empty_everywhere() {
+        let d = StealDeque::new(0);
+        assert_eq!(d.pop(), None);
+        assert_eq!(d.steal(), Steal::Empty);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn overflow_pushes_are_ignored() {
+        let d = StealDeque::new(2);
+        d.push(1);
+        d.push(2);
+        d.push(3); // beyond capacity: dropped
+        assert_eq!(d.pop(), Some(2));
+        assert_eq!(d.pop(), Some(1));
+        assert_eq!(d.pop(), None);
+    }
+
+    #[test]
+    fn concurrent_owner_and_thieves_claim_each_index_once() {
+        const N: usize = 10_000;
+        let d = StealDeque::new(N);
+        for i in 0..N {
+            d.push(i);
+        }
+        let claims: Vec<StdAtomicUsize> =
+            (0..N).map(|_| StdAtomicUsize::new(0)).collect();
+        crossbeam::thread::scope(|scope| {
+            let deque = &d;
+            let claims = &claims;
+            for _ in 0..3 {
+                scope.spawn(move |_| loop {
+                    match deque.steal() {
+                        Steal::Task(v) => {
+                            claims[v].fetch_add(1, StdOrdering::SeqCst);
+                        }
+                        Steal::Retry => {}
+                        Steal::Empty => break,
+                    }
+                });
+            }
+            while let Some(v) = d.pop() {
+                claims[v].fetch_add(1, StdOrdering::SeqCst);
+            }
+        })
+        .expect("scope");
+        for (i, c) in claims.iter().enumerate() {
+            assert_eq!(c.load(StdOrdering::SeqCst), 1, "index {i} claim count");
+        }
+    }
+}

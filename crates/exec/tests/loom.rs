@@ -34,9 +34,21 @@
 //!    witness's plain-`std` bookkeeping records both: every schedule
 //!    yields the same single edge, no cycle, and no leaked hold — the
 //!    witness itself is race-free.
+//! 7. **Deque last-element owner/thief race** — `StealDeque::pop`
+//!    decrements bottom while a thief CASes top on the same single
+//!    element: in every schedule exactly one side claims it and the
+//!    deque ends empty (the classic Chase-Lev double-claim hazard).
+//! 8. **Two thieves, one element** — two racing `steal` loops: the
+//!    top CAS arbitrates, exactly one thief gets `Task`, the loser's
+//!    `Retry` resolves to `Empty` on re-probe.
+//! 9. **Cancellable steal spin** — the worker probe loop of
+//!    `dispatch_stealing`: `Retry` yields through
+//!    [`CancelToken::poll_cancellable`], so a fired deadline always
+//!    breaks the spin, and a cancel-exit never strands the element
+//!    (a lost CAS implies the rival claimed it).
 #![cfg(feature = "loom")]
 
-use teleios_exec::{CancelToken, LockWitness, OrderedMutex};
+use teleios_exec::{CancelToken, LockWitness, OrderedMutex, Steal, StealDeque};
 use teleios_loom::sync::{Arc, Mutex};
 use teleios_loom::thread;
 
@@ -273,6 +285,113 @@ fn lock_witness_sees_an_inversion_the_schedule_survived() {
         let cycles = witness.cycles();
         assert_eq!(cycles.len(), 1, "inversion not witnessed: {cycles:?}");
         assert!(witness.nothing_held());
+    });
+}
+
+#[test]
+fn deque_last_element_owner_vs_thief() {
+    // The Chase-Lev double-claim hazard: the owner pops the last
+    // element (decrementing bottom) while a thief CASes top for the
+    // same slot. In every schedule exactly one side must win.
+    teleios_loom::model(|| {
+        let deque = Arc::new(StealDeque::new(1));
+        deque.push(42);
+        let thief_deque = Arc::clone(&deque);
+        let thief = thread::spawn(move || loop {
+            match thief_deque.steal() {
+                Steal::Task(v) => return Some(v),
+                Steal::Empty => return None,
+                // A lost CAS means top moved: someone claimed the
+                // element — the re-probe resolves to Empty.
+                Steal::Retry => {}
+            }
+        });
+        let popped = deque.pop();
+        let stolen = thief.join().unwrap();
+        match (popped, stolen) {
+            (Some(v), None) | (None, Some(v)) => assert_eq!(v, 42),
+            (Some(_), Some(_)) => panic!("last element claimed twice"),
+            (None, None) => panic!("last element vanished unclaimed"),
+        }
+        assert!(deque.is_empty(), "deque must end empty");
+        assert_eq!(deque.pop(), None);
+    });
+}
+
+#[test]
+fn deque_two_thieves_race_one_element() {
+    // Two racing steal loops over a single element: the top CAS is
+    // the sole arbiter, so exactly one thief gets Task and the other
+    // ends on Empty after its Retry.
+    teleios_loom::model(|| {
+        let deque = Arc::new(StealDeque::new(1));
+        deque.push(9);
+        let thieves: Vec<_> = (0..2)
+            .map(|_| {
+                let deque = Arc::clone(&deque);
+                thread::spawn(move || loop {
+                    match deque.steal() {
+                        Steal::Task(v) => return Some(v),
+                        Steal::Empty => return None,
+                        Steal::Retry => {}
+                    }
+                })
+            })
+            .collect();
+        let claims: Vec<usize> = thieves
+            .into_iter()
+            .filter_map(|h| h.join().unwrap())
+            .collect();
+        assert_eq!(claims, vec![9], "exactly one thief claims the element");
+        assert!(deque.is_empty());
+    });
+}
+
+#[test]
+fn steal_loop_cancellation_is_observed() {
+    // The worker probe loop of dispatch_stealing, raced against a
+    // rival thief and a canceller: Retry yields through
+    // poll_cancellable, so a fired deadline breaks the spin — and
+    // because Retry implies a lost CAS (the rival advanced top), a
+    // cancel-exit can never strand the element unclaimed.
+    teleios_loom::model(|| {
+        let deque = Arc::new(StealDeque::new(1));
+        deque.push(5);
+        let token = CancelToken::new();
+        let rival_deque = Arc::clone(&deque);
+        let rival = thread::spawn(move || loop {
+            match rival_deque.steal() {
+                Steal::Task(v) => return Some(v),
+                Steal::Empty => return None,
+                Steal::Retry => {}
+            }
+        });
+        let canceller = token.clone();
+        let tc = thread::spawn(move || {
+            canceller.cancel("deadline");
+        });
+        let mut cancelled_out = false;
+        let mine = loop {
+            match deque.steal() {
+                Steal::Task(v) => break Some(v),
+                Steal::Empty => break None,
+                Steal::Retry => {
+                    if token.poll_cancellable(1) {
+                        cancelled_out = true;
+                        break None;
+                    }
+                }
+            }
+        };
+        let rivals = rival.join().unwrap();
+        tc.join().unwrap();
+        let claims = [mine, rivals].iter().flatten().count();
+        assert_eq!(claims, 1, "the element is claimed exactly once in every schedule");
+        if cancelled_out {
+            assert!(token.is_cancelled(), "cancel-exit without a published cancel");
+            assert_eq!(rivals, Some(5), "a lost CAS means the rival holds the element");
+        }
+        assert!(deque.is_empty());
     });
 }
 

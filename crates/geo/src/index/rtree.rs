@@ -12,9 +12,15 @@
 use crate::coord::{Coord, Envelope};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use teleios_exec::WorkerPool;
 
 const MAX_ENTRIES: usize = 16;
 const MIN_ENTRIES: usize = 4;
+
+/// Entry count below which [`RTree::bulk_load_with`] delegates to the
+/// serial [`RTree::bulk_load`]: under this size the sorts are too
+/// cheap to amortize task setup.
+pub const PAR_BULK_LOAD_THRESHOLD: usize = 4096;
 
 #[derive(Debug, Clone)]
 enum Node<T> {
@@ -92,70 +98,69 @@ impl<T> RTree<T> {
         }
         // STR: sort by centre x, slice into vertical strips, sort each
         // strip by centre y, pack runs of MAX_ENTRIES into leaves.
-        items.sort_by(|a, b| {
-            a.0.center()
-                .x
-                .partial_cmp(&b.0.center().x)
-                .unwrap_or(Ordering::Equal)
-        });
-        let leaf_count = len.div_ceil(MAX_ENTRIES);
-        let strip_count = (leaf_count as f64).sqrt().ceil() as usize;
-        let per_strip = len.div_ceil(strip_count);
+        items.sort_by(cmp_center_x);
+        let (_, per_strip) = str_strip_layout(len);
+        let mut leaves: Vec<Node<T>> = Vec::with_capacity(len.div_ceil(MAX_ENTRIES));
+        for mut strip in chunk_every(items, per_strip) {
+            strip.sort_by(cmp_center_y);
+            leaves.extend(pack_leaves(strip));
+        }
+        RTree { root: pack_upward(leaves), len }
+    }
 
-        let mut leaves: Vec<Node<T>> = Vec::with_capacity(leaf_count);
-        let mut iter = items.into_iter().peekable();
-        while iter.peek().is_some() {
-            let mut strip: Vec<(Envelope, T)> = Vec::with_capacity(per_strip);
-            for _ in 0..per_strip {
-                match iter.next() {
-                    Some(it) => strip.push(it),
-                    None => break,
-                }
-            }
-            strip.sort_by(|a, b| {
-                a.0.center()
-                    .y
-                    .partial_cmp(&b.0.center().y)
-                    .unwrap_or(Ordering::Equal)
-            });
-            let mut strip_iter = strip.into_iter().peekable();
-            while strip_iter.peek().is_some() {
-                let mut entries = Vec::with_capacity(MAX_ENTRIES);
-                for _ in 0..MAX_ENTRIES {
-                    match strip_iter.next() {
-                        Some(it) => entries.push(it),
-                        None => break,
-                    }
-                }
-                let mut leaf = Node::Leaf { env: Envelope::EMPTY, entries };
-                leaf.recompute_env();
-                leaves.push(leaf);
-            }
+    /// Bulk-load entries with STR packing, parallelizing the two sort
+    /// passes on `pool`'s work-stealing scheduler.
+    ///
+    /// Produces the same tree as [`RTree::bulk_load`]: the x-sort runs
+    /// as per-chunk stable sorts merged with ties favoring the earlier
+    /// chunk (chunks are contiguous input ranges, so the merge
+    /// reproduces the global stable sort), and the per-strip y-sort +
+    /// leaf packing runs one strip per task with results concatenated
+    /// in strip order. Inputs below [`PAR_BULK_LOAD_THRESHOLD`] — or a
+    /// one-thread pool — take the serial path directly.
+    pub fn bulk_load_with(pool: &WorkerPool, items: Vec<(Envelope, T)>) -> Self
+    where
+        T: Send,
+    {
+        let len = items.len();
+        if pool.threads() <= 1 || len < PAR_BULK_LOAD_THRESHOLD {
+            return Self::bulk_load(items);
         }
-        // Pack upward until a single root remains.
-        let mut level = leaves;
-        while level.len() > 1 {
-            let mut next: Vec<Node<T>> = Vec::with_capacity(level.len().div_ceil(MAX_ENTRIES));
-            let mut iter = level.into_iter().peekable();
-            while iter.peek().is_some() {
-                let mut children = Vec::with_capacity(MAX_ENTRIES);
-                for _ in 0..MAX_ENTRIES {
-                    match iter.next() {
-                        Some(n) => children.push(n),
-                        None => break,
+        // Parallel stable x-sort: contiguous chunks, one per worker.
+        let chunk = len.div_ceil(pool.threads());
+        let sorted: Vec<Vec<(Envelope, T)>> = pool.run_stealing(
+            chunk_every(items, chunk)
+                .into_iter()
+                .map(|mut c| {
+                    move || {
+                        c.sort_by(cmp_center_x);
+                        c
                     }
-                }
-                let mut inner = Node::Inner { env: Envelope::EMPTY, children };
-                inner.recompute_env();
-                next.push(inner);
-            }
-            level = next;
-        }
-        // `level` always holds exactly one root here; an empty level
-        // (impossible: the empty-input case returned early) falls back
-        // to an empty leaf.
-        let root = level.pop().unwrap_or(Node::Leaf { env: Envelope::EMPTY, entries: Vec::new() });
-        RTree { root, len }
+                })
+                .collect(),
+        );
+        let items = merge_by_center_x(sorted);
+        // Parallel strips: y-sort + leaf packing per strip, one strip
+        // per task (stealing absorbs the short final strip).
+        let (_, per_strip) = str_strip_layout(len);
+        let leaves: Vec<Node<T>> = pool
+            .run_stealing(
+                chunk_every(items, per_strip)
+                    .into_iter()
+                    .map(|mut strip| {
+                        move || {
+                            strip.sort_by(cmp_center_y);
+                            pack_leaves(strip)
+                        }
+                    })
+                    .collect(),
+            )
+            .into_iter()
+            .flatten()
+            .collect();
+        // The upward pack touches only ~len/16 nodes per level; serial
+        // is already memory-bound here.
+        RTree { root: pack_upward(leaves), len }
     }
 
     /// Insert one entry (Guttman insertion with quadratic split).
@@ -287,6 +292,107 @@ impl<T> RTree<T> {
         }
         h
     }
+}
+
+/// STR layout for `len` entries: `(strip_count, per_strip)`.
+fn str_strip_layout(len: usize) -> (usize, usize) {
+    let leaf_count = len.div_ceil(MAX_ENTRIES);
+    let strip_count = (leaf_count as f64).sqrt().ceil() as usize;
+    let per_strip = len.div_ceil(strip_count.max(1));
+    (strip_count, per_strip.max(1))
+}
+
+/// Centre-x comparator used by the STR outer sort. Incomparable keys
+/// (NaN centres) tie, which a stable sort leaves in input order.
+fn cmp_center_x<T>(a: &(Envelope, T), b: &(Envelope, T)) -> Ordering {
+    a.0.center().x.partial_cmp(&b.0.center().x).unwrap_or(Ordering::Equal)
+}
+
+/// Centre-y comparator used by the per-strip inner sort.
+fn cmp_center_y<T>(a: &(Envelope, T), b: &(Envelope, T)) -> Ordering {
+    a.0.center().y.partial_cmp(&b.0.center().y).unwrap_or(Ordering::Equal)
+}
+
+/// Split `items` into owned runs of `size` (the last may be shorter),
+/// preserving order. Owned (rather than borrowed) runs let the
+/// parallel bulk load move each run into its task.
+fn chunk_every<E>(items: Vec<E>, size: usize) -> Vec<Vec<E>> {
+    let size = size.max(1);
+    let mut out = Vec::with_capacity(items.len().div_ceil(size).max(1));
+    let mut rest = items;
+    while rest.len() > size {
+        let tail = rest.split_off(size);
+        out.push(std::mem::replace(&mut rest, tail));
+    }
+    if !rest.is_empty() {
+        out.push(rest);
+    }
+    out
+}
+
+/// Merge chunks that are each sorted by [`cmp_center_x`] into one
+/// sorted run. Ties — and NaN centres, which compare as ties — pick
+/// the earliest chunk; since chunks are contiguous input ranges this
+/// reproduces the global stable sort exactly.
+fn merge_by_center_x<T>(chunks: Vec<Vec<(Envelope, T)>>) -> Vec<(Envelope, T)> {
+    let total = chunks.iter().map(Vec::len).sum();
+    let mut iters: Vec<_> = chunks.into_iter().map(|c| c.into_iter().peekable()).collect();
+    let mut out: Vec<(Envelope, T)> = Vec::with_capacity(total);
+    loop {
+        let mut best: Option<(usize, f64)> = None;
+        for (m, it) in iters.iter_mut().enumerate() {
+            if let Some((env, _)) = it.peek() {
+                let x = env.center().x;
+                best = match best {
+                    Some((bm, bx)) if x.partial_cmp(&bx) != Some(Ordering::Less) => {
+                        Some((bm, bx))
+                    }
+                    _ => Some((m, x)),
+                };
+            }
+        }
+        match best {
+            Some((m, _)) => {
+                if let Some(item) = iters[m].next() {
+                    out.push(item);
+                }
+            }
+            None => break,
+        }
+    }
+    out
+}
+
+/// Pack a y-sorted strip into STR leaves of up to `MAX_ENTRIES`.
+fn pack_leaves<T>(strip: Vec<(Envelope, T)>) -> Vec<Node<T>> {
+    chunk_every(strip, MAX_ENTRIES)
+        .into_iter()
+        .map(|entries| {
+            let mut leaf = Node::Leaf { env: Envelope::EMPTY, entries };
+            leaf.recompute_env();
+            leaf
+        })
+        .collect()
+}
+
+/// Pack a level of nodes upward until a single root remains. An empty
+/// input (impossible from the bulk-load paths, which early-return on
+/// empty) falls back to an empty leaf.
+fn pack_upward<T>(leaves: Vec<Node<T>>) -> Node<T> {
+    let mut level = leaves;
+    while level.len() > 1 {
+        level = chunk_every(level, MAX_ENTRIES)
+            .into_iter()
+            .map(|children| {
+                let mut inner = Node::Inner { env: Envelope::EMPTY, children };
+                inner.recompute_env();
+                inner
+            })
+            .collect();
+    }
+    level
+        .pop()
+        .unwrap_or(Node::Leaf { env: Envelope::EMPTY, entries: Vec::new() })
 }
 
 fn collect_entries<T, F: FnMut(&Envelope, &T)>(node: &Node<T>, f: &mut F) {
@@ -630,6 +736,77 @@ mod tests {
         let t = RTree::bulk_load(grid(4000));
         // 4000 entries at fanout 16: height 3 (16^3 = 4096).
         assert!(t.height() <= 4, "height was {}", t.height());
+    }
+
+    #[test]
+    fn parallel_bulk_load_matches_serial_structure() {
+        // Grid data has heavy centre-x ties (100 columns), stressing
+        // the tie-stability of the chunk merge.
+        let items = grid(10_000);
+        let serial = RTree::bulk_load(items.clone());
+        for threads in [2usize, 3, 4, 8] {
+            let pool = WorkerPool::with_threads(threads);
+            let par = RTree::bulk_load_with(&pool, items.clone());
+            assert_eq!(par.len(), serial.len(), "threads={threads}");
+            assert_eq!(par.height(), serial.height(), "threads={threads}");
+            // Identical tree structure implies identical traversal
+            // order, not just an equal entry set.
+            let mut a = Vec::new();
+            serial.for_each(|_, &v| a.push(v));
+            let mut b = Vec::new();
+            par.for_each(|_, &v| b.push(v));
+            assert_eq!(a, b, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_bulk_load_answers_same_window_queries() {
+        let mut state = 7u64;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 1000) as f64 / 10.0
+        };
+        let items: Vec<(Envelope, usize)> = (0..6000)
+            .map(|i| {
+                let x = next();
+                let y = next();
+                let w = next() / 20.0;
+                let h = next() / 20.0;
+                (Envelope::new(Coord::new(x, y), Coord::new(x + w, y + h)), i)
+            })
+            .collect();
+        let serial = RTree::bulk_load(items.clone());
+        let pool = WorkerPool::with_threads(4);
+        let par = RTree::bulk_load_with(&pool, items.clone());
+        for (x0, y0, x1, y1) in
+            [(0.0, 0.0, 25.0, 25.0), (40.0, 10.0, 70.0, 30.0), (90.0, 90.0, 100.0, 100.0)]
+        {
+            let q = Envelope::new(Coord::new(x0, y0), Coord::new(x1, y1));
+            let mut a: Vec<usize> = serial.query(&q).into_iter().copied().collect();
+            let mut b: Vec<usize> = par.query(&q).into_iter().copied().collect();
+            let mut scan: Vec<usize> = items
+                .iter()
+                .filter(|(e, _)| e.intersects(&q))
+                .map(|(_, i)| *i)
+                .collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            scan.sort_unstable();
+            assert_eq!(a, scan);
+            assert_eq!(b, scan);
+        }
+    }
+
+    #[test]
+    fn parallel_bulk_load_below_threshold_takes_serial_path() {
+        let items = grid(100); // < PAR_BULK_LOAD_THRESHOLD
+        let pool = WorkerPool::with_threads(8);
+        let par = RTree::bulk_load_with(&pool, items.clone());
+        let serial = RTree::bulk_load(items);
+        assert_eq!(par.height(), serial.height());
+        assert_eq!(par.len(), serial.len());
     }
 
     #[test]

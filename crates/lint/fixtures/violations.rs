@@ -162,3 +162,32 @@ pub fn decoy_question_mark() -> Result<u8, FixtureError> {
     let _ = fixture_fallible()?;
     Ok(0)
 }
+
+// ---- L7/L5 through the stealing scheduler; plus stealing decoys ----
+
+pub fn l7_blocking_stealing_dispatch(pool: &FixturePool) {
+    pool.run_stealing(|| {
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    });
+}
+
+pub fn l5_steal_deque_relaxed(top: &std::sync::atomic::AtomicUsize) -> usize {
+    top.load(std::sync::atomic::Ordering::Relaxed)
+}
+
+// ---- decoys: stealing-era calls that must stay silent ----
+
+pub fn decoy_cancellable_stealing(pool: &FixturePool, token: &FixtureToken) {
+    pool.try_run_stealing_cancellable(
+        || {
+            token.sleep_cancellable(std::time::Duration::from_millis(1));
+        },
+        token,
+    );
+}
+
+pub fn decoy_non_pool_run_with(chain: &FixtureChain) {
+    chain.run_with(|| {
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    });
+}

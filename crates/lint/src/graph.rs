@@ -473,10 +473,17 @@ fn dispatch_at(
         return None;
     }
     let is_dispatch = match m {
-        "try_run_bounded" | "try_run_bounded_cancellable" => true,
-        // `.run(..)` is a dispatch only on a pool-ish receiver —
-        // `chain.run(..)` and friends are ordinary calls.
-        "run" => receiver_name(toks, i).is_some_and(|r| r.to_lowercase().contains("pool")),
+        "try_run_bounded"
+        | "try_run_bounded_cancellable"
+        | "run_stealing"
+        | "try_run_stealing"
+        | "try_run_stealing_cancellable" => true,
+        // `.run(..)` / `.run_with(..)` are dispatches only on a
+        // pool-ish receiver — `chain.run(..)` and friends are
+        // ordinary calls.
+        "run" | "run_with" => {
+            receiver_name(toks, i).is_some_and(|r| r.to_lowercase().contains("pool"))
+        }
         _ => false,
     };
     if !is_dispatch {

@@ -71,6 +71,8 @@ pub const FIXTURE_EXPECTED: &[(usize, usize, Rule)] = &[
     (122, 13, Rule::SwallowedResult),
     (126, 21, Rule::SwallowedResult),
     (138, 5, Rule::UnusedAllow),
+    (170, 14, Rule::CancelSafety),
+    (175, 33, Rule::NoRelaxed),
 ];
 
 /// Run the full analysis over the embedded fixture (as its own crate

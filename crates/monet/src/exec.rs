@@ -542,10 +542,14 @@ pub fn hash_join(
 ///
 /// Both phases are morsel-parallel yet bit-identical to the
 /// sequential join: the build side is partitioned into ordered
-/// morsels whose local hash tables merge in morsel order (so every
-/// key's RowId list stays ascending, as the sequential build
-/// produces), and probe morsels emit `(build, probe)` row pairs that
-/// concatenate in morsel order (the sequential probe order).
+/// morsels whose local hash tables hash-partition their keys, and the
+/// per-partition maps merge in parallel on the work-stealing
+/// scheduler — each partition merging its morsels in morsel order, so
+/// every key's RowId list stays ascending, exactly as the sequential
+/// build produces. Probe morsels emit `(build, probe)` row pairs that
+/// concatenate in morsel order (the sequential probe order). The
+/// partition count never changes which rows match, only which of the
+/// disjoint maps holds a key.
 pub fn hash_join_with(
     pool: &WorkerPool,
     left: &Chunk,
@@ -562,41 +566,70 @@ pub fn hash_join_with(
         };
 
     let build_n = build.num_rows();
-    let mut ht: HashMap<HashableValue, Vec<RowId>> = HashMap::new();
-    if pool.threads() <= 1 || build_n < PAR_ROW_THRESHOLD {
+    let nparts =
+        if pool.threads() <= 1 || build_n < PAR_ROW_THRESHOLD { 1 } else { pool.threads() };
+    let mut ht: Vec<HashMap<HashableValue, Vec<RowId>>> =
+        (0..nparts).map(|_| HashMap::new()).collect();
+    if nparts == 1 {
         for i in 0..build_n {
             let k = eval_expr(build, i, build_key)?;
             if k.is_null() {
                 continue;
             }
-            ht.entry(HashableValue(k)).or_default().push(i as RowId);
+            ht[0].entry(HashableValue(k)).or_default().push(i as RowId);
         }
     } else {
-        let partials: Vec<Result<HashMap<HashableValue, Vec<RowId>>>> = pool.run(
+        // Each morsel builds nparts disjoint key-partitioned maps.
+        let partials: Vec<Result<Vec<HashMap<HashableValue, Vec<RowId>>>>> = pool.run(
             pool.morsels_for(build_n)
                 .into_iter()
                 .map(|r| {
                     move || {
-                        let mut local: HashMap<HashableValue, Vec<RowId>> =
-                            HashMap::new();
+                        let mut local: Vec<HashMap<HashableValue, Vec<RowId>>> =
+                            (0..nparts).map(|_| HashMap::new()).collect();
                         for i in r {
                             let k = eval_expr(build, i, build_key)?;
                             if k.is_null() {
                                 continue;
                             }
-                            local.entry(HashableValue(k)).or_default().push(i as RowId);
+                            let hk = HashableValue(k);
+                            let p = partition_of(&hk, nparts);
+                            local[p].entry(hk).or_default().push(i as RowId);
                         }
                         Ok(local)
                     }
                 })
                 .collect(),
         );
-        // Merge in morsel order: per-key row ids stay ascending.
+        // Transpose [morsel][partition] -> per-partition morsel lists,
+        // preserving morsel order within each partition.
+        let mut by_part: Vec<Vec<HashMap<HashableValue, Vec<RowId>>>> =
+            (0..nparts).map(|_| Vec::new()).collect();
         for partial in partials {
-            for (k, mut rids) in partial? {
-                ht.entry(k).or_default().append(&mut rids);
+            for (p, map) in partial?.into_iter().enumerate() {
+                by_part[p].push(map);
             }
         }
+        // Merge each partition independently on the stealing scheduler:
+        // skewed key distributions make partition costs uneven, which
+        // is exactly where stealing beats a static split. Merging in
+        // morsel order keeps per-key row ids ascending.
+        ht = pool.run_stealing(
+            by_part
+                .into_iter()
+                .map(|maps| {
+                    move || {
+                        let mut part: HashMap<HashableValue, Vec<RowId>> = HashMap::new();
+                        for m in maps {
+                            for (k, mut rids) in m {
+                                part.entry(k).or_default().append(&mut rids);
+                            }
+                        }
+                        part
+                    }
+                })
+                .collect(),
+        );
     }
 
     let probe_n = probe.num_rows();
@@ -608,7 +641,8 @@ pub fn hash_join_with(
             if k.is_null() {
                 continue;
             }
-            if let Some(matches) = ht.get(&HashableValue(k)) {
+            let hk = HashableValue(k);
+            if let Some(matches) = ht[partition_of(&hk, nparts)].get(&hk) {
                 for &i in matches {
                     build_rows.push(i);
                     probe_rows.push(j as RowId);
@@ -629,7 +663,8 @@ pub fn hash_join_with(
                             if k.is_null() {
                                 continue;
                             }
-                            if let Some(matches) = ht_ref.get(&HashableValue(k)) {
+                            let hk = HashableValue(k);
+                            if let Some(matches) = ht_ref[partition_of(&hk, nparts)].get(&hk) {
                                 for &i in matches {
                                     b.push(i);
                                     p.push(j as RowId);
@@ -725,6 +760,19 @@ impl std::hash::Hash for HashableValue {
             }
         }
     }
+}
+
+/// Deterministic hash partition of a join key. Every builder and
+/// prober must agree on this mapping, so it uses a fresh
+/// `DefaultHasher` (fixed seed) rather than any per-map state.
+fn partition_of(k: &HashableValue, nparts: usize) -> usize {
+    if nparts <= 1 {
+        return 0;
+    }
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    k.hash(&mut h);
+    (h.finish() as usize) % nparts
 }
 
 /// One aggregate to compute.

@@ -206,9 +206,11 @@ impl BatchReport {
         self.scenes.iter().find(|s| s.product_id == product_id)
     }
 
-    /// One-line summary for logs and experiment tables.
+    /// One-line summary for logs and experiment tables. When the batch
+    /// ran on the work-stealing scheduler and any morsel migrated, the
+    /// line carries the steal count as a load-balance signal.
     pub fn summary(&self) -> String {
-        format!(
+        let mut line = format!(
             "{} scenes: {} ok, {} retried, {} degraded, {} failed, {} timeout in {:.1?}",
             self.scenes.len(),
             self.ok_count(),
@@ -217,7 +219,14 @@ impl BatchReport {
             self.failed_count(),
             self.timeout_count(),
             self.wall_clock
-        )
+        );
+        if self.pool.tasks_stolen > 0 {
+            line.push_str(&format!(
+                " ({} of {} tasks stolen)",
+                self.pool.tasks_stolen, self.pool.tasks_executed
+            ));
+        }
+        line
     }
 }
 

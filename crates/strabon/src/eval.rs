@@ -29,7 +29,8 @@ use teleios_rdf::vocab;
 pub fn evaluate_query(engine: &mut Strabon, query: &Query) -> Result<Solutions> {
     // Build the sidecar first so the rest can take shared borrows.
     let config = engine.config;
-    engine.spatial.ensure_built(&engine.store);
+    let pool = engine.pool();
+    engine.spatial.ensure_built_with(&engine.store, &pool);
     match query {
         Query::Select(q) => {
             let mut vars = VarTable::default();
@@ -39,7 +40,14 @@ pub fn evaluate_query(engine: &mut Strabon, query: &Query) -> Result<Solutions> 
                 collect_expr_vars(&k.expr, &mut vars);
             }
             let (store, spatial) = (&engine.store, &engine.spatial);
-            let env = Env { store, spatial, vars: &vars, rdfs_inference: config.rdfs_inference };
+            let env = Env {
+                store,
+                spatial,
+                vars: &vars,
+                rdfs_inference: config.rdfs_inference,
+                pool,
+                dispatch: config.dispatch,
+            };
             let seeds = vec![vars.empty_binding()];
             let mut rows = eval_group(&env, &q.where_clause, seeds, config.optimize_bgp, config.use_spatial_index);
 
@@ -167,7 +175,14 @@ pub fn evaluate_query(engine: &mut Strabon, query: &Query) -> Result<Solutions> 
             let mut vars = VarTable::default();
             collect_group_vars(&q.where_clause, &mut vars);
             let (store, spatial) = (&engine.store, &engine.spatial);
-            let env = Env { store, spatial, vars: &vars, rdfs_inference: config.rdfs_inference };
+            let env = Env {
+                store,
+                spatial,
+                vars: &vars,
+                rdfs_inference: config.rdfs_inference,
+                pool,
+                dispatch: config.dispatch,
+            };
             let seeds = vec![vars.empty_binding()];
             let rows = eval_group(&env, &q.where_clause, seeds, config.optimize_bgp, config.use_spatial_index);
             Ok(Solutions {
@@ -188,7 +203,8 @@ pub fn evaluate_construct(
     q: &crate::ast::ConstructQuery,
 ) -> Result<Vec<(Term, Term, Term)>> {
     let config = engine.config;
-    engine.spatial.ensure_built(&engine.store);
+    let pool = engine.pool();
+    engine.spatial.ensure_built_with(&engine.store, &pool);
     let mut vars = VarTable::default();
     collect_group_vars(&q.where_clause, &mut vars);
     // Template-only variables would never bind; reject them up front.
@@ -208,6 +224,8 @@ pub fn evaluate_construct(
         spatial: &engine.spatial,
         vars: &vars,
         rdfs_inference: config.rdfs_inference,
+        pool,
+        dispatch: config.dispatch,
     };
     let seeds = vec![vars.empty_binding()];
     let rows = eval_group(&env, &q.where_clause, seeds, config.optimize_bgp, config.use_spatial_index);
@@ -432,7 +450,8 @@ pub(crate) fn group_restrictions(
 /// optimizer's selectivity estimates.
 pub fn explain_query(engine: &mut Strabon, query: &Query) -> Result<String> {
     let config = engine.config;
-    engine.spatial.ensure_built(&engine.store);
+    let pool = engine.pool();
+    engine.spatial.ensure_built_with(&engine.store, &pool);
     let where_clause = match query {
         Query::Select(q) => &q.where_clause,
         Query::Ask(q) => &q.where_clause,
@@ -448,6 +467,8 @@ pub fn explain_query(engine: &mut Strabon, query: &Query) -> Result<String> {
         spatial: &engine.spatial,
         vars: &vars,
         rdfs_inference: config.rdfs_inference,
+        pool,
+        dispatch: config.dispatch,
     };
     let restrictions = group_restrictions(env_ref(&env), where_clause, config.use_spatial_index);
 
@@ -716,17 +737,61 @@ fn eval_bgp(
 
     let mut results = seeds;
     for &pi in &order {
-        let pat = patterns[pi];
-        let mut next = Vec::with_capacity(results.len());
-        for b in &results {
-            extend_with_pattern(env, pat, b, restrictions, &mut next);
-        }
-        results = next;
+        results = probe_pattern(env, patterns[pi], results, restrictions);
         if results.is_empty() {
             break;
         }
     }
     results
+}
+
+/// Binding count below which BGP probing and FILTER evaluation stay
+/// sequential: under this size the join itself is cheaper than task
+/// setup. Public so the parallel-equivalence tests can size their
+/// data to cross it.
+pub const PAR_BINDING_THRESHOLD: usize = 256;
+
+/// Morsels per worker for the parallel probe/filter paths: finer than
+/// one-per-worker so the stealing scheduler has slack to rebalance
+/// when some bindings fan out much harder than others.
+const MORSELS_PER_WORKER: usize = 4;
+
+/// One join step: extend every seed binding with the matches of
+/// `pat`. Above [`PAR_BINDING_THRESHOLD`] the probe runs morsel-
+/// parallel over the seed side — per-morsel outputs concatenate in
+/// morsel order, reproducing the sequential scan exactly (the pool's
+/// determinism contract), so results are identical at every thread
+/// count and dispatch policy.
+fn probe_pattern(
+    env: &Env<'_>,
+    pat: &PatternTriple,
+    results: Vec<Binding>,
+    restrictions: &HashMap<usize, HashSet<TermId>>,
+) -> Vec<Binding> {
+    if env.pool.threads() <= 1 || results.len() < PAR_BINDING_THRESHOLD {
+        let mut next = Vec::with_capacity(results.len());
+        for b in &results {
+            extend_with_pattern(env, pat, b, restrictions, &mut next);
+        }
+        return next;
+    }
+    let results = &results;
+    let tasks: Vec<_> = teleios_exec::morsels(
+        results.len(),
+        env.pool.threads() * MORSELS_PER_WORKER,
+    )
+    .into_iter()
+    .map(|r| {
+        move || {
+            let mut out = Vec::new();
+            for b in &results[r] {
+                extend_with_pattern(env, pat, b, restrictions, &mut out);
+            }
+            out
+        }
+    })
+    .collect();
+    env.pool.run_with(env.dispatch, tasks).into_iter().flatten().collect()
 }
 
 /// Estimated cost of a pattern given currently bound variable slots.
@@ -889,7 +954,12 @@ fn extend_with_pattern(
     if let Pos::OpenVar(slot) = o {
         if let Some(cands) = restrictions.get(&slot) {
             if cands.len() < env.store.estimate_pattern(&tp) {
-                for &cid in cands {
+                // Probe in id order, not HashSet order: iteration order
+                // of the set is RandomState-seeded per instance, and
+                // row order is part of the determinism contract.
+                let mut ordered: Vec<TermId> = cands.iter().copied().collect();
+                ordered.sort_unstable();
+                for cid in ordered {
                     let probe = TriplePattern::new(tp.s, tp.p, Some(cid));
                     for t in env.store.match_pattern(&probe) {
                         emit(t, out);
@@ -931,7 +1001,11 @@ fn subclass_closure(
     out
 }
 
-/// Apply a FILTER, using the spatial sidecar to pre-filter when possible.
+/// Apply a FILTER, using the spatial sidecar to pre-filter when
+/// possible. The exact predicate pass (geometry intersections,
+/// arithmetic) runs morsel-parallel above [`PAR_BINDING_THRESHOLD`];
+/// the envelope pre-filter stays sequential — it is hash probes, far
+/// cheaper than the task setup it would amortize.
 fn apply_filter(
     env: &Env<'_>,
     filter: &Expression,
@@ -947,8 +1021,29 @@ fn apply_filter(
             });
         }
     }
-    bindings.retain(|b| eval_filter(env, b, filter));
-    bindings
+    if env.pool.threads() <= 1 || bindings.len() < PAR_BINDING_THRESHOLD {
+        bindings.retain(|b| eval_filter(env, b, filter));
+        return bindings;
+    }
+    // Morsel-order concatenation of the survivors reproduces the
+    // sequential retain exactly.
+    let bindings_ref = &bindings;
+    let tasks: Vec<_> = teleios_exec::morsels(
+        bindings.len(),
+        env.pool.threads() * MORSELS_PER_WORKER,
+    )
+    .into_iter()
+    .map(|r| {
+        move || {
+            bindings_ref[r]
+                .iter()
+                .filter(|b| eval_filter(env, b, filter))
+                .cloned()
+                .collect::<Vec<Binding>>()
+        }
+    })
+    .collect();
+    env.pool.run_with(env.dispatch, tasks).into_iter().flatten().collect()
 }
 
 /// Recognize `strdf:pred(?v, CONST)` / `strdf:distance(?v, CONST) < d`

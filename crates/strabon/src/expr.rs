@@ -10,6 +10,7 @@ use crate::spatial::SpatialSidecar;
 use std::cmp::Ordering;
 use std::collections::HashMap;
 use std::sync::Arc;
+use teleios_exec::{Dispatch, WorkerPool};
 use teleios_geo::algorithm::{area, buffer, clip, distance as geodist, predicates};
 use teleios_geo::Geometry;
 use teleios_rdf::dictionary::TermId;
@@ -93,7 +94,10 @@ impl VarTable {
     }
 }
 
-/// Evaluation environment shared by all expression evaluations of a query.
+/// Evaluation environment shared by all expression evaluations of a
+/// query. Everything in it is a shared borrow of immutable engine
+/// state, so an `&Env` crosses worker-thread boundaries freely — the
+/// morsel-parallel BGP probe and filter paths rely on that.
 pub struct Env<'a> {
     /// The triple store.
     pub store: &'a TripleStore,
@@ -103,6 +107,11 @@ pub struct Env<'a> {
     pub vars: &'a VarTable,
     /// Expand `rdf:type` patterns over the `rdfs:subClassOf` closure.
     pub rdfs_inference: bool,
+    /// Worker pool for the morsel-parallel probe/filter paths
+    /// (one-thread pools evaluate inline — the exact sequential path).
+    pub pool: WorkerPool,
+    /// Dispatch policy for those paths when the pool is parallel.
+    pub dispatch: Dispatch,
 }
 
 impl Env<'_> {
@@ -495,7 +504,14 @@ mod tests {
 
     fn eval_const(expr: &Expression) -> Option<Term> {
         let (store, spatial, vars) = env_fixture();
-        let env = Env { store: &store, spatial: &spatial, vars: &vars, rdfs_inference: false };
+        let env = Env {
+            store: &store,
+            spatial: &spatial,
+            vars: &vars,
+            rdfs_inference: false,
+            pool: WorkerPool::with_threads(1),
+            dispatch: Dispatch::Static,
+        };
         eval_expression(&env, &vec![], expr)
     }
 

@@ -56,6 +56,7 @@ pub mod parser;
 pub mod spatial;
 pub mod update;
 
+use teleios_exec::{Dispatch, WorkerPool};
 use teleios_rdf::store::TripleStore;
 use teleios_rdf::term::Term;
 
@@ -96,7 +97,8 @@ impl std::error::Error for StrabonError {}
 /// Result alias.
 pub type Result<T> = std::result::Result<T, StrabonError>;
 
-/// Engine configuration toggles (the ablation knobs of E3/E4).
+/// Engine configuration toggles (the ablation knobs of E3/E4, plus
+/// the parallelism knobs of E13b).
 #[derive(Debug, Clone, Copy)]
 pub struct StrabonConfig {
     /// Reorder BGP triple patterns by estimated selectivity.
@@ -106,11 +108,27 @@ pub struct StrabonConfig {
     /// Expand `?x rdf:type C` patterns over the `rdfs:subClassOf`
     /// closure of `C` (RDFS subsumption over the in-store ontology).
     pub rdfs_inference: bool,
+    /// Worker threads for BGP probing, spatial-filter evaluation and
+    /// the R-tree sidecar build: `0` = the `TELEIOS_THREADS` /
+    /// available-parallelism default, `1` = the exact sequential
+    /// path. Results are identical at every setting (morsel-order
+    /// concatenation — see `teleios-exec`'s determinism contract).
+    pub threads: usize,
+    /// How the pool distributes morsels when `threads > 1`. Stealing
+    /// (the default) wins on skewed binding costs; `Static` is the
+    /// ablation baseline.
+    pub dispatch: Dispatch,
 }
 
 impl Default for StrabonConfig {
     fn default() -> Self {
-        StrabonConfig { optimize_bgp: true, use_spatial_index: true, rdfs_inference: false }
+        StrabonConfig {
+            optimize_bgp: true,
+            use_spatial_index: true,
+            rdfs_inference: false,
+            threads: 0,
+            dispatch: Dispatch::Stealing,
+        }
     }
 }
 
@@ -194,6 +212,15 @@ impl Strabon {
     /// Current configuration.
     pub fn config(&self) -> StrabonConfig {
         self.config
+    }
+
+    /// The worker pool evaluation runs on, sized by
+    /// [`StrabonConfig::threads`].
+    pub(crate) fn pool(&self) -> WorkerPool {
+        match self.config.threads {
+            0 => WorkerPool::default(),
+            n => WorkerPool::with_threads(n),
+        }
     }
 
     /// Change configuration (invalidates nothing; the sidecar adapts).

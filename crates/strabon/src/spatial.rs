@@ -8,6 +8,7 @@
 
 use std::collections::HashMap;
 use std::sync::Arc;
+use teleios_exec::WorkerPool;
 use teleios_geo::index::RTree;
 use teleios_geo::{Envelope, Geometry};
 use teleios_rdf::dictionary::TermId;
@@ -35,8 +36,17 @@ impl SpatialSidecar {
         self.built
     }
 
-    /// Build the index from the store's dictionary if not yet built.
+    /// Build the index from the store's dictionary if not yet built
+    /// (serial R-tree packing — see [`Self::ensure_built_with`]).
     pub fn ensure_built(&mut self, store: &TripleStore) {
+        self.ensure_built_with(store, &WorkerPool::with_threads(1));
+    }
+
+    /// Build the index if not yet built, bulk-loading the R-tree on
+    /// `pool`'s work-stealing scheduler
+    /// ([`RTree::bulk_load_with`] — identical tree, parallel sorts).
+    /// A one-thread pool takes the serial path exactly.
+    pub fn ensure_built_with(&mut self, store: &TripleStore, pool: &WorkerPool) {
         if self.built {
             return;
         }
@@ -54,7 +64,7 @@ impl SpatialSidecar {
                 }
             }
         }
-        self.rtree = RTree::bulk_load(items);
+        self.rtree = RTree::bulk_load_with(pool, items);
         self.built = true;
     }
 

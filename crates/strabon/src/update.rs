@@ -74,7 +74,8 @@ fn execute_modify(
     where_clause: &crate::ast::GroupPattern,
 ) -> Result<usize> {
     let config = engine.config;
-    engine.spatial.ensure_built(&engine.store);
+    let pool = engine.pool();
+    engine.spatial.ensure_built_with(&engine.store, &pool);
 
     let mut vars = VarTable::default();
     collect_group_vars(where_clause, &mut vars);
@@ -97,6 +98,8 @@ fn execute_modify(
             spatial: &engine.spatial,
             vars: &vars,
             rdfs_inference: config.rdfs_inference,
+            pool,
+            dispatch: config.dispatch,
         };
         let seeds = vec![vars.empty_binding()];
         let solutions = eval_group(

@@ -135,7 +135,7 @@ fn results_identical_with_and_without_optimizations() {
     );
     let mut fast = fixture();
     let mut slow = fixture();
-    slow.set_config(StrabonConfig { rdfs_inference: false, optimize_bgp: false, use_spatial_index: false });
+    slow.set_config(StrabonConfig { rdfs_inference: false, optimize_bgp: false, use_spatial_index: false, ..StrabonConfig::default() });
     let a = fast.query(&query).unwrap();
     let b = slow.query(&query).unwrap();
     assert_eq!(a, b);

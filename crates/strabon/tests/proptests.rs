@@ -53,7 +53,7 @@ proptest! {
         let mut indexed = point_store(&points, StrabonConfig::default());
         let mut scan = point_store(
             &points,
-            StrabonConfig { rdfs_inference: false, optimize_bgp: false, use_spatial_index: false },
+            StrabonConfig { rdfs_inference: false, optimize_bgp: false, use_spatial_index: false, ..StrabonConfig::default() },
         );
         let a = indexed.query(&q).unwrap();
         let b = scan.query(&q).unwrap();

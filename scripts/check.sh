@@ -13,7 +13,8 @@
 #                              (first-wins cancel, reason publication,
 #                              poll wakeup, bounded-queue halt/drain,
 #                              watchdog-registry protocol, lock-order
-#                              witness) under `--features loom`,
+#                              witness, steal-deque owner/thief and
+#                              cancellation races) under `--features loom`,
 #                              bounded by a timeout so a scheduler
 #                              regression fails rather than wedges
 #
@@ -62,6 +63,12 @@ cargo clippy --workspace --all-targets
 # failure rather than a hung gate.
 echo "==> E14 smoke (timeout budgets)"
 timeout 300 cargo run --release -p teleios-bench --bin exp_timeout_budgets -- --smoke
+
+# The stealing scheduler must return bit-identical results to static
+# dispatch (the bin asserts it) and must not deadlock on a skewed
+# workload — the timeout turns a wedged deque into a failure.
+echo "==> E13b smoke (work-stealing dispatch)"
+timeout 300 cargo run --release -p teleios-bench --bin exp_work_stealing -- --smoke
 
 if [ "$full" -eq 1 ]; then
     # Exhaustive schedule exploration is exponential in yield points;
