@@ -1,4 +1,4 @@
-//! Seeded violations for the teleios-lint self-test. Each rule L1–L8
+//! Seeded violations for the teleios-lint self-test. Each rule L1–L9
 //! must fire exactly where `FIXTURE_EXPECTED` says — line *and*
 //! column — and nowhere else: the decoys below prove the masking,
 //! whole-token matching, test-region, alias, and allow-marker logic.
@@ -190,4 +190,48 @@ pub fn decoy_non_pool_run_with(chain: &FixtureChain) {
     chain.run_with(|| {
         std::thread::sleep(std::time::Duration::from_millis(1));
     });
+}
+
+// ---- L9: direct filesystem mutation outside crates/store ----
+
+pub fn l9_fs_write(path: &std::path::Path) -> std::io::Result<()> {
+    std::fs::write(path, b"bytes")
+}
+
+pub fn l9_file_create(path: &std::path::Path) -> std::io::Result<std::fs::File> {
+    std::fs::File::create(path)
+}
+
+pub fn l9_open_options(path: &std::path::Path) -> std::io::Result<std::fs::File> {
+    std::fs::OpenOptions::new().append(true).open(path)
+}
+
+// ---- L8 on durability barriers: discarded flush/fsync results ----
+
+pub fn l8_swallowed_sync(file: &std::fs::File) {
+    let _ = file.sync_all();
+}
+
+pub fn l8_flush_discard(sink: &mut FixtureSink) {
+    sink.flush().ok();
+}
+
+// ---- decoys: reads stay free; the storage doorway's own writes ----
+// ---- are policy-exempt; a justified export carries its marker  ----
+
+pub fn decoy_fs_read(path: &std::path::Path) -> std::io::Result<Vec<u8>> {
+    std::fs::read(path)
+}
+
+pub fn decoy_marked_export(path: &std::path::Path) -> std::io::Result<()> {
+    // teleios-lint: allow(no-direct-fs) — legacy portal JSON export
+    std::fs::write(path, b"{}")
+}
+
+pub fn decoy_handled_sync(file: &std::fs::File) -> std::io::Result<()> {
+    file.sync_all()
+}
+
+pub fn decoy_bound_flush(sink: &mut FixtureSink) -> Option<()> {
+    sink.flush().ok()
 }

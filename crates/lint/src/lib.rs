@@ -27,14 +27,17 @@
 //! | `crate-attrs`      | crate roots carry `forbid(unsafe_code)` + clippy denies |
 //! | `lock-order`       | L6: the per-crate lock-acquisition graph is acyclic    |
 //! | `cancel-safety`    | L7: pool-dispatched closures block only through `sleep_cancellable` / `poll_cancellable` |
-//! | `swallowed-result` | L8: no `let _ =` / `.ok()` discarding a workspace `*Error` Result |
+//! | `swallowed-result` | L8: no `let _ =` / `.ok()` discarding a workspace `*Error` Result — nor a `flush`/`sync_all`/`sync_data` barrier's result |
+//! | `no-direct-fs`     | L9: no direct `std::fs` mutation / `File::create` / `OpenOptions` outside `crates/store` — disk goes through the storage `Medium` |
 //! | `unused-allow`     | warning: an allow marker that suppresses nothing       |
 //!
 //! Exemptions are structural, not ad-hoc: `crates/exec` and
 //! `crates/loom` may own threads, relaxed atomics, and raw blocking
 //! waits (L1/L5/L7); binary, bench, and example targets may print and
 //! fail fast (L2/L3) since a driver aborting on a setup error is
-//! correct behavior; `#[cfg(test)]` code may do all of the above.
+//! correct behavior; `crates/store` — the storage engine whose
+//! `Medium` is everyone else's doorway to disk — may mutate the
+//! filesystem (L9); `#[cfg(test)]` code may do all of the above.
 //! Deliberate single-site exceptions in library code take a
 //! `// teleios-lint: allow(<rule>)` marker on the same line or the
 //! line above — and a marker that stops matching anything is itself
@@ -73,6 +76,11 @@ pub const FIXTURE_EXPECTED: &[(usize, usize, Rule)] = &[
     (138, 5, Rule::UnusedAllow),
     (170, 14, Rule::CancelSafety),
     (175, 33, Rule::NoRelaxed),
+    (198, 10, Rule::NoDirectFs),
+    (202, 14, Rule::NoDirectFs),
+    (206, 14, Rule::NoDirectFs),
+    (212, 18, Rule::SwallowedResult),
+    (216, 18, Rule::SwallowedResult),
 ];
 
 /// Run the full analysis over the embedded fixture (as its own crate
@@ -144,6 +152,7 @@ mod tests {
             Rule::LockOrder,
             Rule::CancelSafety,
             Rule::SwallowedResult,
+            Rule::NoDirectFs,
             Rule::UnusedAllow,
         ] {
             assert!(rules.contains(&rule), "fixture misses {}", rule.name());
@@ -175,6 +184,7 @@ mod tests {
             Rule::LockOrder,
             Rule::CancelSafety,
             Rule::SwallowedResult,
+            Rule::NoDirectFs,
             Rule::UnusedAllow,
         ] {
             assert_eq!(Rule::from_name(rule.name()), Some(rule));
@@ -195,6 +205,7 @@ mod tests {
             Rule::LockOrder,
             Rule::CancelSafety,
             Rule::SwallowedResult,
+            Rule::NoDirectFs,
         ] {
             assert!(!rule.is_warning(), "{} must be an error", rule.name());
         }

@@ -110,7 +110,7 @@ fn main() -> ExitCode {
                 println!("teleios-lint: TELEIOS workspace invariant checker");
                 println!();
                 println!("  --root <dir>     workspace root (default: walk up from cwd)");
-                println!("  --self-test      verify rules L1-L8 + crate-attrs fire on the seeded fixture");
+                println!("  --self-test      verify rules L1-L9 + crate-attrs fire on the seeded fixture");
                 println!("  --strict         treat warnings (unused-allow) as errors");
                 println!("  --format <fmt>   human (default) | json | github annotations");
                 return ExitCode::SUCCESS;
@@ -165,7 +165,7 @@ fn main() -> ExitCode {
                 if format == Format::Json {
                     println!("[]");
                 } else {
-                    println!("teleios-lint: workspace clean ({file_count} files, 9 rules)");
+                    println!("teleios-lint: workspace clean ({file_count} files, 10 rules)");
                 }
                 return ExitCode::SUCCESS;
             }

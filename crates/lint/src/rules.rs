@@ -1,7 +1,7 @@
 //! The rule engine. [`analyze`] takes every source file of a
 //! workspace (or a single file, via [`scan_file`]) and runs:
 //!
-//! - per-token rules L1/L2/L3/L5 over the [`crate::lexer`] stream,
+//! - per-token rules L1/L2/L3/L5/L9 over the [`crate::lexer`] stream,
 //!   alias-aware via each file's `use` map;
 //! - per-file structural rule L4 (`*Error` enums must impl
 //!   `Display` + `Error`);
@@ -56,8 +56,15 @@ pub enum Rule {
     /// (`sleep_cancellable` / `poll_cancellable`).
     CancelSafety,
     /// L8: `let _ =` / statement-level `.ok()` must not discard a
-    /// `Result` whose error type is a workspace `*Error` enum.
+    /// `Result` whose error type is a workspace `*Error` enum — nor a
+    /// `flush()` / `sync_all()` / `sync_data()` durability barrier's
+    /// `io::Result`.
     SwallowedResult,
+    /// L9: no direct `std::fs` mutation (`write`/`rename`/`remove_*`/
+    /// `create_dir*`/`copy`/…), `File::create`, or `OpenOptions`
+    /// outside the storage doorway (`crates/store`) — durability goes
+    /// through `teleios-store`'s `Medium`.
+    NoDirectFs,
     /// An allow marker that suppressed nothing (warning; error under
     /// `--strict`).
     UnusedAllow,
@@ -75,6 +82,7 @@ impl Rule {
             Rule::LockOrder => "lock-order",
             Rule::CancelSafety => "cancel-safety",
             Rule::SwallowedResult => "swallowed-result",
+            Rule::NoDirectFs => "no-direct-fs",
             Rule::UnusedAllow => "unused-allow",
         }
     }
@@ -90,6 +98,7 @@ impl Rule {
             "lock-order" => Some(Rule::LockOrder),
             "cancel-safety" => Some(Rule::CancelSafety),
             "swallowed-result" => Some(Rule::SwallowedResult),
+            "no-direct-fs" => Some(Rule::NoDirectFs),
             "unused-allow" => Some(Rule::UnusedAllow),
             _ => None,
         }
@@ -145,6 +154,10 @@ pub struct FilePolicy {
     /// (L2 exempt) and print their tables (L3 exempt). The other
     /// rules still apply.
     pub bin_target: bool,
+    /// `crates/store`: the one crate allowed to mutate the filesystem
+    /// directly — everything else reaches disk through its `Medium`
+    /// (L9 exempt).
+    pub fs_doorway: bool,
 }
 
 /// One source file handed to [`analyze`]: contents plus the workspace
@@ -310,7 +323,7 @@ pub fn scan_file(path: &str, raw: &str, policy: FilePolicy) -> Vec<Finding> {
     }])
 }
 
-/// L1/L2/L3/L5: the per-token rules.
+/// L1/L2/L3/L5/L9: the per-token rules.
 fn token_rules(ctx: &FileCtx<'_>, fi: usize, diag: &mut Diagnostics) {
     let toks = ctx.toks;
     for i in 0..toks.len() {
@@ -385,6 +398,66 @@ fn token_rules(ctx: &FileCtx<'_>, fi: usize, diag: &mut Diagnostics) {
                 if is_punct(toks, i + 1, b'!') {
                     diag.emit(ctx, fi, off, Rule::NoPrintln, format!(
                         "{name}! in library code: route output through the caller or a report type"
+                    ));
+                }
+            }
+        }
+
+        // L9 — direct filesystem mutation outside the storage
+        // doorway. Reads stay free; writes, renames, removals, and
+        // writable-open handles must go through teleios-store's
+        // Medium so the WAL's crash-consistency contract holds.
+        if !ctx.policy.fs_doorway && !tested {
+            const FS_MUTATORS: [&str; 10] = [
+                "write",
+                "rename",
+                "remove_file",
+                "remove_dir",
+                "remove_dir_all",
+                "create_dir",
+                "create_dir_all",
+                "copy",
+                "hard_link",
+                "set_permissions",
+            ];
+            if let Some(seg) = seg {
+                if path_next {
+                    if let Some(what) = ident_at(toks, i + 3) {
+                        if FS_MUTATORS.contains(&what)
+                            && (seg == "fs" || ctx.aliases.resolves_to(seg, &["std", "fs"]))
+                        {
+                            diag.emit(ctx, fi, off, Rule::NoDirectFs, format!(
+                                "std::fs::{what} outside crates/store: filesystem mutation goes through teleios-store's Medium"
+                            ));
+                        }
+                        if matches!(what, "create" | "create_new" | "options")
+                            && (seg == "File"
+                                || ctx.aliases.resolves_to(seg, &["std", "fs", "File"]))
+                        {
+                            diag.emit(ctx, fi, off, Rule::NoDirectFs, format!(
+                                "File::{what} outside crates/store: writable file handles go through teleios-store's Medium"
+                            ));
+                        }
+                    }
+                }
+                if seg == "OpenOptions"
+                    || (!path_prev
+                        && ctx.aliases.resolves_to(seg, &["std", "fs", "OpenOptions"]))
+                {
+                    diag.emit(ctx, fi, off, Rule::NoDirectFs,
+                        "OpenOptions outside crates/store: writable file handles go through teleios-store's Medium".to_string());
+                }
+                if !path_prev
+                    && is_punct(toks, i + 1, b'(')
+                    && ctx.aliases.resolve(seg).is_some_and(|p| {
+                        p.len() == 3
+                            && p[0] == "std"
+                            && p[1] == "fs"
+                            && FS_MUTATORS.contains(&p[2].as_str())
+                    })
+                {
+                    diag.emit(ctx, fi, off, Rule::NoDirectFs, format!(
+                        "std::fs mutation via alias `{seg}`: filesystem mutation goes through teleios-store's Medium"
                     ));
                 }
             }
@@ -646,13 +719,17 @@ fn return_error(
 
 /// L8 — `let _ = f(..);` and statement-level `expr.f(..).ok();` where
 /// `f` returns `Result<_, *Error>`, outside tests. A top-level `?`
-/// propagates the error, so it exempts the statement.
+/// propagates the error, so it exempts the statement. Durability
+/// barriers (`flush` / `sync_all` / `sync_data`) are flagged whatever
+/// their error type: a discarded fsync result silently loses the
+/// crash-consistency guarantee.
 fn swallowed_results(
     ctx: &FileCtx<'_>,
     fi: usize,
     index: &HashMap<String, String>,
     diag: &mut Diagnostics,
 ) {
+    const SYNC_CALLS: [&str; 3] = ["flush", "sync_all", "sync_data"];
     let toks = ctx.toks;
     for i in 0..toks.len() {
         let off = toks[i].off;
@@ -665,6 +742,10 @@ fn swallowed_results(
                 if let Some(err) = index.get(callee) {
                     diag.emit(ctx, fi, toks[ci].off, Rule::SwallowedResult, format!(
                         "`let _ =` discards Result<_, {err}> from `{callee}`: handle it, propagate with `?`, or justify with an allow marker"
+                    ));
+                } else if SYNC_CALLS.contains(&callee) {
+                    diag.emit(ctx, fi, toks[ci].off, Rule::SwallowedResult, format!(
+                        "`let _ =` discards the io::Result from `{callee}`: a failed durability barrier must be handled, propagated, or justified with an allow marker"
                     ));
                 }
             }
@@ -686,6 +767,10 @@ fn swallowed_results(
                 if let Some(err) = index.get(callee) {
                     diag.emit(ctx, fi, toks[i + 1].off, Rule::SwallowedResult, format!(
                         ".ok() discards Result<_, {err}> from `{callee}` without reading it: handle the error or justify with an allow marker"
+                    ));
+                } else if SYNC_CALLS.contains(&callee) {
+                    diag.emit(ctx, fi, toks[i + 1].off, Rule::SwallowedResult, format!(
+                        ".ok() discards the io::Result from `{callee}` without reading it: a failed durability barrier must be handled or justified with an allow marker"
                     ));
                 }
             }
@@ -813,7 +898,7 @@ mod tests {
     #[test]
     fn l1_exempt_for_substrate_and_tests() {
         let src = "fn f() {\n    std::thread::spawn(|| {});\n}";
-        let f = scan_file("x.rs", src, FilePolicy { substrate: true, bin_target: false });
+        let f = scan_file("x.rs", src, FilePolicy { substrate: true, ..FilePolicy::default() });
         assert!(f.is_empty());
         let test_src = "#[cfg(test)]\nmod tests {\n    fn g() { std::thread::spawn(|| {}); }\n}";
         assert!(scan(test_src).is_empty());
@@ -846,7 +931,7 @@ mod tests {
     fn l3_fires_and_bin_targets_are_exempt() {
         let src = "fn f() {\n    println!(\"x\");\n    eprintln!(\"y\");\n}";
         assert_eq!(rules_hit(src), vec![(2, Rule::NoPrintln), (3, Rule::NoPrintln)]);
-        let f = scan_file("x.rs", src, FilePolicy { substrate: false, bin_target: true });
+        let f = scan_file("x.rs", src, FilePolicy { bin_target: true, ..FilePolicy::default() });
         assert!(f.is_empty());
     }
 
@@ -873,7 +958,7 @@ mod tests {
     fn l5_fires_everywhere_except_substrate() {
         let src = "fn f(b: &AtomicBool) {\n    b.load(Ordering::Relaxed);\n}";
         assert_eq!(rules_hit(src), vec![(2, Rule::NoRelaxed)]);
-        let f = scan_file("x.rs", src, FilePolicy { substrate: true, bin_target: false });
+        let f = scan_file("x.rs", src, FilePolicy { substrate: true, ..FilePolicy::default() });
         assert!(f.is_empty());
     }
 
@@ -917,6 +1002,86 @@ mod tests {
         assert!(scan(io).is_empty());
         let test = "enum DbError { X }\nfn load() -> Result<u8, DbError> { Err(DbError::X) }\n#[cfg(test)]\nmod tests {\n    fn t() { let _ = super::load(); }\n}";
         assert!(scan(test).is_empty());
+    }
+
+    #[test]
+    fn l8_flags_discarded_durability_barriers() {
+        // flush/sync_all/sync_data fire regardless of error type —
+        // no workspace *Error enum involved.
+        assert_eq!(
+            rules_hit("fn f(file: &std::fs::File) {\n    let _ = file.sync_all();\n}"),
+            vec![(2, Rule::SwallowedResult)]
+        );
+        assert_eq!(
+            rules_hit("fn f(w: &mut W) {\n    w.flush().ok();\n}"),
+            vec![(2, Rule::SwallowedResult)]
+        );
+        assert_eq!(
+            rules_hit("fn f(file: &std::fs::File) {\n    let _ = file.sync_data();\n}"),
+            vec![(2, Rule::SwallowedResult)]
+        );
+        // Propagated, bound, or test-scoped syncs stay silent.
+        let qmark = "fn f(w: &mut W) -> std::io::Result<()> {\n    let _ = w.flush()?;\n    Ok(())\n}";
+        assert!(scan(qmark).is_empty());
+        let bound = "fn f(file: &std::fs::File) {\n    let r = file.sync_all();\n    drop(r);\n}";
+        assert!(scan(bound).is_empty());
+        let test = "#[cfg(test)]\nmod tests {\n    fn t(file: &std::fs::File) { let _ = file.sync_all(); }\n}";
+        assert!(scan(test).is_empty());
+    }
+
+    #[test]
+    fn l9_fires_on_fs_mutation() {
+        assert_eq!(
+            rules_hit("fn f(p: &std::path::Path) -> std::io::Result<()> {\n    std::fs::write(p, b\"x\")\n}"),
+            vec![(2, Rule::NoDirectFs)]
+        );
+        assert_eq!(
+            rules_hit("fn f(a: &str, b: &str) -> std::io::Result<()> {\n    std::fs::rename(a, b)\n}"),
+            vec![(2, Rule::NoDirectFs)]
+        );
+        assert_eq!(
+            rules_hit("fn f(p: &str) -> std::io::Result<std::fs::File> {\n    std::fs::File::create(p)\n}"),
+            vec![(2, Rule::NoDirectFs)]
+        );
+        assert_eq!(
+            rules_hit("fn f(p: &str) -> std::io::Result<std::fs::File> {\n    std::fs::OpenOptions::new().append(true).open(p)\n}"),
+            vec![(2, Rule::NoDirectFs)]
+        );
+    }
+
+    #[test]
+    fn l9_sees_through_aliased_imports() {
+        assert_eq!(
+            rules_hit("use std::fs as disk;\nfn f(p: &str) -> std::io::Result<()> {\n    disk::write(p, b\"x\")\n}"),
+            vec![(3, Rule::NoDirectFs)]
+        );
+        assert_eq!(
+            rules_hit("use std::fs::write;\nfn f(p: &str) -> std::io::Result<()> {\n    write(p, b\"x\")\n}"),
+            vec![(3, Rule::NoDirectFs)]
+        );
+        assert_eq!(
+            rules_hit("use std::fs::File as F;\nfn f(p: &str) -> std::io::Result<F> {\n    F::create(p)\n}"),
+            vec![(3, Rule::NoDirectFs)]
+        );
+        // An unrelated `write` (fmt, io) must not fire.
+        assert!(scan("use std::fmt::Write;\nfn f(s: &mut String) {\n    s.write_str(\"x\").ok();\n}").is_empty());
+    }
+
+    #[test]
+    fn l9_exemptions_reads_doorway_and_tests() {
+        // Reads are free everywhere.
+        assert!(scan("fn f(p: &str) -> std::io::Result<Vec<u8>> {\n    std::fs::read(p)\n}").is_empty());
+        assert!(scan("fn f(p: &str) -> std::io::Result<String> {\n    std::fs::read_to_string(p)\n}").is_empty());
+        // The storage doorway may mutate.
+        let src = "fn f(p: &str) -> std::io::Result<()> {\n    std::fs::write(p, b\"x\")\n}";
+        let f = scan_file("x.rs", src, FilePolicy { fs_doorway: true, ..FilePolicy::default() });
+        assert!(f.is_empty());
+        // Test code may mutate (scratch dirs).
+        let test = "#[cfg(test)]\nmod tests {\n    fn t() { std::fs::write(\"t\", b\"x\").ok(); }\n}";
+        assert!(scan(test).is_empty());
+        // An allow marker justifies a deliberate site.
+        let marked = "fn f(p: &str) -> std::io::Result<()> {\n    // teleios-lint: allow(no-direct-fs) — legacy export\n    std::fs::write(p, b\"{}\")\n}";
+        assert!(scan(marked).is_empty());
     }
 
     #[test]

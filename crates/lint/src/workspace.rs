@@ -13,6 +13,10 @@ use std::path::{Path, PathBuf};
 /// real threads to control modeled ones.
 const SUBSTRATE_CRATES: &[&str] = &["exec", "loom"];
 
+/// The one crate allowed to mutate the filesystem directly: the
+/// storage engine whose `Medium` is everyone else's doorway to disk.
+const FS_DOORWAY_CRATES: &[&str] = &["store"];
+
 /// Walk upward from `start` to the directory whose `Cargo.toml`
 /// declares `[workspace]`.
 pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
@@ -55,6 +59,7 @@ fn rel_label(root: &Path, path: &Path) -> String {
 fn policy_for(crate_name: &str, label: &str) -> FilePolicy {
     FilePolicy {
         substrate: SUBSTRATE_CRATES.contains(&crate_name),
+        fs_doorway: FS_DOORWAY_CRATES.contains(&crate_name),
         bin_target: label.contains("/src/bin/")
             || label.starts_with("src/bin/")
             || label.ends_with("src/main.rs")

@@ -31,6 +31,7 @@ pub mod catalog;
 pub mod column;
 pub mod error;
 pub mod exec;
+pub mod persist;
 pub mod sql;
 pub mod table;
 pub mod value;

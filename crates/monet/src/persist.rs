@@ -1,0 +1,519 @@
+//! Persistence of catalog tables onto a `teleios-store`
+//! [`StorageBackend`] as column pages — the BAT layout on disk.
+//!
+//! Keyspace `monet/schema`: one entry per table, key = lowercase
+//! table name, value = case-preserved display name, varint column
+//! count, then per column its name and a type tag.
+//!
+//! Keyspace `monet/col`: one page per column, key = lowercase table
+//! name ++ `0x00` ++ big-endian `u32` column index (so a table's
+//! pages scan contiguously in column order), value = type tag,
+//! varint row count, an RLE validity section (varint run count; `0`
+//! means "no nulls"; runs alternate starting with VALID), then the
+//! values of the non-null rows only: `Int` as zigzag deltas,
+//! `Double` as raw little-endian bits (NaN-exact), `Str`
+//! length-prefixed, `Bool` bit-packed.
+//!
+//! Restore rebuilds each table via `Catalog::create_table` + row
+//! inserts, which reproduces the column's internal validity
+//! representation exactly (a column only carries a validity vector
+//! if it actually holds nulls — same as a freshly pushed column).
+
+use teleios_store::codec::{put_f64, put_str, put_varint, put_zigzag, Reader};
+use teleios_store::{StorageBackend, StoreError};
+
+use crate::catalog::Catalog;
+use crate::table::{ColumnDef, Table};
+use crate::value::{DataType, Value};
+
+/// Keyspace holding per-table schema records.
+pub const SCHEMA_KEYSPACE: &str = "monet/schema";
+/// Keyspace holding column pages.
+pub const COL_KEYSPACE: &str = "monet/col";
+
+fn type_tag(ty: DataType) -> u8 {
+    match ty {
+        DataType::Int => 0,
+        DataType::Double => 1,
+        DataType::Str => 2,
+        DataType::Bool => 3,
+    }
+}
+
+fn tag_type(tag: u8) -> Result<DataType, StoreError> {
+    match tag {
+        0 => Ok(DataType::Int),
+        1 => Ok(DataType::Double),
+        2 => Ok(DataType::Str),
+        3 => Ok(DataType::Bool),
+        other => Err(StoreError::Codec(format!("unknown column type tag {other}"))),
+    }
+}
+
+fn table_key(name: &str) -> Vec<u8> {
+    name.to_ascii_lowercase().into_bytes()
+}
+
+fn col_key(name: &str, idx: u32) -> Vec<u8> {
+    let mut key = table_key(name);
+    key.push(0);
+    key.extend_from_slice(&idx.to_be_bytes());
+    key
+}
+
+fn encode_schema(table: &Table) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_str(&mut out, table.name());
+    put_varint(&mut out, table.num_columns() as u64);
+    for def in table.schema() {
+        put_str(&mut out, &def.name);
+        out.push(type_tag(def.ty));
+    }
+    out
+}
+
+fn decode_schema(bytes: &[u8]) -> Result<(String, Vec<ColumnDef>), StoreError> {
+    let mut r = Reader::new(bytes);
+    let name = r.string()?;
+    let n_cols = r.varint()?;
+    let mut defs = Vec::with_capacity(n_cols as usize);
+    for _ in 0..n_cols {
+        let col_name = r.string()?;
+        let ty = tag_type(r.u8()?)?;
+        defs.push(ColumnDef { name: col_name, ty });
+    }
+    if !r.is_empty() {
+        return Err(StoreError::Codec("trailing bytes after table schema".into()));
+    }
+    Ok((name, defs))
+}
+
+fn encode_column(table: &Table, idx: usize) -> Vec<u8> {
+    let col = table.column(idx);
+    let rows = col.len();
+    let mut out = Vec::new();
+    out.push(type_tag(col.data_type()));
+    put_varint(&mut out, rows as u64);
+
+    // validity as alternating RLE runs, starting VALID; 0 runs = no nulls
+    if col.null_count() == 0 {
+        put_varint(&mut out, 0);
+    } else {
+        let mut runs: Vec<u64> = Vec::new();
+        let mut current_valid = true;
+        let mut run_len = 0u64;
+        for i in 0..rows {
+            let valid = !col.is_null(i);
+            if valid == current_valid {
+                run_len += 1;
+            } else {
+                runs.push(run_len);
+                current_valid = valid;
+                run_len = 1;
+            }
+        }
+        runs.push(run_len);
+        put_varint(&mut out, runs.len() as u64);
+        for run in runs {
+            put_varint(&mut out, run);
+        }
+    }
+
+    // non-null values only
+    match col.data_type() {
+        DataType::Int => {
+            let mut prev = 0i64;
+            for i in 0..rows {
+                if let Value::Int(v) = col.get(i) {
+                    put_zigzag(&mut out, v.wrapping_sub(prev));
+                    prev = v;
+                }
+            }
+        }
+        DataType::Double => {
+            for i in 0..rows {
+                if let Value::Double(v) = col.get(i) {
+                    put_f64(&mut out, v);
+                }
+            }
+        }
+        DataType::Str => {
+            for i in 0..rows {
+                if let Value::Str(v) = col.get(i) {
+                    put_str(&mut out, &v);
+                }
+            }
+        }
+        DataType::Bool => {
+            let mut bits = 0u8;
+            let mut n_bits = 0u8;
+            for i in 0..rows {
+                if let Value::Bool(v) = col.get(i) {
+                    if v {
+                        bits |= 1 << n_bits;
+                    }
+                    n_bits += 1;
+                    if n_bits == 8 {
+                        out.push(bits);
+                        bits = 0;
+                        n_bits = 0;
+                    }
+                }
+            }
+            if n_bits > 0 {
+                out.push(bits);
+            }
+        }
+    }
+    out
+}
+
+struct ColumnPage {
+    ty: DataType,
+    values: Vec<Value>, // row-aligned, Value::Null where invalid
+}
+
+fn decode_column(bytes: &[u8]) -> Result<ColumnPage, StoreError> {
+    let mut r = Reader::new(bytes);
+    let ty = tag_type(r.u8()?)?;
+    let rows = r.varint()? as usize;
+
+    let n_runs = r.varint()? as usize;
+    let mut validity = vec![true; rows];
+    if n_runs > 0 {
+        let mut pos = 0usize;
+        let mut current_valid = true;
+        for _ in 0..n_runs {
+            let run = r.varint()? as usize;
+            if pos + run > rows {
+                return Err(StoreError::Codec("validity runs exceed row count".into()));
+            }
+            for slot in &mut validity[pos..pos + run] {
+                *slot = current_valid;
+            }
+            pos += run;
+            current_valid = !current_valid;
+        }
+        if pos != rows {
+            return Err(StoreError::Codec("validity runs do not cover all rows".into()));
+        }
+    }
+    let n_present = validity.iter().filter(|v| **v).count();
+
+    let mut present: Vec<Value> = Vec::with_capacity(n_present);
+    match ty {
+        DataType::Int => {
+            let mut prev = 0i64;
+            for _ in 0..n_present {
+                prev = prev.wrapping_add(r.zigzag()?);
+                present.push(Value::Int(prev));
+            }
+        }
+        DataType::Double => {
+            for _ in 0..n_present {
+                present.push(Value::Double(r.f64()?));
+            }
+        }
+        DataType::Str => {
+            for _ in 0..n_present {
+                present.push(Value::Str(r.string()?));
+            }
+        }
+        DataType::Bool => {
+            let n_bytes = n_present.div_ceil(8);
+            let packed = r.take(n_bytes)?;
+            for i in 0..n_present {
+                present.push(Value::Bool(packed[i / 8] & (1 << (i % 8)) != 0));
+            }
+        }
+    }
+    if !r.is_empty() {
+        return Err(StoreError::Codec("trailing bytes after column page".into()));
+    }
+
+    let mut present_iter = present.into_iter();
+    let mut values = Vec::with_capacity(rows);
+    for valid in validity {
+        if valid {
+            values.push(
+                present_iter
+                    .next()
+                    .ok_or_else(|| StoreError::Codec("column page ran out of values".into()))?,
+            );
+        } else {
+            values.push(Value::Null);
+        }
+    }
+    Ok(ColumnPage { ty, values })
+}
+
+/// Stage every catalog table (schema + column pages) as puts inside
+/// the backend's open transaction, replacing any previously
+/// persisted tables that no longer exist.
+pub fn persist_catalog(
+    catalog: &Catalog,
+    backend: &mut dyn StorageBackend,
+) -> Result<(), StoreError> {
+    // drop pages of tables that disappeared since the last persist
+    let live: Vec<Vec<u8>> = catalog.table_names().iter().map(|n| table_key(n)).collect();
+    for (key, _) in backend.scan(SCHEMA_KEYSPACE)? {
+        if !live.contains(&key) {
+            backend.delete(SCHEMA_KEYSPACE, &key)?;
+        }
+    }
+    for (key, _) in backend.scan(COL_KEYSPACE)? {
+        let table_part = key.split(|b| *b == 0).next().unwrap_or(&[]).to_vec();
+        if !live.contains(&table_part) {
+            backend.delete(COL_KEYSPACE, &key)?;
+        }
+    }
+
+    for name in catalog.table_names() {
+        let table = catalog
+            .table(&name)
+            .map_err(|e| StoreError::Codec(format!("catalog read: {e}")))?;
+        backend.put(SCHEMA_KEYSPACE, &table_key(&name), &encode_schema(&table))?;
+        // remove stale higher-index pages if the table narrowed
+        for (key, _) in backend.scan(COL_KEYSPACE)? {
+            if key.starts_with(&col_key(&name, 0)[..table_key(&name).len() + 1]) {
+                let idx_bytes = &key[table_key(&name).len() + 1..];
+                if idx_bytes.len() == 4 {
+                    let mut buf = [0u8; 4];
+                    buf.copy_from_slice(idx_bytes);
+                    if u32::from_be_bytes(buf) as usize >= table.num_columns() {
+                        backend.delete(COL_KEYSPACE, &key)?;
+                    }
+                }
+            }
+        }
+        for idx in 0..table.num_columns() {
+            backend.put(
+                COL_KEYSPACE,
+                &col_key(&name, idx as u32),
+                &encode_column(&table, idx),
+            )?;
+        }
+    }
+    Ok(())
+}
+
+/// Persist the catalog as one transaction; returns the commit
+/// sequence number.
+pub fn save_catalog(catalog: &Catalog, backend: &mut dyn StorageBackend) -> Result<u64, StoreError> {
+    backend.begin()?;
+    persist_catalog(catalog, backend)?;
+    backend.commit()
+}
+
+/// Load all tables persisted by [`persist_catalog`] into a fresh
+/// catalog; `Ok(None)` if nothing was ever persisted.
+pub fn load_catalog(backend: &dyn StorageBackend) -> Result<Option<Catalog>, StoreError> {
+    let schemas = backend.scan(SCHEMA_KEYSPACE)?;
+    if schemas.is_empty() {
+        return Ok(None);
+    }
+    let catalog = Catalog::new();
+    for (key, schema_bytes) in schemas {
+        let (name, defs) = decode_schema(&schema_bytes)?;
+        let n_cols = defs.len();
+        catalog
+            .create_table(&name, defs.clone())
+            .map_err(|e| StoreError::Codec(format!("recreate table: {e}")))?;
+
+        let mut columns: Vec<ColumnPage> = Vec::with_capacity(n_cols);
+        for idx in 0..n_cols {
+            let mut col_k = key.clone();
+            col_k.push(0);
+            col_k.extend_from_slice(&(idx as u32).to_be_bytes());
+            let page = backend.get(COL_KEYSPACE, &col_k)?.ok_or_else(|| {
+                StoreError::Codec(format!("missing column page {idx} for table {name}"))
+            })?;
+            let page = decode_column(&page)?;
+            if page.ty != defs[idx].ty {
+                return Err(StoreError::Codec(format!(
+                    "column {idx} of {name} has type {:?}, schema says {:?}",
+                    page.ty, defs[idx].ty
+                )));
+            }
+            columns.push(page);
+        }
+        let rows = columns.first().map(|c| c.values.len()).unwrap_or(0);
+        if columns.iter().any(|c| c.values.len() != rows) {
+            return Err(StoreError::Codec(format!("ragged column pages for table {name}")));
+        }
+        let mut row_values = Vec::with_capacity(rows);
+        for i in 0..rows {
+            row_values.push(columns.iter().map(|c| c.values[i].clone()).collect::<Vec<_>>());
+        }
+        if !row_values.is_empty() {
+            catalog
+                .insert(&name, row_values)
+                .map_err(|e| StoreError::Codec(format!("refill table: {e}")))?;
+        }
+    }
+    Ok(Some(catalog))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use teleios_store::{DurableBackend, DurableConfig, MemMedium, MemoryBackend};
+
+    fn sample_catalog() -> Catalog {
+        let catalog = Catalog::new();
+        catalog
+            .create_table(
+                "Hotspots",
+                vec![
+                    ColumnDef { name: "id".into(), ty: DataType::Int },
+                    ColumnDef { name: "confidence".into(), ty: DataType::Double },
+                    ColumnDef { name: "sensor".into(), ty: DataType::Str },
+                    ColumnDef { name: "confirmed".into(), ty: DataType::Bool },
+                ],
+            )
+            .unwrap();
+        let weird_nan = f64::from_bits(0x7ff8_0000_0000_1234);
+        catalog
+            .insert(
+                "Hotspots",
+                vec![
+                    vec![
+                        Value::Int(100),
+                        Value::Double(0.93),
+                        Value::Str("MSG2".into()),
+                        Value::Bool(true),
+                    ],
+                    vec![Value::Int(101), Value::Null, Value::Str(String::new()), Value::Null],
+                    vec![
+                        Value::Int(-5),
+                        Value::Double(weird_nan),
+                        Value::Null,
+                        Value::Bool(false),
+                    ],
+                    vec![
+                        Value::Int(i64::MAX),
+                        Value::Double(-0.0),
+                        Value::Str("utf8 λ€".into()),
+                        Value::Bool(true),
+                    ],
+                ],
+            )
+            .unwrap();
+        catalog
+            .create_table("empty_t", vec![ColumnDef { name: "x".into(), ty: DataType::Int }])
+            .unwrap();
+        catalog
+    }
+
+    fn assert_values_equal(a: &Value, b: &Value, ctx: &str) {
+        match (a, b) {
+            // Double PartialEq fails on NaN; compare raw bits instead
+            (Value::Double(x), Value::Double(y)) => {
+                assert_eq!(x.to_bits(), y.to_bits(), "{ctx}");
+            }
+            _ => assert_eq!(a, b, "{ctx}"),
+        }
+    }
+
+    fn assert_catalogs_equal(a: &Catalog, b: &Catalog) {
+        assert_eq!(a.table_names(), b.table_names());
+        for name in a.table_names() {
+            let ta = a.table(&name).unwrap();
+            let tb = b.table(&name).unwrap();
+            assert_eq!(ta.name(), tb.name(), "display name of {name}");
+            assert_eq!(ta.schema(), tb.schema(), "schema of {name}");
+            assert_eq!(ta.num_rows(), tb.num_rows(), "rows of {name}");
+            for i in 0..ta.num_rows() {
+                for (va, vb) in ta.row(i).iter().zip(tb.row(i).iter()) {
+                    assert_values_equal(va, vb, &format!("{name} row {i}"));
+                }
+            }
+            // the internal representation must match too: a column
+            // without nulls must not grow a validity vector
+            for idx in 0..ta.num_columns() {
+                assert_eq!(
+                    ta.column(idx).null_count(),
+                    tb.column(idx).null_count(),
+                    "null count of {name}.{idx}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn round_trip_through_memory_backend() {
+        let catalog = sample_catalog();
+        let mut backend = MemoryBackend::new();
+        save_catalog(&catalog, &mut backend).unwrap();
+        let loaded = load_catalog(&backend).unwrap().unwrap();
+        assert_catalogs_equal(&catalog, &loaded);
+    }
+
+    #[test]
+    fn round_trip_survives_crash_recovery() {
+        let catalog = sample_catalog();
+        let mut backend =
+            DurableBackend::open(MemMedium::new(), DurableConfig::default()).unwrap();
+        save_catalog(&catalog, &mut backend).unwrap();
+        let mut medium = backend.into_medium();
+        medium.crash();
+        let recovered = DurableBackend::open(medium, DurableConfig::default()).unwrap();
+        let loaded = load_catalog(&recovered).unwrap().unwrap();
+        assert_catalogs_equal(&catalog, &loaded);
+    }
+
+    #[test]
+    fn missing_state_loads_as_none() {
+        assert!(load_catalog(&MemoryBackend::new()).unwrap().is_none());
+    }
+
+    #[test]
+    fn dropped_table_disappears_on_next_persist() {
+        let catalog = sample_catalog();
+        let mut backend = MemoryBackend::new();
+        save_catalog(&catalog, &mut backend).unwrap();
+        catalog.drop_table("Hotspots").unwrap();
+        save_catalog(&catalog, &mut backend).unwrap();
+        let loaded = load_catalog(&backend).unwrap().unwrap();
+        assert_eq!(loaded.table_names(), vec!["empty_t".to_string()]);
+        // no orphaned column pages either
+        for (key, _) in backend.scan(COL_KEYSPACE).unwrap() {
+            assert!(key.starts_with(b"empty_t"), "orphan page {key:?}");
+        }
+    }
+
+    #[test]
+    fn corrupt_column_page_is_a_codec_error() {
+        let catalog = sample_catalog();
+        let mut backend = MemoryBackend::new();
+        save_catalog(&catalog, &mut backend).unwrap();
+        let key = col_key("Hotspots", 0);
+        let mut bytes = backend.get(COL_KEYSPACE, &key).unwrap().unwrap();
+        bytes.truncate(bytes.len() - 1);
+        backend.begin().unwrap();
+        backend.put(COL_KEYSPACE, &key, &bytes).unwrap();
+        backend.commit().unwrap();
+        assert!(matches!(load_catalog(&backend), Err(StoreError::Codec(_))));
+    }
+
+    #[test]
+    fn all_null_and_all_bool_columns_round_trip() {
+        let catalog = Catalog::new();
+        catalog
+            .create_table(
+                "edge",
+                vec![
+                    ColumnDef { name: "n".into(), ty: DataType::Double },
+                    ColumnDef { name: "b".into(), ty: DataType::Bool },
+                ],
+            )
+            .unwrap();
+        let rows: Vec<Vec<Value>> =
+            (0..17).map(|i| vec![Value::Null, Value::Bool(i % 3 == 0)]).collect();
+        catalog.insert("edge", rows).unwrap();
+        let mut backend = MemoryBackend::new();
+        save_catalog(&catalog, &mut backend).unwrap();
+        let loaded = load_catalog(&backend).unwrap().unwrap();
+        assert_catalogs_equal(&catalog, &loaded);
+    }
+}

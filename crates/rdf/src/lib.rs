@@ -37,6 +37,7 @@
 pub mod dictionary;
 pub mod store;
 pub mod strdf;
+pub mod persist;
 pub mod term;
 pub mod triple;
 pub mod turtle;

@@ -1,0 +1,304 @@
+//! Persistence of the triple store onto a `teleios-store`
+//! [`StorageBackend`].
+//!
+//! Encoding (keyspace `rdf/dict`, key `terms`): the dictionary's
+//! terms in id order — a tag byte (0 = IRI, 1 = blank, 2 = plain
+//! literal, 3 = typed literal, 4 = language-tagged literal) followed
+//! by the term's length-prefixed strings. Because `Dictionary::intern`
+//! assigns dense sequential ids in insertion order, re-interning the
+//! decoded terms into a fresh dictionary reproduces the identical
+//! id assignment, so the delta-coded triples below remain valid.
+//!
+//! Encoding (keyspace `rdf/spo`, key `triples`): a varint triple
+//! count, then per triple (in SPO index order) the zigzag-varint
+//! deltas `(Δs, Δp, Δo)` against the previous triple, starting from
+//! `(0, 0, 0)`. Sorted SPO ids make consecutive deltas tiny, so the
+//! log and snapshot stay compact without a general-purpose
+//! compressor.
+
+use teleios_store::codec::{put_str, put_varint, put_zigzag, Reader};
+use teleios_store::{StorageBackend, StoreError};
+
+use crate::store::TripleStore;
+use crate::term::Term;
+use crate::triple::Triple;
+
+/// Keyspace holding the dictionary page.
+pub const DICT_KEYSPACE: &str = "rdf/dict";
+/// Keyspace holding the delta-coded triple page.
+pub const SPO_KEYSPACE: &str = "rdf/spo";
+/// Key for the term dictionary within [`DICT_KEYSPACE`].
+pub const TERMS_KEY: &[u8] = b"terms";
+/// Key for the triple page within [`SPO_KEYSPACE`].
+pub const TRIPLES_KEY: &[u8] = b"triples";
+
+const TAG_IRI: u8 = 0;
+const TAG_BLANK: u8 = 1;
+const TAG_PLAIN: u8 = 2;
+const TAG_TYPED: u8 = 3;
+const TAG_LANG: u8 = 4;
+
+fn encode_terms(store: &TripleStore) -> Vec<u8> {
+    let dict = store.dictionary();
+    let mut out = Vec::new();
+    put_varint(&mut out, dict.len() as u64);
+    for id in 0..dict.len() as u32 {
+        match dict.term(id) {
+            Term::Iri(value) => {
+                out.push(TAG_IRI);
+                put_str(&mut out, value);
+            }
+            Term::Blank(label) => {
+                out.push(TAG_BLANK);
+                put_str(&mut out, label);
+            }
+            Term::Literal { lexical, datatype: Some(dt), .. } => {
+                out.push(TAG_TYPED);
+                put_str(&mut out, lexical);
+                put_str(&mut out, dt);
+            }
+            Term::Literal { lexical, lang: Some(lang), .. } => {
+                out.push(TAG_LANG);
+                put_str(&mut out, lexical);
+                put_str(&mut out, lang);
+            }
+            Term::Literal { lexical, .. } => {
+                out.push(TAG_PLAIN);
+                put_str(&mut out, lexical);
+            }
+        }
+    }
+    out
+}
+
+fn decode_terms(bytes: &[u8]) -> Result<Vec<Term>, StoreError> {
+    let mut r = Reader::new(bytes);
+    let n = r.varint()?;
+    let mut terms = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        let term = match r.u8()? {
+            TAG_IRI => Term::Iri(r.string()?),
+            TAG_BLANK => Term::Blank(r.string()?),
+            TAG_PLAIN => Term::literal(r.string()?),
+            TAG_TYPED => {
+                let lexical = r.string()?;
+                let dt = r.string()?;
+                Term::typed_literal(lexical, dt)
+            }
+            TAG_LANG => {
+                let lexical = r.string()?;
+                let lang = r.string()?;
+                Term::lang_literal(lexical, lang)
+            }
+            other => {
+                return Err(StoreError::Codec(format!("unknown term tag {other}")));
+            }
+        };
+        terms.push(term);
+    }
+    if !r.is_empty() {
+        return Err(StoreError::Codec("trailing bytes after term dictionary".into()));
+    }
+    Ok(terms)
+}
+
+fn encode_triples(store: &TripleStore) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_varint(&mut out, store.len() as u64);
+    let (mut ps, mut pp, mut po) = (0i64, 0i64, 0i64);
+    for t in store.iter() {
+        put_zigzag(&mut out, t.s as i64 - ps);
+        put_zigzag(&mut out, t.p as i64 - pp);
+        put_zigzag(&mut out, t.o as i64 - po);
+        ps = t.s as i64;
+        pp = t.p as i64;
+        po = t.o as i64;
+    }
+    out
+}
+
+fn id_from(v: i64) -> Result<u32, StoreError> {
+    u32::try_from(v).map_err(|_| StoreError::Codec(format!("term id {v} out of range")))
+}
+
+fn decode_triples(bytes: &[u8]) -> Result<Vec<Triple>, StoreError> {
+    let mut r = Reader::new(bytes);
+    let n = r.varint()?;
+    let mut triples = Vec::with_capacity(n as usize);
+    let (mut s, mut p, mut o) = (0i64, 0i64, 0i64);
+    for _ in 0..n {
+        s += r.zigzag()?;
+        p += r.zigzag()?;
+        o += r.zigzag()?;
+        triples.push(Triple::new(id_from(s)?, id_from(p)?, id_from(o)?));
+    }
+    if !r.is_empty() {
+        return Err(StoreError::Codec("trailing bytes after triple page".into()));
+    }
+    Ok(triples)
+}
+
+/// Stage the triple store's pages as puts inside the backend's open
+/// transaction (the caller owns `begin`/`commit`, so a catalog, a
+/// triple store, and table pages can share one atomic commit).
+pub fn persist_triple_store(
+    store: &TripleStore,
+    backend: &mut dyn StorageBackend,
+) -> Result<(), StoreError> {
+    backend.put(DICT_KEYSPACE, TERMS_KEY, &encode_terms(store))?;
+    backend.put(SPO_KEYSPACE, TRIPLES_KEY, &encode_triples(store))?;
+    Ok(())
+}
+
+/// Persist the triple store as a single transaction of its own;
+/// returns the commit sequence number.
+pub fn save_triple_store(
+    store: &TripleStore,
+    backend: &mut dyn StorageBackend,
+) -> Result<u64, StoreError> {
+    backend.begin()?;
+    persist_triple_store(store, backend)?;
+    backend.commit()
+}
+
+/// Load the triple store persisted by [`persist_triple_store`];
+/// `Ok(None)` if nothing was ever persisted.
+pub fn load_triple_store(
+    backend: &dyn StorageBackend,
+) -> Result<Option<TripleStore>, StoreError> {
+    let Some(term_bytes) = backend.get(DICT_KEYSPACE, TERMS_KEY)? else {
+        return Ok(None);
+    };
+    let triple_bytes = backend.get(SPO_KEYSPACE, TRIPLES_KEY)?.unwrap_or_default();
+    let terms = decode_terms(&term_bytes)?;
+    let mut store = TripleStore::new();
+    for (expect_id, term) in terms.iter().enumerate() {
+        let id = store.intern(term);
+        if id as usize != expect_id {
+            return Err(StoreError::Codec(format!(
+                "dictionary replay assigned id {id}, expected {expect_id}"
+            )));
+        }
+    }
+    if !triple_bytes.is_empty() {
+        let dict_len = store.dictionary().len() as i64;
+        for t in decode_triples(&triple_bytes)? {
+            if t.s as i64 >= dict_len || t.p as i64 >= dict_len || t.o as i64 >= dict_len {
+                return Err(StoreError::Codec(
+                    "triple references a term id beyond the dictionary".into(),
+                ));
+            }
+            store.insert(t);
+        }
+    }
+    Ok(Some(store))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use teleios_store::{DurableBackend, DurableConfig, MemMedium, MemoryBackend};
+
+    fn sample_store() -> TripleStore {
+        let mut store = TripleStore::new();
+        let img = Term::iri("http://teleios.example/img/0042");
+        let hotspot = Term::iri("http://teleios.example/hotspot/7");
+        store.insert_terms(
+            &img,
+            &Term::iri("http://teleios.example/hasCloudCover"),
+            &Term::typed_literal("0.25", "http://www.w3.org/2001/XMLSchema#double"),
+        );
+        store.insert_terms(
+            &hotspot,
+            &Term::iri("http://teleios.example/observedIn"),
+            &img,
+        );
+        store.insert_terms(
+            &hotspot,
+            &Term::iri("http://www.w3.org/2000/01/rdf-schema#label"),
+            &Term::lang_literal("Brandherd", "de"),
+        );
+        store.insert_terms(
+            &Term::blank("b0"),
+            &Term::iri("http://teleios.example/comment"),
+            &Term::literal("plain note"),
+        );
+        store
+    }
+
+    fn assert_stores_equal(a: &TripleStore, b: &TripleStore) {
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.dictionary().len(), b.dictionary().len());
+        for id in 0..a.dictionary().len() as u32 {
+            assert_eq!(a.dictionary().term(id), b.dictionary().term(id), "term id {id}");
+        }
+        let ta: Vec<_> = a.iter().collect();
+        let tb: Vec<_> = b.iter().collect();
+        assert_eq!(ta, tb);
+    }
+
+    #[test]
+    fn round_trip_through_memory_backend() {
+        let store = sample_store();
+        let mut backend = MemoryBackend::new();
+        save_triple_store(&store, &mut backend).unwrap();
+        let loaded = load_triple_store(&backend).unwrap().unwrap();
+        assert_stores_equal(&store, &loaded);
+    }
+
+    #[test]
+    fn round_trip_survives_crash_recovery() {
+        let store = sample_store();
+        let mut backend =
+            DurableBackend::open(MemMedium::new(), DurableConfig::default()).unwrap();
+        save_triple_store(&store, &mut backend).unwrap();
+        let mut medium = backend.into_medium();
+        medium.crash();
+        let recovered = DurableBackend::open(medium, DurableConfig::default()).unwrap();
+        let loaded = load_triple_store(&recovered).unwrap().unwrap();
+        assert_stores_equal(&store, &loaded);
+    }
+
+    #[test]
+    fn empty_store_round_trips() {
+        let store = TripleStore::new();
+        let mut backend = MemoryBackend::new();
+        save_triple_store(&store, &mut backend).unwrap();
+        let loaded = load_triple_store(&backend).unwrap().unwrap();
+        assert_eq!(loaded.len(), 0);
+        assert_eq!(loaded.dictionary().len(), 0);
+    }
+
+    #[test]
+    fn missing_state_loads_as_none() {
+        let backend = MemoryBackend::new();
+        assert!(load_triple_store(&backend).unwrap().is_none());
+    }
+
+    #[test]
+    fn saving_twice_overwrites_cleanly() {
+        let mut backend = MemoryBackend::new();
+        save_triple_store(&sample_store(), &mut backend).unwrap();
+        let mut smaller = TripleStore::new();
+        smaller.insert_terms(
+            &Term::iri("http://teleios.example/only"),
+            &Term::iri("http://teleios.example/p"),
+            &Term::literal("v"),
+        );
+        save_triple_store(&smaller, &mut backend).unwrap();
+        let loaded = load_triple_store(&backend).unwrap().unwrap();
+        assert_stores_equal(&smaller, &loaded);
+    }
+
+    #[test]
+    fn corrupt_term_page_is_a_codec_error_not_a_panic() {
+        let mut backend = MemoryBackend::new();
+        save_triple_store(&sample_store(), &mut backend).unwrap();
+        let mut bytes = backend.get(DICT_KEYSPACE, TERMS_KEY).unwrap().unwrap();
+        bytes.truncate(bytes.len() / 2);
+        backend.begin().unwrap();
+        backend.put(DICT_KEYSPACE, TERMS_KEY, &bytes).unwrap();
+        backend.commit().unwrap();
+        assert!(matches!(load_triple_store(&backend), Err(StoreError::Codec(_))));
+    }
+}

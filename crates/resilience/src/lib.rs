@@ -45,6 +45,6 @@ pub mod fault;
 pub mod supervisor;
 
 pub use deadline::{CircuitBreaker, StageBudget};
-pub use fault::{Fault, FaultPlan};
+pub use fault::{Fault, FaultPlan, DURABILITY_KINDS, SEEDED_KINDS};
 pub use supervisor::{BatchReport, RetryPolicy, SceneOutcome, SceneReport, Supervisor};
 pub use teleios_exec::{CancelToken, PoolStats};

@@ -1,0 +1,267 @@
+//! Write-ahead log format and the never-failing scanner.
+//!
+//! Frame layout (little-endian):
+//!
+//! ```text
+//! [payload_len: u32][crc32(payload): u32][payload: payload_len bytes]
+//! ```
+//!
+//! Payload = `kind: u8` + kind-specific fields:
+//!
+//! | kind | record  | fields                                   |
+//! |------|---------|------------------------------------------|
+//! | 1    | Begin   | `seq` varint                             |
+//! | 2    | Put     | `keyspace` str, `key` bytes, `value` bytes |
+//! | 3    | Delete  | `keyspace` str, `key` bytes              |
+//! | 4    | Commit  | `seq` varint                             |
+//!
+//! [`scan`] is total: it never returns an error. It walks frames
+//! until the bytes stop verifying (short header, bad CRC, garbage
+//! payload, or a length beyond the buffer) and reports the prefix
+//! length that did verify — recovery then *truncates* the log there
+//! instead of failing, which is the whole crash-tolerance story.
+
+use crate::codec::{crc32, put_bytes, put_str, put_varint, Reader};
+use crate::{Result, StoreError};
+
+/// File name of the write-ahead log inside a medium.
+pub const WAL_FILE: &str = "wal.tlw";
+
+/// Upper bound on a single record payload (1 GiB). A corrupt length
+/// prefix beyond this is treated as a torn tail, not an allocation
+/// request.
+pub const MAX_RECORD: u32 = 1 << 30;
+
+const FRAME_HEADER: usize = 8;
+
+/// One logical WAL record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalRecord {
+    /// Open transaction `seq`. Any pending un-committed ops are
+    /// discarded on replay.
+    Begin { seq: u64 },
+    /// Write `key` = `value` in `keyspace` within the open txn.
+    Put { keyspace: String, key: Vec<u8>, value: Vec<u8> },
+    /// Delete `key` from `keyspace` within the open txn.
+    Delete { keyspace: String, key: Vec<u8> },
+    /// Commit transaction `seq`: replay applies the pending ops iff
+    /// the seq matches the open Begin.
+    Commit { seq: u64 },
+}
+
+const KIND_BEGIN: u8 = 1;
+const KIND_PUT: u8 = 2;
+const KIND_DELETE: u8 = 3;
+const KIND_COMMIT: u8 = 4;
+
+/// Encode one record as a framed WAL entry, appending to `out`.
+pub fn encode_record(out: &mut Vec<u8>, record: &WalRecord) {
+    let mut payload = Vec::new();
+    match record {
+        WalRecord::Begin { seq } => {
+            payload.push(KIND_BEGIN);
+            put_varint(&mut payload, *seq);
+        }
+        WalRecord::Put { keyspace, key, value } => {
+            payload.push(KIND_PUT);
+            put_str(&mut payload, keyspace);
+            put_bytes(&mut payload, key);
+            put_bytes(&mut payload, value);
+        }
+        WalRecord::Delete { keyspace, key } => {
+            payload.push(KIND_DELETE);
+            put_str(&mut payload, keyspace);
+            put_bytes(&mut payload, key);
+        }
+        WalRecord::Commit { seq } => {
+            payload.push(KIND_COMMIT);
+            put_varint(&mut payload, *seq);
+        }
+    }
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(&payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+}
+
+fn decode_payload(payload: &[u8]) -> Result<WalRecord> {
+    let mut r = Reader::new(payload);
+    let kind = r.u8()?;
+    let record = match kind {
+        KIND_BEGIN => WalRecord::Begin { seq: r.varint()? },
+        KIND_PUT => WalRecord::Put {
+            keyspace: r.string()?,
+            key: r.bytes()?.to_vec(),
+            value: r.bytes()?.to_vec(),
+        },
+        KIND_DELETE => WalRecord::Delete { keyspace: r.string()?, key: r.bytes()?.to_vec() },
+        KIND_COMMIT => WalRecord::Commit { seq: r.varint()? },
+        other => {
+            return Err(StoreError::Codec(format!("unknown wal record kind {other}")));
+        }
+    };
+    if !r.is_empty() {
+        return Err(StoreError::Codec(format!(
+            "{} trailing bytes after wal record",
+            r.remaining()
+        )));
+    }
+    Ok(record)
+}
+
+/// Result of scanning a WAL byte buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalScan {
+    /// Every record that verified, in log order.
+    pub records: Vec<WalRecord>,
+    /// Byte length of the verified prefix. Appending after this
+    /// offset (having truncated the rest) keeps the log well-formed.
+    pub valid_len: usize,
+    /// True if bytes after `valid_len` failed verification (torn or
+    /// corrupt tail).
+    pub truncated: bool,
+}
+
+/// Scan a WAL buffer. Total: stops at the first frame that fails
+/// verification and reports how far it got — never errors, never
+/// panics, never allocates from an attacker-controlled length.
+pub fn scan(bytes: &[u8]) -> WalScan {
+    let mut records = Vec::new();
+    let mut pos = 0usize;
+    loop {
+        if bytes.len() - pos < FRAME_HEADER {
+            return WalScan { records, valid_len: pos, truncated: pos < bytes.len() };
+        }
+        let mut len4 = [0u8; 4];
+        len4.copy_from_slice(&bytes[pos..pos + 4]);
+        let payload_len = u32::from_le_bytes(len4);
+        let mut crc4 = [0u8; 4];
+        crc4.copy_from_slice(&bytes[pos + 4..pos + 8]);
+        let expect_crc = u32::from_le_bytes(crc4);
+        if payload_len > MAX_RECORD {
+            return WalScan { records, valid_len: pos, truncated: true };
+        }
+        let payload_len = payload_len as usize;
+        if bytes.len() - pos - FRAME_HEADER < payload_len {
+            return WalScan { records, valid_len: pos, truncated: true };
+        }
+        let payload = &bytes[pos + FRAME_HEADER..pos + FRAME_HEADER + payload_len];
+        if crc32(payload) != expect_crc {
+            return WalScan { records, valid_len: pos, truncated: true };
+        }
+        match decode_payload(payload) {
+            Ok(record) => records.push(record),
+            Err(_) => {
+                // checksum passed but the structure is nonsense —
+                // treat as torn, same as any other tail damage
+                return WalScan { records, valid_len: pos, truncated: true };
+            }
+        }
+        pos += FRAME_HEADER + payload_len;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_records() -> Vec<WalRecord> {
+        vec![
+            WalRecord::Begin { seq: 1 },
+            WalRecord::Put {
+                keyspace: "rdf/spo".into(),
+                key: b"triples".to_vec(),
+                value: vec![1, 2, 3],
+            },
+            WalRecord::Delete { keyspace: "vault/quarantine".into(), key: b"scene-9".to_vec() },
+            WalRecord::Commit { seq: 1 },
+        ]
+    }
+
+    fn encode_all(records: &[WalRecord]) -> Vec<u8> {
+        let mut out = Vec::new();
+        for r in records {
+            encode_record(&mut out, r);
+        }
+        out
+    }
+
+    #[test]
+    fn round_trip() {
+        let records = sample_records();
+        let bytes = encode_all(&records);
+        let scan = scan(&bytes);
+        assert_eq!(scan.records, records);
+        assert_eq!(scan.valid_len, bytes.len());
+        assert!(!scan.truncated);
+    }
+
+    #[test]
+    fn empty_log_scans_clean() {
+        let s = scan(&[]);
+        assert!(s.records.is_empty());
+        assert_eq!(s.valid_len, 0);
+        assert!(!s.truncated);
+    }
+
+    #[test]
+    fn every_truncation_offset_scans_without_panic() {
+        let records = sample_records();
+        let bytes = encode_all(&records);
+        // frame boundaries (prefix sums) where the scan should be clean
+        let mut boundaries = vec![0usize];
+        {
+            let mut acc = Vec::new();
+            for r in &records {
+                encode_record(&mut acc, r);
+                boundaries.push(acc.len());
+            }
+        }
+        for cut in 0..=bytes.len() {
+            let s = scan(&bytes[..cut]);
+            assert_eq!(s.truncated, !boundaries.contains(&cut), "offset {cut}");
+            assert!(boundaries.contains(&s.valid_len), "valid_len lands on a boundary");
+            assert!(s.valid_len <= cut);
+        }
+    }
+
+    #[test]
+    fn corrupt_payload_byte_truncates_at_that_frame() {
+        let records = sample_records();
+        let mut bytes = encode_all(&records);
+        // flip a byte inside the second frame's payload
+        let first_len = {
+            let mut one = Vec::new();
+            encode_record(&mut one, &records[0]);
+            one.len()
+        };
+        bytes[first_len + FRAME_HEADER + 2] ^= 0xff;
+        let s = scan(&bytes);
+        assert_eq!(s.records, records[..1].to_vec());
+        assert_eq!(s.valid_len, first_len);
+        assert!(s.truncated);
+    }
+
+    #[test]
+    fn absurd_length_prefix_is_torn_not_an_allocation() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&(MAX_RECORD + 1).to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 4]);
+        bytes.extend_from_slice(&[0u8; 64]);
+        let s = scan(&bytes);
+        assert!(s.records.is_empty());
+        assert_eq!(s.valid_len, 0);
+        assert!(s.truncated);
+    }
+
+    #[test]
+    fn unknown_kind_is_torn() {
+        let payload = [99u8, 0, 0];
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&crc32(&payload).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        let s = scan(&bytes);
+        assert!(s.records.is_empty());
+        assert!(s.truncated);
+    }
+}

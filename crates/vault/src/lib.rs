@@ -47,6 +47,7 @@
 
 pub mod catalog;
 pub mod format;
+pub mod persist;
 pub mod repository;
 pub mod vault;
 

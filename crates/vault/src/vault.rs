@@ -133,6 +133,36 @@ impl DataVault {
         Ok(n)
     }
 
+    /// Persist the metadata catalog and quarantine list to a storage
+    /// backend as one transaction (the durable successor to
+    /// [`Self::export_catalog`]); returns the commit sequence number.
+    pub fn persist_to(
+        &self,
+        backend: &mut dyn teleios_store::StorageBackend,
+    ) -> std::result::Result<u64, teleios_store::StoreError> {
+        crate::persist::save_vault_state(&self.catalog, &self.quarantine, backend)
+    }
+
+    /// Restore the catalog and quarantine list persisted by
+    /// [`Self::persist_to`], replacing the current ones. Returns
+    /// `false` (and changes nothing) if the backend holds no vault
+    /// state. Records referring to files missing from the repository
+    /// are kept, same as [`Self::import_catalog`].
+    pub fn restore_from(
+        &mut self,
+        backend: &dyn teleios_store::StorageBackend,
+    ) -> std::result::Result<bool, teleios_store::StoreError> {
+        match crate::persist::load_vault_state(backend)? {
+            Some((catalog, quarantine)) => {
+                self.catalog = catalog;
+                self.quarantine = quarantine;
+                self.stats.quarantined = self.quarantine.len();
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
     /// The underlying database catalog.
     pub fn database(&self) -> &Catalog {
         &self.db

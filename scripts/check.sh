@@ -4,10 +4,12 @@
 #   scripts/check.sh --quick   build + tier-1 tests only
 #   scripts/check.sh           default gate: the above, plus the
 #                              teleios-lint workspace invariants,
-#                              clippy, and the E14 smoke run (a
-#                              hung-stage regression fails this gate
-#                              instead of hanging it)
-#   scripts/check.sh --full    default gate, plus the loom
+#                              clippy, and the E14/E13b/E16 smoke
+#                              runs (a hung-stage, wedged-deque, or
+#                              broken-recovery regression fails this
+#                              gate instead of hanging it)
+#   scripts/check.sh --full    default gate, plus the exhaustive
+#                              WAL-truncation recovery sweep and the loom
 #                              model-checking suite: exhaustive
 #                              interleaving of the exec/cancel races
 #                              (first-wins cancel, reason publication,
@@ -70,11 +72,23 @@ timeout 300 cargo run --release -p teleios-bench --bin exp_timeout_budgets -- --
 echo "==> E13b smoke (work-stealing dispatch)"
 timeout 300 cargo run --release -p teleios-bench --bin exp_work_stealing -- --smoke
 
+# The storage engine must recover the exact committed state after
+# every injected crash (the bin asserts bit-identical recovery per
+# row); the timeout turns a wedged replay loop into a failure.
+echo "==> E16 smoke (durability / crash recovery)"
+timeout 300 cargo run --release -p teleios-bench --bin exp_durability -- --smoke
+
 if [ "$full" -eq 1 ]; then
     # Exhaustive schedule exploration is exponential in yield points;
     # the models are small, but a scheduler bug could loop — bound it.
     echo "==> loom model checking (exec/cancel)"
     timeout 600 cargo test --release -p teleios-exec --features loom --test loom
+
+    # The exhaustive WAL-truncation sweep: recovery at every byte
+    # offset of multi-seed logs (the fast per-commit sweep already ran
+    # in tier 1; this is the #[ignore]d large variant).
+    echo "==> store recovery property sweep (exhaustive)"
+    timeout 600 cargo test --release -p teleios-store --test recovery_properties -- --ignored
 fi
 
 echo "==> all checks passed"

@@ -12,5 +12,6 @@ pub use teleios_noa as noa;
 pub use teleios_rdf as rdf;
 pub use teleios_resilience as resilience;
 pub use teleios_sciql as sciql;
+pub use teleios_store as store;
 pub use teleios_strabon as strabon;
 pub use teleios_vault as vault;
