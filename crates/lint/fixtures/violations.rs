@@ -235,3 +235,140 @@ pub fn decoy_handled_sync(file: &std::fs::File) -> std::io::Result<()> {
 pub fn decoy_bound_flush(sink: &mut FixtureSink) -> Option<()> {
     sink.flush().ok()
 }
+
+// ---- L10: a transaction opened but not closed on every path ----
+
+pub struct FixtureBackend;
+
+impl FixtureBackend {
+    pub fn begin(&self) {}
+    pub fn commit(&self) {}
+    pub fn rollback(&self) {}
+}
+
+pub fn l10_txn_leak_plain(store: &FixtureBackend) {
+    store.begin();
+    let _work = 1;
+}
+
+pub fn l10_txn_leak_question(store: &FixtureBackend) -> Result<(), FixtureError> {
+    store.begin();
+    fixture_fallible()?;
+    store.commit();
+    Ok(())
+}
+
+// ---- L10 decoys: every path commits or rolls back ----
+
+pub fn decoy_txn_commit(store: &FixtureBackend) {
+    store.begin();
+    store.commit();
+}
+
+pub fn decoy_txn_branch_rollback(store: &FixtureBackend, ok: bool) {
+    store.begin();
+    if ok {
+        store.commit();
+    } else {
+        store.rollback();
+    }
+}
+
+pub fn decoy_txn_begin_question(store: &FixtureBackend) -> Result<(), FixtureError> {
+    store.begin()?;
+    store.commit();
+    Ok(())
+}
+
+pub fn decoy_txn_question_handled(store: &FixtureBackend) -> Result<(), FixtureError> {
+    store.begin();
+    if fixture_fallible().is_err() {
+        store.rollback();
+        return Ok(());
+    }
+    store.commit();
+    Ok(())
+}
+
+// ---- L11: an exclusive guard held across a blocking call ----
+
+pub struct FixtureShared {
+    state: std::sync::Mutex<u8>,
+    table: std::sync::RwLock<u8>,
+}
+
+pub fn l11_guard_across_dispatch(shared: &FixtureShared, pool: &FixturePool) {
+    let held = shared.state.lock();
+    pool.try_run_bounded(2, || {});
+    drop(held);
+}
+
+pub fn l11_guard_across_aliased_sleep(shared: &FixtureShared) {
+    let held = shared.state.lock();
+    fixture_thread::sleep(std::time::Duration::from_millis(1));
+    drop(held);
+}
+
+// ---- L11 decoys: dropped, scoped, or shared guards stay silent ----
+
+pub fn decoy_guard_dropped_before_block(shared: &FixtureShared, pool: &FixturePool) {
+    let held = shared.state.lock();
+    drop(held);
+    pool.try_run_bounded(2, || {});
+}
+
+pub fn decoy_guard_scoped(shared: &FixtureShared, pool: &FixturePool) {
+    {
+        let _held = shared.state.lock();
+    }
+    pool.try_run_bounded(2, || {});
+}
+
+pub fn decoy_read_guard_across(shared: &FixtureShared, pool: &FixturePool) {
+    let snap = shared.table.read();
+    pool.try_run_bounded(2, || {});
+    drop(snap);
+}
+
+// ---- L12: a pool-dispatched path spins without polling ----
+
+pub fn l12_dispatch_then_spin(pool: &FixturePool) {
+    pool.run_stealing(|| {});
+    let mut n = 0;
+    while n < 1000 {
+        n += 1;
+    }
+}
+
+fn spin_wait(flag: &std::sync::atomic::AtomicBool) {
+    while !flag.load(std::sync::atomic::Ordering::SeqCst) {
+        std::hint::spin_loop();
+    }
+}
+
+pub fn l12_dispatch_into_callee(pool: &FixturePool, flag: &std::sync::atomic::AtomicBool) {
+    pool.try_run_bounded(2, || {});
+    spin_wait(flag);
+}
+
+// ---- L12 decoys: polling loops, `for` loops, undispatched spins ----
+
+pub fn decoy_loop_polls(pool: &FixturePool, token: &FixtureToken) {
+    pool.try_run_bounded(2, || {});
+    while !token.is_cancelled() {
+        std::hint::spin_loop();
+    }
+}
+
+pub fn decoy_for_loop(pool: &FixturePool) {
+    pool.try_run_bounded(2, || {});
+    for _ in 0..3 {
+        std::hint::spin_loop();
+    }
+}
+
+pub fn decoy_undispatched_spin(flag: &std::sync::atomic::AtomicBool) {
+    while !flag.load(std::sync::atomic::Ordering::SeqCst) {
+        std::hint::spin_loop();
+    }
+}

@@ -115,9 +115,9 @@ struct Acq {
 
 /// A resolvable call site: `name(..)` or `recv.name(..)` — but not
 /// `Type::name(..)`, see the module docs.
-struct Call {
-    name: String,
-    idx: usize,
+pub(crate) struct Call {
+    pub(crate) name: String,
+    pub(crate) idx: usize,
 }
 
 fn acq_at(ctx: &FileCtx<'_>, i: usize) -> Option<Acq> {
@@ -137,7 +137,7 @@ fn acq_at(ctx: &FileCtx<'_>, i: usize) -> Option<Acq> {
     Some(Acq { name: name.to_string(), idx: i, until })
 }
 
-fn call_at(ctx: &FileCtx<'_>, i: usize) -> Option<Call> {
+pub(crate) fn call_at(ctx: &FileCtx<'_>, i: usize) -> Option<Call> {
     let toks = ctx.toks;
     let name = ident_at(toks, i)?;
     if !is_punct(toks, i + 1, b'(') {
@@ -458,7 +458,7 @@ fn report(
 
 /// Is token `i` the `.` of a pool-dispatch call? Returns the index of
 /// the containing function and its name.
-fn dispatch_at(
+pub(crate) fn dispatch_at(
     ctx: &FileCtx<'_>,
     fns: &[Vec<FnDef>],
     fi: usize,
@@ -495,7 +495,7 @@ fn dispatch_at(
 
 /// The name the receiver expression of `.method()` ends with: the
 /// ident just before the `.`, or the call name for `f(..).method()`.
-fn receiver_name<'a>(toks: &[Tok<'a>], dot: usize) -> Option<&'a str> {
+pub(crate) fn receiver_name<'a>(toks: &[Tok<'a>], dot: usize) -> Option<&'a str> {
     if dot == 0 {
         return None;
     }

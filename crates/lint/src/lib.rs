@@ -29,6 +29,9 @@
 //! | `cancel-safety`    | L7: pool-dispatched closures block only through `sleep_cancellable` / `poll_cancellable` |
 //! | `swallowed-result` | L8: no `let _ =` / `.ok()` discarding a workspace `*Error` Result — nor a `flush`/`sync_all`/`sync_data` barrier's result |
 //! | `no-direct-fs`     | L9: no direct `std::fs` mutation / `File::create` / `OpenOptions` outside `crates/store` — disk goes through the storage `Medium` |
+//! | `txn-leak`         | L10: every `begin()` reaches `commit()`/`rollback()` on every path out of the function, `?`-exits included (path-sensitive, `cfg.rs`) |
+//! | `guard-across-blocking` | L11: no exclusive lock guard live across pool dispatch, `sleep_cancellable`, an fsync barrier, or a WAL commit |
+//! | `loop-cancel-poll` | L12: `loop`/`while` on a pool-dispatched path polls the `CancelToken` on every iteration path |
 //! | `unused-allow`     | warning: an allow marker that suppresses nothing       |
 //!
 //! Exemptions are structural, not ad-hoc: `crates/exec` and
@@ -43,9 +46,11 @@
 //! line above — and a marker that stops matching anything is itself
 //! reported (`unused-allow`), so stale waivers can't accumulate.
 
+pub(crate) mod cfg;
 pub mod graph;
 pub mod lexer;
 pub mod mask;
+pub mod render;
 pub mod rules;
 pub mod workspace;
 
@@ -81,6 +86,12 @@ pub const FIXTURE_EXPECTED: &[(usize, usize, Rule)] = &[
     (206, 14, Rule::NoDirectFs),
     (212, 18, Rule::SwallowedResult),
     (216, 18, Rule::SwallowedResult),
+    (250, 5, Rule::TxnLeak),
+    (255, 5, Rule::TxnLeak),
+    (302, 10, Rule::GuardAcrossBlocking),
+    (308, 5, Rule::GuardAcrossBlocking),
+    (338, 5, Rule::LoopCancelPoll),
+    (344, 5, Rule::LoopCancelPoll),
 ];
 
 /// Run the full analysis over the embedded fixture (as its own crate
@@ -153,6 +164,9 @@ mod tests {
             Rule::CancelSafety,
             Rule::SwallowedResult,
             Rule::NoDirectFs,
+            Rule::TxnLeak,
+            Rule::GuardAcrossBlocking,
+            Rule::LoopCancelPoll,
             Rule::UnusedAllow,
         ] {
             assert!(rules.contains(&rule), "fixture misses {}", rule.name());
@@ -185,6 +199,9 @@ mod tests {
             Rule::CancelSafety,
             Rule::SwallowedResult,
             Rule::NoDirectFs,
+            Rule::TxnLeak,
+            Rule::GuardAcrossBlocking,
+            Rule::LoopCancelPoll,
             Rule::UnusedAllow,
         ] {
             assert_eq!(Rule::from_name(rule.name()), Some(rule));
@@ -206,6 +223,9 @@ mod tests {
             Rule::CancelSafety,
             Rule::SwallowedResult,
             Rule::NoDirectFs,
+            Rule::TxnLeak,
+            Rule::GuardAcrossBlocking,
+            Rule::LoopCancelPoll,
         ] {
             assert!(!rule.is_warning(), "{} must be an error", rule.name());
         }

@@ -28,22 +28,6 @@ fn usage() -> ExitCode {
     ExitCode::from(2)
 }
 
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
-
 fn render(findings: &[Finding], format: Format) {
     match format {
         Format::Human => {
@@ -51,36 +35,10 @@ fn render(findings: &[Finding], format: Format) {
                 eprintln!("{f}");
             }
         }
-        Format::Json => {
-            let rows: Vec<String> = findings
-                .iter()
-                .map(|f| {
-                    format!(
-                        "  {{\"path\":\"{}\",\"line\":{},\"col\":{},\"rule\":\"{}\",\"severity\":\"{}\",\"message\":\"{}\"}}",
-                        json_escape(&f.path),
-                        f.line,
-                        f.col,
-                        f.rule.name(),
-                        f.severity(),
-                        json_escape(&f.msg)
-                    )
-                })
-                .collect();
-            println!("[\n{}\n]", rows.join(",\n"));
-        }
+        Format::Json => println!("{}", teleios_lint::render::to_json(findings)),
         Format::Github => {
-            // GitHub workflow annotation commands: rendered inline on
-            // the PR diff when printed from a CI step.
             for f in findings {
-                println!(
-                    "::{} file={},line={},col={},title=teleios-lint {}::{}",
-                    f.severity(),
-                    f.path,
-                    f.line,
-                    f.col,
-                    f.rule.name(),
-                    f.msg
-                );
+                println!("{}", teleios_lint::render::github_annotation(f));
             }
         }
     }
@@ -110,7 +68,7 @@ fn main() -> ExitCode {
                 println!("teleios-lint: TELEIOS workspace invariant checker");
                 println!();
                 println!("  --root <dir>     workspace root (default: walk up from cwd)");
-                println!("  --self-test      verify rules L1-L9 + crate-attrs fire on the seeded fixture");
+                println!("  --self-test      verify rules L1-L12 + crate-attrs fire on the seeded fixture");
                 println!("  --strict         treat warnings (unused-allow) as errors");
                 println!("  --format <fmt>   human (default) | json | github annotations");
                 return ExitCode::SUCCESS;
@@ -165,7 +123,7 @@ fn main() -> ExitCode {
                 if format == Format::Json {
                     println!("[]");
                 } else {
-                    println!("teleios-lint: workspace clean ({file_count} files, 10 rules)");
+                    println!("teleios-lint: workspace clean ({file_count} files, 13 rules)");
                 }
                 return ExitCode::SUCCESS;
             }

@@ -65,6 +65,20 @@ pub enum Rule {
     /// outside the storage doorway (`crates/store`) — durability goes
     /// through `teleios-store`'s `Medium`.
     NoDirectFs,
+    /// L10: a `StorageBackend::begin()` must reach a `commit()` or
+    /// `rollback()` on every path out of the function — including
+    /// `?`-early-exits (path-sensitive, see `cfg.rs`; cross-validated
+    /// at runtime by `teleios-store`'s `TxnWitness`).
+    TxnLeak,
+    /// L11: an exclusive `Mutex`/`OrderedMutex`/`RwLock`-write guard
+    /// must not be live across a pool dispatch, `sleep_cancellable`,
+    /// fsync barrier, or WAL commit — the held-set analysis the
+    /// static `lock-order` cycle check cannot express.
+    GuardAcrossBlocking,
+    /// L12: `loop`/`while` loops on a pool-dispatched path must poll
+    /// the `CancelToken` on every iteration path (closes the gap that
+    /// let the supervisor's uninterruptible retry backoff through).
+    LoopCancelPoll,
     /// An allow marker that suppressed nothing (warning; error under
     /// `--strict`).
     UnusedAllow,
@@ -83,6 +97,9 @@ impl Rule {
             Rule::CancelSafety => "cancel-safety",
             Rule::SwallowedResult => "swallowed-result",
             Rule::NoDirectFs => "no-direct-fs",
+            Rule::TxnLeak => "txn-leak",
+            Rule::GuardAcrossBlocking => "guard-across-blocking",
+            Rule::LoopCancelPoll => "loop-cancel-poll",
             Rule::UnusedAllow => "unused-allow",
         }
     }
@@ -99,6 +116,9 @@ impl Rule {
             "cancel-safety" => Some(Rule::CancelSafety),
             "swallowed-result" => Some(Rule::SwallowedResult),
             "no-direct-fs" => Some(Rule::NoDirectFs),
+            "txn-leak" => Some(Rule::TxnLeak),
+            "guard-across-blocking" => Some(Rule::GuardAcrossBlocking),
+            "loop-cancel-poll" => Some(Rule::LoopCancelPoll),
             "unused-allow" => Some(Rule::UnusedAllow),
             _ => None,
         }
@@ -306,6 +326,7 @@ pub fn analyze(files: &[SourceFile]) -> Vec<Finding> {
         let crate_files = &by_crate[name];
         graph::lock_order(&ctxs, &fns, crate_files, &mut diag);
         graph::cancel_safety(&ctxs, &fns, crate_files, &mut diag);
+        crate::cfg::flow_rules(&ctxs, &fns, crate_files, &mut diag);
     }
 
     diag.finish(&ctxs)

@@ -34,13 +34,28 @@ pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
     }
 }
 
+/// Depth-first walk in sorted order, so the scan (and therefore
+/// finding order and file counts) is identical across filesystems.
+/// Symlinks are skipped — a linked directory could escape the
+/// workspace or loop the walk — and so is any directory named
+/// `target`: build output is never source, and a stray
+/// `CARGO_TARGET_DIR` inside a member must not slow the scan.
 fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
     if !dir.is_dir() {
         return Ok(());
     }
-    for entry in fs::read_dir(dir)? {
-        let path = entry?.path();
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .map(|e| e.map(|e| e.path()))
+        .collect::<io::Result<Vec<_>>>()?;
+    entries.sort();
+    for path in entries {
+        if fs::symlink_metadata(&path)?.file_type().is_symlink() {
+            continue;
+        }
         if path.is_dir() {
+            if path.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
             collect_rs_files(&path, out)?;
         } else if path.extension().is_some_and(|e| e == "rs") {
             out.push(path);
@@ -135,4 +150,32 @@ pub fn scan_workspace(root: &Path) -> io::Result<(Vec<Finding>, usize)> {
     }
     let file_count = sources.len();
     Ok((analyze(&sources), file_count))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn walk_is_sorted_and_skips_target_and_symlinks() {
+        let base =
+            std::env::temp_dir().join(format!("teleios-lint-walk-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&base);
+        let src = base.join("src");
+        fs::create_dir_all(src.join("b")).unwrap();
+        fs::create_dir_all(src.join("target")).unwrap();
+        fs::write(src.join("lib.rs"), "").unwrap();
+        fs::write(src.join("b").join("mod.rs"), "").unwrap();
+        fs::write(src.join("target").join("gen.rs"), "").unwrap();
+        fs::create_dir_all(base.join("elsewhere")).unwrap();
+        fs::write(base.join("elsewhere").join("esc.rs"), "").unwrap();
+        #[cfg(unix)]
+        std::os::unix::fs::symlink(base.join("elsewhere"), src.join("link")).unwrap();
+
+        let mut files = Vec::new();
+        collect_rs_files(&src, &mut files).unwrap();
+        let names: Vec<String> = files.iter().map(|p| rel_label(&base, p)).collect();
+        assert_eq!(names, vec!["src/b/mod.rs", "src/lib.rs"]);
+        fs::remove_dir_all(&base).unwrap();
+    }
 }

@@ -301,7 +301,12 @@ pub fn persist_catalog(
 /// sequence number.
 pub fn save_catalog(catalog: &Catalog, backend: &mut dyn StorageBackend) -> Result<u64, StoreError> {
     backend.begin()?;
-    persist_catalog(catalog, backend)?;
+    // A failed put must not leave the transaction open on the shared
+    // backend (txn-leak): roll back before propagating.
+    if let Err(e) = persist_catalog(catalog, backend) {
+        backend.rollback();
+        return Err(e);
+    }
     backend.commit()
 }
 

@@ -157,7 +157,12 @@ pub fn save_triple_store(
     backend: &mut dyn StorageBackend,
 ) -> Result<u64, StoreError> {
     backend.begin()?;
-    persist_triple_store(store, backend)?;
+    // A failed put must not leave the transaction open on the shared
+    // backend (txn-leak): roll back before propagating.
+    if let Err(e) = persist_triple_store(store, backend) {
+        backend.rollback();
+        return Err(e);
+    }
     backend.commit()
 }
 

@@ -7,7 +7,9 @@
 //! durability is a constructor choice, not a code change.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
+use crate::witness::{next_instance, TxnWitness};
 use crate::{Result, StoreError};
 
 /// Canonical committed state: keyspace name → sorted key → value.
@@ -125,17 +127,68 @@ pub fn full_state(backend: &dyn StorageBackend) -> Result<KeyspaceState> {
 /// The pre-existing in-memory behavior behind the trait: transactions
 /// buffer ops and apply them on commit; nothing survives the process.
 /// Doubles as the oracle in `DurableBackend` equivalence tests.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug)]
 pub struct MemoryBackend {
     state: KeyspaceState,
     tx: Option<Vec<TxOp>>,
     seq: u64,
     stats: StoreStats,
+    instance: u64,
+    witness: Arc<TxnWitness>,
+}
+
+impl Default for MemoryBackend {
+    fn default() -> Self {
+        Self::with_witness(TxnWitness::global())
+    }
+}
+
+impl Clone for MemoryBackend {
+    /// The clone is a new instance to the witness; a transaction open
+    /// at clone time is open (and separately tracked) in both.
+    fn clone(&self) -> Self {
+        let instance = next_instance();
+        if self.tx.is_some() {
+            self.witness.note_begin(instance, "MemoryBackend");
+        }
+        MemoryBackend {
+            state: self.state.clone(),
+            tx: self.tx.clone(),
+            seq: self.seq,
+            stats: self.stats,
+            instance,
+            witness: Arc::clone(&self.witness),
+        }
+    }
+}
+
+impl Drop for MemoryBackend {
+    /// Debug builds panic here if a transaction is still open — the
+    /// runtime counterpart of teleios-lint's `txn-leak` rule for
+    /// flows the intraprocedural lint cannot follow.
+    fn drop(&mut self) {
+        self.witness.note_drop(self.instance);
+    }
 }
 
 impl MemoryBackend {
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A backend reporting to `witness` instead of the process-wide
+    /// one. An always-on [`TxnWitness::new`] witness makes the
+    /// drop-leak panic effective in release builds too and keeps test
+    /// runs isolated.
+    pub fn with_witness(witness: &Arc<TxnWitness>) -> Self {
+        MemoryBackend {
+            state: KeyspaceState::new(),
+            tx: None,
+            seq: 0,
+            stats: StoreStats::default(),
+            instance: next_instance(),
+            witness: Arc::clone(witness),
+        }
     }
 
     fn tx_mut(&mut self) -> Result<&mut Vec<TxOp>> {
@@ -149,6 +202,7 @@ impl StorageBackend for MemoryBackend {
             return Err(StoreError::NestedTransaction);
         }
         self.tx = Some(Vec::new());
+        self.witness.note_begin(self.instance, "MemoryBackend");
         Ok(())
     }
 
@@ -170,6 +224,7 @@ impl StorageBackend for MemoryBackend {
 
     fn commit(&mut self) -> Result<u64> {
         let ops = self.tx.take().ok_or(StoreError::NoTransaction)?;
+        self.witness.note_end(self.instance);
         if ops.is_empty() {
             return Ok(self.seq);
         }
@@ -186,7 +241,9 @@ impl StorageBackend for MemoryBackend {
     }
 
     fn rollback(&mut self) {
-        self.tx = None;
+        if self.tx.take().is_some() {
+            self.witness.note_end(self.instance);
+        }
     }
 
     fn in_transaction(&self) -> bool {
@@ -290,5 +347,45 @@ mod tests {
         assert_eq!(stats.puts, 2);
         assert_eq!(stats.deletes, 1);
         assert_eq!(stats.entries, 2);
+    }
+
+    #[test]
+    fn witness_sees_a_clean_lifecycle_through_the_backend() {
+        let w = TxnWitness::new();
+        {
+            let mut b = MemoryBackend::with_witness(&w);
+            b.begin().unwrap();
+            b.put("ks", b"k", b"v").unwrap();
+            b.commit().unwrap();
+            b.begin().unwrap();
+            b.rollback();
+        }
+        w.assert_none_open();
+        assert_eq!(w.counts(), (2, 2));
+    }
+
+    // The explicit witness is always-on, so this panics in release
+    // builds too — the seeded-leak cross-check for the static
+    // `txn-leak` rule.
+    #[test]
+    #[should_panic(expected = "transaction leak")]
+    fn witness_panics_when_an_open_transaction_is_dropped() {
+        let w = TxnWitness::new();
+        let mut b = MemoryBackend::with_witness(&w);
+        b.begin().unwrap();
+        b.put("ks", b"k", b"v").unwrap();
+        drop(b);
+    }
+
+    #[test]
+    fn cloning_an_open_transaction_tracks_both_instances() {
+        let w = TxnWitness::new();
+        let mut a = MemoryBackend::with_witness(&w);
+        a.begin().unwrap();
+        let mut b = a.clone();
+        assert_eq!(w.open_count(), 2);
+        a.rollback();
+        b.commit().unwrap();
+        w.assert_none_open();
     }
 }

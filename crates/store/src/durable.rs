@@ -39,6 +39,9 @@ use crate::backend::{apply_op, KeyspaceState, StorageBackend, StoreStats, TxOp};
 use crate::medium::Medium;
 use crate::snapshot;
 use crate::wal::{self, WalRecord, WAL_FILE};
+use std::sync::Arc;
+
+use crate::witness::{next_instance, TxnWitness};
 use crate::{Result, StoreError};
 
 /// Tuning knobs for [`DurableBackend`].
@@ -97,6 +100,8 @@ pub struct DurableBackend<M: Medium> {
     snapshot_error: Option<StoreError>,
     stats: StoreStats,
     recovery: RecoveryReport,
+    instance: u64,
+    witness: Arc<TxnWitness>,
 }
 
 impl<M: Medium> DurableBackend<M> {
@@ -189,6 +194,8 @@ impl<M: Medium> DurableBackend<M> {
             snapshot_error: None,
             stats: StoreStats { wal_bytes: wal_len, ..StoreStats::default() },
             recovery: report,
+            instance: next_instance(),
+            witness: Arc::clone(TxnWitness::global()),
         })
     }
 
@@ -225,6 +232,10 @@ impl<M: Medium> DurableBackend<M> {
     /// Tear down the engine and hand back the medium (tests reopen
     /// it through [`DurableBackend::open`] to model a restart).
     pub fn into_medium(self) -> M {
+        // The engine is being torn down deliberately (crash-recovery
+        // tests reopen the medium); an in-flight transaction dies
+        // with it, so close the witness's book on this instance.
+        self.witness.note_end(self.instance);
         self.medium
     }
 
@@ -274,6 +285,7 @@ impl<M: Medium> StorageBackend for DurableBackend<M> {
             return Err(StoreError::NestedTransaction);
         }
         self.tx = Some(Vec::new());
+        self.witness.note_begin(self.instance, "DurableBackend");
         Ok(())
     }
 
@@ -298,6 +310,7 @@ impl<M: Medium> StorageBackend for DurableBackend<M> {
     fn commit(&mut self) -> Result<u64> {
         self.check_writable()?;
         let ops = self.tx.take().ok_or(StoreError::NoTransaction)?;
+        self.witness.note_end(self.instance);
         if ops.is_empty() {
             return Ok(self.seq);
         }
@@ -359,7 +372,9 @@ impl<M: Medium> StorageBackend for DurableBackend<M> {
     }
 
     fn rollback(&mut self) {
-        self.tx = None;
+        if self.tx.take().is_some() {
+            self.witness.note_end(self.instance);
+        }
     }
 
     fn in_transaction(&self) -> bool {

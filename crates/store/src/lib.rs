@@ -34,6 +34,13 @@
 //! WAL byte-truncation offset, reopening yields exactly the last
 //! acknowledged committed state — no panic, no lost committed write,
 //! no resurrected uncommitted write.
+//!
+//! Transaction discipline is double-checked: statically by
+//! teleios-lint's path-sensitive `txn-leak` rule (every `begin()`
+//! reaches `commit()`/`rollback()` on every path out of a function),
+//! and at runtime by [`TxnWitness`] — in debug builds, dropping a
+//! backend with a transaction still open panics with a pointer back
+//! at the rule.
 
 pub mod backend;
 pub mod codec;
@@ -42,11 +49,13 @@ pub mod fault;
 pub mod medium;
 pub mod snapshot;
 pub mod wal;
+pub mod witness;
 
 pub use backend::{full_state, KeyspaceState, MemoryBackend, StorageBackend, StoreStats, TxOp};
 pub use durable::{DurableBackend, DurableConfig, RecoveryReport};
 pub use fault::WriteFault;
 pub use medium::{FsMedium, MemMedium, Medium};
+pub use witness::TxnWitness;
 
 use std::fmt;
 

@@ -126,7 +126,12 @@ pub fn save_vault_state(
     backend: &mut dyn StorageBackend,
 ) -> Result<u64, StoreError> {
     backend.begin()?;
-    persist_vault_state(catalog, quarantine, backend)?;
+    // A failed put must not leave the transaction open on the shared
+    // backend (txn-leak): roll back before propagating.
+    if let Err(e) = persist_vault_state(catalog, quarantine, backend) {
+        backend.rollback();
+        return Err(e);
+    }
     backend.commit()
 }
 

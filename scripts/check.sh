@@ -48,14 +48,30 @@ fi
 
 # Workspace invariants (thread discipline, no panics in library code,
 # error-type contracts, crate-root attributes, lock-order acyclicity,
-# cancel-safe pool dispatch, no swallowed workspace Results): see
-# crates/lint. The self-test proves each rule still fires at exact
-# positions before the workspace scan is trusted; GitHub annotation
-# output lands findings inline on PR diffs when CI runs this gate.
+# cancel-safe pool dispatch, no swallowed workspace Results, plus the
+# path-sensitive dataflow rules: txn-leak, guard-across-blocking,
+# loop-cancel-poll): see crates/lint. The self-test proves each rule
+# still fires at exact positions before the workspace scan is
+# trusted; GitHub annotation output lands findings inline on PR diffs
+# when CI runs this gate. --strict fails on stale allow markers so
+# suppressions can't outlive the code they excused.
 echo "==> teleios-lint --self-test"
 cargo run --release -p teleios-lint -- --self-test
-echo "==> teleios-lint"
-cargo run --release -p teleios-lint -- --format github
+
+# The lint is part of the inner loop, so it gets a perf budget of its
+# own: a CFG-engine regression that makes the scan crawl should fail
+# the gate, not silently tax every future run. Override with
+# TELEIOS_LINT_BUDGET_MS for slow CI hardware.
+lint_budget_ms="${TELEIOS_LINT_BUDGET_MS:-10000}"
+echo "==> teleios-lint --strict (budget ${lint_budget_ms}ms)"
+lint_start_ns=$(date +%s%N)
+cargo run --release -q -p teleios-lint -- --strict --format github
+lint_elapsed_ms=$(( ($(date +%s%N) - lint_start_ns) / 1000000 ))
+echo "    lint scan took ${lint_elapsed_ms}ms"
+if [ "$lint_elapsed_ms" -gt "$lint_budget_ms" ]; then
+    echo "teleios-lint exceeded its ${lint_budget_ms}ms budget (${lint_elapsed_ms}ms)" >&2
+    exit 1
+fi
 
 echo "==> cargo clippy --workspace --all-targets"
 cargo clippy --workspace --all-targets
