@@ -320,7 +320,6 @@ fn chunk_every<E>(items: Vec<E>, size: usize) -> Vec<Vec<E>> {
     let size = size.max(1);
     let mut out = Vec::with_capacity(items.len().div_ceil(size).max(1));
     let mut rest = items;
-    // teleios-lint: allow(loop-cancel-poll) — every iteration splits off `size` items; bounded by input length
     while rest.len() > size {
         let tail = rest.split_off(size);
         out.push(std::mem::replace(&mut rest, tail));
@@ -339,7 +338,6 @@ fn merge_by_center_x<T>(chunks: Vec<Vec<(Envelope, T)>>) -> Vec<(Envelope, T)> {
     let total = chunks.iter().map(Vec::len).sum();
     let mut iters: Vec<_> = chunks.into_iter().map(|c| c.into_iter().peekable()).collect();
     let mut out: Vec<(Envelope, T)> = Vec::with_capacity(total);
-    // teleios-lint: allow(loop-cancel-poll) — every iteration consumes one element from some chunk; bounded by total input
     loop {
         let mut best: Option<(usize, f64)> = None;
         for (m, it) in iters.iter_mut().enumerate() {

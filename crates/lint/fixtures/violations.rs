@@ -332,8 +332,8 @@ pub fn decoy_read_guard_across(shared: &FixtureShared, pool: &FixturePool) {
 
 // ---- L12: a pool-dispatched path spins without polling ----
 
-pub fn l12_dispatch_then_spin(pool: &FixturePool) {
-    pool.run_stealing(|| {});
+pub fn l12_dispatch_then_spin(pool: &FixturePool, token: &FixtureToken) {
+    pool.try_run_stealing_cancellable(|| {}, token);
     let mut n = 0;
     while n < 1000 {
         n += 1;
@@ -347,21 +347,21 @@ fn spin_wait(flag: &std::sync::atomic::AtomicBool) {
 }
 
 pub fn l12_dispatch_into_callee(pool: &FixturePool, flag: &std::sync::atomic::AtomicBool) {
-    pool.try_run_bounded(2, || {});
+    pool.try_run_bounded_cancellable(2, |_c| {});
     spin_wait(flag);
 }
 
 // ---- L12 decoys: polling loops, `for` loops, undispatched spins ----
 
 pub fn decoy_loop_polls(pool: &FixturePool, token: &FixtureToken) {
-    pool.try_run_bounded(2, || {});
+    pool.try_run_bounded_cancellable(2, |_c| {});
     while !token.is_cancelled() {
         std::hint::spin_loop();
     }
 }
 
 pub fn decoy_for_loop(pool: &FixturePool) {
-    pool.try_run_bounded(2, || {});
+    pool.try_run_bounded_cancellable(2, |_c| {});
     for _ in 0..3 {
         std::hint::spin_loop();
     }

@@ -1,0 +1,55 @@
+//! Cross-crate seeds, crate `fix_beta` — the other half of the
+//! self-test's two-crate fixture workspace (see `xcrate_alpha.rs`).
+//! Hosts the callee ends of the seeded violations plus the `pub use`
+//! re-export chain back into fix_alpha.
+
+pub use fix_alpha::alpha_stall as relay_stall;
+
+// ---- L6: closes the cross-crate lock cycle ----
+// catalog -> ingest (ingest is acquired inside the call back into
+// fix_alpha); fix_alpha contributes ingest -> catalog.
+
+pub fn catalog_update(s: &fix_alpha::AlphaShared) {
+    let g = s.catalog.lock();
+    drop(g);
+}
+
+pub fn beta_catalog_then_ingest(s: &fix_alpha::AlphaShared) {
+    let g = s.catalog.lock();
+    fix_alpha::alpha_take_ingest(s);
+    drop(g);
+}
+
+// ---- L7 callee ends ----
+
+pub fn beta_backoff() {
+    std::thread::sleep(std::time::Duration::from_millis(1));
+}
+
+pub fn beta_glob_stall(rx: &BetaRx) {
+    let _m = rx.recv_timeout(std::time::Duration::from_millis(1));
+}
+
+// ---- L11 callee end: blocks on the fsync barrier ----
+
+pub fn beta_sync(f: &BetaFile) -> std::io::Result<()> {
+    f.handle.sync_all()
+}
+
+// ---- L12 helpers ----
+
+pub fn beta_churn() {
+    std::hint::spin_loop();
+}
+
+pub fn beta_poll(token: &fix_alpha::AlphaToken) -> bool {
+    fix_alpha::alpha_poll_gate(token)
+}
+
+// Decoy bait for the std-import exclusivity check in fix_alpha: a
+// workspace `take` that blocks. It must stay unreachable from
+// `decoy_alpha_std_import`, whose `take` is `std::mem::take`.
+
+pub fn take(rx: &BetaRx) {
+    let _m = rx.recv();
+}

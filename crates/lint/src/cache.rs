@@ -1,0 +1,649 @@
+//! Content-fingerprint summary cache for warm scans.
+//!
+//! One entry per source file, keyed by the FNV-1a hash of the file's
+//! workspace-relative label: `<dir>/<hash16>.sum`. Each entry embeds
+//! the summary's content fingerprint; a lookup whose fingerprint no
+//! longer matches is a miss (the source changed) and the entry is
+//! rewritten after the fresh summarize. The format is a line-oriented
+//! tab-separated text protocol, version-stamped by [`HEADER`] —
+//! pure-std like the rest of the linter, no serialization crates.
+//!
+//! Only the summarize phase is cached. Linking is cheap, global, and
+//! must see every file's summary at once, so warm runs re-link from
+//! cached summaries and skip the lex/CFG work entirely.
+
+use crate::cfg::{Block, Cfg, Event};
+use crate::lexer::{AllowMarker, LineIndex};
+use crate::rules::{FilePolicy, Finding, Rule};
+use crate::summary::{
+    AcqS, CallS, FileSummary, FnEffects, FnReturn, Fnv, SwallowCand, SwallowKind,
+};
+use std::collections::BTreeSet;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// First line of every entry; parsing anything else is a miss. Bump
+/// when the summary shape changes so stale caches self-invalidate.
+const HEADER: &str = "teleios-lint-cache v1";
+
+/// Cache file for a source label.
+pub(crate) fn entry_path(dir: &Path, label: &str) -> PathBuf {
+    let mut h = Fnv::new();
+    h.eat(label.as_bytes());
+    dir.join(format!("{:016x}.sum", h.0))
+}
+
+/// Load the cached summary for `label` if its stored fingerprint is
+/// exactly `fingerprint`. Any read or parse failure is a miss.
+pub(crate) fn load(dir: &Path, label: &str, fingerprint: u64) -> Option<FileSummary> {
+    let sum = load_any(dir, label)?;
+    if sum.fingerprint == fingerprint {
+        Some(sum)
+    } else {
+        None
+    }
+}
+
+/// Load the cached summary for `label` without a fingerprint check —
+/// the trust-the-cache path used by `--changed-since`/file-list mode
+/// for files outside the named set.
+pub(crate) fn load_any(dir: &Path, label: &str) -> Option<FileSummary> {
+    let text = fs::read_to_string(entry_path(dir, label)).ok()?;
+    let sum = parse(&text)?;
+    if sum.label == label {
+        Some(sum)
+    } else {
+        None
+    }
+}
+
+/// Write `sum`'s entry, creating the cache directory if needed.
+pub(crate) fn store(dir: &Path, sum: &FileSummary) -> io::Result<()> {
+    fs::create_dir_all(dir)?; // teleios-lint: allow(no-direct-fs)
+    fs::write(entry_path(dir, &sum.label), serialize(sum))
+}
+
+// ---------------------------------------------------------------
+// Escaping: the protocol is line- and tab-delimited, so both must
+// round-trip through a backslash escape.
+// ---------------------------------------------------------------
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn unesc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut it = s.chars();
+    while let Some(c) = it.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match it.next() {
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some(other) => out.push(other),
+            None => {}
+        }
+    }
+    out
+}
+
+fn bit(b: bool) -> &'static str {
+    if b {
+        "1"
+    } else {
+        "0"
+    }
+}
+
+/// The loop-head keywords are `&'static str` in [`Block`]; map the
+/// serialized form back onto the statics.
+fn head_kw(s: &str) -> Option<&'static str> {
+    match s {
+        "while" => Some("while"),
+        "loop" => Some("loop"),
+        "for" => Some("for"),
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------
+
+pub(crate) fn serialize(sum: &FileSummary) -> String {
+    let mut out = String::new();
+    let mut line = |parts: &[String]| {
+        out.push_str(&parts.join("\t"));
+        out.push('\n');
+    };
+    line(&[HEADER.to_string()]);
+    line(&[
+        "meta".into(),
+        format!("{:016x}", sum.fingerprint),
+        esc(&sum.label),
+        esc(&sum.crate_name),
+        bit(sum.is_crate_root).into(),
+        bit(sum.policy.substrate).into(),
+        bit(sum.policy.bin_target).into(),
+        bit(sum.policy.fs_doorway).into(),
+    ]);
+    let mut starts = vec!["starts".to_string()];
+    starts.extend(sum.idx.starts().iter().map(|s| s.to_string()));
+    line(&starts);
+    for (a, b) in &sum.regions {
+        line(&["region".into(), a.to_string(), b.to_string()]);
+    }
+    for m in &sum.markers {
+        line(&[
+            "marker".into(),
+            m.line.to_string(),
+            m.col.to_string(),
+            m.rule.map_or("-".into(), |r| r.name().to_string()),
+            esc(&m.name),
+        ]);
+    }
+    for f in &sum.local {
+        line(&[
+            "local".into(),
+            f.line.to_string(),
+            f.col.to_string(),
+            f.rule.name().into(),
+            esc(&f.path),
+            esc(&f.msg),
+        ]);
+    }
+    for u in &sum.used_markers {
+        line(&["used".into(), u.to_string()]);
+    }
+    for sw in &sum.swallows {
+        line(&[
+            "swallow".into(),
+            match sw.kind {
+                SwallowKind::LetUnderscore => "let".into(),
+                SwallowKind::OkDiscard => "ok".into(),
+            },
+            sw.off.to_string(),
+            esc(&sw.callee),
+        ]);
+    }
+    for e in &sum.error_enums {
+        line(&["enum".into(), esc(e)]);
+    }
+    for (name, idents) in &sum.type_aliases {
+        let mut parts = vec!["talias".into(), esc(name)];
+        parts.extend(idents.iter().map(|i| esc(i)));
+        line(&parts);
+    }
+    for r in &sum.fn_returns {
+        let mut parts = vec![
+            "ret".into(),
+            esc(&r.name),
+            bit(r.bare_result).into(),
+            r.qualified_crate.as_ref().map_or("-".into(), |q| esc(q)),
+        ];
+        parts.extend(r.err_idents.iter().map(|i| esc(i)));
+        line(&parts);
+    }
+    for m in &sum.mods {
+        line(&["mod".into(), esc(m)]);
+    }
+    for (name, path) in &sum.imports {
+        let mut parts = vec!["import".into(), esc(name)];
+        parts.extend(path.iter().map(|s| esc(s)));
+        line(&parts);
+    }
+    for (name, path) in &sum.reexports {
+        let mut parts = vec!["reexport".into(), esc(name)];
+        parts.extend(path.iter().map(|s| esc(s)));
+        line(&parts);
+    }
+    for path in &sum.globs {
+        let mut parts = vec!["glob".into()];
+        parts.extend(path.iter().map(|s| esc(s)));
+        line(&parts);
+    }
+    for f in &sum.fns {
+        line(&[
+            "fn".into(),
+            esc(&f.name),
+            bit(f.is_test).into(),
+            bit(f.cfg.is_some()).into(),
+        ]);
+        for a in &f.acqs {
+            line(&[
+                "acq".into(),
+                esc(&a.lock),
+                a.off.to_string(),
+                a.until_off.to_string(),
+            ]);
+        }
+        for c in &f.calls {
+            let mut parts = vec![
+                "call".into(),
+                esc(&c.name),
+                bit(c.method).into(),
+                c.off.to_string(),
+            ];
+            parts.extend(c.qual.iter().map(|s| esc(s)));
+            line(&parts);
+        }
+        for (desc, off) in &f.l7_blocks {
+            line(&["l7".into(), off.to_string(), esc(desc)]);
+        }
+        for (method, off) in &f.dispatches {
+            line(&["disp".into(), esc(method), off.to_string()]);
+        }
+        if let Some(cfg) = &f.cfg {
+            for b in &cfg.blocks {
+                let mut parts = vec![
+                    "block".into(),
+                    b.head.map_or("-".into(), |(t, _)| t.to_string()),
+                    b.head.map_or("-".into(), |(_, kw)| kw.to_string()),
+                ];
+                parts.extend(b.succs.iter().map(|(i, taken)| format!("{i}:{}", bit(*taken))));
+                line(&parts);
+                for ev in &b.events {
+                    line(&event_parts(ev));
+                }
+            }
+        }
+    }
+    line(&["end".to_string()]);
+    out
+}
+
+fn event_parts(ev: &Event) -> Vec<String> {
+    match ev {
+        Event::Begin { recv, off, close } => vec![
+            "ev".into(),
+            "begin".into(),
+            esc(recv),
+            off.to_string(),
+            close.to_string(),
+        ],
+        Event::TxnEnd { recv } => vec!["ev".into(), "txnend".into(), esc(recv)],
+        Event::Acquire { binding, lock, off, scope_end } => vec![
+            "ev".into(),
+            "acquire".into(),
+            esc(binding),
+            esc(lock),
+            off.to_string(),
+            scope_end.to_string(),
+        ],
+        Event::DropGuard { binding } => vec!["ev".into(), "dropguard".into(), esc(binding)],
+        Event::Blocking { desc, off } => {
+            vec!["ev".into(), "blocking".into(), off.to_string(), esc(desc)]
+        }
+        Event::Poll => vec!["ev".into(), "poll".into()],
+        Event::Call { name, qual, method, off } => {
+            let mut parts = vec![
+                "ev".into(),
+                "callv".into(),
+                esc(name),
+                bit(*method).into(),
+                off.to_string(),
+            ];
+            parts.extend(qual.iter().map(|s| esc(s)));
+            parts
+        }
+        Event::Question { off } => vec!["ev".into(), "question".into(), off.to_string()],
+        Event::Ret { off } => vec!["ev".into(), "ret".into(), off.to_string()],
+        Event::EndOfFn => vec!["ev".into(), "endfn".into()],
+    }
+}
+
+// ---------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------
+
+fn parse_event(fields: &[&str]) -> Option<Event> {
+    Some(match *fields.first()? {
+        "begin" => Event::Begin {
+            recv: unesc(fields.get(1)?),
+            off: fields.get(2)?.parse().ok()?,
+            close: fields.get(3)?.parse().ok()?,
+        },
+        "txnend" => Event::TxnEnd { recv: unesc(fields.get(1)?) },
+        "acquire" => Event::Acquire {
+            binding: unesc(fields.get(1)?),
+            lock: unesc(fields.get(2)?),
+            off: fields.get(3)?.parse().ok()?,
+            scope_end: fields.get(4)?.parse().ok()?,
+        },
+        "dropguard" => Event::DropGuard { binding: unesc(fields.get(1)?) },
+        "blocking" => Event::Blocking {
+            off: fields.get(1)?.parse().ok()?,
+            desc: unesc(fields.get(2)?),
+        },
+        "poll" => Event::Poll,
+        "callv" => Event::Call {
+            name: unesc(fields.get(1)?),
+            method: *fields.get(2)? == "1",
+            off: fields.get(3)?.parse().ok()?,
+            qual: fields[4..].iter().map(|s| unesc(s)).collect(),
+        },
+        "question" => Event::Question { off: fields.get(1)?.parse().ok()? },
+        "ret" => Event::Ret { off: fields.get(1)?.parse().ok()? },
+        "endfn" => Event::EndOfFn,
+        _ => return None,
+    })
+}
+
+/// Parse an entry back into a summary. `None` on any malformed or
+/// truncated input — the caller treats it as a cache miss.
+pub(crate) fn parse(text: &str) -> Option<FileSummary> {
+    let mut lines = text.lines();
+    if lines.next()? != HEADER {
+        return None;
+    }
+    let meta_line = lines.next()?;
+    let meta: Vec<&str> = meta_line.split('\t').collect();
+    if meta.len() != 8 || meta[0] != "meta" {
+        return None;
+    }
+    let label = unesc(meta[2]);
+    let mut sum = FileSummary {
+        fingerprint: u64::from_str_radix(meta[1], 16).ok()?,
+        label: label.clone(),
+        crate_name: unesc(meta[3]),
+        is_crate_root: meta[4] == "1",
+        policy: FilePolicy {
+            substrate: meta[5] == "1",
+            bin_target: meta[6] == "1",
+            fs_doorway: meta[7] == "1",
+        },
+        idx: LineIndex::from_starts(Vec::new()),
+        regions: Vec::new(),
+        markers: Vec::new(),
+        local: Vec::new(),
+        used_markers: BTreeSet::new(),
+        swallows: Vec::new(),
+        error_enums: Vec::new(),
+        type_aliases: Vec::new(),
+        fn_returns: Vec::new(),
+        fns: Vec::new(),
+        mods: Vec::new(),
+        imports: Vec::new(),
+        reexports: Vec::new(),
+        globs: Vec::new(),
+    };
+    let mut saw_end = false;
+    // `cfg_open` marks a fn whose `fn` line promised a CFG: its
+    // `block` lines attach to an empty Cfg created on first sight.
+    let mut cfg_open = false;
+    for raw in lines {
+        let fields: Vec<&str> = raw.split('\t').collect();
+        match *fields.first()? {
+            "starts" => {
+                let starts = fields[1..]
+                    .iter()
+                    .map(|s| s.parse::<usize>())
+                    .collect::<Result<Vec<_>, _>>()
+                    .ok()?;
+                sum.idx = LineIndex::from_starts(starts);
+            }
+            "region" => sum
+                .regions
+                .push((fields.get(1)?.parse().ok()?, fields.get(2)?.parse().ok()?)),
+            "marker" => sum.markers.push(AllowMarker {
+                line: fields.get(1)?.parse().ok()?,
+                col: fields.get(2)?.parse().ok()?,
+                rule: match *fields.get(3)? {
+                    "-" => None,
+                    name => Some(Rule::from_name(name)?),
+                },
+                name: unesc(fields.get(4)?),
+            }),
+            "local" => sum.local.push(Finding {
+                line: fields.get(1)?.parse().ok()?,
+                col: fields.get(2)?.parse().ok()?,
+                rule: Rule::from_name(fields.get(3)?)?,
+                path: unesc(fields.get(4)?),
+                msg: unesc(fields.get(5)?),
+            }),
+            "used" => {
+                sum.used_markers.insert(fields.get(1)?.parse().ok()?);
+            }
+            "swallow" => sum.swallows.push(SwallowCand {
+                kind: match *fields.get(1)? {
+                    "let" => SwallowKind::LetUnderscore,
+                    "ok" => SwallowKind::OkDiscard,
+                    _ => return None,
+                },
+                off: fields.get(2)?.parse().ok()?,
+                callee: unesc(fields.get(3)?),
+            }),
+            "enum" => sum.error_enums.push(unesc(fields.get(1)?)),
+            "talias" => sum.type_aliases.push((
+                unesc(fields.get(1)?),
+                fields[2..].iter().map(|s| unesc(s)).collect(),
+            )),
+            "ret" => sum.fn_returns.push(FnReturn {
+                name: unesc(fields.get(1)?),
+                bare_result: *fields.get(2)? == "1",
+                qualified_crate: match *fields.get(3)? {
+                    "-" => None,
+                    q => Some(unesc(q)),
+                },
+                err_idents: fields[4..].iter().map(|s| unesc(s)).collect(),
+            }),
+            "mod" => sum.mods.push(unesc(fields.get(1)?)),
+            "import" => sum.imports.push((
+                unesc(fields.get(1)?),
+                fields[2..].iter().map(|s| unesc(s)).collect(),
+            )),
+            "reexport" => sum.reexports.push((
+                unesc(fields.get(1)?),
+                fields[2..].iter().map(|s| unesc(s)).collect(),
+            )),
+            "glob" => sum.globs.push(fields[1..].iter().map(|s| unesc(s)).collect()),
+            "fn" => {
+                cfg_open = *fields.get(3)? == "1";
+                sum.fns.push(FnEffects {
+                    name: unesc(fields.get(1)?),
+                    is_test: *fields.get(2)? == "1",
+                    acqs: Vec::new(),
+                    calls: Vec::new(),
+                    l7_blocks: Vec::new(),
+                    dispatches: Vec::new(),
+                    cfg: None,
+                });
+            }
+            "acq" => sum.fns.last_mut()?.acqs.push(AcqS {
+                lock: unesc(fields.get(1)?),
+                off: fields.get(2)?.parse().ok()?,
+                until_off: fields.get(3)?.parse().ok()?,
+            }),
+            "call" => sum.fns.last_mut()?.calls.push(CallS {
+                name: unesc(fields.get(1)?),
+                method: *fields.get(2)? == "1",
+                off: fields.get(3)?.parse().ok()?,
+                qual: fields[4..].iter().map(|s| unesc(s)).collect(),
+            }),
+            "l7" => sum
+                .fns
+                .last_mut()?
+                .l7_blocks
+                .push((unesc(fields.get(2)?), fields.get(1)?.parse().ok()?)),
+            "disp" => sum
+                .fns
+                .last_mut()?
+                .dispatches
+                .push((unesc(fields.get(1)?), fields.get(2)?.parse().ok()?)),
+            "block" => {
+                if !cfg_open {
+                    return None;
+                }
+                let head = match (*fields.get(1)?, *fields.get(2)?) {
+                    ("-", "-") => None,
+                    (t, kw) => Some((t.parse::<usize>().ok()?, head_kw(kw)?)),
+                };
+                let mut succs = Vec::new();
+                for pair in &fields[3..] {
+                    let (i, taken) = pair.split_once(':')?;
+                    succs.push((i.parse::<usize>().ok()?, taken == "1"));
+                }
+                let f = sum.fns.last_mut()?;
+                f.cfg
+                    .get_or_insert_with(|| Cfg { blocks: Vec::new() })
+                    .blocks
+                    .push(Block { events: Vec::new(), succs, head });
+            }
+            "ev" => {
+                let f = sum.fns.last_mut()?;
+                let blocks = &mut f.cfg.as_mut()?.blocks;
+                blocks.last_mut()?.events.push(parse_event(&fields[1..])?);
+            }
+            "end" => {
+                saw_end = true;
+                break;
+            }
+            _ => return None,
+        }
+    }
+    // A fn that promised a CFG but whose blocks were truncated away
+    // still deserializes (`cfg: None` only for trait decls) — the
+    // `end` sentinel is what guards truncation.
+    if saw_end {
+        Some(sum)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::{analyze, link, FilePolicy, SourceFile};
+    use crate::summary::summarize;
+
+    fn sample_files() -> Vec<SourceFile> {
+        let alpha = "\
+//! sample
+use fix_beta::*;
+use std::mem::take;
+
+pub struct S {
+    pub a: std::sync::Mutex<u8>,
+}
+
+mod wal;
+
+pub fn dispatch(pool: &P, tx: &Tx) -> Result<(), StoreError> {
+    let txn = tx.begin();
+    pool.try_run_bounded_cancellable(2, |_c| {});
+    while !done() {
+        helper();
+    }
+    txn.commit();
+    Ok(())
+}
+
+fn helper() {
+    std::thread::sleep(std::time::Duration::from_millis(1));
+}
+
+fn done() -> bool {
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        let _ = 1; // teleios-lint: allow(swallowed-result)
+    }
+}
+";
+        let beta = "\
+pub use fix_alpha::helper as relayed;
+
+pub enum BetaError {
+    Io,
+}
+
+pub fn catalog(s: &S) {
+    let g = s.catalog.lock();
+    drop(g);
+}
+";
+        vec![
+            SourceFile {
+                label: "crates/fix_alpha/src/lib.rs".to_string(),
+                raw: alpha.to_string(),
+                crate_name: "fix_alpha".to_string(),
+                is_crate_root: true,
+                policy: FilePolicy::default(),
+            },
+            SourceFile {
+                label: "crates/fix_beta/src/lib.rs".to_string(),
+                raw: beta.to_string(),
+                crate_name: "fix_beta".to_string(),
+                is_crate_root: false,
+                policy: FilePolicy::default(),
+            },
+        ]
+    }
+
+    #[test]
+    fn summaries_round_trip_byte_identically() {
+        for file in sample_files() {
+            let sum = summarize(&file);
+            let text = serialize(&sum);
+            let parsed = parse(&text).expect("entry must parse");
+            assert_eq!(serialize(&parsed), text, "re-serialization must be identical");
+            assert_eq!(parsed.fingerprint, sum.fingerprint);
+            assert_eq!(parsed.label, sum.label);
+            assert_eq!(parsed.fns.len(), sum.fns.len());
+            assert_eq!(parsed.idx.starts(), sum.idx.starts());
+        }
+    }
+
+    #[test]
+    fn linking_parsed_summaries_matches_direct_analysis() {
+        let files = sample_files();
+        let direct = analyze(&files);
+        let sums: Vec<_> = files
+            .iter()
+            .map(|f| parse(&serialize(&summarize(f))).expect("round trip"))
+            .collect();
+        assert_eq!(link(&sums), direct);
+    }
+
+    #[test]
+    fn truncated_or_mismatched_entries_are_misses() {
+        let files = sample_files();
+        let sum = summarize(&files[0]);
+        let text = serialize(&sum);
+        assert!(parse(&text[..text.len() / 2]).is_none(), "truncation must not parse");
+        assert!(parse("garbage\n").is_none());
+        let dir = std::env::temp_dir().join(format!("teleios-lint-cache-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        store(&dir, &sum).expect("store");
+        assert!(load(&dir, &sum.label, sum.fingerprint).is_some());
+        assert!(load(&dir, &sum.label, sum.fingerprint ^ 1).is_none(), "stale fingerprint");
+        assert!(load(&dir, "no/such/file.rs", sum.fingerprint).is_none());
+        assert!(load_any(&dir, &sum.label).is_some());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn escaping_round_trips_tabs_newlines_and_backslashes() {
+        for s in ["plain", "a\tb", "a\nb", "a\\b", "a\\tb\\n", "", "\t\n\\"] {
+            assert_eq!(unesc(&esc(s)), s);
+        }
+    }
+}

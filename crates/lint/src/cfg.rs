@@ -3,14 +3,23 @@
 //! and L12 `loop-cancel-poll`.
 //!
 //! [`build`] parses one function body — over the [`crate::lexer`]
-//! token stream, with [`crate::graph`] supplying the function
-//! boundaries and call/dispatch resolution — into basic blocks with
-//! edges for `if`/`else if`/`else`, `if let`/`while let`/`let-else`,
-//! `match` arms, the three loop forms, `return`, `break`/`continue`,
-//! and `?`-propagation. Dataflow-relevant occurrences (transaction
-//! begin/commit/rollback, exclusive guard acquisition and `drop`,
-//! blocking calls, cancellation polls, function exits) become
-//! [`Event`]s in lexical order inside each block.
+//! token stream, with [`crate::graph`] supplying call shapes — into
+//! basic blocks with edges for `if`/`else if`/`else`, `if let`/
+//! `while let`/`let-else`, `match` arms, the three loop forms,
+//! `return`, `break`/`continue`, and `?`-propagation.
+//! Dataflow-relevant occurrences (transaction begin/commit/rollback,
+//! exclusive guard acquisition and `drop`, blocking calls,
+//! cancellation polls, function exits) become [`Event`]s in lexical
+//! order inside each block, anchored at byte offsets so a CFG stored
+//! in a [`crate::summary::FileSummary`] stands alone — no token
+//! stream needed at link time.
+//!
+//! Call sites the builder cannot judge locally become [`Event::Call`]
+//! placeholders; the link phase ([`crate::interproc`]) resolves each
+//! against the workspace call graph and rewrites it via
+//! [`resolve_calls`] into the `Poll` and/or `Blocking` events its
+//! callee's effect summary implies — that is how a guard held across
+//! a call into another crate's fsync path gets caught.
 //!
 //! On top of the graph sits a small forward dataflow framework:
 //! gen/kill facts per block, joined along edges and iterated over a
@@ -27,51 +36,55 @@
 //! innermost loop, and nested `fn` items are skipped (each gets its
 //! own CFG).
 
-use crate::graph::{self, FnDef};
-use crate::lexer::{
-    enclosing_block_end, ident_at, in_test, is_ident, is_punct, stmt_start, Tok, TokKind,
-};
+use crate::graph;
+use crate::lexer::{enclosing_block_end, ident_at, is_ident, is_punct, stmt_start, Tok, TokKind};
 use crate::rules::{Diagnostics, FileCtx, Rule};
+use crate::summary::FileSummary;
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
 
-/// One dataflow-relevant occurrence inside a basic block. Token
-/// indices anchor diagnostics; events appear in lexical order.
+/// One dataflow-relevant occurrence inside a basic block. Byte
+/// offsets anchor diagnostics; events appear in lexical order.
 #[derive(Debug, Clone, PartialEq)]
 pub(crate) enum Event {
-    /// `recv.begin()` — opens a transaction. `close` is the token
-    /// index of the call's `)`, used to order a directly attached `?`
-    /// *before* the open: on `begin()?`'s Err path no transaction
+    /// `recv.begin()` — opens a transaction. `close` is the byte
+    /// offset of the call's `)`, used to order a directly attached
+    /// `?` *before* the open: on `begin()?`'s Err path no transaction
     /// exists yet.
-    Begin { recv: String, tok: usize, close: usize },
+    Begin { recv: String, off: usize, close: usize },
     /// `recv.commit()` / `recv.rollback()` — closes the transaction
     /// whether it succeeds or errors (the backends `take()` the
     /// transaction first).
     TxnEnd { recv: String },
     /// `let g = lock.lock()` / `.write()` — an exclusive guard bound
-    /// to a name. `scope_end` is the token index of the `}` closing
+    /// to a name. `scope_end` is the byte offset of the `}` closing
     /// the binding's block.
-    Acquire { binding: String, lock: String, tok: usize, scope_end: usize },
+    Acquire { binding: String, lock: String, off: usize, scope_end: usize },
     /// `drop(g)`.
     DropGuard { binding: String },
     /// A call that can stall other threads or outlive a deadline:
     /// pool dispatch, `thread::sleep`, channel `recv`, fsync barrier,
-    /// WAL commit.
-    Blocking { desc: String, tok: usize },
+    /// WAL commit — or, after [`resolve_calls`], a call whose effect
+    /// summary says it may transitively block.
+    Blocking { desc: String, off: usize },
     /// A cancellation poll: `is_cancelled` / `poll_cancellable` /
-    /// `sleep_cancellable`, or a call to a same-crate function that
-    /// transitively polls.
+    /// `sleep_cancellable`, or (after [`resolve_calls`]) a call to a
+    /// workspace function that transitively polls.
     Poll,
+    /// An unresolved call site: judged at link time against the
+    /// callee's effect summary, then rewritten by [`resolve_calls`].
+    Call { name: String, qual: Vec<String>, method: bool, off: usize },
     /// `?` — an Err early exit out of the function.
-    Question { tok: usize },
+    Question { off: usize },
     /// `return`.
-    Ret { tok: usize },
+    Ret { off: usize },
     /// Falling off the end of the function body.
     EndOfFn,
 }
 
 /// A basic block: events in lexical order plus `(target, is_back)`
-/// successor edges. Loop-head blocks carry the loop keyword token.
-#[derive(Debug, Default)]
+/// successor edges. Loop-head blocks carry the loop keyword's byte
+/// offset.
+#[derive(Debug, Default, Clone, PartialEq)]
 pub(crate) struct Block {
     pub(crate) events: Vec<Event>,
     pub(crate) succs: Vec<(usize, bool)>,
@@ -79,7 +92,7 @@ pub(crate) struct Block {
 }
 
 /// Control-flow graph of one function body; block 0 is the entry.
-#[derive(Debug)]
+#[derive(Debug, Clone, PartialEq)]
 pub(crate) struct Cfg {
     pub(crate) blocks: Vec<Block>,
 }
@@ -97,10 +110,9 @@ impl Cfg {
 }
 
 /// Build the CFG for the body `(open, close)` (token indices of the
-/// function's outer braces). `polling` names same-crate functions
-/// that transitively poll cancellation.
-pub(crate) fn build(ctx: &FileCtx<'_>, polling: &HashSet<String>, body: (usize, usize)) -> Cfg {
-    let mut b = Builder { ctx, polling, blocks: vec![Block::default()] };
+/// function's outer braces).
+pub(crate) fn build(ctx: &FileCtx<'_>, body: (usize, usize)) -> Cfg {
+    let mut b = Builder { ctx, blocks: vec![Block::default()] };
     let (open, close) = body;
     let mut loops = Vec::new();
     let last = b.parse_flow(open + 1, close, 0, &mut loops);
@@ -108,9 +120,49 @@ pub(crate) fn build(ctx: &FileCtx<'_>, polling: &HashSet<String>, body: (usize, 
     Cfg { blocks: b.blocks }
 }
 
+/// The link phase's judgement of one unresolved call site.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct CallVerdict {
+    /// The callee transitively polls the CancelToken.
+    pub(crate) polls: bool,
+    /// The callee may block; the description to report.
+    pub(crate) block: Option<String>,
+}
+
+/// Rewrite every [`Event::Call`] into the `Poll` and/or `Blocking`
+/// events the link phase's verdict implies (or nothing), leaving all
+/// other events and the block structure untouched. The path-sensitive
+/// checks then run unchanged over the resolved graph.
+pub(crate) fn resolve_calls(
+    cfg: &Cfg,
+    mut verdict: impl FnMut(&str, &[String], bool) -> CallVerdict,
+) -> Cfg {
+    let blocks = cfg
+        .blocks
+        .iter()
+        .map(|b| {
+            let mut events = Vec::with_capacity(b.events.len());
+            for ev in &b.events {
+                if let Event::Call { name, qual, method, off } = ev {
+                    let v = verdict(name, qual, *method);
+                    if v.polls {
+                        events.push(Event::Poll);
+                    }
+                    if let Some(desc) = v.block {
+                        events.push(Event::Blocking { desc, off: *off });
+                    }
+                } else {
+                    events.push(ev.clone());
+                }
+            }
+            Block { events, succs: b.succs.clone(), head: b.head }
+        })
+        .collect();
+    Cfg { blocks }
+}
+
 struct Builder<'b, 'a> {
     ctx: &'b FileCtx<'a>,
-    polling: &'b HashSet<String>,
     blocks: Vec<Block>,
 }
 
@@ -266,7 +318,7 @@ impl Builder<'_, '_> {
                     self.scan_events(cur, run, i);
                     let end = self.stmt_close(i + 1, hi);
                     self.scan_events(cur, i + 1, end);
-                    self.blocks[cur].events.push(Event::Ret { tok: i });
+                    self.blocks[cur].events.push(Event::Ret { off: toks[i].off });
                     cur = self.new_block(); // unreachable continuation
                     i = end + 1;
                     run = i;
@@ -398,7 +450,7 @@ impl Builder<'_, '_> {
 
     /// `loop { .. }` / `while [let <pat> =] <cond> { .. }` /
     /// `for <pat> in <iter> { .. }`. The head block holds the
-    /// condition events and carries the keyword token.
+    /// condition events and carries the keyword's offset.
     fn handle_loop(
         &mut self,
         i: usize,
@@ -442,7 +494,7 @@ impl Builder<'_, '_> {
         let head = self.new_block();
         self.edge(cur, head, false);
         self.scan_events(head, i + 1, open);
-        self.blocks[head].head = Some((i, kw));
+        self.blocks[head].head = Some((toks[i].off, kw));
         let close = self.match_brace(open);
         let after = self.new_block();
         if kw != "loop" {
@@ -548,24 +600,17 @@ impl Builder<'_, '_> {
     /// Append the events of the straight-line token run `[lo, hi)` to
     /// block `cur`.
     fn scan_events(&mut self, cur: usize, lo: usize, hi: usize) {
-        const DISPATCH_METHODS: [&str; 5] = [
-            "try_run_bounded",
-            "try_run_bounded_cancellable",
-            "run_stealing",
-            "try_run_stealing",
-            "try_run_stealing_cancellable",
-        ];
         let ctx = self.ctx;
         let toks = ctx.toks;
         let hi = hi.min(toks.len());
         let mut i = lo;
         while i < hi {
             if is_punct(toks, i, b'?') {
-                let ev = Event::Question { tok: i };
+                let ev = Event::Question { off: toks[i].off };
                 match self.blocks[cur].events.last() {
                     // `begin()?`: the Err path never opened a
                     // transaction — order the exit before the open.
-                    Some(Event::Begin { close, .. }) if close + 1 == i => {
+                    Some(Event::Begin { close, .. }) if i >= 1 && toks[i - 1].off == *close => {
                         let at = self.blocks[cur].events.len() - 1;
                         self.blocks[cur].events.insert(at, ev);
                     }
@@ -585,8 +630,8 @@ impl Builder<'_, '_> {
                 "begin" if dotted && empty_args => {
                     let ev = Event::Begin {
                         recv: recv_name(toks, i),
-                        tok: recv_anchor(toks, i),
-                        close: i + 2,
+                        off: toks[recv_anchor(toks, i)].off,
+                        close: toks[i + 2].off,
                     };
                     self.blocks[cur].events.push(ev);
                 }
@@ -595,7 +640,7 @@ impl Builder<'_, '_> {
                     // (blocking) *and* it closes the transaction.
                     self.blocks[cur].events.push(Event::Blocking {
                         desc: "the WAL commit `commit()`".to_string(),
-                        tok: i,
+                        off: toks[i].off,
                     });
                     self.blocks[cur].events.push(Event::TxnEnd { recv: recv_name(toks, i) });
                 }
@@ -624,8 +669,8 @@ impl Builder<'_, '_> {
                                 let ev = Event::Acquire {
                                     binding: binding.to_string(),
                                     lock: lock.to_string(),
-                                    tok: i,
-                                    scope_end: enclosing_block_end(toks, i),
+                                    off: toks[i].off,
+                                    scope_end: graph::off_at(toks, enclosing_block_end(toks, i)),
                                 };
                                 self.blocks[cur].events.push(ev);
                             }
@@ -644,7 +689,7 @@ impl Builder<'_, '_> {
                     self.blocks[cur].events.push(Event::Poll);
                     self.blocks[cur].events.push(Event::Blocking {
                         desc: "`sleep_cancellable()`".to_string(),
-                        tok: i,
+                        off: toks[i].off,
                     });
                 }
                 "poll_cancellable" | "is_cancelled" if called => {
@@ -653,19 +698,19 @@ impl Builder<'_, '_> {
                 "sync_all" | "sync_data" if dotted && empty_args => {
                     self.blocks[cur].events.push(Event::Blocking {
                         desc: format!("the fsync barrier `{name}()`"),
-                        tok: i,
+                        off: toks[i].off,
                     });
                 }
                 "recv" if dotted && empty_args => {
                     self.blocks[cur].events.push(Event::Blocking {
                         desc: "channel `recv()`".to_string(),
-                        tok: i,
+                        off: toks[i].off,
                     });
                 }
                 "recv_timeout" if dotted && called => {
                     self.blocks[cur].events.push(Event::Blocking {
                         desc: "channel `recv_timeout()`".to_string(),
-                        tok: i,
+                        off: toks[i].off,
                     });
                 }
                 "sleep" if called => {
@@ -680,15 +725,15 @@ impl Builder<'_, '_> {
                     if via_path || via_use {
                         self.blocks[cur].events.push(Event::Blocking {
                             desc: "`std::thread::sleep`".to_string(),
-                            tok: if via_path { i - 3 } else { i },
+                            off: if via_path { toks[i - 3].off } else { toks[i].off },
                         });
                     }
                 }
                 _ => {
-                    if dotted && called && DISPATCH_METHODS.contains(&name) {
+                    if dotted && called && graph::DISPATCH_METHODS.contains(&name) {
                         self.blocks[cur].events.push(Event::Blocking {
                             desc: format!("the pool dispatch `{name}()`"),
-                            tok: i,
+                            off: toks[i].off,
                         });
                     } else if dotted
                         && called
@@ -698,12 +743,20 @@ impl Builder<'_, '_> {
                     {
                         self.blocks[cur].events.push(Event::Blocking {
                             desc: format!("the pool dispatch `{name}()`"),
-                            tok: i,
+                            off: toks[i].off,
                         });
-                    } else if called && self.polling.contains(name) {
-                        // A same-crate function that transitively
-                        // polls cancellation.
-                        self.blocks[cur].events.push(Event::Poll);
+                    } else if called {
+                        // Everything else is an unresolved call site,
+                        // judged at link time against the callee's
+                        // effect summary.
+                        if let Some(shape) = graph::call_shape_at(toks, i) {
+                            self.blocks[cur].events.push(Event::Call {
+                                name: shape.name,
+                                qual: shape.qual,
+                                method: shape.method,
+                                off: toks[i].off,
+                            });
+                        }
                     }
                 }
             }
@@ -772,7 +825,7 @@ fn forward_fixpoint<F: Clone>(
 // L10 txn-leak
 // ---------------------------------------------------------------
 
-/// Open transactions: receiver name → token index of the `begin`
+/// Open transactions: receiver name → byte offset of the `begin`
 /// site. May-analysis (union join): a transaction open on *any* path
 /// into an exit leaks there.
 type TxnFact = BTreeMap<String, usize>;
@@ -781,8 +834,8 @@ fn txn_transfer(block: &Block, fact: &TxnFact) -> TxnFact {
     let mut f = fact.clone();
     for ev in &block.events {
         match ev {
-            Event::Begin { recv, tok, .. } => {
-                f.entry(recv.clone()).or_insert(*tok);
+            Event::Begin { recv, off, .. } => {
+                f.entry(recv.clone()).or_insert(*off);
             }
             Event::TxnEnd { recv } => {
                 f.remove(recv);
@@ -793,7 +846,7 @@ fn txn_transfer(block: &Block, fact: &TxnFact) -> TxnFact {
     f
 }
 
-fn check_txn_leak(ctx: &FileCtx<'_>, fi: usize, cfg: &Cfg, diag: &mut Diagnostics) {
+pub(crate) fn check_txn_leak(sum: &FileSummary, fi: usize, cfg: &Cfg, diag: &mut Diagnostics) {
     if !cfg
         .blocks
         .iter()
@@ -819,20 +872,19 @@ fn check_txn_leak(ctx: &FileCtx<'_>, fi: usize, cfg: &Cfg, diag: &mut Diagnostic
     );
     // Replay each block's events over its in fact; report the first
     // leaking exit per begin site.
-    let toks = ctx.toks;
     let mut leaks: BTreeMap<usize, (String, String)> = BTreeMap::new();
     for (b, block) in cfg.blocks.iter().enumerate() {
         let mut f = ins[b].clone();
         for ev in &block.events {
             match ev {
-                Event::Begin { recv, tok, .. } => {
-                    f.entry(recv.clone()).or_insert(*tok);
+                Event::Begin { recv, off, .. } => {
+                    f.entry(recv.clone()).or_insert(*off);
                 }
                 Event::TxnEnd { recv } => {
                     f.remove(recv);
                 }
-                Event::Question { tok } | Event::Ret { tok } => {
-                    let (line, _) = ctx.idx.line_col(toks[*tok].off);
+                Event::Question { off } | Event::Ret { off } => {
+                    let (line, _) = sum.idx.line_col(*off);
                     let exit = if matches!(ev, Event::Question { .. }) {
                         format!("the `?` on line {line}")
                     } else {
@@ -854,7 +906,7 @@ fn check_txn_leak(ctx: &FileCtx<'_>, fi: usize, cfg: &Cfg, diag: &mut Diagnostic
         }
     }
     for (site, (recv, exit)) in leaks {
-        diag.emit(ctx, fi, toks[site].off, Rule::TxnLeak, format!(
+        diag.emit(sum, fi, site, Rule::TxnLeak, format!(
             "`{recv}.begin()` opens a transaction that is still open when the function exits through {exit}: commit or roll back on every path (debug builds enforce this with TxnWitness)"
         ));
     }
@@ -865,11 +917,11 @@ fn check_txn_leak(ctx: &FileCtx<'_>, fi: usize, cfg: &Cfg, diag: &mut Diagnostic
 // ---------------------------------------------------------------
 
 /// A live exclusive guard: where it was acquired and where its
-/// binding's scope ends (token index of the closing `}`).
+/// binding's scope ends (byte offset of the closing `}`).
 #[derive(Debug, Clone, PartialEq)]
 struct Held {
     lock: String,
-    tok: usize,
+    off: usize,
     scope_end: usize,
 }
 
@@ -880,19 +932,19 @@ fn guard_transfer(block: &Block, fact: &GuardFact) -> GuardFact {
     let mut f = fact.clone();
     for ev in &block.events {
         match ev {
-            Event::Acquire { binding, lock, tok, scope_end } => {
+            Event::Acquire { binding, lock, off, scope_end } => {
                 f.insert(
                     binding.clone(),
-                    Held { lock: lock.clone(), tok: *tok, scope_end: *scope_end },
+                    Held { lock: lock.clone(), off: *off, scope_end: *scope_end },
                 );
             }
             Event::DropGuard { binding } => {
                 f.remove(binding);
             }
-            Event::Blocking { tok, .. } => {
+            Event::Blocking { off, .. } => {
                 // A guard whose lexical scope closed before this
                 // point was released when its block ended.
-                f.retain(|_, g| g.scope_end >= *tok);
+                f.retain(|_, g| g.scope_end >= *off);
             }
             _ => {}
         }
@@ -900,7 +952,7 @@ fn guard_transfer(block: &Block, fact: &GuardFact) -> GuardFact {
     f
 }
 
-fn check_guard_blocking(ctx: &FileCtx<'_>, fi: usize, cfg: &Cfg, diag: &mut Diagnostics) {
+pub(crate) fn check_guard_blocking(sum: &FileSummary, fi: usize, cfg: &Cfg, diag: &mut Diagnostics) {
     if !cfg
         .blocks
         .iter()
@@ -920,8 +972,8 @@ fn check_guard_blocking(ctx: &FileCtx<'_>, fi: usize, cfg: &Cfg, diag: &mut Diag
                 // body's iteration ended — it does not survive the
                 // back edge into the head.
                 if back {
-                    if let Some((kw_tok, _)) = target.head {
-                        if g.tok > kw_tok {
+                    if let Some((kw_off, _)) = target.head {
+                        if g.off > kw_off {
                             continue;
                         }
                     }
@@ -934,27 +986,26 @@ fn check_guard_blocking(ctx: &FileCtx<'_>, fi: usize, cfg: &Cfg, diag: &mut Diag
             changed
         },
     );
-    let toks = ctx.toks;
     let mut reported: BTreeSet<(usize, String)> = BTreeSet::new();
     for (b, block) in cfg.blocks.iter().enumerate() {
         let mut f = ins[b].clone();
         for ev in &block.events {
             match ev {
-                Event::Acquire { binding, lock, tok, scope_end } => {
+                Event::Acquire { binding, lock, off, scope_end } => {
                     f.insert(
                         binding.clone(),
-                        Held { lock: lock.clone(), tok: *tok, scope_end: *scope_end },
+                        Held { lock: lock.clone(), off: *off, scope_end: *scope_end },
                     );
                 }
                 Event::DropGuard { binding } => {
                     f.remove(binding);
                 }
-                Event::Blocking { desc, tok } => {
-                    f.retain(|_, g| g.scope_end >= *tok);
+                Event::Blocking { desc, off } => {
+                    f.retain(|_, g| g.scope_end >= *off);
                     for (binding, g) in &f {
-                        if reported.insert((*tok, binding.clone())) {
-                            let (line, _) = ctx.idx.line_col(toks[g.tok].off);
-                            diag.emit(ctx, fi, toks[*tok].off, Rule::GuardAcrossBlocking, format!(
+                        if reported.insert((*off, binding.clone())) {
+                            let (line, _) = sum.idx.line_col(g.off);
+                            diag.emit(sum, fi, *off, Rule::GuardAcrossBlocking, format!(
                                 "exclusive guard `{binding}` on `{}` (acquired on line {line}) is still held across {desc}: drop or scope the guard before blocking",
                                 g.lock
                             ));
@@ -979,8 +1030,8 @@ fn has_poll(block: &Block) -> bool {
 /// body — does *every* iteration path from the head back to it cross
 /// a cancellation poll? (`for` loops iterate finite morsel sets and
 /// are exempt; unbounded spinning lives in `loop`/`while`.)
-fn check_loop_polls(
-    ctx: &FileCtx<'_>,
+pub(crate) fn check_loop_polls(
+    sum: &FileSummary,
     fi: usize,
     cfg: &Cfg,
     fn_name: &str,
@@ -989,7 +1040,7 @@ fn check_loop_polls(
 ) {
     let preds = cfg.preds();
     for (h, hb) in cfg.blocks.iter().enumerate() {
-        let Some((kw_tok, kw)) = hb.head else { continue };
+        let Some((kw_off, kw)) = hb.head else { continue };
         if kw == "for" {
             continue;
         }
@@ -1041,147 +1092,11 @@ fn check_loop_polls(
             }
         }
         if backs.iter().any(|b| !out.get(b).copied().unwrap_or(true)) {
-            diag.emit(ctx, fi, ctx.toks[kw_tok].off, Rule::LoopCancelPoll, format!(
+            diag.emit(sum, fi, kw_off, Rule::LoopCancelPoll, format!(
                 "`{kw}` loop in `{fn_name}` runs on a pool-dispatched path (via `{entry}`) but has an iteration path that never polls the CancelToken: call is_cancelled / poll_cancellable / sleep_cancellable on every iteration"
             ));
         }
     }
-}
-
-// ---------------------------------------------------------------
-// Per-crate driver
-// ---------------------------------------------------------------
-
-/// Run the three path-sensitive rules over one crate's files.
-/// Called from [`crate::rules::analyze`] after the token-level and
-/// call-graph rules.
-pub(crate) fn flow_rules(
-    ctxs: &[FileCtx<'_>],
-    fns: &[Vec<FnDef>],
-    crate_files: &[usize],
-    diag: &mut Diagnostics,
-) {
-    let polling = polling_closure(ctxs, fns, crate_files);
-    let reach = dispatch_reach(ctxs, fns, crate_files);
-    for &fi in crate_files {
-        let ctx = &ctxs[fi];
-        for (k, f) in fns[fi].iter().enumerate() {
-            let Some((open, close)) = f.body else { continue };
-            if in_test(&ctx.regions, ctx.toks[open].off) {
-                continue;
-            }
-            let cfg = build(ctx, &polling, (open, close));
-            check_txn_leak(ctx, fi, &cfg, diag);
-            // The substrate owns raw blocking by design; its own
-            // internals are outside L11/L12 (mirrors L7's policy).
-            if !ctx.policy.substrate {
-                check_guard_blocking(ctx, fi, &cfg, diag);
-                if let Some(entry) = reach.get(&(fi, k)) {
-                    check_loop_polls(ctx, fi, &cfg, &f.name, entry, diag);
-                }
-            }
-        }
-    }
-}
-
-/// Names of same-crate functions that poll cancellation, directly or
-/// through same-crate calls (computed to a fixpoint so a loop body
-/// calling `self.poll_budget()` counts as polling).
-fn polling_closure(
-    ctxs: &[FileCtx<'_>],
-    fns: &[Vec<FnDef>],
-    crate_files: &[usize],
-) -> HashSet<String> {
-    const POLLS: [&str; 3] = ["is_cancelled", "poll_cancellable", "sleep_cancellable"];
-    let mut polling: HashSet<String> = HashSet::new();
-    let mut calls: HashMap<String, HashSet<String>> = HashMap::new();
-    for &fi in crate_files {
-        let ctx = &ctxs[fi];
-        for (k, f) in fns[fi].iter().enumerate() {
-            let Some((open, close)) = f.body else { continue };
-            for i in open + 1..close {
-                if graph::fn_containing(&fns[fi], i) != Some(k) {
-                    continue;
-                }
-                let Some(name) = ident_at(ctx.toks, i) else { continue };
-                if !is_punct(ctx.toks, i + 1, b'(') {
-                    continue;
-                }
-                if POLLS.contains(&name) {
-                    polling.insert(f.name.clone());
-                } else {
-                    calls.entry(f.name.clone()).or_default().insert(name.to_string());
-                }
-            }
-        }
-    }
-    loop {
-        let mut changed = false;
-        for (f, callees) in &calls {
-            if !polling.contains(f) && callees.iter().any(|c| polling.contains(c)) {
-                polling.insert(f.clone());
-                changed = true;
-            }
-        }
-        if !changed {
-            return polling;
-        }
-    }
-}
-
-/// Functions on a pool-dispatched path: every function containing a
-/// dispatch site, plus (transitively) every same-crate function they
-/// call outside test regions. Maps `(file, fn index)` to the dispatch
-/// method that puts it in scope.
-fn dispatch_reach(
-    ctxs: &[FileCtx<'_>],
-    fns: &[Vec<FnDef>],
-    crate_files: &[usize],
-) -> HashMap<(usize, usize), String> {
-    let mut by_name: HashMap<&str, Vec<(usize, usize)>> = HashMap::new();
-    for &fi in crate_files {
-        for (k, f) in fns[fi].iter().enumerate() {
-            by_name.entry(f.name.as_str()).or_default().push((fi, k));
-        }
-    }
-    let mut reach: HashMap<(usize, usize), String> = HashMap::new();
-    let mut queue: VecDeque<(usize, usize)> = VecDeque::new();
-    for &fi in crate_files {
-        let ctx = &ctxs[fi];
-        for i in 0..ctx.toks.len() {
-            if in_test(&ctx.regions, ctx.toks[i].off) {
-                continue;
-            }
-            if let Some((owner, name)) = graph::dispatch_at(ctx, fns, fi, i) {
-                if reach.insert((fi, owner), name.clone()).is_none() {
-                    queue.push_back((fi, owner));
-                }
-            }
-        }
-    }
-    while let Some((fi, k)) = queue.pop_front() {
-        let entry = match reach.get(&(fi, k)) {
-            Some(e) => e.clone(),
-            None => continue,
-        };
-        let Some((open, close)) = fns[fi][k].body else { continue };
-        let ctx = &ctxs[fi];
-        for i in open + 1..close {
-            if in_test(&ctx.regions, ctx.toks[i].off)
-                || graph::fn_containing(&fns[fi], i) != Some(k)
-            {
-                continue;
-            }
-            let Some(call) = graph::call_at(ctx, i) else { continue };
-            for &callee in by_name.get(call.name.as_str()).into_iter().flatten() {
-                if !reach.contains_key(&callee) {
-                    reach.insert(callee, entry.clone());
-                    queue.push_back(callee);
-                }
-            }
-        }
-    }
-    reach
 }
 
 #[cfg(test)]
@@ -1372,7 +1287,7 @@ pub fn flush(s: &S, b: &B) {
     fn loop_with_an_unpolled_continue_path_fires() {
         let src = r#"
 pub fn worker(pool: &P, t: &T, flag: bool) {
-    pool.run_stealing(|| {});
+    pool.try_run_stealing_cancellable(|| {}, t);
     let mut i = 0;
     while i < 10 {
         if flag {
@@ -1394,7 +1309,7 @@ fn poll_budget(t: &T) -> bool {
     t.is_cancelled()
 }
 pub fn worker(pool: &P, t: &T) {
-    pool.run_stealing(|| {});
+    pool.try_run_stealing_cancellable(|| {}, t);
     loop {
         if poll_budget(t) {
             break;

@@ -1,14 +1,12 @@
-//! The workspace concurrency model: function extraction, the
-//! per-crate lock-acquisition graph behind rule L6 `lock-order`, and
-//! the dispatch-closure blocking analysis behind rule L7
-//! `cancel-safety`.
+//! Shared syntactic extraction over the token stream: function
+//! boundaries, lock acquisitions, call shapes, pool-dispatch sites,
+//! and raw blocking calls. The results feed the per-file effect
+//! summaries ([`crate::summary`]); the concurrency rules themselves
+//! (L6 `lock-order`, L7 `cancel-safety`) live in
+//! [`crate::interproc`], where calls are resolved across crate
+//! boundaries through the workspace-wide call graph.
 //!
-//! Both analyses resolve calls by bare name within one crate — the
-//! workspace convention of unique, descriptive function names makes
-//! that precise enough, and staying inside the crate keeps the graph
-//! honest (cross-crate edges would need type information a lexer
-//! can't supply). Known approximations, chosen to avoid false
-//! positives:
+//! Known approximations, chosen to avoid false positives:
 //!
 //! - lock identity is the receiver field/binding name (`tables` in
 //!   `self.tables.read()`), so two instances of one type share a
@@ -18,13 +16,12 @@
 //!   guards (e.g. a `lock_state()` accessor) — only through calls
 //!   made while a guard is live in the caller;
 //! - `Type::assoc()` path calls are not resolved (constructors like
-//!   `new` collide across modules); `.method()` and bare calls are.
+//!   `new` collide across modules); `.method()`, bare, and
+//!   module-qualified (`wal::replay(..)`, `teleios_store::open(..)`)
+//!   calls are.
 
-use crate::lexer::{
-    enclosing_block_end, ident_at, in_test, is_ident, is_punct, stmt_end, stmt_start, Tok,
-};
-use crate::rules::{Diagnostics, FileCtx, Rule};
-use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+use crate::lexer::{enclosing_block_end, ident_at, is_ident, is_punct, stmt_end, stmt_start, Tok};
+use crate::rules::FileCtx;
 
 /// One `fn` item: its name, the token index of the name, the token
 /// range of its `{...}` body (absent for trait declarations), and the
@@ -102,26 +99,20 @@ pub(crate) fn fn_containing(fns: &[FnDef], i: usize) -> Option<usize> {
     best.map(|(_, k)| k)
 }
 
-/// A lock acquisition: `<name>.lock()` / `.read()` / `.write()` with
-/// empty argument lists (io's `read(&mut buf)` never matches).
-struct Acq {
-    name: String,
-    idx: usize,
-    /// Last token index at which the guard is still held: the
-    /// enclosing block end for `let`-bound guards, the statement end
-    /// for temporaries (including `let _ =`).
-    until: usize,
+/// The byte offset of token `i`, saturating past the end of the
+/// stream (ranges like a statement end can point one past the last
+/// token).
+pub(crate) fn off_at(toks: &[Tok<'_>], i: usize) -> usize {
+    toks.get(i).map_or(usize::MAX, |t| t.off)
 }
 
-/// A resolvable call site: `name(..)` or `recv.name(..)` — but not
-/// `Type::name(..)`, see the module docs.
-pub(crate) struct Call {
-    pub(crate) name: String,
-    pub(crate) idx: usize,
-}
-
-fn acq_at(ctx: &FileCtx<'_>, i: usize) -> Option<Acq> {
-    let toks = ctx.toks;
+/// A lock acquisition at token `i`: `<name>.lock()` / `.read()` /
+/// `.write()` with empty argument lists (io's `read(&mut buf)` never
+/// matches). Returns `(lock name, byte offset, byte offset of the
+/// last token at which the guard is still held)` — the enclosing
+/// block end for `let`-bound guards, the statement end for
+/// temporaries (including `let _ =`).
+pub(crate) fn acq_at(toks: &[Tok<'_>], i: usize) -> Option<(String, usize, usize)> {
     let name = ident_at(toks, i)?;
     if !(is_punct(toks, i + 1, b'.')
         && matches!(ident_at(toks, i + 2), Some("lock" | "read" | "write"))
@@ -134,11 +125,22 @@ fn acq_at(ctx: &FileCtx<'_>, i: usize) -> Option<Acq> {
     let let_bound = is_ident(toks, s, "let")
         && !(is_ident(toks, s + 1, "_") && is_punct(toks, s + 2, b'='));
     let until = if let_bound { enclosing_block_end(toks, i) } else { stmt_end(toks, i) };
-    Some(Acq { name: name.to_string(), idx: i, until })
+    Some((name.to_string(), toks[i].off, off_at(toks, until)))
 }
 
-pub(crate) fn call_at(ctx: &FileCtx<'_>, i: usize) -> Option<Call> {
-    let toks = ctx.toks;
+/// The shape of a call site at token `i`: the callee name plus how it
+/// was reached — `.method()`, bare `f()`, or path-qualified
+/// `a::b::f()` (with the leading segments in `qual`). `Type::assoc()`
+/// calls and uppercase names (tuple-struct / enum constructors) are
+/// skipped: they never resolve to workspace `fn` items.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct CallShape {
+    pub name: String,
+    pub qual: Vec<String>,
+    pub method: bool,
+}
+
+pub(crate) fn call_shape_at(toks: &[Tok<'_>], i: usize) -> Option<CallShape> {
     let name = ident_at(toks, i)?;
     if !is_punct(toks, i + 1, b'(') {
         return None;
@@ -146,196 +148,88 @@ pub(crate) fn call_at(ctx: &FileCtx<'_>, i: usize) -> Option<Call> {
     if matches!(name, "lock" | "read" | "write") {
         return None;
     }
-    if i > 0 && is_punct(toks, i - 1, b':') {
+    // `fn f(` is a declaration, not a call.
+    if i > 0 && ident_at(toks, i - 1) == Some("fn") {
         return None;
     }
-    Some(Call { name: name.to_string(), idx: i })
+    if name.chars().next().is_some_and(|c| !c.is_ascii_lowercase() && c != '_') {
+        return None;
+    }
+    if i > 0 && is_punct(toks, i - 1, b'.') {
+        return Some(CallShape { name: name.to_string(), qual: Vec::new(), method: true });
+    }
+    let mut qual: Vec<String> = Vec::new();
+    let mut j = i;
+    while j >= 3 && is_punct(toks, j - 1, b':') && is_punct(toks, j - 2, b':') {
+        match ident_at(toks, j - 3) {
+            Some(seg) => {
+                qual.push(seg.to_string());
+                j -= 3;
+            }
+            // `<T as Trait>::f()` — not resolvable from tokens.
+            None => return None,
+        }
+    }
+    qual.reverse();
+    if qual
+        .iter()
+        .any(|s| s.chars().next().is_some_and(|c| c.is_ascii_uppercase()))
+    {
+        return None; // `Type::assoc()`
+    }
+    Some(CallShape { name: name.to_string(), qual, method: false })
 }
 
-/// L6 — build the crate's lock-acquisition graph and report every
-/// distinct cycle with `file:line` for each edge.
-pub(crate) fn lock_order(
-    ctxs: &[FileCtx<'_>],
-    fns: &[Vec<FnDef>],
-    crate_files: &[usize],
-    diag: &mut Diagnostics,
-) {
-    // Acquisitions and calls, attributed to their innermost fn.
-    let mut per_fn: BTreeMap<(usize, usize), (Vec<Acq>, Vec<Call>)> = BTreeMap::new();
-    for &fi in crate_files {
-        let ctx = &ctxs[fi];
-        for i in 0..ctx.toks.len() {
-            if in_test(&ctx.regions, ctx.toks[i].off) {
-                continue;
-            }
-            let Some(owner) = fn_containing(&fns[fi], i) else { continue };
-            if let Some(a) = acq_at(ctx, i) {
-                per_fn.entry((fi, owner)).or_default().0.push(a);
-            }
-            if let Some(c) = call_at(ctx, i) {
-                per_fn.entry((fi, owner)).or_default().1.push(c);
-            }
-        }
-    }
+/// The pool-dispatch methods whose task closures must stay
+/// cancellable (L7) — and, for the `*_cancellable` subset, put loops
+/// in scope for L12.
+pub(crate) const DISPATCH_METHODS: [&str; 5] = [
+    "try_run_bounded",
+    "try_run_bounded_cancellable",
+    "run_stealing",
+    "try_run_stealing",
+    "try_run_stealing_cancellable",
+];
 
-    // Same-crate name resolution.
-    let mut by_name: BTreeMap<&str, Vec<(usize, usize)>> = BTreeMap::new();
-    for &fi in crate_files {
-        for (k, f) in fns[fi].iter().enumerate() {
-            by_name.entry(f.name.as_str()).or_default().push((fi, k));
-        }
+/// Is token `i` the `.` of a pool-dispatch call? Returns the method
+/// name.
+pub(crate) fn dispatch_method_at(toks: &[Tok<'_>], i: usize) -> Option<&'static str> {
+    if !is_punct(toks, i, b'.') {
+        return None;
     }
-
-    // Transitive lock set per fn: every lock name a call into this fn
-    // may acquire, with one representative site.
-    let mut memo: HashMap<(usize, usize), BTreeMap<String, (usize, usize)>> = HashMap::new();
-    for &fi in crate_files {
-        for k in 0..fns[fi].len() {
-            let mut visiting = HashSet::new();
-            locks_of((fi, k), ctxs, &per_fn, &by_name, &mut memo, &mut visiting);
-        }
+    let m = ident_at(toks, i + 1)?;
+    if !is_punct(toks, i + 2, b'(') {
+        return None;
     }
-
-    // Edges: lock A held while lock B is acquired (directly, or
-    // inside a same-crate call made while A is held).
-    let mut edges: BTreeMap<(String, String), (usize, usize)> = BTreeMap::new();
-    for ((fi, _), (acqs, calls)) in &per_fn {
-        for a in acqs {
-            for b in acqs {
-                if b.idx > a.idx && b.idx <= a.until && b.name != a.name {
-                    edges
-                        .entry((a.name.clone(), b.name.clone()))
-                        .or_insert((*fi, ctxs[*fi].toks[b.idx].off));
-                }
-            }
-            for c in calls {
-                if c.idx > a.idx && c.idx <= a.until {
-                    for key in by_name.get(c.name.as_str()).into_iter().flatten() {
-                        if let Some(locks) = memo.get(key) {
-                            for (lname, &(lfi, loff)) in locks {
-                                if *lname != a.name {
-                                    edges
-                                        .entry((a.name.clone(), lname.clone()))
-                                        .or_insert((lfi, loff));
-                                }
-                            }
-                        }
-                    }
-                }
-            }
-        }
-    }
-
-    // Cycle detection and reporting, one finding per node set.
-    let adj: BTreeMap<&str, BTreeSet<&str>> = {
-        let mut m: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
-        for (a, b) in edges.keys() {
-            m.entry(a.as_str()).or_default().insert(b.as_str());
-        }
-        m
-    };
-    let mut reported: BTreeSet<BTreeSet<String>> = BTreeSet::new();
-    for (a, b) in edges.keys() {
-        let Some(path) = bfs_path(&adj, b, a) else { continue };
-        let mut seq: Vec<&str> = vec![a.as_str()];
-        seq.extend(path.iter().copied());
-        let nodes: BTreeSet<String> = seq.iter().map(|s| s.to_string()).collect();
-        if !reported.insert(nodes) {
-            continue;
-        }
-        let desc = seq
-            .windows(2)
-            .map(|w| match edges.get(&(w[0].to_string(), w[1].to_string())) {
-                Some(&(efi, eoff)) => {
-                    let (line, _) = ctxs[efi].idx.line_col(eoff);
-                    format!("{} -> {} ({}:{})", w[0], w[1], ctxs[efi].label, line)
-                }
-                None => format!("{} -> {}", w[0], w[1]),
-            })
-            .collect::<Vec<_>>()
-            .join(", ");
-        let &(afi, aoff) = &edges[&(a.clone(), b.clone())];
-        let msg = format!("lock-order cycle: {desc} — acquire these locks in one global order");
-        diag.emit(&ctxs[afi], afi, aoff, Rule::LockOrder, msg);
+    match m {
+        "try_run_bounded" => Some("try_run_bounded"),
+        "try_run_bounded_cancellable" => Some("try_run_bounded_cancellable"),
+        "run_stealing" => Some("run_stealing"),
+        "try_run_stealing" => Some("try_run_stealing"),
+        "try_run_stealing_cancellable" => Some("try_run_stealing_cancellable"),
+        // `.run(..)` / `.run_with(..)` are dispatches only on a
+        // pool-ish receiver — `chain.run(..)` and friends are
+        // ordinary calls.
+        "run" if pool_receiver(toks, i) => Some("run"),
+        "run_with" if pool_receiver(toks, i) => Some("run_with"),
+        _ => None,
     }
 }
 
-/// Transitive closure of the lock names `key`'s function may acquire,
-/// each with a representative `(file, byte offset)` site.
-fn locks_of(
-    key: (usize, usize),
-    ctxs: &[FileCtx<'_>],
-    per_fn: &BTreeMap<(usize, usize), (Vec<Acq>, Vec<Call>)>,
-    by_name: &BTreeMap<&str, Vec<(usize, usize)>>,
-    memo: &mut HashMap<(usize, usize), BTreeMap<String, (usize, usize)>>,
-    visiting: &mut HashSet<(usize, usize)>,
-) -> BTreeMap<String, (usize, usize)> {
-    if let Some(m) = memo.get(&key) {
-        return m.clone();
-    }
-    if !visiting.insert(key) {
-        return BTreeMap::new();
-    }
-    let mut out = BTreeMap::new();
-    if let Some((acqs, calls)) = per_fn.get(&key) {
-        for a in acqs {
-            out.entry(a.name.clone())
-                .or_insert((key.0, ctxs[key.0].toks[a.idx].off));
-        }
-        for c in calls {
-            for callee in by_name.get(c.name.as_str()).into_iter().flatten() {
-                for (n, site) in locks_of(*callee, ctxs, per_fn, by_name, memo, visiting) {
-                    out.entry(n).or_insert(site);
-                }
-            }
-        }
-    }
-    visiting.remove(&key);
-    memo.insert(key, out.clone());
-    out
+fn pool_receiver(toks: &[Tok<'_>], dot: usize) -> bool {
+    receiver_name(toks, dot).is_some_and(|r| r.to_lowercase().contains("pool"))
 }
 
-fn bfs_path<'a>(
-    adj: &BTreeMap<&'a str, BTreeSet<&'a str>>,
-    from: &'a str,
-    to: &str,
-) -> Option<Vec<&'a str>> {
-    let mut prev: BTreeMap<&str, &str> = BTreeMap::new();
-    let mut seen: BTreeSet<&str> = BTreeSet::new();
-    let mut queue: VecDeque<&str> = VecDeque::new();
-    seen.insert(from);
-    queue.push_back(from);
-    while let Some(n) = queue.pop_front() {
-        if n == to {
-            let mut path = vec![n];
-            let mut cur = n;
-            while let Some(&p) = prev.get(cur) {
-                path.push(p);
-                cur = p;
-            }
-            path.reverse();
-            return Some(path);
-        }
-        for &m in adj.get(n).into_iter().flatten() {
-            if seen.insert(m) {
-                prev.insert(m, n);
-                queue.push_back(m);
-            }
-        }
-    }
-    None
+/// Is token `i` the method ident of a pool-dispatch call (so call
+/// extraction must not double-count it as an ordinary call)?
+pub(crate) fn dispatch_call_ident(toks: &[Tok<'_>], i: usize) -> bool {
+    i > 0 && dispatch_method_at(toks, i - 1).is_some()
 }
 
-/// One blocking call reachable from a dispatch closure.
-#[derive(Clone)]
-struct Block {
-    fi: usize,
-    off: usize,
-    desc: &'static str,
-    chain: Vec<String>,
-}
-
-fn direct_block_at(ctx: &FileCtx<'_>, i: usize) -> Option<(usize, &'static str)> {
+/// A raw blocking call at token `i` in the narrow L7 vocabulary:
+/// `thread::sleep` (aliases included), channel `recv()` /
+/// `recv_timeout(..)`. Returns `(byte offset, description)`.
+pub(crate) fn direct_block_at(ctx: &FileCtx<'_>, i: usize) -> Option<(usize, &'static str)> {
     let toks = ctx.toks;
     if let Some(seg) = ident_at(toks, i) {
         let path_next = is_punct(toks, i + 1, b':') && is_punct(toks, i + 2, b':');
@@ -363,134 +257,6 @@ fn direct_block_at(ctx: &FileCtx<'_>, i: usize) -> Option<(usize, &'static str)>
         return Some((toks[i + 1].off, "channel recv_timeout()"));
     }
     None
-}
-
-/// L7 — closures handed to pool dispatch must not reach raw blocking
-/// calls; the cancellable doorways (`sleep_cancellable`,
-/// `poll_cancellable`) are the sanctioned ways to wait.
-pub(crate) fn cancel_safety(
-    ctxs: &[FileCtx<'_>],
-    fns: &[Vec<FnDef>],
-    crate_files: &[usize],
-    diag: &mut Diagnostics,
-) {
-    // The substrate owns its threads and blocks on purpose.
-    if crate_files.iter().any(|&fi| ctxs[fi].policy.substrate) {
-        return;
-    }
-    let mut by_name: BTreeMap<&str, Vec<(usize, usize)>> = BTreeMap::new();
-    for &fi in crate_files {
-        for (k, f) in fns[fi].iter().enumerate() {
-            by_name.entry(f.name.as_str()).or_default().push((fi, k));
-        }
-    }
-    let mut memo: HashMap<(usize, usize), Option<Block>> = HashMap::new();
-    let mut emitted: BTreeSet<(usize, usize)> = BTreeSet::new();
-
-    // Functions containing at least one dispatch site. Task closures
-    // are routinely built into a Vec before the dispatch call, so the
-    // whole dispatching function is the scope that must stay
-    // non-blocking — not just the call's argument list.
-    let mut dispatchers: BTreeMap<(usize, usize), String> = BTreeMap::new();
-    for &fi in crate_files {
-        let ctx = &ctxs[fi];
-        for i in 0..ctx.toks.len() {
-            if in_test(&ctx.regions, ctx.toks[i].off) {
-                continue;
-            }
-            if let Some((owner, name)) = dispatch_at(ctx, fns, fi, i) {
-                dispatchers.entry((fi, owner)).or_insert(name);
-            }
-        }
-    }
-
-    for (&(fi, owner), entry_name) in &dispatchers {
-        let ctx = &ctxs[fi];
-        let Some((open, close)) = fns[fi][owner].body else { continue };
-        for k in open + 1..close {
-            if in_test(&ctx.regions, ctx.toks[k].off)
-                || fn_containing(&fns[fi], k) != Some(owner)
-            {
-                continue;
-            }
-            if let Some((off, desc)) = direct_block_at(ctx, k) {
-                report(ctx, fi, off, desc, entry_name, &[], &mut emitted, diag);
-            } else if let Some(c) = call_at(ctx, k) {
-                for callee in by_name.get(c.name.as_str()).into_iter().flatten() {
-                    let mut visiting = HashSet::new();
-                    if let Some(b) =
-                        blocks_in(*callee, ctxs, fns, &by_name, &mut memo, &mut visiting)
-                    {
-                        report(
-                            &ctxs[b.fi], b.fi, b.off, b.desc, entry_name, &b.chain,
-                            &mut emitted, diag,
-                        );
-                    }
-                }
-            }
-        }
-    }
-}
-
-#[allow(clippy::too_many_arguments)]
-fn report(
-    ctx: &FileCtx<'_>,
-    fi: usize,
-    off: usize,
-    desc: &str,
-    entry: &str,
-    chain: &[String],
-    emitted: &mut BTreeSet<(usize, usize)>,
-    diag: &mut Diagnostics,
-) {
-    if !emitted.insert((fi, off)) {
-        return;
-    }
-    let via = if chain.is_empty() {
-        String::new()
-    } else {
-        format!(" via `{}`", chain.join("` -> `"))
-    };
-    diag.emit(ctx, fi, off, Rule::CancelSafety, format!(
-        "{desc} blocks a pool-dispatched task (entered from `{entry}`{via}): wait through CancelToken::sleep_cancellable / poll_cancellable so deadlines can interrupt it"
-    ));
-}
-
-/// Is token `i` the `.` of a pool-dispatch call? Returns the index of
-/// the containing function and its name.
-pub(crate) fn dispatch_at(
-    ctx: &FileCtx<'_>,
-    fns: &[Vec<FnDef>],
-    fi: usize,
-    i: usize,
-) -> Option<(usize, String)> {
-    let toks = ctx.toks;
-    if !is_punct(toks, i, b'.') {
-        return None;
-    }
-    let m = ident_at(toks, i + 1)?;
-    if !is_punct(toks, i + 2, b'(') {
-        return None;
-    }
-    let is_dispatch = match m {
-        "try_run_bounded"
-        | "try_run_bounded_cancellable"
-        | "run_stealing"
-        | "try_run_stealing"
-        | "try_run_stealing_cancellable" => true,
-        // `.run(..)` / `.run_with(..)` are dispatches only on a
-        // pool-ish receiver — `chain.run(..)` and friends are
-        // ordinary calls.
-        "run" | "run_with" => {
-            receiver_name(toks, i).is_some_and(|r| r.to_lowercase().contains("pool"))
-        }
-        _ => false,
-    };
-    if !is_dispatch {
-        return None;
-    }
-    let owner = fn_containing(&fns[fi], i)?;
-    Some((owner, fns[fi][owner].name.clone()))
 }
 
 /// The name the receiver expression of `.method()` ends with: the
@@ -524,60 +290,6 @@ pub(crate) fn receiver_name<'a>(toks: &[Tok<'a>], dot: usize) -> Option<&'a str>
     None
 }
 
-/// First blocking call reachable from `key`'s function through
-/// same-crate calls, if any.
-fn blocks_in(
-    key: (usize, usize),
-    ctxs: &[FileCtx<'_>],
-    fns: &[Vec<FnDef>],
-    by_name: &BTreeMap<&str, Vec<(usize, usize)>>,
-    memo: &mut HashMap<(usize, usize), Option<Block>>,
-    visiting: &mut HashSet<(usize, usize)>,
-) -> Option<Block> {
-    if let Some(m) = memo.get(&key) {
-        return m.clone();
-    }
-    if !visiting.insert(key) {
-        return None;
-    }
-    let (fi, k) = key;
-    let ctx = &ctxs[fi];
-    let f = &fns[fi][k];
-    let mut result: Option<Block> = None;
-    if let Some((open, close)) = f.body {
-        for i in open + 1..close {
-            if in_test(&ctx.regions, ctx.toks[i].off) || fn_containing(&fns[fi], i) != Some(k) {
-                continue;
-            }
-            if let Some((off, desc)) = direct_block_at(ctx, i) {
-                result = Some(Block { fi, off, desc, chain: vec![f.name.clone()] });
-                break;
-            }
-        }
-        if result.is_none() {
-            'calls: for i in open + 1..close {
-                if in_test(&ctx.regions, ctx.toks[i].off) || fn_containing(&fns[fi], i) != Some(k) {
-                    continue;
-                }
-                let Some(c) = call_at(ctx, i) else { continue };
-                if c.name == f.name {
-                    continue;
-                }
-                for callee in by_name.get(c.name.as_str()).into_iter().flatten() {
-                    if let Some(mut b) = blocks_in(*callee, ctxs, fns, by_name, memo, visiting) {
-                        b.chain.insert(0, f.name.clone());
-                        result = Some(b);
-                        break 'calls;
-                    }
-                }
-            }
-        }
-    }
-    visiting.remove(&key);
-    memo.insert(key, result.clone());
-    result
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -597,6 +309,22 @@ mod tests {
         assert!(fns[0].body.is_some());
         assert!(fns[1].body.is_some());
         assert!(fns[2].body.is_none());
+    }
+
+    #[test]
+    fn call_shapes_cover_bare_method_and_qualified() {
+        let masked = crate::mask::mask_code("fn f() { g(); h.m(); a::b::c(); Vec::new(); x.lock(); }");
+        let toks = crate::lexer::lex(&masked);
+        let shapes: Vec<CallShape> =
+            (0..toks.len()).filter_map(|i| call_shape_at(&toks, i)).collect();
+        assert_eq!(
+            shapes,
+            vec![
+                CallShape { name: "g".into(), qual: vec![], method: false },
+                CallShape { name: "m".into(), qual: vec![], method: true },
+                CallShape { name: "c".into(), qual: vec!["a".into(), "b".into()], method: false },
+            ]
+        );
     }
 
     #[test]

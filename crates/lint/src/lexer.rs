@@ -12,6 +12,7 @@ use crate::rules::Rule;
 use std::collections::HashMap;
 
 /// Byte-offset → 1-based line:col mapping.
+#[derive(Debug, Clone, PartialEq)]
 pub struct LineIndex {
     starts: Vec<usize>,
 }
@@ -25,6 +26,18 @@ impl LineIndex {
             }
         }
         LineIndex { starts }
+    }
+
+    /// Rebuild from a saved line-start table (the summary cache stores
+    /// the table so cached files need not be re-read to map offsets).
+    pub fn from_starts(starts: Vec<usize>) -> LineIndex {
+        LineIndex {
+            starts: if starts.is_empty() { vec![0] } else { starts },
+        }
+    }
+
+    pub fn starts(&self) -> &[usize] {
+        &self.starts
     }
 
     /// Byte offset of the start of 1-based `line`.
@@ -259,11 +272,20 @@ pub fn allow_markers(raw: &str, masked: &str) -> Vec<AllowMarker> {
 /// `use` declarations of a file, resolved to flat paths: maps each
 /// locally visible name (the final segment, or the `as` alias) to the
 /// full path segments it stands for. Handles grouped imports
-/// (`use a::{b, c as d}`) and `self` in groups; glob imports are
-/// ignored (nothing bindable to a name).
+/// (`use a::{b, c as d}`) and `self` in groups. Glob imports bind no
+/// name but their path prefixes are recorded (`globs`) so the
+/// interprocedural linker can consider glob-imported crates, and
+/// `pub use` bindings are additionally recorded as re-exports so a
+/// call through a facade crate resolves to the defining crate.
 #[derive(Debug, Default)]
 pub struct UseAliases {
     map: HashMap<String, Vec<String>>,
+    /// `pub use` bindings in declaration order: exported name → the
+    /// full path it re-exports (chains are resolved at link time).
+    reexports: Vec<(String, Vec<String>)>,
+    /// Path prefixes of glob imports (`use teleios_store::*` records
+    /// `["teleios_store"]`).
+    globs: Vec<Vec<String>>,
     /// Token-index ranges (inclusive) of the `use` statements
     /// themselves, so usage rules don't fire on the import line.
     ranges: Vec<(usize, usize)>,
@@ -284,6 +306,21 @@ impl UseAliases {
     /// Is token index `i` inside a `use` statement?
     pub fn in_use_stmt(&self, i: usize) -> bool {
         self.ranges.iter().any(|(s, e)| *s <= i && i <= *e)
+    }
+
+    /// All local bindings, for summary construction.
+    pub fn entries(&self) -> impl Iterator<Item = (&String, &Vec<String>)> {
+        self.map.iter()
+    }
+
+    /// `pub use` re-export bindings in declaration order.
+    pub fn reexports(&self) -> &[(String, Vec<String>)] {
+        &self.reexports
+    }
+
+    /// Glob-import path prefixes in declaration order.
+    pub fn globs(&self) -> &[Vec<String>] {
+        &self.globs
     }
 }
 
@@ -308,10 +345,26 @@ pub fn use_aliases(toks: &[Tok<'_>]) -> UseAliases {
             i += 1;
             continue;
         }
+        // `pub use` / `pub(crate) use`: the bindings are re-exports.
+        let is_pub = (i > 0 && is_ident(toks, i - 1, "pub"))
+            || (i > 0 && is_punct(toks, i - 1, b')') && {
+                let mut k = i - 1;
+                while k > 0 && !is_punct(toks, k, b'(') {
+                    k -= 1;
+                }
+                k > 0 && is_ident(toks, k - 1, "pub")
+            });
         let start = i;
         let mut j = i + 1;
         let mut prefix: Vec<String> = Vec::new();
-        parse_use_tree(toks, &mut j, &mut prefix, &mut out.map);
+        let mut bindings: Vec<(String, Vec<String>)> = Vec::new();
+        parse_use_tree(toks, &mut j, &mut prefix, &mut bindings, &mut out.globs);
+        for (name, path) in bindings {
+            if is_pub {
+                out.reexports.push((name.clone(), path.clone()));
+            }
+            out.map.insert(name, path);
+        }
         // Consume through the terminating `;` (parse errors included,
         // so a malformed use can't cascade).
         while j < toks.len() && !is_punct(toks, j, b';') {
@@ -327,14 +380,15 @@ fn parse_use_tree(
     toks: &[Tok<'_>],
     j: &mut usize,
     prefix: &mut Vec<String>,
-    map: &mut HashMap<String, Vec<String>>,
+    bindings: &mut Vec<(String, Vec<String>)>,
+    globs: &mut Vec<Vec<String>>,
 ) {
     loop {
         if is_punct(toks, *j, b'{') {
             *j += 1;
             loop {
                 let depth_before = prefix.len();
-                parse_use_tree(toks, j, prefix, map);
+                parse_use_tree(toks, j, prefix, bindings, globs);
                 prefix.truncate(depth_before);
                 if is_punct(toks, *j, b',') {
                     *j += 1;
@@ -349,14 +403,25 @@ fn parse_use_tree(
         }
         if is_punct(toks, *j, b'*') {
             *j += 1;
+            if !prefix.is_empty() {
+                globs.push(prefix.clone());
+            }
             return;
         }
         let Some(seg) = ident_at(toks, *j) else { return };
         *j += 1;
         if seg == "self" && !prefix.is_empty() {
-            // `use a::b::{self, ...}` binds `b` itself.
+            // `use a::b::{self, ...}` binds `b` itself; `self as x`
+            // binds only the alias.
+            if is_ident(toks, *j, "as") {
+                if let Some(alias) = ident_at(toks, *j + 1) {
+                    bindings.push((alias.to_string(), prefix.clone()));
+                }
+                *j += 2;
+                return;
+            }
             if let Some(last) = prefix.last().cloned() {
-                map.insert(last, prefix.clone());
+                bindings.push((last, prefix.clone()));
             }
             return;
         }
@@ -367,13 +432,13 @@ fn parse_use_tree(
         }
         if is_ident(toks, *j, "as") {
             if let Some(alias) = ident_at(toks, *j + 1) {
-                map.insert(alias.to_string(), prefix.clone());
+                bindings.push((alias.to_string(), prefix.clone()));
             }
             *j += 2;
             return;
         }
         // Plain terminal segment: binds its own name.
-        map.insert(seg.to_string(), prefix.clone());
+        bindings.push((seg.to_string(), prefix.clone()));
         return;
     }
 }
@@ -499,6 +564,75 @@ mod tests {
         assert!(aliases.resolves_to("Ordering", &["std", "sync", "atomic", "Ordering"]));
         assert!(aliases.resolves_to("mpsc", &["std", "sync", "mpsc"]));
         assert!(aliases.resolves_to("Receiver", &["std", "sync", "mpsc", "Receiver"]));
+    }
+
+    #[test]
+    fn use_alias_renamed_single_segment_tail() {
+        let src = "use alpha::beta as gamma;\n";
+        let aliases = use_aliases(&lex(&mask_code(src)));
+        assert!(aliases.resolves_to("gamma", &["alpha", "beta"]));
+        assert_eq!(aliases.resolve("beta"), None, "the original name is not bound");
+    }
+
+    #[test]
+    fn use_alias_nested_groups_with_rename() {
+        let src = "use a::{b::{c, d as e}, f};\n";
+        let aliases = use_aliases(&lex(&mask_code(src)));
+        assert!(aliases.resolves_to("c", &["a", "b", "c"]));
+        assert!(aliases.resolves_to("e", &["a", "b", "d"]));
+        assert!(aliases.resolves_to("f", &["a", "f"]));
+        assert_eq!(aliases.resolve("d"), None);
+    }
+
+    #[test]
+    fn glob_imports_recorded_not_bound() {
+        let src = "use teleios_store::*;\nuse a::b::{c, d::*};\n";
+        let aliases = use_aliases(&lex(&mask_code(src)));
+        assert_eq!(
+            aliases.globs(),
+            &[
+                vec!["teleios_store".to_string()],
+                vec!["a".to_string(), "b".to_string(), "d".to_string()]
+            ]
+        );
+        assert!(aliases.resolves_to("c", &["a", "b", "c"]));
+        assert_eq!(aliases.resolve("*"), None);
+    }
+
+    #[test]
+    fn pub_use_recorded_as_reexport() {
+        let src = "pub use crate::inner::thing;\npub(crate) use a::helper as h;\nuse b::private_thing;\n";
+        let aliases = use_aliases(&lex(&mask_code(src)));
+        let re = aliases.reexports();
+        assert_eq!(re.len(), 2, "plain use is not a re-export: {re:?}");
+        assert_eq!(re[0].0, "thing");
+        assert_eq!(re[0].1, vec!["crate", "inner", "thing"]);
+        assert_eq!(re[1].0, "h");
+        assert_eq!(re[1].1, vec!["a", "helper"]);
+        // All three still bind locally.
+        assert!(aliases.resolves_to("thing", &["crate", "inner", "thing"]));
+        assert!(aliases.resolves_to("h", &["a", "helper"]));
+        assert!(aliases.resolves_to("private_thing", &["b", "private_thing"]));
+    }
+
+    #[test]
+    fn pub_use_group_self_as() {
+        let src = "pub use a::b::{self as bb, c};\n";
+        let aliases = use_aliases(&lex(&mask_code(src)));
+        assert!(aliases.resolves_to("bb", &["a", "b"]));
+        assert!(aliases.resolves_to("c", &["a", "b", "c"]));
+        assert_eq!(aliases.resolve("b"), None, "`self as` binds only the alias");
+        assert_eq!(aliases.reexports().len(), 2);
+    }
+
+    #[test]
+    fn line_index_round_trips_through_starts() {
+        let idx = LineIndex::new("ab\ncd\nef");
+        let rebuilt = LineIndex::from_starts(idx.starts().to_vec());
+        assert_eq!(rebuilt.line_col(4), (2, 2));
+        assert_eq!(rebuilt.line_start(3), 6);
+        // An empty table degrades to single-line mapping.
+        assert_eq!(LineIndex::from_starts(Vec::new()).line_col(5), (1, 6));
     }
 
     #[test]

@@ -12,8 +12,17 @@
 //! cancellable. This crate turns those conventions into a mechanical
 //! gate: a pure-std scanner that masks comments/strings, lexes what
 //! remains into a token stream ([`lexer`]), resolves `use` aliases,
-//! builds a per-crate lock/call graph ([`graph`]), and reports
-//! violations as `path:line:col` diagnostics.
+//! and runs in two phases. **Summarize** ([`summary`]) is per-file
+//! and pure: local token rules plus an effect summary (locks
+//! acquired/released, blocking calls, txn begin/commit, `CancelToken`
+//! polls, dispatch sites, imports/re-exports) extracted from the
+//! token stream and CFG — so it parallelizes ([`par`]) and caches
+//! ([`cache`]) freely. **Link** ([`interproc`]) stitches the
+//! summaries into one workspace-wide call graph — Tarjan SCCs over
+//! the crate-dependency DAG, fixpoint inside cycles, `pub use`
+//! re-export chains chased to the defining crate — and runs the
+//! interprocedural rules over it, reporting violations as
+//! `path:line:col` diagnostics.
 //!
 //! Rules (stable names usable in `// teleios-lint: allow(<name>)`):
 //!
@@ -25,8 +34,8 @@
 //! | `error-impls`      | L4: public `*Error` enums implement `Display` + `Error` |
 //! | `no-relaxed`       | L5: no `Ordering::Relaxed` outside `crates/exec` — aliases included |
 //! | `crate-attrs`      | crate roots carry `forbid(unsafe_code)` + clippy denies |
-//! | `lock-order`       | L6: the per-crate lock-acquisition graph is acyclic    |
-//! | `cancel-safety`    | L7: pool-dispatched closures block only through `sleep_cancellable` / `poll_cancellable` |
+//! | `lock-order`       | L6: the workspace-wide lock-acquisition graph is acyclic — cycles may span crates |
+//! | `cancel-safety`    | L7: pool-dispatched closures block only through `sleep_cancellable` / `poll_cancellable` — call chains followed across crate boundaries |
 //! | `swallowed-result` | L8: no `let _ =` / `.ok()` discarding a workspace `*Error` Result — nor a `flush`/`sync_all`/`sync_data` barrier's result |
 //! | `no-direct-fs`     | L9: no direct `std::fs` mutation / `File::create` / `OpenOptions` outside `crates/store` — disk goes through the storage `Medium` |
 //! | `txn-leak`         | L10: every `begin()` reaches `commit()`/`rollback()` on every path out of the function, `?`-exits included (path-sensitive, `cfg.rs`) |
@@ -46,19 +55,58 @@
 //! line above — and a marker that stops matching anything is itself
 //! reported (`unused-allow`), so stale waivers can't accumulate.
 
+pub(crate) mod cache;
 pub(crate) mod cfg;
 pub mod graph;
+pub(crate) mod interproc;
 pub mod lexer;
 pub mod mask;
+pub(crate) mod par;
 pub mod render;
 pub mod rules;
+pub mod summary;
 pub mod workspace;
 
 pub use rules::{analyze, scan_file, FilePolicy, Finding, Rule, SourceFile};
-pub use workspace::{find_workspace_root, scan_workspace};
+pub use workspace::{
+    find_workspace_root, scan_workspace, scan_workspace_with, ScanOptions, ScanStats,
+};
 
 /// The seeded-violation fixture used by the self-test.
 pub const FIXTURE: &str = include_str!("../fixtures/violations.rs");
+
+/// The two-crate fixture workspace used by self-test phase two:
+/// `fix_alpha` and `fix_beta` depend on each other (so the linker's
+/// SCC fixpoint runs on every self-test), and every interprocedural
+/// rule has a seeded violation that only exists across the crate
+/// boundary.
+pub const XCRATE_ALPHA: &str = include_str!("../fixtures/xcrate_alpha.rs");
+/// See [`XCRATE_ALPHA`].
+pub const XCRATE_BETA: &str = include_str!("../fixtures/xcrate_beta.rs");
+
+/// Exactly the findings the cross-crate fixture workspace must
+/// produce, in sorted order: `(path, line, col, rule)`. Each entry is
+/// a violation that no per-crate analysis could see — the acquire,
+/// the blocking call, or the poll credit lives in the other crate.
+pub const XCRATE_EXPECTED: &[(&str, usize, usize, Rule)] = &[
+    // The lock cycle: ingest -> catalog lives in fix_alpha, catalog
+    // -> ingest in fix_beta; anchored where the cycle's first edge
+    // (BTreeMap order) acquires its second lock.
+    ("fixtures/xcrate_alpha.rs", 27, 15, Rule::LockOrder),
+    // `pub use` chain: the dispatcher calls fix_beta::relay_stall,
+    // which re-exports fix_alpha::alpha_stall — the recv() is here.
+    ("fixtures/xcrate_alpha.rs", 48, 17, Rule::CancelSafety),
+    // Guard held across a call whose fix_beta summary says "may
+    // block on the fsync barrier".
+    ("fixtures/xcrate_alpha.rs", 63, 15, Rule::GuardAcrossBlocking),
+    // Cancellable-dispatched loop whose body churns in fix_beta
+    // without ever polling.
+    ("fixtures/xcrate_alpha.rs", 71, 5, Rule::LoopCancelPoll),
+    // Direct cross-crate call into a sleeping helper.
+    ("fixtures/xcrate_beta.rs", 26, 10, Rule::CancelSafety),
+    // Bare call resolved through `use fix_beta::*`.
+    ("fixtures/xcrate_beta.rs", 30, 17, Rule::CancelSafety),
+];
 
 /// Exactly the findings the fixture must produce, in sorted order:
 /// `(line, col, rule)` — one (or more) per rule, nothing from the
@@ -94,11 +142,14 @@ pub const FIXTURE_EXPECTED: &[(usize, usize, Rule)] = &[
     (344, 5, Rule::LoopCancelPoll),
 ];
 
-/// Run the full analysis over the embedded fixture (as its own crate
-/// root, so `crate-attrs` participates) and check the findings
-/// against [`FIXTURE_EXPECTED`] exactly — line, column, and rule.
-/// Returns human-readable report lines; `Err` lines describe every
-/// mismatch.
+/// Run the full analysis over the embedded fixtures and check the
+/// findings against the pinned expectations exactly — file, line,
+/// column, and rule. Phase one scans the single-file fixture (as its
+/// own crate root, so `crate-attrs` participates) against
+/// [`FIXTURE_EXPECTED`]; phase two scans the two-crate fixture
+/// workspace against [`XCRATE_EXPECTED`], proving each widened rule
+/// fires across a crate boundary. Returns human-readable report
+/// lines; `Err` lines describe every mismatch.
 pub fn run_self_test() -> Result<Vec<String>, Vec<String>> {
     let findings = analyze(&[SourceFile {
         label: "fixtures/violations.rs".to_string(),
@@ -110,21 +161,19 @@ pub fn run_self_test() -> Result<Vec<String>, Vec<String>> {
     let got: Vec<(usize, usize, Rule)> =
         findings.iter().map(|f| (f.line, f.col, f.rule)).collect();
     let expected: Vec<(usize, usize, Rule)> = FIXTURE_EXPECTED.to_vec();
+    let mut ok_lines: Vec<String> = Vec::new();
+    let mut err_lines: Vec<String> = Vec::new();
     if got == expected {
-        let mut lines: Vec<String> = findings
-            .iter()
-            .map(|f| format!("  fires as expected: {f}"))
-            .collect();
-        lines.push(format!(
+        ok_lines.extend(findings.iter().map(|f| format!("  fires as expected: {f}")));
+        ok_lines.push(format!(
             "self-test OK: {} seeded violations caught at exact line:col, 0 false positives from decoys",
             findings.len()
         ));
-        Ok(lines)
     } else {
-        let mut lines = vec!["self-test FAILED".to_string()];
+        err_lines.push("self-test FAILED".to_string());
         for (line, col, rule) in &expected {
             if !got.contains(&(*line, *col, *rule)) {
-                lines.push(format!(
+                err_lines.push(format!(
                     "  missing: fixture {line}:{col} rule {}",
                     rule.name()
                 ));
@@ -132,10 +181,62 @@ pub fn run_self_test() -> Result<Vec<String>, Vec<String>> {
         }
         for f in &findings {
             if !expected.contains(&(f.line, f.col, f.rule)) {
-                lines.push(format!("  unexpected: {f}"));
+                err_lines.push(format!("  unexpected: {f}"));
             }
         }
-        Err(lines)
+    }
+
+    // Phase two: the cross-crate fixture workspace.
+    let xfindings = analyze(&[
+        SourceFile {
+            label: "fixtures/xcrate_alpha.rs".to_string(),
+            raw: XCRATE_ALPHA.to_string(),
+            crate_name: "fix_alpha".to_string(),
+            is_crate_root: false,
+            policy: FilePolicy::default(),
+        },
+        SourceFile {
+            label: "fixtures/xcrate_beta.rs".to_string(),
+            raw: XCRATE_BETA.to_string(),
+            crate_name: "fix_beta".to_string(),
+            is_crate_root: false,
+            policy: FilePolicy::default(),
+        },
+    ]);
+    let xgot: Vec<(&str, usize, usize, Rule)> = xfindings
+        .iter()
+        .map(|f| (f.path.as_str(), f.line, f.col, f.rule))
+        .collect();
+    let xexpected: Vec<(&str, usize, usize, Rule)> = XCRATE_EXPECTED.to_vec();
+    if xgot == xexpected {
+        ok_lines.extend(xfindings.iter().map(|f| format!("  fires as expected: {f}")));
+        ok_lines.push(format!(
+            "self-test phase 2 OK: {} cross-crate violations caught at exact file:line:col, 0 false positives from decoys",
+            xfindings.len()
+        ));
+    } else {
+        if err_lines.is_empty() {
+            err_lines.push("self-test FAILED".to_string());
+        }
+        for (path, line, col, rule) in &xexpected {
+            if !xgot.contains(&(*path, *line, *col, *rule)) {
+                err_lines.push(format!(
+                    "  missing: {path} {line}:{col} rule {}",
+                    rule.name()
+                ));
+            }
+        }
+        for f in &xfindings {
+            if !xexpected.contains(&(f.path.as_str(), f.line, f.col, f.rule)) {
+                err_lines.push(format!("  unexpected: {f}"));
+            }
+        }
+    }
+
+    if err_lines.is_empty() {
+        Ok(ok_lines)
+    } else {
+        Err(err_lines)
     }
 }
 

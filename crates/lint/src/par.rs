@@ -1,0 +1,77 @@
+//! Parallel execution for the scan's summarize phase.
+//!
+//! With the default `exec-pool` feature the linter dogfoods
+//! `teleios-exec`: file summaries are produced on the same
+//! work-stealing `WorkerPool` the rules police. Without the feature
+//! (a standalone `rustc` build of this crate, or `--no-default-
+//! features`) a scoped-thread fan-out with atomic index claiming
+//! provides the same submission-order result semantics — results
+//! always come back in task order, so parallel and serial scans are
+//! byte-identical.
+
+#[cfg(feature = "exec-pool")]
+pub(crate) fn run_tasks<T, F>(jobs: usize, tasks: Vec<F>) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    teleios_exec::WorkerPool::with_threads(jobs.max(1)).run(tasks)
+}
+
+#[cfg(not(feature = "exec-pool"))]
+pub(crate) fn run_tasks<T, F>(jobs: usize, tasks: Vec<F>) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+    let jobs = jobs.max(1);
+    if jobs <= 1 || tasks.len() <= 1 {
+        return tasks.into_iter().map(|f| f()).collect();
+    }
+    let n = tasks.len();
+    let slots: Vec<Mutex<Option<F>>> = tasks.into_iter().map(|f| Mutex::new(Some(f))).collect();
+    let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    // This fallback exists precisely for builds without the
+    // substrate; scoped threads join before return, so no detached
+    // thread escapes the call.
+    std::thread::scope(|scope| {
+        for _ in 0..jobs.min(n) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::SeqCst);
+                if i >= n {
+                    break;
+                }
+                let task = slots[i].lock().unwrap_or_else(|e| e.into_inner()).take();
+                if let Some(f) = task {
+                    let out = f();
+                    *results[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(out);
+                }
+            });
+        }
+    });
+    results
+        .into_iter()
+        .filter_map(|m| m.into_inner().unwrap_or_else(|e| e.into_inner()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_submission_order() {
+        let tasks: Vec<_> = (0..64).map(|i| move || i * 2).collect();
+        let out = run_tasks(8, tasks);
+        assert_eq!(out, (0..64).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_job_runs_inline() {
+        let tasks: Vec<_> = (0..4).map(|i| move || i).collect();
+        assert_eq!(run_tasks(1, tasks), vec![0, 1, 2, 3]);
+    }
+}

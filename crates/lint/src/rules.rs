@@ -1,28 +1,38 @@
 //! The rule engine. [`analyze`] takes every source file of a
-//! workspace (or a single file, via [`scan_file`]) and runs:
+//! workspace (or a single file, via [`scan_file`]) and runs two
+//! phases:
+//!
+//! **Summarize** (per file, independent — parallel and cacheable, see
+//! [`crate::summary`]):
 //!
 //! - per-token rules L1/L2/L3/L5/L9 over the [`crate::lexer`] stream,
 //!   alias-aware via each file's `use` map;
 //! - per-file structural rule L4 (`*Error` enums must impl
 //!   `Display` + `Error`);
 //! - the crate-root attribute rule on `lib.rs` files;
+//! - per-function effect summaries (locks, calls, blocking sites,
+//!   pool dispatches, the CFG) plus the file's import/re-export
+//!   surface.
+//!
+//! **Link** (whole workspace, serial and deterministic):
+//!
 //! - L8 `swallowed-result` against a workspace-wide index of
 //!   functions returning `Result<_, *Error>`;
-//! - per-crate concurrency rules L6 `lock-order` and L7
-//!   `cancel-safety` (see [`crate::graph`]);
+//! - the interprocedural concurrency rules L6 `lock-order`, L7
+//!   `cancel-safety`, L10/L11/L12 over the workspace call graph
+//!   (see [`crate::interproc`]);
 //! - unused-suppression detection: an allow marker that suppressed
 //!   nothing becomes an `unused-allow` warning.
 //!
 //! Workspace-level policy (which crates/targets are exempt from which
 //! rules) arrives via [`FilePolicy`].
 
-use crate::graph;
 use crate::lexer::{
-    self, ident_at, in_test, is_ident, is_punct, lex, stmt_end, stmt_start, AllowMarker,
-    LineIndex, Tok, TokKind,
+    self, ident_at, in_test, is_ident, is_punct, stmt_end, stmt_start, AllowMarker, LineIndex,
+    Tok, TokKind,
 };
-use crate::mask::mask_code;
-use std::collections::{HashMap, HashSet};
+use crate::summary::{FileSummary, FnReturn, SwallowCand, SwallowKind};
+use std::collections::{BTreeSet, HashMap, HashSet};
 use std::fmt;
 
 /// The architectural invariants. Names are the stable identifiers
@@ -47,13 +57,14 @@ pub enum Rule {
     /// Crate-root check: every workspace member carries
     /// `forbid(unsafe_code)` plus the clippy unwrap/expect denies.
     CrateAttrs,
-    /// L6: the per-crate lock-acquisition graph (who holds what while
-    /// taking what, resolved through same-crate calls) must be
-    /// acyclic.
+    /// L6: the *workspace* lock-acquisition graph (who holds what
+    /// while taking what, resolved through same-crate and cross-crate
+    /// calls) must be acyclic.
     LockOrder,
     /// L7: closures handed to `WorkerPool` dispatch must not block
     /// outside the sanctioned cancellable doorways
-    /// (`sleep_cancellable` / `poll_cancellable`).
+    /// (`sleep_cancellable` / `poll_cancellable`) — followed through
+    /// calls across crate boundaries.
     CancelSafety,
     /// L8: `let _ =` / statement-level `.ok()` must not discard a
     /// `Result` whose error type is a workspace `*Error` enum — nor a
@@ -72,11 +83,12 @@ pub enum Rule {
     TxnLeak,
     /// L11: an exclusive `Mutex`/`OrderedMutex`/`RwLock`-write guard
     /// must not be live across a pool dispatch, `sleep_cancellable`,
-    /// fsync barrier, or WAL commit — the held-set analysis the
-    /// static `lock-order` cycle check cannot express.
+    /// fsync barrier, WAL commit — or a call whose effect summary
+    /// says it may block, even in another crate.
     GuardAcrossBlocking,
-    /// L12: `loop`/`while` loops on a pool-dispatched path must poll
-    /// the `CancelToken` on every iteration path (closes the gap that
+    /// L12: `loop`/`while` loops on a cancellable-dispatched path
+    /// must poll the `CancelToken` on every iteration path, with the
+    /// path followed across crate boundaries (closes the gap that
     /// let the supervisor's uninterruptible retry backoff through).
     LoopCancelPoll,
     /// An allow marker that suppressed nothing (warning; error under
@@ -165,7 +177,7 @@ impl fmt::Display for Finding {
 }
 
 /// Per-file exemptions, derived from where the file lives.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct FilePolicy {
     /// `crates/exec` and `crates/loom`: the substrate that is allowed
     /// to own OS threads, relaxed atomics, and raw blocking calls.
@@ -192,63 +204,103 @@ pub struct SourceFile {
     pub policy: FilePolicy,
 }
 
-/// Everything the rules need about one file, borrowed from the
-/// masked/lexed arenas in [`analyze`].
+/// Everything the summarize phase needs about one file, borrowed
+/// from the masked/lexed arenas in [`crate::summary::summarize`].
 pub(crate) struct FileCtx<'a> {
-    pub label: &'a str,
     pub raw: &'a str,
     pub toks: &'a [Tok<'a>],
     pub idx: LineIndex,
     pub regions: Vec<(usize, usize)>,
     pub aliases: lexer::UseAliases,
     pub policy: FilePolicy,
-    pub crate_name: &'a str,
-    pub is_crate_root: bool,
 }
 
-/// Finding collector: applies allow markers, records which markers
-/// actually suppressed something, and turns the leftovers into
+/// Per-file finding collector for the summarize phase: applies this
+/// file's allow markers and records which markers suppressed
+/// something. The surviving findings and the used-marker set travel
+/// in the [`FileSummary`] — so a cached summary carries its local
+/// diagnostics without re-reading the file.
+pub(crate) struct LocalSink<'a> {
+    label: &'a str,
+    idx: &'a LineIndex,
+    markers: &'a [AllowMarker],
+    pub(crate) findings: Vec<Finding>,
+    pub(crate) used: BTreeSet<usize>,
+}
+
+impl<'a> LocalSink<'a> {
+    pub(crate) fn new(
+        label: &'a str,
+        idx: &'a LineIndex,
+        markers: &'a [AllowMarker],
+    ) -> LocalSink<'a> {
+        LocalSink { label, idx, markers, findings: Vec::new(), used: BTreeSet::new() }
+    }
+
+    pub(crate) fn emit(&mut self, off: usize, rule: Rule, msg: String) {
+        let (line, col) = self.idx.line_col(off);
+        if let Some(mi) = self
+            .markers
+            .iter()
+            .position(|m| m.rule == Some(rule) && (m.line == line || m.line + 1 == line))
+        {
+            self.used.insert(mi);
+            return;
+        }
+        self.findings.push(Finding { path: self.label.to_string(), line, col, rule, msg });
+    }
+
+    pub(crate) fn into_parts(self) -> (Vec<Finding>, BTreeSet<usize>) {
+        (self.findings, self.used)
+    }
+}
+
+/// Link-phase finding collector: seeded with every file's local
+/// findings and used-marker sets, it applies allow markers to the
+/// cross-file rules' emissions and turns leftover markers into
 /// `unused-allow` warnings at the end.
 pub(crate) struct Diagnostics {
     findings: Vec<Finding>,
-    allows: Vec<Vec<AllowMarker>>,
-    used: Vec<HashSet<usize>>,
+    used: Vec<BTreeSet<usize>>,
 }
 
 impl Diagnostics {
-    fn new(allows: Vec<Vec<AllowMarker>>) -> Diagnostics {
-        let used = allows.iter().map(|_| HashSet::new()).collect();
-        Diagnostics { findings: Vec::new(), allows, used }
+    pub(crate) fn new(sums: &[FileSummary]) -> Diagnostics {
+        Diagnostics {
+            findings: sums.iter().flat_map(|s| s.local.iter().cloned()).collect(),
+            used: sums.iter().map(|s| s.used_markers.clone()).collect(),
+        }
     }
 
     pub(crate) fn emit(
         &mut self,
-        ctx: &FileCtx<'_>,
+        sum: &FileSummary,
         fi: usize,
         off: usize,
         rule: Rule,
         msg: String,
     ) {
-        let (line, col) = ctx.idx.line_col(off);
-        if let Some(mi) = self.allows[fi]
+        let (line, col) = sum.idx.line_col(off);
+        if let Some(mi) = sum
+            .markers
             .iter()
             .position(|m| m.rule == Some(rule) && (m.line == line || m.line + 1 == line))
         {
             self.used[fi].insert(mi);
             return;
         }
-        self.findings.push(Finding { path: ctx.label.to_string(), line, col, rule, msg });
+        self.findings.push(Finding { path: sum.label.clone(), line, col, rule, msg });
     }
 
-    fn finish(mut self, ctxs: &[FileCtx<'_>]) -> Vec<Finding> {
-        for (fi, ctx) in ctxs.iter().enumerate() {
-            for (mi, m) in self.allows[fi].iter().enumerate() {
+    pub(crate) fn finish(mut self, sums: &[FileSummary]) -> Vec<Finding> {
+        for (fi, sum) in sums.iter().enumerate() {
+            for (mi, m) in sum.markers.iter().enumerate() {
                 if self.used[fi].contains(&mi) {
                     continue;
                 }
                 // Markers inside test regions are inert (tests are
                 // exempt from every rule), not stale.
-                if in_test(&ctx.regions, ctx.idx.line_start(m.line)) {
+                if in_test(&sum.regions, sum.idx.line_start(m.line)) {
                     continue;
                 }
                 let msg = match m.rule {
@@ -259,7 +311,7 @@ impl Diagnostics {
                     None => format!("allow({}) does not name a known rule", m.name),
                 };
                 self.findings.push(Finding {
-                    path: ctx.label.to_string(),
+                    path: sum.label.clone(),
                     line: m.line,
                     col: m.col,
                     rule: Rule::UnusedAllow,
@@ -274,62 +326,33 @@ impl Diagnostics {
 
 /// Run every rule over a set of source files (a whole workspace, or a
 /// single file via [`scan_file`]). Files sharing a `crate_name` form
-/// one crate for the L6/L7/L8 cross-file analyses.
+/// one crate; the interprocedural rules link all crates together.
 pub fn analyze(files: &[SourceFile]) -> Vec<Finding> {
-    let maskeds: Vec<String> = files.iter().map(|f| mask_code(&f.raw)).collect();
-    let lexed: Vec<Vec<Tok<'_>>> = maskeds.iter().map(|m| lex(m)).collect();
-    let ctxs: Vec<FileCtx<'_>> = files
-        .iter()
-        .enumerate()
-        .map(|(i, f)| FileCtx {
-            label: &f.label,
-            raw: &f.raw,
-            toks: &lexed[i],
-            idx: LineIndex::new(&f.raw),
-            regions: lexer::test_regions(&lexed[i]),
-            aliases: lexer::use_aliases(&lexed[i]),
-            policy: f.policy,
-            crate_name: &f.crate_name,
-            is_crate_root: f.is_crate_root,
-        })
-        .collect();
-    let markers: Vec<Vec<AllowMarker>> = files
-        .iter()
-        .zip(&maskeds)
-        .map(|(f, m)| lexer::allow_markers(&f.raw, m))
-        .collect();
-    let mut diag = Diagnostics::new(markers);
+    let sums: Vec<FileSummary> = files.iter().map(crate::summary::summarize).collect();
+    link(&sums)
+}
 
-    for (fi, ctx) in ctxs.iter().enumerate() {
-        token_rules(ctx, fi, &mut diag);
-        error_impls(ctx, fi, &mut diag);
-        if ctx.is_crate_root {
-            crate_attrs(ctx, fi, &mut diag);
-        }
-    }
+/// The link phase over pre-computed (possibly cached) summaries.
+pub(crate) fn link(sums: &[FileSummary]) -> Vec<Finding> {
+    let mut phases = Vec::new();
+    link_timed(sums, &mut phases)
+}
 
-    let fns: Vec<Vec<graph::FnDef>> = ctxs.iter().map(|c| graph::extract_fns(c.toks)).collect();
-    let ret_index = fn_return_index(&ctxs, &fns);
-    for (fi, ctx) in ctxs.iter().enumerate() {
-        swallowed_results(ctx, fi, &ret_index, &mut diag);
-    }
-
-    let mut crate_order: Vec<&str> = Vec::new();
-    let mut by_crate: HashMap<&str, Vec<usize>> = HashMap::new();
-    for (fi, ctx) in ctxs.iter().enumerate() {
-        if !by_crate.contains_key(ctx.crate_name) {
-            crate_order.push(ctx.crate_name);
-        }
-        by_crate.entry(ctx.crate_name).or_default().push(fi);
-    }
-    for name in crate_order {
-        let crate_files = &by_crate[name];
-        graph::lock_order(&ctxs, &fns, crate_files, &mut diag);
-        graph::cancel_safety(&ctxs, &fns, crate_files, &mut diag);
-        crate::cfg::flow_rules(&ctxs, &fns, crate_files, &mut diag);
-    }
-
-    diag.finish(&ctxs)
+/// [`link`], recording per-rule wall-clock into `phases` as
+/// `(name, microseconds)` for `--timings`.
+pub(crate) fn link_timed(
+    sums: &[FileSummary],
+    phases: &mut Vec<(&'static str, u128)>,
+) -> Vec<Finding> {
+    let mut diag = Diagnostics::new(sums);
+    let t = std::time::Instant::now();
+    swallowed_link(sums, &mut diag);
+    phases.push(("link:swallowed-result", t.elapsed().as_micros()));
+    crate::interproc::link_rules(sums, &mut diag, phases);
+    let t = std::time::Instant::now();
+    let findings = diag.finish(sums);
+    phases.push(("link:finish", t.elapsed().as_micros()));
+    findings
 }
 
 /// Run every rule over one file. `path` labels findings; the file is
@@ -345,7 +368,7 @@ pub fn scan_file(path: &str, raw: &str, policy: FilePolicy) -> Vec<Finding> {
 }
 
 /// L1/L2/L3/L5/L9: the per-token rules.
-fn token_rules(ctx: &FileCtx<'_>, fi: usize, diag: &mut Diagnostics) {
+pub(crate) fn token_rules(ctx: &FileCtx<'_>, sink: &mut LocalSink<'_>) {
     let toks = ctx.toks;
     for i in 0..toks.len() {
         let off = toks[i].off;
@@ -365,11 +388,11 @@ fn token_rules(ctx: &FileCtx<'_>, fi: usize, diag: &mut Diagnostics) {
                 if path_next {
                     if let Some(what @ ("spawn" | "Builder")) = ident_at(toks, i + 3) {
                         if seg == "thread" {
-                            diag.emit(ctx, fi, off, Rule::NoThreadSpawn, format!(
+                            sink.emit(off, Rule::NoThreadSpawn, format!(
                                 "std::thread::{what}: OS threads belong to teleios-exec (WorkerPool / spawn_named)"
                             ));
                         } else if ctx.aliases.resolves_to(seg, &["std", "thread"]) {
-                            diag.emit(ctx, fi, off, Rule::NoThreadSpawn, format!(
+                            sink.emit(off, Rule::NoThreadSpawn, format!(
                                 "std::thread::{what} via alias `{seg}`: OS threads belong to teleios-exec (WorkerPool / spawn_named)"
                             ));
                         }
@@ -379,12 +402,12 @@ fn token_rules(ctx: &FileCtx<'_>, fi: usize, diag: &mut Diagnostics) {
                     && ctx.aliases.resolves_to(seg, &["std", "thread", "spawn"])
                     && is_punct(toks, i + 1, b'(')
                 {
-                    diag.emit(ctx, fi, off, Rule::NoThreadSpawn, format!(
+                    sink.emit(off, Rule::NoThreadSpawn, format!(
                         "std::thread::spawn via alias `{seg}`: OS threads belong to teleios-exec (WorkerPool / spawn_named)"
                     ));
                 }
                 if !path_prev && ctx.aliases.resolves_to(seg, &["std", "thread", "Builder"]) {
-                    diag.emit(ctx, fi, off, Rule::NoThreadSpawn, format!(
+                    sink.emit(off, Rule::NoThreadSpawn, format!(
                         "std::thread::Builder via `use` as `{seg}`: OS threads belong to teleios-exec (WorkerPool / spawn_named)"
                     ));
                 }
@@ -399,14 +422,14 @@ fn token_rules(ctx: &FileCtx<'_>, fi: usize, diag: &mut Diagnostics) {
                 // (`self` is never an Option in this workspace).
                 let own_method = name == "expect" && i >= 2 && is_ident(toks, i - 2, "self");
                 if !own_method && i > 0 && is_punct(toks, i - 1, b'.') && is_punct(toks, i + 1, b'(') {
-                    diag.emit(ctx, fi, off, Rule::NoPanic, format!(
+                    sink.emit(off, Rule::NoPanic, format!(
                         ".{name}() in library code: return a typed error instead"
                     ));
                 }
             }
             if let Some(name @ ("panic" | "todo" | "unimplemented")) = seg {
                 if is_punct(toks, i + 1, b'!') {
-                    diag.emit(ctx, fi, off, Rule::NoPanic, format!(
+                    sink.emit(off, Rule::NoPanic, format!(
                         "{name}! in library code: return a typed error instead"
                     ));
                 }
@@ -417,7 +440,7 @@ fn token_rules(ctx: &FileCtx<'_>, fi: usize, diag: &mut Diagnostics) {
         if !ctx.policy.bin_target && !tested {
             if let Some(name @ ("println" | "eprintln")) = seg {
                 if is_punct(toks, i + 1, b'!') {
-                    diag.emit(ctx, fi, off, Rule::NoPrintln, format!(
+                    sink.emit(off, Rule::NoPrintln, format!(
                         "{name}! in library code: route output through the caller or a report type"
                     ));
                 }
@@ -447,7 +470,7 @@ fn token_rules(ctx: &FileCtx<'_>, fi: usize, diag: &mut Diagnostics) {
                         if FS_MUTATORS.contains(&what)
                             && (seg == "fs" || ctx.aliases.resolves_to(seg, &["std", "fs"]))
                         {
-                            diag.emit(ctx, fi, off, Rule::NoDirectFs, format!(
+                            sink.emit(off, Rule::NoDirectFs, format!(
                                 "std::fs::{what} outside crates/store: filesystem mutation goes through teleios-store's Medium"
                             ));
                         }
@@ -455,7 +478,7 @@ fn token_rules(ctx: &FileCtx<'_>, fi: usize, diag: &mut Diagnostics) {
                             && (seg == "File"
                                 || ctx.aliases.resolves_to(seg, &["std", "fs", "File"]))
                         {
-                            diag.emit(ctx, fi, off, Rule::NoDirectFs, format!(
+                            sink.emit(off, Rule::NoDirectFs, format!(
                                 "File::{what} outside crates/store: writable file handles go through teleios-store's Medium"
                             ));
                         }
@@ -465,7 +488,7 @@ fn token_rules(ctx: &FileCtx<'_>, fi: usize, diag: &mut Diagnostics) {
                     || (!path_prev
                         && ctx.aliases.resolves_to(seg, &["std", "fs", "OpenOptions"]))
                 {
-                    diag.emit(ctx, fi, off, Rule::NoDirectFs,
+                    sink.emit(off, Rule::NoDirectFs,
                         "OpenOptions outside crates/store: writable file handles go through teleios-store's Medium".to_string());
                 }
                 if !path_prev
@@ -477,7 +500,7 @@ fn token_rules(ctx: &FileCtx<'_>, fi: usize, diag: &mut Diagnostics) {
                             && FS_MUTATORS.contains(&p[2].as_str())
                     })
                 {
-                    diag.emit(ctx, fi, off, Rule::NoDirectFs, format!(
+                    sink.emit(off, Rule::NoDirectFs, format!(
                         "std::fs mutation via alias `{seg}`: filesystem mutation goes through teleios-store's Medium"
                     ));
                 }
@@ -489,14 +512,14 @@ fn token_rules(ctx: &FileCtx<'_>, fi: usize, diag: &mut Diagnostics) {
         if !ctx.policy.substrate {
             if let Some(seg) = seg {
                 if seg == "Ordering" && path_next && is_ident(toks, i + 3, "Relaxed") {
-                    diag.emit(ctx, fi, off, Rule::NoRelaxed,
+                    sink.emit(off, Rule::NoRelaxed,
                         "Ordering::Relaxed outside crates/exec: the loom model assumes SeqCst".to_string());
                 } else if seg != "Ordering"
                     && path_next
                     && is_ident(toks, i + 3, "Relaxed")
                     && ctx.aliases.resolve(seg).is_some_and(|p| p.last().map(String::as_str) == Some("Ordering"))
                 {
-                    diag.emit(ctx, fi, off, Rule::NoRelaxed, format!(
+                    sink.emit(off, Rule::NoRelaxed, format!(
                         "Ordering::Relaxed via alias `{seg}`: the loom model assumes SeqCst"
                     ));
                 } else if !path_prev
@@ -506,7 +529,7 @@ fn token_rules(ctx: &FileCtx<'_>, fi: usize, diag: &mut Diagnostics) {
                             && p.iter().any(|s| s == "Ordering")
                     })
                 {
-                    diag.emit(ctx, fi, off, Rule::NoRelaxed, format!(
+                    sink.emit(off, Rule::NoRelaxed, format!(
                         "Ordering::Relaxed via `use` of `{seg}`: the loom model assumes SeqCst"
                     ));
                 }
@@ -552,7 +575,7 @@ fn impl_pairs<'a>(toks: &[Tok<'a>]) -> Vec<(&'a str, &'a str)> {
 }
 
 /// L4 — public `*Error` enums must impl Display + Error in this file.
-fn error_impls(ctx: &FileCtx<'_>, fi: usize, diag: &mut Diagnostics) {
+pub(crate) fn error_impls(ctx: &FileCtx<'_>, sink: &mut LocalSink<'_>) {
     let toks = ctx.toks;
     let pairs = impl_pairs(toks);
     for i in 0..toks.len() {
@@ -581,7 +604,7 @@ fn error_impls(ctx: &FileCtx<'_>, fi: usize, diag: &mut Diagnostics) {
                 (true, false) => "std::error::Error",
                 (true, true) => unreachable!(),
             };
-            diag.emit(ctx, fi, toks[i].off, Rule::ErrorImpls, format!(
+            sink.emit(toks[i].off, Rule::ErrorImpls, format!(
                 "public error enum {name} does not implement {missing} in this file"
             ));
         }
@@ -590,83 +613,70 @@ fn error_impls(ctx: &FileCtx<'_>, fi: usize, diag: &mut Diagnostics) {
 
 /// The crate-root attribute rule: every member's `lib.rs` must carry
 /// `#![forbid(unsafe_code)]` and deny clippy's unwrap/expect lints.
-fn crate_attrs(ctx: &FileCtx<'_>, fi: usize, diag: &mut Diagnostics) {
+pub(crate) fn crate_attrs(ctx: &FileCtx<'_>, sink: &mut LocalSink<'_>) {
     if !ctx.raw.contains("forbid(unsafe_code)") {
-        diag.emit(ctx, fi, 0, Rule::CrateAttrs,
+        sink.emit(0, Rule::CrateAttrs,
             "crate root is missing #![forbid(unsafe_code)]".to_string());
     }
     if !ctx.raw.contains("clippy::unwrap_used") || !ctx.raw.contains("clippy::expect_used") {
-        diag.emit(ctx, fi, 0, Rule::CrateAttrs,
+        sink.emit(0, Rule::CrateAttrs,
             "crate root is missing deny(clippy::unwrap_used, clippy::expect_used)".to_string());
     }
 }
 
-/// Workspace-wide index for L8: function name → the `*Error` enum its
-/// `Result` return carries. Resolves the per-crate `pub type Result<T>
-/// = std::result::Result<T, XxxError>` aliases and the qualified
-/// `teleios_<crate>::Result` form.
-fn fn_return_index(
-    ctxs: &[FileCtx<'_>],
-    fns: &[Vec<graph::FnDef>],
-) -> HashMap<String, String> {
-    // Every `enum *Error` declared anywhere in the analyzed set.
-    let mut enums: HashSet<&str> = HashSet::new();
-    for ctx in ctxs {
-        for i in 0..ctx.toks.len() {
-            if is_ident(ctx.toks, i, "enum") {
-                if let Some(name) = ident_at(ctx.toks, i + 1) {
-                    if name.ends_with("Error") && name != "Error" {
-                        enums.insert(name);
-                    }
+// ---------------------------------------------------------------
+// L8 swallowed-result: summarize-side extraction
+// ---------------------------------------------------------------
+
+/// Every `enum *Error` declared in the file (test regions included —
+/// the index only needs the name to exist somewhere).
+pub(crate) fn collect_error_enums(ctx: &FileCtx<'_>) -> Vec<String> {
+    let toks = ctx.toks;
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if is_ident(toks, i, "enum") {
+            if let Some(name) = ident_at(toks, i + 1) {
+                if name.ends_with("Error") && name != "Error" {
+                    out.push(name.to_string());
                 }
             }
         }
     }
-    // Per-crate `type X<T> = ... SomeError ...;` aliases.
-    let mut aliases: HashMap<String, HashMap<String, String>> = HashMap::new();
-    for ctx in ctxs {
-        let toks = ctx.toks;
-        for i in 0..toks.len() {
-            if !is_ident(toks, i, "type") {
-                continue;
-            }
-            let Some(name) = ident_at(toks, i + 1) else { continue };
-            let end = stmt_end(toks, i);
-            let mut err: Option<&str> = None;
-            for k in i + 2..end {
-                if let Some(id) = ident_at(toks, k) {
-                    if id.ends_with("Error") && enums.contains(id) {
-                        err = Some(id);
-                    }
-                }
-            }
-            if let Some(e) = err {
-                aliases
-                    .entry(ctx.crate_name.to_string())
-                    .or_default()
-                    .insert(name.to_string(), e.to_string());
-            }
-        }
-    }
-    // Function returns.
-    let mut index = HashMap::new();
-    for (fi, ctx) in ctxs.iter().enumerate() {
-        for f in &fns[fi] {
-            if let Some(err) = return_error(ctx, f, &enums, &aliases) {
-                index.insert(f.name.clone(), err);
-            }
-        }
-    }
-    index
+    out
 }
 
-/// The `*Error` type of a function's `Result` return, if any.
-fn return_error(
-    ctx: &FileCtx<'_>,
-    f: &graph::FnDef,
-    enums: &HashSet<&str>,
-    aliases: &HashMap<String, HashMap<String, String>>,
-) -> Option<String> {
+/// Every `type X<T> = ...;` in the file, as the alias name plus the
+/// `*Error`-suffixed idents appearing in its right-hand side (in
+/// order — the link phase picks the last one that names a workspace
+/// error enum).
+pub(crate) fn collect_type_aliases(ctx: &FileCtx<'_>) -> Vec<(String, Vec<String>)> {
+    let toks = ctx.toks;
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if !is_ident(toks, i, "type") {
+            continue;
+        }
+        let Some(name) = ident_at(toks, i + 1) else { continue };
+        let end = stmt_end(toks, i);
+        let mut errs = Vec::new();
+        for k in i + 2..end.min(toks.len()) {
+            if let Some(id) = ident_at(toks, k) {
+                if id.ends_with("Error") {
+                    errs.push(id.to_string());
+                }
+            }
+        }
+        out.push((name.to_string(), errs));
+    }
+    out
+}
+
+/// The raw return-type facts of one function: the `*Error`-suffixed
+/// idents in its return region (in order), whether it returns a bare
+/// (crate-alias) `Result`, and the crate of a qualified
+/// `teleios_<crate>::Result`. Resolution against the workspace enum
+/// set happens at link time.
+pub(crate) fn fn_return_raw(ctx: &FileCtx<'_>, f: &crate::graph::FnDef) -> Option<FnReturn> {
     let toks = ctx.toks;
     let stop = f.sig_end;
     // Locate the return arrow at paren/angle depth zero (skipping
@@ -675,7 +685,7 @@ fn return_error(
     let mut angle = 0i32;
     let mut arrow = None;
     let mut j = f.name_idx + 1;
-    while j < stop {
+    while j < stop.min(toks.len()) {
         match toks[j].kind {
             TokKind::Punct(b'(') => paren += 1,
             TokKind::Punct(b')') => paren -= 1,
@@ -702,19 +712,19 @@ fn return_error(
             break;
         }
     }
-    let mut err: Option<String> = None;
+    let mut err_idents: Vec<String> = Vec::new();
     let mut bare_result = false;
     let mut qualified_crate: Option<String> = None;
-    for k in arrow + 1..region_end {
+    for k in arrow + 1..region_end.min(toks.len()) {
         if let Some(id) = ident_at(toks, k) {
-            if id.ends_with("Error") && enums.contains(id) {
-                err = Some(id.to_string());
+            if id.ends_with("Error") {
+                err_idents.push(id.to_string());
             }
             if id == "Result" {
                 let path_prev = k >= 2 && is_punct(toks, k - 1, b':') && is_punct(toks, k - 2, b':');
                 if !path_prev {
                     bare_result = true;
-                } else if let Some(seg) = ident_at(toks, k.checked_sub(3)?) {
+                } else if let Some(seg) = k.checked_sub(3).and_then(|p| ident_at(toks, p)) {
                     if let Some(c) = seg.strip_prefix("teleios_") {
                         qualified_crate = Some(c.to_string());
                     }
@@ -722,36 +732,17 @@ fn return_error(
             }
         }
     }
-    if err.is_some() {
-        return err;
-    }
-    if bare_result {
-        if let Some(e) = aliases.get(ctx.crate_name).and_then(|m| m.get("Result")) {
-            return Some(e.clone());
-        }
-    }
-    if let Some(c) = qualified_crate {
-        if let Some(e) = aliases.get(&c).and_then(|m| m.get("Result")) {
-            return Some(e.clone());
-        }
-    }
-    None
+    Some(FnReturn { name: f.name.clone(), err_idents, bare_result, qualified_crate })
 }
 
-/// L8 — `let _ = f(..);` and statement-level `expr.f(..).ok();` where
-/// `f` returns `Result<_, *Error>`, outside tests. A top-level `?`
-/// propagates the error, so it exempts the statement. Durability
-/// barriers (`flush` / `sync_all` / `sync_data`) are flagged whatever
-/// their error type: a discarded fsync result silently loses the
-/// crash-consistency guarantee.
-fn swallowed_results(
-    ctx: &FileCtx<'_>,
-    fi: usize,
-    index: &HashMap<String, String>,
-    diag: &mut Diagnostics,
-) {
-    const SYNC_CALLS: [&str; 3] = ["flush", "sync_all", "sync_data"];
+/// Candidate L8 sites in the file: `let _ = f(..);` and
+/// statement-level `expr.f(..).ok();` outside tests, with every
+/// structural exemption (top-level `?`, bindings, assignments)
+/// already applied. Whether the callee's `Result` matters is decided
+/// at link time against the workspace index.
+pub(crate) fn swallow_candidates(ctx: &FileCtx<'_>) -> Vec<SwallowCand> {
     let toks = ctx.toks;
+    let mut out = Vec::new();
     for i in 0..toks.len() {
         let off = toks[i].off;
         if in_test(&ctx.regions, off) {
@@ -760,15 +751,11 @@ fn swallowed_results(
         if is_ident(toks, i, "let") && is_ident(toks, i + 1, "_") && is_punct(toks, i + 2, b'=') {
             let end = stmt_end(toks, i);
             if let Some((ci, callee)) = top_level_call(toks, i + 3, end) {
-                if let Some(err) = index.get(callee) {
-                    diag.emit(ctx, fi, toks[ci].off, Rule::SwallowedResult, format!(
-                        "`let _ =` discards Result<_, {err}> from `{callee}`: handle it, propagate with `?`, or justify with an allow marker"
-                    ));
-                } else if SYNC_CALLS.contains(&callee) {
-                    diag.emit(ctx, fi, toks[ci].off, Rule::SwallowedResult, format!(
-                        "`let _ =` discards the io::Result from `{callee}`: a failed durability barrier must be handled, propagated, or justified with an allow marker"
-                    ));
-                }
+                out.push(SwallowCand {
+                    kind: SwallowKind::LetUnderscore,
+                    off: toks[ci].off,
+                    callee: callee.to_string(),
+                });
             }
         }
         if is_punct(toks, i, b'.')
@@ -785,14 +772,96 @@ fn swallowed_results(
                 continue;
             }
             if let Some(callee) = call_before(toks, i) {
-                if let Some(err) = index.get(callee) {
-                    diag.emit(ctx, fi, toks[i + 1].off, Rule::SwallowedResult, format!(
-                        ".ok() discards Result<_, {err}> from `{callee}` without reading it: handle the error or justify with an allow marker"
-                    ));
-                } else if SYNC_CALLS.contains(&callee) {
-                    diag.emit(ctx, fi, toks[i + 1].off, Rule::SwallowedResult, format!(
-                        ".ok() discards the io::Result from `{callee}` without reading it: a failed durability barrier must be handled or justified with an allow marker"
-                    ));
+                out.push(SwallowCand {
+                    kind: SwallowKind::OkDiscard,
+                    off: toks[i + 1].off,
+                    callee: callee.to_string(),
+                });
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------
+// L8 swallowed-result: link-side decision
+// ---------------------------------------------------------------
+
+/// L8 — decide every file's swallow candidates against the
+/// workspace-wide index of functions returning `Result<_, *Error>`.
+/// Durability barriers (`flush` / `sync_all` / `sync_data`) are
+/// flagged whatever their error type: a discarded fsync result
+/// silently loses the crash-consistency guarantee.
+pub(crate) fn swallowed_link(sums: &[FileSummary], diag: &mut Diagnostics) {
+    const SYNC_CALLS: [&str; 3] = ["flush", "sync_all", "sync_data"];
+    // Every `enum *Error` declared anywhere in the analyzed set.
+    let mut enums: HashSet<&str> = HashSet::new();
+    for sum in sums {
+        for e in &sum.error_enums {
+            enums.insert(e.as_str());
+        }
+    }
+    // Per-crate `type X<T> = ... SomeError ...;` aliases.
+    let mut aliases: HashMap<String, HashMap<String, String>> = HashMap::new();
+    for sum in sums {
+        for (name, errs) in &sum.type_aliases {
+            if let Some(e) = errs.iter().filter(|e| enums.contains(e.as_str())).next_back() {
+                aliases
+                    .entry(sum.crate_name.clone())
+                    .or_default()
+                    .insert(name.clone(), e.clone());
+            }
+        }
+    }
+    // Function name → the `*Error` its `Result` return carries.
+    let mut index: HashMap<&str, String> = HashMap::new();
+    for sum in sums {
+        for r in &sum.fn_returns {
+            let mut err = r
+                .err_idents
+                .iter()
+                .filter(|e| enums.contains(e.as_str()))
+                .next_back()
+                .cloned();
+            if err.is_none() && r.bare_result {
+                err = aliases.get(&sum.crate_name).and_then(|m| m.get("Result")).cloned();
+            }
+            if err.is_none() {
+                if let Some(c) = &r.qualified_crate {
+                    err = aliases.get(c).and_then(|m| m.get("Result")).cloned();
+                }
+            }
+            if let Some(e) = err {
+                index.insert(r.name.as_str(), e);
+            }
+        }
+    }
+    // Decide the candidates.
+    for (fi, sum) in sums.iter().enumerate() {
+        for c in &sum.swallows {
+            let callee = c.callee.as_str();
+            match c.kind {
+                SwallowKind::LetUnderscore => {
+                    if let Some(err) = index.get(callee) {
+                        diag.emit(sum, fi, c.off, Rule::SwallowedResult, format!(
+                            "`let _ =` discards Result<_, {err}> from `{callee}`: handle it, propagate with `?`, or justify with an allow marker"
+                        ));
+                    } else if SYNC_CALLS.contains(&callee) {
+                        diag.emit(sum, fi, c.off, Rule::SwallowedResult, format!(
+                            "`let _ =` discards the io::Result from `{callee}`: a failed durability barrier must be handled, propagated, or justified with an allow marker"
+                        ));
+                    }
+                }
+                SwallowKind::OkDiscard => {
+                    if let Some(err) = index.get(callee) {
+                        diag.emit(sum, fi, c.off, Rule::SwallowedResult, format!(
+                            ".ok() discards Result<_, {err}> from `{callee}` without reading it: handle the error or justify with an allow marker"
+                        ));
+                    } else if SYNC_CALLS.contains(&callee) {
+                        diag.emit(sum, fi, c.off, Rule::SwallowedResult, format!(
+                            ".ok() discards the io::Result from `{callee}` without reading it: a failed durability barrier must be handled or justified with an allow marker"
+                        ));
+                    }
                 }
             }
         }

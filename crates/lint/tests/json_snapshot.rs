@@ -1,0 +1,95 @@
+//! Pins the `--format json` schema byte-for-byte and the scan's
+//! determinism contract through the real binary: the JSON emitted for
+//! a fixed mini workspace is an exact snapshot (so any schema change
+//! is a deliberate test edit, not an accident a downstream consumer
+//! discovers), a parallel scan is byte-identical to `--serial`, and a
+//! warm `--cache` run reports a full hit rate while still emitting
+//! the same bytes.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::Command;
+
+/// A single-member workspace with three deterministic findings: both
+/// missing crate attributes (1:1) and a `println!` (2:5).
+fn mini_workspace(tag: &str) -> PathBuf {
+    let root = std::env::temp_dir().join(format!(
+        "teleios-lint-snapshot-{}-{tag}",
+        std::process::id()
+    ));
+    let _ = fs::remove_dir_all(&root);
+    let src = root.join("crates").join("demo").join("src");
+    fs::create_dir_all(&src).unwrap();
+    fs::write(root.join("Cargo.toml"), "[workspace]\nmembers = [\"crates/demo\"]\n")
+        .unwrap();
+    fs::write(
+        root.join("crates").join("demo").join("Cargo.toml"),
+        "[package]\nname = \"demo\"\nversion = \"0.1.0\"\nedition = \"2021\"\n",
+    )
+    .unwrap();
+    fs::write(src.join("lib.rs"), "pub fn noisy() {\n    println!(\"boot\");\n}\n")
+        .unwrap();
+    root
+}
+
+fn run(root: &PathBuf, extra: &[&str]) -> std::process::Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_teleios-lint"));
+    cmd.arg("--root").arg(root);
+    for a in extra {
+        cmd.arg(a);
+    }
+    cmd.output().unwrap()
+}
+
+/// The pinned schema: an array of objects with exactly these keys in
+/// exactly this order, two-space indent, one finding per line.
+const SNAPSHOT: &str = r#"[
+  {"path":"crates/demo/src/lib.rs","line":1,"col":1,"rule":"crate-attrs","severity":"error","message":"crate root is missing #![forbid(unsafe_code)]"},
+  {"path":"crates/demo/src/lib.rs","line":1,"col":1,"rule":"crate-attrs","severity":"error","message":"crate root is missing deny(clippy::unwrap_used, clippy::expect_used)"},
+  {"path":"crates/demo/src/lib.rs","line":2,"col":5,"rule":"no-println","severity":"error","message":"println! in library code: route output through the caller or a report type"}
+]
+"#;
+
+#[test]
+fn json_output_matches_the_pinned_snapshot() {
+    let root = mini_workspace("schema");
+    let out = run(&root, &["--format", "json"]);
+    assert!(!out.status.success(), "the seeded findings are errors");
+    assert_eq!(
+        String::from_utf8_lossy(&out.stdout),
+        SNAPSHOT,
+        "json schema drifted — if intentional, update SNAPSHOT"
+    );
+    fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn parallel_scan_is_byte_identical_to_serial() {
+    let root = mini_workspace("par");
+    let serial = run(&root, &["--format", "json", "--serial"]);
+    let parallel = run(&root, &["--format", "json", "--jobs", "8"]);
+    assert_eq!(serial.stdout, parallel.stdout, "findings must not depend on --jobs");
+    assert_eq!(serial.status.code(), parallel.status.code());
+    fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn warm_cache_run_hits_fully_and_emits_the_same_bytes() {
+    let root = mini_workspace("cache");
+    let cache = root.join("lint-cache");
+    let cache_arg = cache.to_string_lossy().into_owned();
+    let cold = run(&root, &["--format", "json", "--cache", &cache_arg, "--timings"]);
+    let warm = run(&root, &["--format", "json", "--cache", &cache_arg, "--timings"]);
+    assert_eq!(cold.stdout, warm.stdout, "cached summaries must link identically");
+    let cold_err = String::from_utf8_lossy(&cold.stderr);
+    let warm_err = String::from_utf8_lossy(&warm.stderr);
+    assert!(
+        cold_err.contains("0 hit(s)"),
+        "first run misses everything: {cold_err}"
+    );
+    assert!(
+        warm_err.contains("0 miss(es)") && warm_err.contains("100% hit rate"),
+        "second run serves every summary from the cache: {warm_err}"
+    );
+    fs::remove_dir_all(&root).unwrap();
+}

@@ -197,14 +197,12 @@ impl Parser {
         self.expect_kw("SELECT")?;
         let distinct = self.accept_kw("DISTINCT");
         let mut items = vec![self.select_item()?];
-        // teleios-lint: allow(loop-cancel-poll) — consumes a token per iteration; parsing finishes before any pool dispatch
         while self.accept_symbol(Symbol::Comma) {
             items.push(self.select_item()?);
         }
         self.expect_kw("FROM")?;
         let mut from = vec![self.table_ref()?];
         let mut joins = Vec::new();
-        // teleios-lint: allow(loop-cancel-poll) — consumes a token per iteration; parsing finishes before any pool dispatch
         loop {
             if self.accept_symbol(Symbol::Comma) {
                 from.push(self.table_ref()?);
@@ -230,7 +228,6 @@ impl Parser {
         if self.accept_kw("GROUP") {
             self.expect_kw("BY")?;
             group_by.push(self.expr()?);
-            // teleios-lint: allow(loop-cancel-poll) — consumes a token per iteration; parsing finishes before any pool dispatch
             while self.accept_symbol(Symbol::Comma) {
                 group_by.push(self.expr()?);
             }
@@ -239,7 +236,6 @@ impl Parser {
         let mut order_by = Vec::new();
         if self.accept_kw("ORDER") {
             self.expect_kw("BY")?;
-            // teleios-lint: allow(loop-cancel-poll) — consumes a token per iteration; parsing finishes before any pool dispatch
             loop {
                 let expr = self.expr()?;
                 let desc = if self.accept_kw("DESC") {
@@ -324,7 +320,6 @@ impl Parser {
     // Expression grammar: OR > AND > NOT > comparison > additive > term.
     fn expr(&mut self) -> Result<Expr> {
         let mut left = self.and_expr()?;
-        // teleios-lint: allow(loop-cancel-poll) — consumes a token per iteration; parsing finishes before any pool dispatch
         while self.accept_kw("OR") {
             let right = self.and_expr()?;
             left = Expr::binary(BinOp::Or, left, right);
@@ -334,7 +329,6 @@ impl Parser {
 
     fn and_expr(&mut self) -> Result<Expr> {
         let mut left = self.not_expr()?;
-        // teleios-lint: allow(loop-cancel-poll) — consumes a token per iteration; parsing finishes before any pool dispatch
         while self.accept_kw("AND") {
             let right = self.not_expr()?;
             left = Expr::binary(BinOp::And, left, right);
@@ -380,7 +374,6 @@ impl Parser {
         if self.accept_kw("IN") {
             self.expect_symbol(Symbol::LParen)?;
             let mut list = vec![self.expr()?];
-            // teleios-lint: allow(loop-cancel-poll) — consumes a token per iteration; parsing finishes before any pool dispatch
             while self.accept_symbol(Symbol::Comma) {
                 list.push(self.expr()?);
             }
@@ -417,7 +410,6 @@ impl Parser {
 
     fn additive(&mut self) -> Result<Expr> {
         let mut left = self.multiplicative()?;
-        // teleios-lint: allow(loop-cancel-poll) — consumes a token per iteration; parsing finishes before any pool dispatch
         loop {
             let op = match self.peek() {
                 TokenKind::Symbol(Symbol::Plus) => BinOp::Add,
@@ -433,7 +425,6 @@ impl Parser {
 
     fn multiplicative(&mut self) -> Result<Expr> {
         let mut left = self.unary()?;
-        // teleios-lint: allow(loop-cancel-poll) — consumes a token per iteration; parsing finishes before any pool dispatch
         loop {
             let op = match self.peek() {
                 TokenKind::Symbol(Symbol::Star) => BinOp::Mul,
@@ -485,7 +476,6 @@ impl Parser {
                         args.push(Expr::Column("*".into()));
                     } else if self.peek() != &TokenKind::Symbol(Symbol::RParen) {
                         args.push(self.expr()?);
-                        // teleios-lint: allow(loop-cancel-poll) — consumes a token per iteration; parsing finishes before any pool dispatch
                         while self.accept_symbol(Symbol::Comma) {
                             args.push(self.expr()?);
                         }

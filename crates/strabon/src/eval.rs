@@ -988,7 +988,6 @@ fn subclass_closure(
     let mut seen: HashSet<TermId> = HashSet::new();
     let mut stack = vec![class];
     let mut out = Vec::new();
-    // teleios-lint: allow(loop-cancel-poll) — seen-set guarantees each class is visited once; bounded by hierarchy size
     while let Some(c) = stack.pop() {
         if !seen.insert(c) {
             continue;

@@ -61,15 +61,20 @@ cargo run --release -p teleios-lint -- --self-test
 # The lint is part of the inner loop, so it gets a perf budget of its
 # own: a CFG-engine regression that makes the scan crawl should fail
 # the gate, not silently tax every future run. Override with
-# TELEIOS_LINT_BUDGET_MS for slow CI hardware.
+# TELEIOS_LINT_BUDGET_MS for slow CI hardware. The summary cache keeps
+# warm runs well under budget; on overrun the scan is re-run with
+# --timings so the log shows which phase (or rule) blew up.
 lint_budget_ms="${TELEIOS_LINT_BUDGET_MS:-10000}"
-echo "==> teleios-lint --strict (budget ${lint_budget_ms}ms)"
+lint_cache_dir="${TELEIOS_LINT_CACHE_DIR:-target/lint-cache}"
+echo "==> teleios-lint --strict (budget ${lint_budget_ms}ms, cache ${lint_cache_dir})"
 lint_start_ns=$(date +%s%N)
-cargo run --release -q -p teleios-lint -- --strict --format github
+cargo run --release -q -p teleios-lint -- --strict --format github --cache "$lint_cache_dir"
 lint_elapsed_ms=$(( ($(date +%s%N) - lint_start_ns) / 1000000 ))
 echo "    lint scan took ${lint_elapsed_ms}ms"
 if [ "$lint_elapsed_ms" -gt "$lint_budget_ms" ]; then
-    echo "teleios-lint exceeded its ${lint_budget_ms}ms budget (${lint_elapsed_ms}ms)" >&2
+    echo "teleios-lint exceeded its ${lint_budget_ms}ms budget (${lint_elapsed_ms}ms); timing breakdown:" >&2
+    cargo run --release -q -p teleios-lint -- --strict --format github \
+        --cache "$lint_cache_dir" --timings >/dev/null || true
     exit 1
 fi
 
